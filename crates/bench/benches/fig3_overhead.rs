@@ -1,0 +1,28 @@
+//! Criterion bench for **Figure 3**: per-request overhead of the selection
+//! algorithm (distribution computation + Algorithm 1) as a function of the
+//! number of replicas and the sliding-window size.
+
+use aqua_bench::synthetic::synthetic_selector;
+use aqua_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_selection_overhead(c: &mut Criterion) {
+    let qos = QosSpec::new(Duration::from_millis(150), 0.9).expect("valid spec");
+    let mut group = c.benchmark_group("fig3_selection_overhead");
+    for l in [5usize, 10, 20] {
+        for n in [2usize, 3, 4, 5, 6, 7, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("window_{l}"), n),
+                &(n, l),
+                |b, &(n, l)| {
+                    let mut selector = synthetic_selector(n, l, 42);
+                    b.iter(|| std::hint::black_box(selector.select(&qos)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection_overhead);
+criterion_main!(benches);

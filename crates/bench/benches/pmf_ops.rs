@@ -1,0 +1,56 @@
+//! Criterion bench for the pmf algebra underlying the model: relative-
+//! frequency estimation, convolution (the ~90% of Figure 3's overhead),
+//! and CDF evaluation.
+
+use aqua_core::pmf::Pmf;
+use aqua_core::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn samples(n: usize, spread_ms: u64, seed: u64) -> Vec<Duration> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Duration::from_millis(100 + rng.gen_range(0..spread_ms.max(1))))
+        .collect()
+}
+
+fn bench_from_samples(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pmf_from_samples");
+    for n in [5usize, 20, 100] {
+        let data = samples(n, 150, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| {
+                Pmf::from_samples(data.iter().copied(), Duration::from_millis(1))
+                    .expect("non-empty")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_convolve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pmf_convolve");
+    for spread in [20u64, 100, 300] {
+        let a = Pmf::from_samples(samples(20, spread, 2), Duration::from_millis(1)).unwrap();
+        let b_pmf = Pmf::from_samples(samples(20, spread, 3), Duration::from_millis(1)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("spread_{spread}ms")),
+            &(a, b_pmf),
+            |bench, (a, b_pmf)| {
+                bench.iter(|| a.convolve(b_pmf).expect("same bucket width"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cdf(c: &mut Criterion) {
+    let pmf = Pmf::from_samples(samples(20, 300, 4), Duration::from_millis(1)).unwrap();
+    c.bench_function("pmf_cdf", |b| {
+        b.iter(|| std::hint::black_box(pmf.cdf(Duration::from_millis(180))));
+    });
+}
+
+criterion_group!(benches, bench_from_samples, bench_convolve, bench_cdf);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for Algorithm 1 in isolation (the ~10% of Figure 3's
+//! overhead), scaled far beyond the paper's 8 replicas to show the
+//! algorithm itself is O(n log n) and never the bottleneck.
+
+use aqua_core::qos::ReplicaId;
+use aqua_core::select::{select_replicas, Candidate};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn candidates(n: usize, seed: u64) -> Vec<Candidate> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| Candidate::new(ReplicaId::new(i as u64), rng.gen::<f64>()))
+        .collect()
+}
+
+fn bench_algorithm_1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_scaling");
+    for n in [8usize, 64, 512, 4096] {
+        let cands = candidates(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cands, |b, cands| {
+            b.iter(|| std::hint::black_box(select_replicas(cands, 0.999)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithm_1);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! **Ablation A11** — model quantization: pmf bucket width vs. overhead
+//! and selection quality.
+//!
+//! The model quantizes all measurements to a bucket width before
+//! convolving. Coarser buckets shrink the pmf supports, making the
+//! convolution (the ~90% of Figure 3's δ) cheaper — but past a point the
+//! quantization error starts mispricing replicas near the deadline.
+//!
+//! Usage: `ablation_bucket [seeds]`.
+
+use aqua_core::model::ModelConfig;
+use aqua_core::qos::QosSpec;
+use aqua_core::time::Duration;
+use aqua_workload::{run_experiment, ClientSpec, ExperimentConfig, NetworkSpec, ServerSpec, StrategySpec};
+
+fn ms(v: u64) -> Duration {
+    Duration::from_millis(v)
+}
+
+fn scenario(bucket: Duration, seed: u64) -> ExperimentConfig {
+    let qos = QosSpec::new(ms(140), 0.9).expect("valid spec");
+    let mut client = ClientSpec::paper(qos);
+    client.strategy = StrategySpec::ModelBased(ModelConfig {
+        bucket,
+        ..ModelConfig::default()
+    });
+    client.num_requests = 100;
+    client.think_time = ms(200);
+    ExperimentConfig {
+        seed,
+        network: NetworkSpec::paper(),
+        servers: (0..5).map(|_| ServerSpec::paper()).collect(),
+        standby_servers: Vec::new(),
+        manager: None,
+        clients: vec![client],
+        max_virtual_time: Duration::from_secs(120),
+    }
+}
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let qos = QosSpec::new(ms(140), 0.9).expect("valid spec");
+    println!("scenario: 5 paper replicas; client (140 ms, Pc = 0.9), 100");
+    println!("requests, {seeds} seed(s). failure budget = 0.10. overhead column");
+    println!("measured on a synthetic 7-replica/window-20 repository.\n");
+    println!("| bucket | overhead (us) | P(failure) | mean redundancy |");
+    println!("|---|---|---|---|");
+    for bucket_us in [100u64, 1_000, 5_000, 20_000] {
+        let bucket = Duration::from_micros(bucket_us);
+        // Overhead, measured over a big synthetic repository. The
+        // measure_overhead helper uses the default 1 ms bucket; here we
+        // time the model directly for the chosen bucket.
+        let overhead = {
+            use aqua_core::prelude::*;
+            let repo = aqua_bench::synthetic::synthetic_repository(7, 20, 42);
+            let model = ResponseTimeModel::new(ModelConfig {
+                bucket,
+                ..ModelConfig::default()
+            });
+            let started = std::time::Instant::now();
+            let iters = 2_000;
+            for _ in 0..iters {
+                for (_, stats) in repo.iter() {
+                    std::hint::black_box(model.probability_by(stats, qos.deadline()));
+                }
+            }
+            started.elapsed().as_nanos() as f64 / 1_000.0 / iters as f64
+        };
+        let mut fail = 0.0;
+        let mut red = 0.0;
+        for seed in 1..=seeds {
+            let report = run_experiment(&scenario(bucket, seed));
+            let c = report.client_under_test();
+            fail += c.failure_probability;
+            red += c.mean_redundancy();
+        }
+        let n = seeds as f64;
+        println!(
+            "| {} | {:.2} | {:.3} | {:.2} |",
+            bucket,
+            overhead,
+            fail / n,
+            red / n
+        );
+    }
+    println!();
+    println!("expected: overhead falls steeply with coarser buckets (smaller");
+    println!("convolution supports); quality is flat until the bucket becomes");
+    println!("a significant fraction of the deadline, where the floor-");
+    println!("quantization optimism starts to bite (20 ms = 14% of 140 ms).");
+}

@@ -1,0 +1,121 @@
+//! **Ablation A13** — active probing of stale entries (paper §8,
+//! extension 3: "our work can also be extended to use active probes \[5\]
+//! when a replica's performance information is obsolete").
+//!
+//! The failure mode probing fixes is *stigma*: a replica sampled during a
+//! transient slow phase gets a bad window, is never selected again, and
+//! therefore never re-measured — even after it recovers. Here the fastest
+//! replica (30 ms nominal) starts inside an 8× load burst that ends after
+//! ~5 s; without probes the client keeps paying for 80 ms replicas
+//! forever, with probes it rediscovers the 30 ms one.
+//!
+//! Usage: `ablation_probes [seeds]`.
+
+use aqua_core::qos::QosSpec;
+use aqua_core::time::Duration;
+use aqua_replica::{LoadModel, LoadState, ServiceTimeModel};
+use aqua_workload::{run_experiment, ClientSpec, ExperimentConfig, NetworkSpec, ServerSpec};
+
+fn ms(v: u64) -> Duration {
+    Duration::from_millis(v)
+}
+
+fn scenario(probe: bool, seed: u64) -> ExperimentConfig {
+    let qos = QosSpec::new(ms(200), 0.9).expect("valid spec");
+    let mut client = ClientSpec::paper(qos);
+    client.num_requests = 100;
+    client.think_time = ms(300);
+    client.probe_stale_after = probe.then(|| Duration::from_secs(2));
+
+    // r0: 30 ms replica, busy (8x) for the first ~5 s, then calm for the
+    // rest of the run.
+    let recovering = ServerSpec {
+        service: ServiceTimeModel::Normal {
+            mean: ms(30),
+            std_dev: ms(8),
+            min: Duration::ZERO,
+        },
+        load: LoadModel::MarkovModulated {
+            states: vec![
+                LoadState {
+                    factor: 8.0,
+                    mean_dwell: Duration::from_secs(5),
+                },
+                LoadState {
+                    factor: 1.0,
+                    mean_dwell: Duration::from_secs(100_000),
+                },
+            ],
+        },
+        ..ServerSpec::paper()
+    };
+    let steady = || ServerSpec {
+        service: ServiceTimeModel::Normal {
+            mean: ms(80),
+            std_dev: ms(15),
+            min: Duration::ZERO,
+        },
+        ..ServerSpec::paper()
+    };
+
+    ExperimentConfig {
+        seed,
+        network: NetworkSpec::paper(),
+        servers: vec![recovering, steady(), steady()],
+        standby_servers: Vec::new(),
+        manager: None,
+        clients: vec![client],
+        max_virtual_time: Duration::from_secs(120),
+    }
+}
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    println!("scenario: r0 is a 30 ms replica stuck in an 8x burst for the");
+    println!("first ~5 s (so its first samples look terrible); r1, r2 are");
+    println!("steady 80 ms. client (200 ms, Pc = 0.9), 100 requests,");
+    println!("{seeds} seed(s).\n");
+    println!("| probing | P(failure) | mean latency (ms) | p50 tail (ms) | probes |");
+    println!("|---|---|---|---|---|");
+    for probe in [false, true] {
+        let mut fail = 0.0;
+        let mut lat = 0.0;
+        let mut tail_p50 = 0.0;
+        let mut probes = 0u64;
+        for seed in 1..=seeds {
+            let report = run_experiment(&scenario(probe, seed));
+            let c = report.client_under_test();
+            fail += c.failure_probability;
+            lat += c
+                .mean_latency()
+                .map(|d| d.as_millis_f64())
+                .unwrap_or(f64::NAN);
+            // Median latency of the last 40 requests — long after the
+            // burst ended.
+            let mut tail: Vec<f64> = c.records[c.records.len() - 40..]
+                .iter()
+                .filter_map(|r| r.response_time.map(|d| d.as_millis_f64()))
+                .collect();
+            tail.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            tail_p50 += tail.get(tail.len() / 2).copied().unwrap_or(f64::NAN);
+            probes += c.stats.probes;
+        }
+        let n = seeds as f64;
+        println!(
+            "| {} | {:.3} | {:.1} | {:.1} | {} |",
+            if probe { "every 2 s (ext.)" } else { "off (paper)" },
+            fail / n,
+            lat / n,
+            tail_p50 / n,
+            probes
+        );
+    }
+    println!();
+    println!("expected: without probes the recovered 30 ms replica stays");
+    println!("stigmatized by its burst-era window and the tail median sits at");
+    println!("the 80 ms replicas' level; with probes it is re-measured and");
+    println!("the tail median drops toward 30-40 ms.");
+}

@@ -1,0 +1,332 @@
+//! `aqua-lab` — a configurable one-shot experiment runner.
+//!
+//! Builds a simulated cluster from command-line flags, runs it, and prints
+//! a report (optionally JSON). Useful for exploring the design space
+//! beyond the canned figure/ablation binaries.
+//!
+//! ```text
+//! aqua_lab [flags]
+//!   --replicas N          number of server replicas          (default 5)
+//!   --service MS          mean service time                  (default 100)
+//!   --std MS              service-time std deviation         (default 50)
+//!   --deadline MS         client deadline t                  (default 150)
+//!   --pc P                requested probability Pc           (default 0.9)
+//!   --requests N          requests for the client under test (default 50)
+//!   --think MS            closed-loop think time             (default 1000)
+//!   --open-loop MS        open-loop Poisson mean inter-arrival instead
+//!   --window L            sliding-window size l              (default 5)
+//!   --crashes F           crash tolerance f of Algorithm 1   (default 1)
+//!   --strategy NAME[:K]   model | random:K | fastest:K | loaded:K |
+//!                         nearest:K | rr:K | static:K | all  (default model)
+//!   --crash I@SECS        crash replica I at SECS (repeatable)
+//!   --bursty I            give replica I 6x load bursts (repeatable)
+//!   --background N        N extra (200 ms, Pc 0) clients     (default 1)
+//!   --congested           add 20x network delay spikes
+//!   --standbys N          N standby replicas + a dependability manager
+//!                         holding the pool at --replicas
+//!   --queue-scaled        predict W from current queue length (A9 ext.)
+//!   --seed S              RNG seed                           (default 1)
+//!   --json                emit a JSON report instead of text
+//! ```
+
+use aqua_core::model::ModelConfig;
+use aqua_core::qos::QosSpec;
+use aqua_core::time::{Duration, Instant};
+use aqua_gateway::ArrivalModel;
+use aqua_replica::{CrashPlan, LoadModel, ServiceTimeModel};
+use aqua_workload::{
+    run_experiment, ClientSpec, ExperimentConfig, NetworkSpec, ServerSpec, StrategySpec,
+};
+use lan_sim::UniformLan;
+
+#[derive(Debug)]
+struct Options {
+    replicas: usize,
+    service_ms: u64,
+    std_ms: u64,
+    deadline_ms: u64,
+    pc: f64,
+    requests: u64,
+    think_ms: u64,
+    open_loop_ms: Option<u64>,
+    window: usize,
+    crashes: usize,
+    strategy: StrategySpec,
+    crash_at: Vec<(usize, u64)>,
+    bursty: Vec<usize>,
+    background: usize,
+    congested: bool,
+    standbys: usize,
+    queue_scaled: bool,
+    seed: u64,
+    json: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            replicas: 5,
+            service_ms: 100,
+            std_ms: 50,
+            deadline_ms: 150,
+            pc: 0.9,
+            requests: 50,
+            think_ms: 1_000,
+            open_loop_ms: None,
+            window: 5,
+            crashes: 1,
+            strategy: StrategySpec::paper(),
+            crash_at: Vec::new(),
+            bursty: Vec::new(),
+            background: 1,
+            congested: false,
+            standbys: 0,
+            queue_scaled: false,
+            seed: 1,
+            json: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("see the module docs at the top of aqua_lab.rs (or run with defaults)");
+    std::process::exit(2);
+}
+
+fn parse_strategy(spec: &str) -> StrategySpec {
+    let (name, k) = match spec.split_once(':') {
+        Some((n, k)) => (n, k.parse().unwrap_or(2)),
+        None => (spec, 2),
+    };
+    match name {
+        "model" => StrategySpec::paper(),
+        "random" => StrategySpec::Random { k },
+        "fastest" => StrategySpec::FastestMean { k },
+        "loaded" => StrategySpec::LeastLoaded { k },
+        "nearest" => StrategySpec::Nearest { k },
+        "rr" => StrategySpec::RoundRobin { k },
+        "static" => StrategySpec::StaticK { k },
+        "all" => StrategySpec::AllReplicas,
+        other => {
+            eprintln!("unknown strategy {other:?}");
+            usage()
+        }
+    }
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--replicas" => opts.replicas = value("--replicas").parse().unwrap_or_else(|_| usage()),
+            "--service" => opts.service_ms = value("--service").parse().unwrap_or_else(|_| usage()),
+            "--std" => opts.std_ms = value("--std").parse().unwrap_or_else(|_| usage()),
+            "--deadline" => {
+                opts.deadline_ms = value("--deadline").parse().unwrap_or_else(|_| usage())
+            }
+            "--pc" => opts.pc = value("--pc").parse().unwrap_or_else(|_| usage()),
+            "--requests" => opts.requests = value("--requests").parse().unwrap_or_else(|_| usage()),
+            "--think" => opts.think_ms = value("--think").parse().unwrap_or_else(|_| usage()),
+            "--open-loop" => {
+                opts.open_loop_ms = Some(value("--open-loop").parse().unwrap_or_else(|_| usage()))
+            }
+            "--window" => opts.window = value("--window").parse().unwrap_or_else(|_| usage()),
+            "--crashes" => opts.crashes = value("--crashes").parse().unwrap_or_else(|_| usage()),
+            "--strategy" => opts.strategy = parse_strategy(&value("--strategy")),
+            "--crash" => {
+                let v = value("--crash");
+                let Some((i, s)) = v.split_once('@') else { usage() };
+                opts.crash_at.push((
+                    i.parse().unwrap_or_else(|_| usage()),
+                    s.parse().unwrap_or_else(|_| usage()),
+                ));
+            }
+            "--bursty" => opts
+                .bursty
+                .push(value("--bursty").parse().unwrap_or_else(|_| usage())),
+            "--background" => {
+                opts.background = value("--background").parse().unwrap_or_else(|_| usage())
+            }
+            "--congested" => opts.congested = true,
+            "--standbys" => opts.standbys = value("--standbys").parse().unwrap_or_else(|_| usage()),
+            "--queue-scaled" => opts.queue_scaled = true,
+            "--seed" => opts.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--json" => opts.json = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    opts
+}
+
+fn build_config(opts: &Options) -> ExperimentConfig {
+    let ms = Duration::from_millis;
+    let servers = (0..opts.replicas)
+        .map(|i| ServerSpec {
+            service: ServiceTimeModel::Normal {
+                mean: ms(opts.service_ms),
+                std_dev: ms(opts.std_ms),
+                min: Duration::ZERO,
+            },
+            method_services: Vec::new(),
+            load: if opts.bursty.contains(&i) {
+                LoadModel::bursty(Duration::from_secs(4), Duration::from_secs(2), 6.0)
+            } else {
+                LoadModel::nominal()
+            },
+            crash: opts
+                .crash_at
+                .iter()
+                .find(|(idx, _)| *idx == i)
+                .map(|(_, secs)| CrashPlan::AtTime(Instant::from_secs(*secs)))
+                .unwrap_or(CrashPlan::Never),
+            recover_after: None,
+        })
+        .collect();
+
+    let mut clients: Vec<ClientSpec> = (0..opts.background)
+        .map(|_| {
+            let mut c =
+                ClientSpec::paper(QosSpec::new(ms(200), 0.0).expect("constant spec valid"));
+            c.num_requests = opts.requests;
+            c.think_time = ms(opts.think_ms);
+            c
+        })
+        .collect();
+
+    let qos = QosSpec::new(ms(opts.deadline_ms), opts.pc).unwrap_or_else(|e| {
+        eprintln!("invalid QoS: {e}");
+        usage()
+    });
+    let model_config = ModelConfig {
+        queue_estimator: if opts.queue_scaled {
+            aqua_core::model::QueueEstimator::QueueScaled
+        } else {
+            aqua_core::model::QueueEstimator::History
+        },
+        ..ModelConfig::default()
+    };
+    let mut under_test = ClientSpec::paper(qos);
+    under_test.strategy = match &opts.strategy {
+        StrategySpec::ModelBased(_) if opts.crashes != 1 => StrategySpec::ModelBasedTolerating {
+            model: model_config,
+            crashes: opts.crashes,
+        },
+        StrategySpec::ModelBased(_) => StrategySpec::ModelBased(model_config),
+        other => other.clone(),
+    };
+    under_test.num_requests = opts.requests;
+    under_test.think_time = ms(opts.think_ms);
+    under_test.window = opts.window;
+    if let Some(gap) = opts.open_loop_ms {
+        under_test.arrivals = ArrivalModel::OpenLoopPoisson {
+            mean_interarrival: ms(gap),
+        };
+    }
+    clients.push(under_test);
+
+    ExperimentConfig {
+        seed: opts.seed,
+        network: if opts.congested {
+            NetworkSpec::Congested {
+                lan: UniformLan::aqua_testbed(),
+                spike_prob: 0.02,
+                spike_scale: 20.0,
+                spike_duration: ms(300),
+            }
+        } else {
+            NetworkSpec::paper()
+        },
+        servers,
+        standby_servers: (0..opts.standbys)
+            .map(|_| ServerSpec {
+                service: ServiceTimeModel::Normal {
+                    mean: ms(opts.service_ms),
+                    std_dev: ms(opts.std_ms),
+                    min: Duration::ZERO,
+                },
+                ..ServerSpec::paper()
+            })
+            .collect(),
+        manager: (opts.standbys > 0).then_some(aqua_workload::ManagerSpec {
+            target_replication: opts.replicas,
+            check_interval: ms(200),
+        }),
+        clients,
+        max_virtual_time: Duration::from_secs(600),
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let config = build_config(&opts);
+    let report = run_experiment(&config);
+    let client = report.client_under_test();
+
+    if opts.json {
+        let json = serde_json::json!({
+            "options": format!("{opts:?}"),
+            "strategy": client.strategy,
+            "requests": client.records.len(),
+            "failure_probability": client.failure_probability,
+            "budget": 1.0 - opts.pc,
+            "within_budget": client.failure_probability <= 1.0 - opts.pc + 1e-9,
+            "mean_redundancy": client.mean_redundancy(),
+            "mean_latency_ms": client.mean_latency().map(|d| d.as_millis_f64()),
+            "p50_ms": client.latency_quantile(0.5).map(|d| d.as_millis_f64()),
+            "p99_ms": client.latency_quantile(0.99).map(|d| d.as_millis_f64()),
+            "callbacks": client.callbacks,
+            "gave_up": client.stats.gave_up,
+            "virtual_seconds": report.ended_at.as_secs_f64(),
+            "network_messages": report.messages,
+        });
+        println!("{}", serde_json::to_string_pretty(&json).expect("serializable"));
+        return;
+    }
+
+    println!("aqua-lab: {} replica(s), strategy {}, seed {}", opts.replicas, client.strategy, opts.seed);
+    println!(
+        "QoS: deadline {} ms with Pc ≥ {}  (failure budget {:.2})",
+        opts.deadline_ms,
+        opts.pc,
+        1.0 - opts.pc
+    );
+    println!();
+    println!("requests            : {}", client.records.len());
+    println!(
+        "observed P(failure) : {:.3}  → {}",
+        client.failure_probability,
+        if client.failure_probability <= 1.0 - opts.pc + 1e-9 {
+            "WITHIN SPEC"
+        } else {
+            "VIOLATED"
+        }
+    );
+    println!("mean redundancy     : {:.2}", client.mean_redundancy());
+    if let Some(mean) = client.mean_latency() {
+        println!("mean latency        : {:.1} ms", mean.as_millis_f64());
+    }
+    for q in [0.5, 0.9, 0.99] {
+        if let Some(l) = client.latency_quantile(q) {
+            println!("p{:<2.0}                 : {:.1} ms", q * 100.0, l.as_millis_f64());
+        }
+    }
+    println!("QoS callbacks       : {}", client.callbacks);
+    println!("gave up (no reply)  : {}", client.stats.gave_up);
+    println!(
+        "simulated {:.1} s of virtual time, {} network messages, {} events",
+        report.ended_at.as_secs_f64(),
+        report.messages,
+        report.events
+    );
+}

@@ -1,0 +1,83 @@
+//! **Ablation A8** — replica churn: crashes with recovery.
+//!
+//! Every replica fails randomly (exponential MTBF) and restarts after a
+//! fixed downtime, so the membership view churns for the whole run. The
+//! handler must keep tracking the view, re-explore recovered replicas
+//! (cold-start multicast when a blank entry appears), and keep the spec.
+//!
+//! Usage: `churn_experiment [seeds]`.
+
+use aqua_core::qos::QosSpec;
+use aqua_core::time::Duration;
+use aqua_replica::{CrashPlan, ServiceTimeModel};
+use aqua_workload::{run_experiment, ClientSpec, ExperimentConfig, NetworkSpec, ServerSpec};
+
+fn ms(v: u64) -> Duration {
+    Duration::from_millis(v)
+}
+
+fn scenario(mtbf_secs: u64, seed: u64) -> ExperimentConfig {
+    let qos = QosSpec::new(ms(250), 0.9).expect("valid spec");
+    let mut client = ClientSpec::paper(qos);
+    client.num_requests = 120;
+    client.think_time = ms(250);
+    let servers = (0..6)
+        .map(|_| ServerSpec {
+            service: ServiceTimeModel::Normal {
+                mean: ms(70),
+                std_dev: ms(20),
+                min: Duration::ZERO,
+            },
+            crash: CrashPlan::Mtbf(Duration::from_secs(mtbf_secs)),
+            recover_after: Some(Duration::from_secs(5)),
+            ..ServerSpec::paper()
+        })
+        .collect();
+    ExperimentConfig {
+        seed,
+        network: NetworkSpec::paper(),
+        servers,
+        standby_servers: Vec::new(),
+        manager: None,
+        clients: vec![client],
+        max_virtual_time: Duration::from_secs(180),
+    }
+}
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    println!("scenario: 6 replicas N(70 ms, 20 ms), exponential MTBF crashes");
+    println!("with 5 s restarts; client (250 ms, Pc = 0.9), 120 requests,");
+    println!("{seeds} seed(s). failure budget = 0.10.\n");
+    println!("| MTBF (s) | P(failure) | gave up | mean redundancy |");
+    println!("|---|---|---|---|");
+    for mtbf in [120u64, 60, 30, 15] {
+        let mut fail = 0.0;
+        let mut gave_up = 0u64;
+        let mut red = 0.0;
+        for seed in 1..=seeds {
+            let report = run_experiment(&scenario(mtbf, seed));
+            let c = report.client_under_test();
+            fail += c.failure_probability;
+            gave_up += c.stats.gave_up;
+            red += c.mean_redundancy();
+        }
+        let n = seeds as f64;
+        println!(
+            "| {} | {:.3} | {} | {:.2} |",
+            mtbf,
+            fail / n,
+            gave_up,
+            red / n
+        );
+    }
+    println!();
+    println!("expected: the spec holds at moderate churn (single-crash");
+    println!("masking + re-exploration); only when failures are so frequent");
+    println!("that whole selected sets die between view changes do give-ups");
+    println!("appear. redundancy rises because every recovery forces a");
+    println!("cold-start multicast round.");
+}

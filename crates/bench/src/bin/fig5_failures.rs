@@ -1,0 +1,34 @@
+//! Regenerates **Figure 5**: observed probability of timing failures vs.
+//! the second client's deadline, for requested probabilities 0.9 / 0.5 / 0
+//! (same runs as Figure 4).
+//!
+//! The paper's claim: the observed failure probability stays below the
+//! budget `1 − Pc` in every cell — max 0.08 for Pc = 0.9, 0.32 for 0.5,
+//! 0.36 for 0.
+//!
+//! Usage: `fig5_failures [seeds]` (default 5 seeds averaged).
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let seed_list: Vec<u64> = (1..=seeds).collect();
+    eprintln!("running the §6 sweep over {seeds} seed(s)…");
+    let (_, fig5) = aqua_bench::paper_eval::run_paper_sweep(&seed_list);
+    println!("{}", fig5.to_ascii(60, 14));
+    println!("{}", fig5.to_markdown());
+    println!("```csv\n{}```", fig5.to_csv());
+    println!();
+    for (series, budget) in fig5.series.iter().zip([0.1, 0.5, 1.0]) {
+        let max = series.max_y().unwrap_or(0.0);
+        let ok = max <= budget;
+        println!(
+            "{}: max observed failure probability {:.3} vs budget {:.2} → {}",
+            series.label,
+            max,
+            budget,
+            if ok { "WITHIN SPEC" } else { "VIOLATED" }
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Reproduces the §6 scalar claim: "For a minimum-sized request having
+//! negligible service time, the minimum value we achieved for the response
+//! time, tr, was about 3.5 milliseconds."
+//!
+//! The simulated LAN (`UniformLan::aqua_testbed`) is calibrated so the
+//! two-way gateway path costs a few milliseconds; this binary measures the
+//! floor end-to-end through the full simulated stack.
+//!
+//! Usage: `min_response [requests]`.
+
+use aqua_core::qos::QosSpec;
+use aqua_core::time::Duration;
+use aqua_replica::ServiceTimeModel;
+use aqua_workload::{run_experiment, ClientSpec, ExperimentConfig, NetworkSpec, ServerSpec};
+
+fn main() {
+    let requests: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let qos = QosSpec::new(Duration::from_millis(100), 0.0).expect("valid spec");
+    let mut client = ClientSpec::paper(qos);
+    client.num_requests = requests;
+    client.think_time = Duration::from_millis(20);
+    let config = ExperimentConfig {
+        seed: 1,
+        network: NetworkSpec::paper(),
+        servers: vec![ServerSpec {
+            service: ServiceTimeModel::Deterministic(Duration::ZERO),
+            ..ServerSpec::paper()
+        }],
+        standby_servers: Vec::new(),
+        manager: None,
+        clients: vec![client],
+        max_virtual_time: Duration::from_secs(120),
+    };
+    let report = run_experiment(&config);
+    let c = report.client_under_test();
+    let mut latencies: Vec<Duration> = c.records.iter().filter_map(|r| r.response_time).collect();
+    latencies.sort_unstable();
+    let min = latencies.first().copied().unwrap_or(Duration::ZERO);
+    let p50 = latencies
+        .get(latencies.len() / 2)
+        .copied()
+        .unwrap_or(Duration::ZERO);
+    println!("requests measured : {}", latencies.len());
+    println!("min response time : {:.3} ms", min.as_millis_f64());
+    println!("median            : {:.3} ms", p50.as_millis_f64());
+    println!();
+    println!("paper: ~3.5 ms on the 2001 testbed (CORBA + Maestro/Ensemble).");
+    println!("The simulated gateway path is calibrated to that order of");
+    println!("magnitude; see also `examples/search_engine` for the floor of");
+    println!("the real-socket runtime on this machine.");
+}

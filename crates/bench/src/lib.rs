@@ -1,0 +1,12 @@
+//! # aqua-bench — benchmarks and figure regeneration
+//!
+//! Shared harness code for the criterion benches (`benches/`) and the
+//! experiment binaries (`src/bin/`) that regenerate every figure of the
+//! paper's evaluation (§6). See DESIGN.md's experiment index for the
+//! mapping from paper figure to binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper_eval;
+pub mod synthetic;

@@ -1,0 +1,464 @@
+//! The online response-time model (§5.3.1, Eq. 2).
+//!
+//! For each replica `m_i` the model predicts the distribution of the
+//! response time
+//!
+//! ```text
+//! R_i = S_i + W_i + T_i
+//! ```
+//!
+//! by convolving the relative-frequency pmfs of the recorded service times
+//! (`S_i`) and queuing delays (`W_i`) and shifting by the gateway-to-gateway
+//! delay (`T_i`). The resulting distribution function `F_Ri(t)` is the
+//! per-replica input to the selection algorithm.
+
+use crate::pmf::Pmf;
+use crate::repository::{MethodId, ReplicaStats};
+use crate::time::Duration;
+
+/// How the gateway-to-gateway delay term `T_i` is estimated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[non_exhaustive]
+pub enum DelayEstimator {
+    /// Use the most recently measured value (the paper's choice, justified
+    /// by LAN traffic being stable; §5.3.1).
+    #[default]
+    LastValue,
+    /// Build a pmf over the recorded delay window (the extension the paper
+    /// sketches for environments with fluctuating traffic).
+    WindowPmf,
+}
+
+/// How the queuing-delay term `W_i` is estimated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[non_exhaustive]
+pub enum QueueEstimator {
+    /// Relative frequency over the recorded queuing-delay window — the
+    /// paper's estimator (§5.3.1).
+    #[default]
+    History,
+    /// Predict the wait from the replica's **current** queue length `q`
+    /// (which it publishes with every update, §5.2): `W ≈ S^{*q}`, the
+    /// q-fold convolution of the service-time pmf. Reacts instantly to
+    /// load changes the delay window has not seen yet; an extension in the
+    /// spirit of the queue-length-aware selectors of \[5\].
+    QueueScaled,
+}
+
+/// How histories of different methods are combined (multi-interface
+/// extension, §8 ext. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[non_exhaustive]
+pub enum MethodScope {
+    /// Use only the history recorded for the method being invoked.
+    /// This is the paper's behaviour when services export a single method
+    /// (everything lands on [`MethodId::DEFAULT`]).
+    #[default]
+    PerMethod,
+    /// Mix all method histories, weighted by sample count. Used when the
+    /// middleware cannot classify the outgoing request.
+    Aggregate,
+}
+
+/// Configuration of the response-time model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ModelConfig {
+    /// Quantization step for all pmfs. The experiments use 1 ms, which is
+    /// ≤1% of the deadlines studied.
+    pub bucket: Duration,
+    /// Estimator for the `T_i` term.
+    pub delay_estimator: DelayEstimator,
+    /// Estimator for the `W_i` term.
+    pub queue_estimator: QueueEstimator,
+    /// How per-method histories combine.
+    pub method_scope: MethodScope,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            bucket: Duration::from_millis(1),
+            delay_estimator: DelayEstimator::LastValue,
+            queue_estimator: QueueEstimator::History,
+            method_scope: MethodScope::PerMethod,
+        }
+    }
+}
+
+/// Cap on the q-fold convolution depth of
+/// [`QueueEstimator::QueueScaled`]: beyond this the prediction is "far too
+/// late anyway" and extra convolutions only cost time.
+const MAX_QUEUE_CONVOLUTIONS: u32 = 32;
+
+/// Predicts `F_Ri(t)` for a replica from its repository entry.
+///
+/// # Examples
+///
+/// ```
+/// use aqua_core::model::{ModelConfig, ResponseTimeModel};
+/// use aqua_core::repository::{InfoRepository, PerfReport};
+/// use aqua_core::qos::ReplicaId;
+/// use aqua_core::time::{Duration, Instant};
+///
+/// let ms = Duration::from_millis;
+/// let mut repo = InfoRepository::new(5);
+/// let r = ReplicaId::new(0);
+/// repo.insert_replica(r);
+/// for ts in [95u64, 100, 105] {
+///     repo.record_perf(r, PerfReport::new(ms(ts), ms(0), 0), Instant::EPOCH);
+/// }
+/// repo.record_gateway_delay(r, ms(4), Instant::EPOCH);
+///
+/// let model = ResponseTimeModel::new(ModelConfig::default());
+/// let p = model.probability_by(repo.stats(r).unwrap(), ms(105)).unwrap();
+/// assert!(p > 0.6 && p <= 1.0, "2 of 3 samples respond within 105 ms: {p}");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ResponseTimeModel {
+    config: ModelConfig,
+}
+
+impl ResponseTimeModel {
+    /// Creates a model with the given configuration.
+    pub fn new(config: ModelConfig) -> Self {
+        ResponseTimeModel { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Predicts the full response-time pmf of a replica, or `None` if the
+    /// repository entry does not yet hold enough data (no service-time or
+    /// queuing-delay samples, or no gateway-delay measurement).
+    pub fn response_pmf(&self, stats: &ReplicaStats) -> Option<Pmf> {
+        self.response_pmf_for(stats, None)
+    }
+
+    /// Like [`ResponseTimeModel::response_pmf`] but restricted to one
+    /// method's history when `method` is `Some` and the scope is
+    /// [`MethodScope::PerMethod`].
+    pub fn response_pmf_for(&self, stats: &ReplicaStats, method: Option<MethodId>) -> Option<Pmf> {
+        let bucket = self.config.bucket;
+        let (service, queuing) = match (self.config.method_scope, method) {
+            (MethodScope::PerMethod, m) => {
+                let history = stats.history(m.unwrap_or_default())?;
+                let service =
+                    Pmf::from_samples(history.service_times().iter().copied(), bucket).ok()?;
+                let queuing =
+                    Pmf::from_samples(history.queuing_delays().iter().copied(), bucket).ok()?;
+                (service, queuing)
+            }
+            (MethodScope::Aggregate, _) => {
+                let mut service_parts = Vec::new();
+                let mut queue_parts = Vec::new();
+                for (_, history) in stats.histories() {
+                    if history.is_empty() {
+                        continue;
+                    }
+                    let weight = history.len() as f64;
+                    if let Ok(pmf) =
+                        Pmf::from_samples(history.service_times().iter().copied(), bucket)
+                    {
+                        service_parts.push((weight, pmf));
+                    }
+                    if let Ok(pmf) =
+                        Pmf::from_samples(history.queuing_delays().iter().copied(), bucket)
+                    {
+                        queue_parts.push((weight, pmf));
+                    }
+                }
+                let service = Pmf::mixture(
+                    &service_parts
+                        .iter()
+                        .map(|(w, p)| (*w, p))
+                        .collect::<Vec<_>>(),
+                )
+                .ok()?;
+                let queuing = Pmf::mixture(
+                    &queue_parts
+                        .iter()
+                        .map(|(w, p)| (*w, p))
+                        .collect::<Vec<_>>(),
+                )
+                .ok()?;
+                (service, queuing)
+            }
+        };
+
+        let queuing = match self.config.queue_estimator {
+            QueueEstimator::History => queuing,
+            QueueEstimator::QueueScaled => {
+                let depth = stats.outstanding().min(MAX_QUEUE_CONVOLUTIONS);
+                let mut wait = Pmf::point(Duration::ZERO, bucket)
+                    .expect("bucket width validated by the service pmf");
+                for _ in 0..depth {
+                    wait = wait
+                        .convolve(&service)
+                        .expect("wait and service pmfs share the bucket width");
+                }
+                wait
+            }
+        };
+
+        let combined = service
+            .convolve(&queuing)
+            .expect("service and queuing pmfs share the configured bucket width");
+
+        match self.config.delay_estimator {
+            DelayEstimator::LastValue => {
+                let delay = stats.last_gateway_delay()?;
+                Some(combined.shift_by(delay))
+            }
+            DelayEstimator::WindowPmf => {
+                let delays =
+                    Pmf::from_samples(stats.gateway_delays().iter().copied(), bucket).ok()?;
+                Some(
+                    combined
+                        .convolve(&delays)
+                        .expect("delay pmf shares the configured bucket width"),
+                )
+            }
+        }
+    }
+
+    /// Predicts `F_Ri(deadline)`: the probability that a response from this
+    /// replica arrives within `deadline`. `None` when data is insufficient.
+    pub fn probability_by(&self, stats: &ReplicaStats, deadline: Duration) -> Option<f64> {
+        self.probability_by_for(stats, deadline, None)
+    }
+
+    /// Per-method variant of [`ResponseTimeModel::probability_by`].
+    pub fn probability_by_for(
+        &self,
+        stats: &ReplicaStats,
+        deadline: Duration,
+        method: Option<MethodId>,
+    ) -> Option<f64> {
+        self.response_pmf_for(stats, method).map(|pmf| pmf.cdf(deadline))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qos::ReplicaId;
+    use crate::repository::{InfoRepository, PerfReport};
+    use crate::time::Instant;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn warm_repo(service: &[u64], queue: &[u64], delay: u64) -> InfoRepository {
+        let mut repo = InfoRepository::new(service.len().max(1));
+        let r = ReplicaId::new(0);
+        repo.insert_replica(r);
+        for (ts, tq) in service.iter().zip(queue) {
+            repo.record_perf(r, PerfReport::new(ms(*ts), ms(*tq), 0), Instant::EPOCH);
+        }
+        repo.record_gateway_delay(r, ms(delay), Instant::EPOCH);
+        repo
+    }
+
+    #[test]
+    fn insufficient_data_yields_none() {
+        let model = ResponseTimeModel::default();
+        let mut repo = InfoRepository::new(3);
+        let r = ReplicaId::new(0);
+        repo.insert_replica(r);
+        assert!(model.response_pmf(repo.stats(r).unwrap()).is_none());
+        // Perf but no delay:
+        repo.record_perf(r, PerfReport::new(ms(10), ms(0), 0), Instant::EPOCH);
+        assert!(model.response_pmf(repo.stats(r).unwrap()).is_none());
+        // Delay too → warm.
+        repo.record_gateway_delay(r, ms(1), Instant::EPOCH);
+        assert!(model.response_pmf(repo.stats(r).unwrap()).is_some());
+    }
+
+    #[test]
+    fn deterministic_terms_add_exactly() {
+        let repo = warm_repo(&[100, 100], &[10, 10], 5);
+        let model = ResponseTimeModel::default();
+        let stats = repo.stats(ReplicaId::new(0)).unwrap();
+        let pmf = model.response_pmf(stats).unwrap();
+        assert_eq!(pmf.mean(), ms(115));
+        assert_eq!(model.probability_by(stats, ms(114)).unwrap(), 0.0);
+        assert_eq!(model.probability_by(stats, ms(115)).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn convolution_spreads_mass() {
+        // service ∈ {90, 110} each ½; queue ∈ {0, 20} each ½; delay 0.
+        let repo = warm_repo(&[90, 110], &[0, 20], 0);
+        let model = ResponseTimeModel::default();
+        let stats = repo.stats(ReplicaId::new(0)).unwrap();
+        // Sums: 90, 110, 110, 130 each ¼.
+        assert!((model.probability_by(stats, ms(90)).unwrap() - 0.25).abs() < 1e-9);
+        assert!((model.probability_by(stats, ms(110)).unwrap() - 0.75).abs() < 1e-9);
+        assert!((model.probability_by(stats, ms(130)).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn last_value_delay_estimator_uses_latest() {
+        let mut repo = warm_repo(&[100], &[0], 5);
+        let r = ReplicaId::new(0);
+        repo.record_gateway_delay(r, ms(50), Instant::EPOCH);
+        let model = ResponseTimeModel::default();
+        let pmf = model.response_pmf(repo.stats(r).unwrap()).unwrap();
+        assert_eq!(pmf.mean(), ms(150), "uses latest delay (50), not first (5)");
+    }
+
+    #[test]
+    fn window_pmf_delay_estimator_spreads_delay() {
+        let mut repo = InfoRepository::new(4);
+        let r = ReplicaId::new(0);
+        repo.insert_replica(r);
+        repo.record_perf(r, PerfReport::new(ms(100), ms(0), 0), Instant::EPOCH);
+        repo.record_gateway_delay(r, ms(0), Instant::EPOCH);
+        repo.record_gateway_delay(r, ms(40), Instant::EPOCH);
+        let model = ResponseTimeModel::new(ModelConfig {
+            delay_estimator: DelayEstimator::WindowPmf,
+            ..ModelConfig::default()
+        });
+        let stats = repo.stats(r).unwrap();
+        // Delay history {0, 40} each ½ → response ∈ {100, 140}.
+        assert!((model.probability_by(stats, ms(100)).unwrap() - 0.5).abs() < 1e-9);
+        assert!((model.probability_by(stats, ms(140)).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_method_scope_separates_histories() {
+        let mut repo = InfoRepository::new(4);
+        let r = ReplicaId::new(0);
+        repo.insert_replica(r);
+        let fast = MethodId::new(1);
+        let slow = MethodId::new(2);
+        repo.record_perf(
+            r,
+            PerfReport::new(ms(10), ms(0), 0).with_method(fast),
+            Instant::EPOCH,
+        );
+        repo.record_perf(
+            r,
+            PerfReport::new(ms(500), ms(0), 0).with_method(slow),
+            Instant::EPOCH,
+        );
+        repo.record_gateway_delay(r, ms(0), Instant::EPOCH);
+        let model = ResponseTimeModel::default();
+        let stats = repo.stats(r).unwrap();
+        assert_eq!(
+            model
+                .probability_by_for(stats, ms(50), Some(fast))
+                .unwrap(),
+            1.0
+        );
+        assert_eq!(
+            model
+                .probability_by_for(stats, ms(50), Some(slow))
+                .unwrap(),
+            0.0
+        );
+        assert!(
+            model.probability_by_for(stats, ms(50), None).is_none(),
+            "no history recorded under the default method id"
+        );
+    }
+
+    #[test]
+    fn aggregate_scope_mixes_methods_by_sample_count() {
+        let mut repo = InfoRepository::new(4);
+        let r = ReplicaId::new(0);
+        repo.insert_replica(r);
+        let fast = MethodId::new(1);
+        let slow = MethodId::new(2);
+        // 3 fast samples, 1 slow sample.
+        for _ in 0..3 {
+            repo.record_perf(
+                r,
+                PerfReport::new(ms(10), ms(0), 0).with_method(fast),
+                Instant::EPOCH,
+            );
+        }
+        repo.record_perf(
+            r,
+            PerfReport::new(ms(500), ms(0), 0).with_method(slow),
+            Instant::EPOCH,
+        );
+        repo.record_gateway_delay(r, ms(0), Instant::EPOCH);
+        let model = ResponseTimeModel::new(ModelConfig {
+            method_scope: MethodScope::Aggregate,
+            ..ModelConfig::default()
+        });
+        let p = model
+            .probability_by(repo.stats(r).unwrap(), ms(50))
+            .unwrap();
+        assert!((p - 0.75).abs() < 1e-9, "3/4 of the mass is fast: {p}");
+    }
+
+    #[test]
+    fn queue_scaled_estimator_uses_current_queue_length() {
+        let mut repo = InfoRepository::new(4);
+        let r = ReplicaId::new(0);
+        repo.insert_replica(r);
+        // Historical queuing delays are all zero, but the replica just
+        // published a queue of 3 outstanding requests.
+        for _ in 0..3 {
+            repo.record_perf(r, PerfReport::new(ms(50), ms(0), 3), Instant::EPOCH);
+        }
+        repo.record_gateway_delay(r, ms(0), Instant::EPOCH);
+        let stats = repo.stats(r).unwrap();
+
+        let history_model = ResponseTimeModel::default();
+        assert_eq!(
+            history_model.probability_by(stats, ms(60)).unwrap(),
+            1.0,
+            "the paper's estimator sees only the (empty-queue) history"
+        );
+
+        let queue_model = ResponseTimeModel::new(ModelConfig {
+            queue_estimator: QueueEstimator::QueueScaled,
+            ..ModelConfig::default()
+        });
+        // Wait ≈ 3 × 50 ms, then 50 ms service: response ≈ 200 ms.
+        assert_eq!(queue_model.probability_by(stats, ms(199)).unwrap(), 0.0);
+        assert_eq!(queue_model.probability_by(stats, ms(200)).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn queue_scaled_with_empty_queue_matches_service_only() {
+        let mut repo = InfoRepository::new(4);
+        let r = ReplicaId::new(0);
+        repo.insert_replica(r);
+        repo.record_perf(r, PerfReport::new(ms(70), ms(5), 0), Instant::EPOCH);
+        repo.record_gateway_delay(r, ms(0), Instant::EPOCH);
+        let stats = repo.stats(r).unwrap();
+        let queue_model = ResponseTimeModel::new(ModelConfig {
+            queue_estimator: QueueEstimator::QueueScaled,
+            ..ModelConfig::default()
+        });
+        assert_eq!(
+            queue_model.response_pmf(stats).unwrap().mean(),
+            ms(70),
+            "queue of 0 → no wait term at all"
+        );
+    }
+
+    #[test]
+    fn cdf_is_monotone_in_deadline() {
+        let repo = warm_repo(&[80, 100, 120, 140], &[0, 5, 10, 20], 3);
+        let model = ResponseTimeModel::default();
+        let stats = repo.stats(ReplicaId::new(0)).unwrap();
+        let mut last = 0.0;
+        for t in (60..200).step_by(5) {
+            let p = model.probability_by(stats, ms(t)).unwrap();
+            assert!(p >= last - 1e-12, "cdf decreased at {t}");
+            last = p;
+        }
+    }
+}

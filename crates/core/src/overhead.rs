@@ -1,0 +1,159 @@
+//! Accounting for the selection algorithm's own cost (§5.3.3).
+//!
+//! "In a practical implementation, the overhead incurred by the selection
+//! algorithm has to be considered by modifying Algorithm 1 to select those
+//! replicas that can respond within `t − δ` time units rather than `t` time
+//! units … we measure this overhead, δ, each time the selection algorithm is
+//! executed, and use the most recently measured value of δ."
+
+use core::fmt;
+
+use crate::time::Duration;
+use crate::window::SlidingWindow;
+
+/// Records the measured per-request overhead δ of model evaluation plus
+/// subset selection, and adjusts client deadlines by it.
+///
+/// # Examples
+///
+/// ```
+/// use aqua_core::overhead::OverheadTracker;
+/// use aqua_core::time::Duration;
+///
+/// let mut tracker = OverheadTracker::new();
+/// assert_eq!(tracker.last(), None);
+/// tracker.record(Duration::from_micros(400));
+/// let t = Duration::from_millis(100);
+/// assert_eq!(tracker.adjusted_deadline(t), t - Duration::from_micros(400));
+/// ```
+#[derive(Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OverheadTracker {
+    history: SlidingWindow<Duration>,
+}
+
+impl Default for OverheadTracker {
+    fn default() -> Self {
+        OverheadTracker::new()
+    }
+}
+
+impl OverheadTracker {
+    /// Default number of recent overhead measurements retained for
+    /// diagnostics (the adjustment itself only uses the latest value).
+    pub const DEFAULT_HISTORY: usize = 32;
+
+    /// Creates a tracker with the default history size.
+    pub fn new() -> Self {
+        OverheadTracker {
+            history: SlidingWindow::new(Self::DEFAULT_HISTORY),
+        }
+    }
+
+    /// Creates a tracker retaining `history` measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history` is zero.
+    pub fn with_history(history: usize) -> Self {
+        OverheadTracker {
+            history: SlidingWindow::new(history),
+        }
+    }
+
+    /// Records a freshly measured δ.
+    pub fn record(&mut self, overhead: Duration) {
+        self.history.push(overhead);
+    }
+
+    /// The most recently measured δ, if any.
+    pub fn last(&self) -> Option<Duration> {
+        self.history.latest().copied()
+    }
+
+    /// Mean of the retained measurements ([`Duration::ZERO`] when empty).
+    pub fn mean(&self) -> Duration {
+        if self.history.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.history.iter().copied().sum();
+        total / self.history.len() as u64
+    }
+
+    /// Largest retained measurement ([`Duration::ZERO`] when empty).
+    pub fn max(&self) -> Duration {
+        self.history
+            .iter()
+            .copied()
+            .fold(Duration::ZERO, Duration::max)
+    }
+
+    /// Number of measurements recorded so far (including evicted ones).
+    pub fn samples(&self) -> u64 {
+        self.history.total_pushed()
+    }
+
+    /// `t − δ` using the most recent δ (or `t` unchanged before the first
+    /// measurement), clamped at zero.
+    pub fn adjusted_deadline(&self, deadline: Duration) -> Duration {
+        deadline.saturating_sub(self.last().unwrap_or(Duration::ZERO))
+    }
+}
+
+impl fmt::Debug for OverheadTracker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OverheadTracker")
+            .field("last", &self.last())
+            .field("mean", &self.mean())
+            .field("samples", &self.samples())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> Duration {
+        Duration::from_micros(v)
+    }
+
+    #[test]
+    fn empty_tracker_leaves_deadline_untouched() {
+        let tracker = OverheadTracker::new();
+        assert_eq!(tracker.adjusted_deadline(us(100)), us(100));
+        assert_eq!(tracker.mean(), Duration::ZERO);
+        assert_eq!(tracker.max(), Duration::ZERO);
+    }
+
+    #[test]
+    fn adjustment_uses_latest_measurement() {
+        let mut tracker = OverheadTracker::new();
+        tracker.record(us(100));
+        tracker.record(us(300));
+        assert_eq!(tracker.last(), Some(us(300)));
+        assert_eq!(tracker.adjusted_deadline(us(1_000)), us(700));
+    }
+
+    #[test]
+    fn adjustment_clamps_at_zero() {
+        let mut tracker = OverheadTracker::new();
+        tracker.record(us(500));
+        assert_eq!(tracker.adjusted_deadline(us(100)), Duration::ZERO);
+    }
+
+    #[test]
+    fn mean_and_max_over_history() {
+        let mut tracker = OverheadTracker::with_history(3);
+        for v in [100, 200, 600] {
+            tracker.record(us(v));
+        }
+        assert_eq!(tracker.mean(), us(300));
+        assert_eq!(tracker.max(), us(600));
+        assert_eq!(tracker.samples(), 3);
+        // Window rolls: 100 evicted.
+        tracker.record(us(100));
+        assert_eq!(tracker.mean(), us(300));
+        assert_eq!(tracker.samples(), 4);
+    }
+}

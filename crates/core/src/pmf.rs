@@ -1,0 +1,675 @@
+//! Empirical probability mass functions over durations.
+//!
+//! The paper's model (§5.3.1) estimates the response-time distribution of a
+//! replica as the **discrete convolution** of three terms (Eq. 2):
+//!
+//! ```text
+//! R_i = S_i + W_i + T_i
+//! ```
+//!
+//! where the pmfs of the service time `S_i` and queuing delay `W_i` are
+//! computed "based on the relative frequency of their values recorded in the
+//! sliding window", and `T_i` is the most recently measured two-way
+//! gateway-to-gateway delay (a point mass).
+//!
+//! [`Pmf`] implements exactly this: bucketed relative-frequency estimation
+//! ([`Pmf::from_samples`]), point masses ([`Pmf::point`]), convolution
+//! ([`Pmf::convolve`]), constant shifts ([`Pmf::shift_by`]), and the
+//! distribution function `F(t) = P(X ≤ t)` ([`Pmf::cdf`]).
+//!
+//! # Bucketing convention
+//!
+//! A sample `d` falls into bucket `⌊d / w⌋` for bucket width `w`, and every
+//! bucket is represented by its **lower edge**. This makes convolution exact
+//! in index space (the mean of a convolution is the sum of the means) at the
+//! cost of a uniform downward bias of at most one bucket width per term. The
+//! experiments use `w = 1 ms` against deadlines of 100–200 ms, so the bias is
+//! below 1% and identical for every replica, which leaves the *ranking* used
+//! by the selection algorithm untouched.
+
+use core::fmt;
+
+use crate::time::Duration;
+
+/// Errors from constructing or combining [`Pmf`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PmfError {
+    /// No samples were provided; a relative-frequency estimate needs at
+    /// least one.
+    EmptySamples,
+    /// The bucket width was zero.
+    ZeroBucketWidth,
+    /// Two pmfs with different bucket widths were combined.
+    BucketMismatch {
+        /// Bucket width of the left-hand operand.
+        left: Duration,
+        /// Bucket width of the right-hand operand.
+        right: Duration,
+    },
+}
+
+impl fmt::Display for PmfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmfError::EmptySamples => write!(f, "cannot build a pmf from zero samples"),
+            PmfError::ZeroBucketWidth => write!(f, "pmf bucket width must be positive"),
+            PmfError::BucketMismatch { left, right } => {
+                write!(f, "pmf bucket widths differ: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PmfError {}
+
+/// A discrete probability mass function over [`Duration`] values.
+///
+/// # Examples
+///
+/// Build the response-time distribution of Eq. 2 from measurements:
+///
+/// ```
+/// use aqua_core::pmf::Pmf;
+/// use aqua_core::time::Duration;
+///
+/// # fn main() -> Result<(), aqua_core::pmf::PmfError> {
+/// let ms = Duration::from_millis;
+/// let bucket = ms(1);
+/// let service = Pmf::from_samples([ms(90), ms(100), ms(110)], bucket)?;
+/// let queuing = Pmf::from_samples([ms(0), ms(0), ms(20)], bucket)?;
+/// let gateway_delay = ms(4);
+///
+/// let response = service.convolve(&queuing)?.shift_by(gateway_delay);
+/// // P(response ≤ 120 ms): all service/queue combinations except the
+/// // (110, 20) and (100, 20) pairs arrive in time.
+/// assert!(response.cdf(ms(120)) > 0.7);
+/// assert!(response.cdf(ms(200)) > 0.999);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Pmf {
+    /// Bucket width; all probabilities refer to multiples of this.
+    bucket: Duration,
+    /// Index (in buckets) of the first entry of `probs`.
+    offset: u64,
+    /// `probs[i]` is the probability of bucket `offset + i`. Non-empty;
+    /// first and last entries are non-zero; sums to ~1.
+    probs: Vec<f64>,
+}
+
+impl Pmf {
+    /// Builds the relative-frequency pmf of a set of duration samples.
+    ///
+    /// This is the estimator of §5.3.1: each retained sample contributes
+    /// `1/n` of probability mass to its bucket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmfError::EmptySamples`] when no samples are supplied and
+    /// [`PmfError::ZeroBucketWidth`] for a zero bucket width.
+    pub fn from_samples<I>(samples: I, bucket: Duration) -> Result<Pmf, PmfError>
+    where
+        I: IntoIterator<Item = Duration>,
+    {
+        if bucket.is_zero() {
+            return Err(PmfError::ZeroBucketWidth);
+        }
+        let indices: Vec<u64> = samples
+            .into_iter()
+            .map(|d| d.as_nanos() / bucket.as_nanos())
+            .collect();
+        if indices.is_empty() {
+            return Err(PmfError::EmptySamples);
+        }
+        let lo = *indices.iter().min().expect("non-empty");
+        let hi = *indices.iter().max().expect("non-empty");
+        let span = usize::try_from(hi - lo + 1).expect("bucket span fits in memory");
+        let mut probs = vec![0.0; span];
+        let weight = 1.0 / indices.len() as f64;
+        for idx in indices {
+            probs[(idx - lo) as usize] += weight;
+        }
+        Ok(Pmf {
+            bucket,
+            offset: lo,
+            probs,
+        })
+    }
+
+    /// A point mass concentrated on the bucket containing `value`.
+    ///
+    /// Used for the gateway-to-gateway delay `T_i`, for which the paper keeps
+    /// only "its most recently measured value rather than recording its
+    /// history" (§5.3.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmfError::ZeroBucketWidth`] for a zero bucket width.
+    pub fn point(value: Duration, bucket: Duration) -> Result<Pmf, PmfError> {
+        if bucket.is_zero() {
+            return Err(PmfError::ZeroBucketWidth);
+        }
+        Ok(Pmf {
+            bucket,
+            offset: value.as_nanos() / bucket.as_nanos(),
+            probs: vec![1.0],
+        })
+    }
+
+    /// Builds a pmf from explicit `(duration, weight)` pairs, normalizing
+    /// the weights to sum to one.
+    ///
+    /// Useful for synthetic distributions in tests and benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmfError::EmptySamples`] if no pair has positive weight, or
+    /// [`PmfError::ZeroBucketWidth`] for a zero bucket width.
+    pub fn from_weighted<I>(pairs: I, bucket: Duration) -> Result<Pmf, PmfError>
+    where
+        I: IntoIterator<Item = (Duration, f64)>,
+    {
+        if bucket.is_zero() {
+            return Err(PmfError::ZeroBucketWidth);
+        }
+        let entries: Vec<(u64, f64)> = pairs
+            .into_iter()
+            .filter(|(_, w)| *w > 0.0 && w.is_finite())
+            .map(|(d, w)| (d.as_nanos() / bucket.as_nanos(), w))
+            .collect();
+        if entries.is_empty() {
+            return Err(PmfError::EmptySamples);
+        }
+        let lo = entries.iter().map(|(i, _)| *i).min().expect("non-empty");
+        let hi = entries.iter().map(|(i, _)| *i).max().expect("non-empty");
+        let span = usize::try_from(hi - lo + 1).expect("bucket span fits in memory");
+        let mut probs = vec![0.0; span];
+        let total: f64 = entries.iter().map(|(_, w)| *w).sum();
+        for (idx, w) in entries {
+            probs[(idx - lo) as usize] += w / total;
+        }
+        Ok(Pmf {
+            bucket,
+            offset: lo,
+            probs,
+        })
+    }
+
+    /// The bucket width this pmf is quantized to.
+    #[inline]
+    pub fn bucket_width(&self) -> Duration {
+        self.bucket
+    }
+
+    /// The number of (contiguous) buckets in the support, including interior
+    /// zero-probability buckets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Returns `false`: a pmf always carries at least one bucket.
+    ///
+    /// Provided for iterator-style symmetry with [`Pmf::len`].
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total probability mass (≈ 1 up to floating-point rounding).
+    pub fn mass(&self) -> f64 {
+        self.probs.iter().sum()
+    }
+
+    /// Smallest value with positive probability (bucket lower edge).
+    pub fn support_min(&self) -> Duration {
+        Duration::from_nanos(self.offset * self.bucket.as_nanos())
+    }
+
+    /// Largest value with positive probability (bucket lower edge).
+    pub fn support_max(&self) -> Duration {
+        Duration::from_nanos((self.offset + self.probs.len() as u64 - 1) * self.bucket.as_nanos())
+    }
+
+    /// The distribution function `F(t) = P(X ≤ t)`.
+    ///
+    /// This is the quantity `F_Ri(t)` fed to the selection algorithm.
+    pub fn cdf(&self, t: Duration) -> f64 {
+        let t_idx = t.as_nanos() / self.bucket.as_nanos();
+        if t_idx < self.offset {
+            return 0.0;
+        }
+        let upto = (t_idx - self.offset).min(self.probs.len() as u64 - 1) as usize;
+        self.probs[..=upto].iter().sum::<f64>().min(1.0)
+    }
+
+    /// The survival function `P(X > t) = 1 − F(t)`.
+    pub fn prob_gt(&self, t: Duration) -> f64 {
+        (1.0 - self.cdf(t)).max(0.0)
+    }
+
+    /// Mean of the distribution (using bucket lower edges).
+    pub fn mean(&self) -> Duration {
+        let bucket_ns = self.bucket.as_nanos() as f64;
+        let mean_idx: f64 = self
+            .probs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (self.offset as f64 + i as f64) * p)
+            .sum();
+        Duration::from_nanos((mean_idx * bucket_ns).round() as u64)
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn std_dev(&self) -> Duration {
+        let mean_idx: f64 = self
+            .probs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (self.offset as f64 + i as f64) * p)
+            .sum();
+        let var_idx: f64 = self
+            .probs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let d = self.offset as f64 + i as f64 - mean_idx;
+                d * d * p
+            })
+            .sum();
+        Duration::from_nanos((var_idx.sqrt() * self.bucket.as_nanos() as f64).round() as u64)
+    }
+
+    /// The `p`-quantile: the smallest bucket value `v` with `F(v) ≥ p`.
+    ///
+    /// `p` is clamped to `[0, 1]`. `quantile(1.0)` is the support maximum.
+    pub fn quantile(&self, p: f64) -> Duration {
+        let p = p.clamp(0.0, 1.0);
+        let mut acc = 0.0;
+        for (i, prob) in self.probs.iter().enumerate() {
+            acc += prob;
+            if acc + 1e-12 >= p {
+                return Duration::from_nanos((self.offset + i as u64) * self.bucket.as_nanos());
+            }
+        }
+        self.support_max()
+    }
+
+    /// Iterates over `(bucket lower edge, probability)` pairs, skipping
+    /// zero-probability buckets.
+    pub fn buckets(&self) -> impl Iterator<Item = (Duration, f64)> + '_ {
+        let bucket_ns = self.bucket.as_nanos();
+        self.probs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p > 0.0)
+            .map(move |(i, p)| {
+                (
+                    Duration::from_nanos((self.offset + i as u64) * bucket_ns),
+                    *p,
+                )
+            })
+    }
+
+    /// Discrete convolution: the distribution of the **sum** of two
+    /// independent variables (the independence assumption of §5.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmfError::BucketMismatch`] if the bucket widths differ.
+    pub fn convolve(&self, other: &Pmf) -> Result<Pmf, PmfError> {
+        if self.bucket != other.bucket {
+            return Err(PmfError::BucketMismatch {
+                left: self.bucket,
+                right: other.bucket,
+            });
+        }
+        let mut probs = vec![0.0; self.probs.len() + other.probs.len() - 1];
+        for (i, &p) in self.probs.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            for (j, &q) in other.probs.iter().enumerate() {
+                if q == 0.0 {
+                    continue;
+                }
+                probs[i + j] += p * q;
+            }
+        }
+        Ok(Pmf {
+            bucket: self.bucket,
+            offset: self.offset + other.offset,
+            probs,
+        })
+    }
+
+    /// Shifts the distribution right by a constant delay (adding a
+    /// deterministic term, e.g. the latest gateway-to-gateway delay).
+    ///
+    /// Equivalent to convolving with [`Pmf::point`] but O(1).
+    #[must_use]
+    pub fn shift_by(&self, delay: Duration) -> Pmf {
+        let mut out = self.clone();
+        out.offset += delay.as_nanos() / self.bucket.as_nanos();
+        out
+    }
+
+    /// Re-quantizes the pmf to a different bucket width.
+    ///
+    /// Coarsening (larger buckets) merges mass and makes convolution —
+    /// the dominant cost of the model (Figure 3) — cheaper at the price of
+    /// timing resolution; refining spreads each bucket's mass onto its
+    /// lower edge (no information is invented). Mass is preserved exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmfError::ZeroBucketWidth`] for a zero target width.
+    pub fn rebucket(&self, bucket: Duration) -> Result<Pmf, PmfError> {
+        if bucket.is_zero() {
+            return Err(PmfError::ZeroBucketWidth);
+        }
+        if bucket == self.bucket {
+            return Ok(self.clone());
+        }
+        let old_ns = self.bucket.as_nanos();
+        let new_ns = bucket.as_nanos();
+        let entries = self
+            .probs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p > 0.0)
+            .map(|(i, p)| ((self.offset + i as u64) * old_ns / new_ns, *p));
+        let entries: Vec<(u64, f64)> = entries.collect();
+        let lo = entries.iter().map(|(i, _)| *i).min().expect("non-empty pmf");
+        let hi = entries.iter().map(|(i, _)| *i).max().expect("non-empty pmf");
+        let mut probs = vec![0.0; usize::try_from(hi - lo + 1).expect("span fits")];
+        for (idx, p) in entries {
+            probs[(idx - lo) as usize] += p;
+        }
+        Ok(Pmf {
+            bucket,
+            offset: lo,
+            probs,
+        })
+    }
+
+    /// A mixture of pmfs with the given non-negative weights (normalized).
+    ///
+    /// Used by the multi-method extension (§8 ext. 1): a request whose method
+    /// is unknown ahead of time mixes the per-method distributions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmfError::EmptySamples`] when `parts` is empty or all
+    /// weights are non-positive, and [`PmfError::BucketMismatch`] when the
+    /// components disagree on bucket width.
+    pub fn mixture(parts: &[(f64, &Pmf)]) -> Result<Pmf, PmfError> {
+        let active: Vec<&(f64, &Pmf)> = parts
+            .iter()
+            .filter(|(w, _)| *w > 0.0 && w.is_finite())
+            .collect();
+        if active.is_empty() {
+            return Err(PmfError::EmptySamples);
+        }
+        let bucket = active[0].1.bucket;
+        for (_, pmf) in &active {
+            if pmf.bucket != bucket {
+                return Err(PmfError::BucketMismatch {
+                    left: bucket,
+                    right: pmf.bucket,
+                });
+            }
+        }
+        let total_w: f64 = active.iter().map(|(w, _)| *w).sum();
+        let lo = active.iter().map(|(_, p)| p.offset).min().expect("non-empty");
+        let hi = active
+            .iter()
+            .map(|(_, p)| p.offset + p.probs.len() as u64 - 1)
+            .max()
+            .expect("non-empty");
+        let mut probs = vec![0.0; usize::try_from(hi - lo + 1).expect("span fits")];
+        for (w, pmf) in &active {
+            let scale = w / total_w;
+            for (i, &p) in pmf.probs.iter().enumerate() {
+                probs[(pmf.offset - lo) as usize + i] += p * scale;
+            }
+        }
+        Ok(Pmf {
+            bucket,
+            offset: lo,
+            probs,
+        })
+    }
+}
+
+impl fmt::Debug for Pmf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pmf")
+            .field("bucket", &self.bucket)
+            .field("support", &(self.support_min()..=self.support_max()))
+            .field("mean", &self.mean())
+            .field("mass", &self.mass())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn from_samples_relative_frequency() {
+        let pmf = Pmf::from_samples([ms(10), ms(10), ms(20), ms(30)], ms(1)).unwrap();
+        let buckets: Vec<_> = pmf.buckets().collect();
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0], (ms(10), 0.5));
+        assert_eq!(buckets[1], (ms(20), 0.25));
+        assert_eq!(buckets[2], (ms(30), 0.25));
+        assert!((pmf.mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_samples_rejects_empty_and_zero_bucket() {
+        assert_eq!(
+            Pmf::from_samples(std::iter::empty(), ms(1)).unwrap_err(),
+            PmfError::EmptySamples
+        );
+        assert_eq!(
+            Pmf::from_samples([ms(1)], Duration::ZERO).unwrap_err(),
+            PmfError::ZeroBucketWidth
+        );
+    }
+
+    #[test]
+    fn samples_within_a_bucket_collapse() {
+        let pmf =
+            Pmf::from_samples([Duration::from_micros(100), Duration::from_micros(900)], ms(1))
+                .unwrap();
+        assert_eq!(pmf.len(), 1);
+        assert_eq!(pmf.cdf(Duration::ZERO), 1.0, "both samples map to bucket 0");
+    }
+
+    #[test]
+    fn cdf_step_semantics() {
+        let pmf = Pmf::from_samples([ms(10), ms(20)], ms(1)).unwrap();
+        assert_eq!(pmf.cdf(ms(9)), 0.0);
+        assert_eq!(pmf.cdf(ms(10)), 0.5);
+        assert_eq!(pmf.cdf(ms(19)), 0.5);
+        assert_eq!(pmf.cdf(ms(20)), 1.0);
+        assert_eq!(pmf.cdf(ms(1000)), 1.0);
+        assert!((pmf.prob_gt(ms(10)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_mass_cdf() {
+        let pmf = Pmf::point(ms(5), ms(1)).unwrap();
+        assert_eq!(pmf.cdf(ms(4)), 0.0);
+        assert_eq!(pmf.cdf(ms(5)), 1.0);
+        assert_eq!(pmf.mean(), ms(5));
+        assert_eq!(pmf.support_min(), ms(5));
+        assert_eq!(pmf.support_max(), ms(5));
+    }
+
+    #[test]
+    fn convolution_of_points_adds() {
+        let a = Pmf::point(ms(3), ms(1)).unwrap();
+        let b = Pmf::point(ms(4), ms(1)).unwrap();
+        let c = a.convolve(&b).unwrap();
+        assert_eq!(c.mean(), ms(7));
+        assert_eq!(c.cdf(ms(6)), 0.0);
+        assert_eq!(c.cdf(ms(7)), 1.0);
+    }
+
+    #[test]
+    fn convolution_mass_and_mean_additive() {
+        let a = Pmf::from_samples([ms(1), ms(2), ms(2), ms(5)], ms(1)).unwrap();
+        let b = Pmf::from_samples([ms(10), ms(30)], ms(1)).unwrap();
+        let c = a.convolve(&b).unwrap();
+        assert!((c.mass() - 1.0).abs() < 1e-9);
+        assert_eq!(
+            c.mean().as_nanos(),
+            a.mean().as_nanos() + b.mean().as_nanos()
+        );
+    }
+
+    #[test]
+    fn convolution_commutes() {
+        let a = Pmf::from_samples([ms(1), ms(4)], ms(1)).unwrap();
+        let b = Pmf::from_samples([ms(2), ms(2), ms(9)], ms(1)).unwrap();
+        let ab = a.convolve(&b).unwrap();
+        let ba = b.convolve(&a).unwrap();
+        for t in 0..20 {
+            assert!((ab.cdf(ms(t)) - ba.cdf(ms(t))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn convolution_bucket_mismatch_rejected() {
+        let a = Pmf::point(ms(1), ms(1)).unwrap();
+        let b = Pmf::point(ms(1), ms(2)).unwrap();
+        assert!(matches!(
+            a.convolve(&b).unwrap_err(),
+            PmfError::BucketMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn shift_matches_point_convolution() {
+        let a = Pmf::from_samples([ms(2), ms(6), ms(6)], ms(1)).unwrap();
+        let shifted = a.shift_by(ms(10));
+        let convolved = a.convolve(&Pmf::point(ms(10), ms(1)).unwrap()).unwrap();
+        for t in 0..30 {
+            assert!((shifted.cdf(ms(t)) - convolved.cdf(ms(t))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let pmf = Pmf::from_samples([ms(10), ms(20), ms(30), ms(40)], ms(1)).unwrap();
+        assert_eq!(pmf.quantile(0.0), ms(10));
+        assert_eq!(pmf.quantile(0.25), ms(10));
+        assert_eq!(pmf.quantile(0.5), ms(20));
+        assert_eq!(pmf.quantile(0.75), ms(30));
+        assert_eq!(pmf.quantile(1.0), ms(40));
+    }
+
+    #[test]
+    fn std_dev_of_point_is_zero() {
+        assert_eq!(Pmf::point(ms(9), ms(1)).unwrap().std_dev(), Duration::ZERO);
+    }
+
+    #[test]
+    fn std_dev_of_symmetric_two_point() {
+        let pmf = Pmf::from_samples([ms(10), ms(20)], ms(1)).unwrap();
+        assert_eq!(pmf.std_dev(), ms(5));
+    }
+
+    #[test]
+    fn from_weighted_normalizes() {
+        let pmf = Pmf::from_weighted([(ms(1), 1.0), (ms(2), 3.0)], ms(1)).unwrap();
+        assert!((pmf.cdf(ms(1)) - 0.25).abs() < 1e-12);
+        assert!((pmf.mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_weighted_ignores_nonpositive_weights() {
+        let pmf =
+            Pmf::from_weighted([(ms(1), -2.0), (ms(2), 0.0), (ms(3), 1.0)], ms(1)).unwrap();
+        assert_eq!(pmf.support_min(), ms(3));
+        assert!(matches!(
+            Pmf::from_weighted([(ms(1), 0.0)], ms(1)).unwrap_err(),
+            PmfError::EmptySamples
+        ));
+    }
+
+    #[test]
+    fn rebucket_coarsens_and_preserves_mass() {
+        let pmf = Pmf::from_samples([ms(10), ms(11), ms(12), ms(19)], ms(1)).unwrap();
+        let coarse = pmf.rebucket(ms(5)).unwrap();
+        assert_eq!(coarse.bucket_width(), ms(5));
+        assert!((coarse.mass() - 1.0).abs() < 1e-12);
+        // 10, 11, 12 land in bucket 2 (= 10 ms); 19 in bucket 3 (= 15 ms).
+        assert!((coarse.cdf(ms(10)) - 0.75).abs() < 1e-12);
+        assert!((coarse.cdf(ms(15)) - 1.0).abs() < 1e-12);
+        // Means agree within one coarse bucket.
+        let diff = pmf.mean().as_millis_f64() - coarse.mean().as_millis_f64();
+        assert!(diff.abs() <= 5.0, "{diff}");
+    }
+
+    #[test]
+    fn rebucket_identity_and_refine() {
+        let pmf = Pmf::from_samples([ms(10), ms(20)], ms(5)).unwrap();
+        assert_eq!(pmf.rebucket(ms(5)).unwrap(), pmf);
+        let fine = pmf.rebucket(ms(1)).unwrap();
+        assert_eq!(fine.cdf(ms(10)), 0.5, "mass stays on lower edges");
+        assert!((fine.mass() - 1.0).abs() < 1e-12);
+        assert!(pmf.rebucket(Duration::ZERO).is_err());
+    }
+
+    #[test]
+    fn rebucket_speeds_up_convolution_support() {
+        let samples: Vec<Duration> = (0..50).map(|i| ms(100 + i * 7)).collect();
+        let fine = Pmf::from_samples(samples, ms(1)).unwrap();
+        let coarse = fine.rebucket(ms(10)).unwrap();
+        assert!(coarse.len() < fine.len() / 5, "support shrank");
+    }
+
+    #[test]
+    fn mixture_averages_cdfs() {
+        let a = Pmf::point(ms(10), ms(1)).unwrap();
+        let b = Pmf::point(ms(20), ms(1)).unwrap();
+        let mix = Pmf::mixture(&[(1.0, &a), (3.0, &b)]).unwrap();
+        assert!((mix.cdf(ms(10)) - 0.25).abs() < 1e-12);
+        assert!((mix.cdf(ms(20)) - 1.0).abs() < 1e-12);
+        assert!((mix.mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_rejects_empty_and_mismatched() {
+        assert!(matches!(
+            Pmf::mixture(&[]).unwrap_err(),
+            PmfError::EmptySamples
+        ));
+        let a = Pmf::point(ms(1), ms(1)).unwrap();
+        let b = Pmf::point(ms(1), ms(2)).unwrap();
+        assert!(matches!(
+            Pmf::mixture(&[(1.0, &a), (1.0, &b)]).unwrap_err(),
+            PmfError::BucketMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn debug_is_informative() {
+        let pmf = Pmf::point(ms(2), ms(1)).unwrap();
+        let s = format!("{pmf:?}");
+        assert!(s.contains("Pmf"), "{s}");
+        assert!(s.contains("mean"), "{s}");
+    }
+}

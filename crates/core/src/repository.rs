@@ -1,0 +1,501 @@
+//! The gateway information repository (§5.2).
+//!
+//! Each timing fault handler keeps a repository **local to the client
+//! gateway** that stores, for every replica offering the handler's service:
+//!
+//! * the current number of outstanding requests in the replica's queue,
+//! * the most recently measured two-way gateway-to-gateway delay,
+//! * a *service time vector* and a *queuing delay vector* holding the
+//!   measurements for the most recent `l` requests (the sliding window).
+//!
+//! The repository is updated from the performance data piggybacked on every
+//! reply and from the updates that replicas push to their subscribers
+//! (§5.4.1), and entries are removed when the group-membership layer reports
+//! a crash (§5.4).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::qos::ReplicaId;
+use crate::time::{Duration, Instant};
+use crate::window::SlidingWindow;
+
+/// Identifier of a service method, for the multi-interface extension
+/// (paper §8, extension 1).
+///
+/// Handlers that do not classify performance data per method use
+/// [`MethodId::DEFAULT`] everywhere, which reproduces the paper's
+/// single-method behaviour exactly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MethodId(u32);
+
+impl MethodId {
+    /// The single method of a paper-style single-interface service.
+    pub const DEFAULT: MethodId = MethodId(0);
+
+    /// Creates a method id from a raw index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        MethodId(index)
+    }
+
+    /// The raw index.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for MethodId {
+    fn default() -> Self {
+        MethodId::DEFAULT
+    }
+}
+
+impl fmt::Debug for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// The performance data a replica publishes after servicing a request:
+/// piggybacked on the reply and pushed to all subscribers (§5.4.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PerfReport {
+    /// Service duration `ts` measured around the application upcall.
+    pub service_time: Duration,
+    /// Queuing delay `tq = t3 − t2` spent in the FIFO request queue.
+    pub queuing_delay: Duration,
+    /// Number of outstanding requests left in the replica's queue.
+    pub queue_len: u32,
+    /// Which method was invoked (multi-interface extension).
+    pub method: MethodId,
+}
+
+impl PerfReport {
+    /// Convenience constructor for single-method services.
+    pub fn new(service_time: Duration, queuing_delay: Duration, queue_len: u32) -> Self {
+        PerfReport {
+            service_time,
+            queuing_delay,
+            queue_len,
+            method: MethodId::DEFAULT,
+        }
+    }
+
+    /// Returns a copy tagged with a method id.
+    #[must_use]
+    pub fn with_method(mut self, method: MethodId) -> Self {
+        self.method = method;
+        self
+    }
+}
+
+/// Per-method measurement history: the service time and queuing delay
+/// vectors of §5.2.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MethodHistory {
+    service_times: SlidingWindow<Duration>,
+    queuing_delays: SlidingWindow<Duration>,
+}
+
+impl MethodHistory {
+    fn new(window: usize) -> Self {
+        MethodHistory {
+            service_times: SlidingWindow::new(window),
+            queuing_delays: SlidingWindow::new(window),
+        }
+    }
+
+    /// The recorded service times, oldest first.
+    pub fn service_times(&self) -> &SlidingWindow<Duration> {
+        &self.service_times
+    }
+
+    /// The recorded queuing delays, oldest first.
+    pub fn queuing_delays(&self) -> &SlidingWindow<Duration> {
+        &self.queuing_delays
+    }
+
+    /// Number of requests recorded (capped at the window size).
+    pub fn len(&self) -> usize {
+        self.service_times.len()
+    }
+
+    /// Returns `true` if no measurements have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.service_times.is_empty()
+    }
+}
+
+/// Everything the repository knows about one replica.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ReplicaStats {
+    histories: BTreeMap<MethodId, MethodHistory>,
+    gateway_delays: SlidingWindow<Duration>,
+    outstanding: u32,
+    last_update: Option<Instant>,
+    window: usize,
+}
+
+impl ReplicaStats {
+    fn new(window: usize) -> Self {
+        ReplicaStats {
+            histories: BTreeMap::new(),
+            gateway_delays: SlidingWindow::new(window),
+            outstanding: 0,
+            last_update: None,
+            window,
+        }
+    }
+
+    /// History for one method, if any measurement has been recorded for it.
+    pub fn history(&self, method: MethodId) -> Option<&MethodHistory> {
+        self.histories.get(&method)
+    }
+
+    /// Iterates over `(method, history)` pairs with recorded data.
+    pub fn histories(&self) -> impl Iterator<Item = (MethodId, &MethodHistory)> {
+        self.histories.iter().map(|(m, h)| (*m, h))
+    }
+
+    /// The most recently measured two-way gateway-to-gateway delay `td`.
+    pub fn last_gateway_delay(&self) -> Option<Duration> {
+        self.gateway_delays.latest().copied()
+    }
+
+    /// The recent history of gateway delays (extension A4; the paper keeps
+    /// only the last value but notes the windowed variant is "simple").
+    pub fn gateway_delays(&self) -> &SlidingWindow<Duration> {
+        &self.gateway_delays
+    }
+
+    /// The replica's current number of outstanding queued requests.
+    pub fn outstanding(&self) -> u32 {
+        self.outstanding
+    }
+
+    /// When this entry last changed, if ever.
+    pub fn last_update(&self) -> Option<Instant> {
+        self.last_update
+    }
+
+    /// Returns `true` once the entry has at least one service-time sample,
+    /// one queuing-delay sample, and one gateway-delay measurement — the
+    /// minimum for the model of §5.3.1 to produce a prediction.
+    pub fn is_warm(&self) -> bool {
+        self.histories.values().any(|h| !h.is_empty()) && !self.gateway_delays.is_empty()
+    }
+
+    fn record_perf(&mut self, report: PerfReport, now: Instant) {
+        let window = self.window;
+        let history = self
+            .histories
+            .entry(report.method)
+            .or_insert_with(|| MethodHistory::new(window));
+        history.service_times.push(report.service_time);
+        history.queuing_delays.push(report.queuing_delay);
+        self.outstanding = report.queue_len;
+        self.last_update = Some(now);
+    }
+
+    fn record_gateway_delay(&mut self, delay: Duration, now: Instant) {
+        self.gateway_delays.push(delay);
+        self.last_update = Some(now);
+    }
+}
+
+/// The gateway information repository of §5.2: one entry per replica of the
+/// service the owning handler communicates with.
+///
+/// # Examples
+///
+/// ```
+/// use aqua_core::repository::{InfoRepository, PerfReport};
+/// use aqua_core::qos::ReplicaId;
+/// use aqua_core::time::{Duration, Instant};
+///
+/// let mut repo = InfoRepository::new(5);
+/// let r0 = ReplicaId::new(0);
+/// repo.insert_replica(r0);
+/// repo.record_perf(
+///     r0,
+///     PerfReport::new(Duration::from_millis(100), Duration::from_millis(2), 1),
+///     Instant::EPOCH,
+/// );
+/// repo.record_gateway_delay(r0, Duration::from_millis(3), Instant::EPOCH);
+/// assert!(repo.stats(r0).unwrap().is_warm());
+/// ```
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct InfoRepository {
+    replicas: BTreeMap<ReplicaId, ReplicaStats>,
+    window: usize,
+}
+
+impl InfoRepository {
+    /// Creates an empty repository whose sliding windows hold `window`
+    /// samples (`l` in the paper; the experiments use 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "repository window must be positive");
+        InfoRepository {
+            replicas: BTreeMap::new(),
+            window,
+        }
+    }
+
+    /// The sliding-window size `l`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Registers a replica (on service discovery or a join view change).
+    ///
+    /// Returns `true` if the replica was not already present. Existing
+    /// history is preserved when re-inserting a known replica.
+    pub fn insert_replica(&mut self, id: ReplicaId) -> bool {
+        let window = self.window;
+        let mut inserted = false;
+        self.replicas.entry(id).or_insert_with(|| {
+            inserted = true;
+            ReplicaStats::new(window)
+        });
+        inserted
+    }
+
+    /// Removes a replica (on a crash view change, §5.4): it "will therefore
+    /// not be considered in the selection process for future requests".
+    ///
+    /// Returns the removed entry, if the replica was known.
+    pub fn remove_replica(&mut self, id: ReplicaId) -> Option<ReplicaStats> {
+        self.replicas.remove(&id)
+    }
+
+    /// Replaces the membership with `view`, dropping state for departed
+    /// replicas and creating blank entries for new ones.
+    pub fn apply_view<I>(&mut self, view: I)
+    where
+        I: IntoIterator<Item = ReplicaId>,
+    {
+        let members: Vec<ReplicaId> = view.into_iter().collect();
+        self.replicas.retain(|id, _| members.contains(id));
+        for id in members {
+            self.insert_replica(id);
+        }
+    }
+
+    /// Whether the repository has an entry for `id`.
+    pub fn contains(&self, id: ReplicaId) -> bool {
+        self.replicas.contains_key(&id)
+    }
+
+    /// Number of replicas currently known.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Returns `true` if no replicas are known.
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// The replica ids in deterministic (ascending) order.
+    pub fn replica_ids(&self) -> impl Iterator<Item = ReplicaId> + '_ {
+        self.replicas.keys().copied()
+    }
+
+    /// The stats entry for one replica.
+    pub fn stats(&self, id: ReplicaId) -> Option<&ReplicaStats> {
+        self.replicas.get(&id)
+    }
+
+    /// Iterates over `(replica, stats)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ReplicaId, &ReplicaStats)> {
+        self.replicas.iter().map(|(id, s)| (*id, s))
+    }
+
+    /// Records a performance report for `id` (ignored for unknown replicas,
+    /// which can happen when an update races a crash view change).
+    pub fn record_perf(&mut self, id: ReplicaId, report: PerfReport, now: Instant) {
+        if let Some(stats) = self.replicas.get_mut(&id) {
+            stats.record_perf(report, now);
+        }
+    }
+
+    /// Records a measured two-way gateway-to-gateway delay for `id`.
+    pub fn record_gateway_delay(&mut self, id: ReplicaId, delay: Duration, now: Instant) {
+        if let Some(stats) = self.replicas.get_mut(&id) {
+            stats.record_gateway_delay(delay, now);
+        }
+    }
+
+    /// Returns `true` if every known replica has enough data for the model.
+    ///
+    /// The paper's handler multicasts to **all** replicas until performance
+    /// updates have initialized the repository (§5.4.1); this predicate
+    /// drives that cold-start rule.
+    pub fn all_warm(&self) -> bool {
+        !self.replicas.is_empty() && self.replicas.values().all(ReplicaStats::is_warm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn report(ts: u64, tq: u64, qlen: u32) -> PerfReport {
+        PerfReport::new(ms(ts), ms(tq), qlen)
+    }
+
+    #[test]
+    fn insert_and_remove_replicas() {
+        let mut repo = InfoRepository::new(3);
+        let a = ReplicaId::new(1);
+        let b = ReplicaId::new(2);
+        assert!(repo.insert_replica(a));
+        assert!(!repo.insert_replica(a), "double insert is idempotent");
+        assert!(repo.insert_replica(b));
+        assert_eq!(repo.len(), 2);
+        assert!(repo.contains(a));
+        assert!(repo.remove_replica(a).is_some());
+        assert!(!repo.contains(a));
+        assert!(repo.remove_replica(a).is_none());
+    }
+
+    #[test]
+    fn perf_updates_fill_windows_and_queue_len() {
+        let mut repo = InfoRepository::new(2);
+        let r = ReplicaId::new(0);
+        repo.insert_replica(r);
+        let t = Instant::from_millis(10);
+        repo.record_perf(r, report(100, 5, 3), t);
+        repo.record_perf(r, report(110, 6, 2), t + ms(1));
+        repo.record_perf(r, report(120, 7, 1), t + ms(2));
+        let stats = repo.stats(r).unwrap();
+        let hist = stats.history(MethodId::DEFAULT).unwrap();
+        assert_eq!(
+            hist.service_times().iter().copied().collect::<Vec<_>>(),
+            vec![ms(110), ms(120)],
+            "window of 2 keeps only the newest two"
+        );
+        assert_eq!(
+            hist.queuing_delays().iter().copied().collect::<Vec<_>>(),
+            vec![ms(6), ms(7)]
+        );
+        assert_eq!(stats.outstanding(), 1, "queue length is latest value");
+        assert_eq!(stats.last_update(), Some(t + ms(2)));
+    }
+
+    #[test]
+    fn gateway_delay_keeps_latest_and_history() {
+        let mut repo = InfoRepository::new(3);
+        let r = ReplicaId::new(0);
+        repo.insert_replica(r);
+        repo.record_gateway_delay(r, ms(4), Instant::EPOCH);
+        repo.record_gateway_delay(r, ms(6), Instant::from_millis(1));
+        let stats = repo.stats(r).unwrap();
+        assert_eq!(stats.last_gateway_delay(), Some(ms(6)));
+        assert_eq!(stats.gateway_delays().len(), 2);
+    }
+
+    #[test]
+    fn warm_requires_perf_and_delay() {
+        let mut repo = InfoRepository::new(2);
+        let r = ReplicaId::new(0);
+        repo.insert_replica(r);
+        assert!(!repo.stats(r).unwrap().is_warm());
+        repo.record_perf(r, report(100, 1, 0), Instant::EPOCH);
+        assert!(!repo.stats(r).unwrap().is_warm(), "missing delay");
+        repo.record_gateway_delay(r, ms(3), Instant::EPOCH);
+        assert!(repo.stats(r).unwrap().is_warm());
+        assert!(repo.all_warm());
+    }
+
+    #[test]
+    fn all_warm_is_false_for_empty_repository() {
+        let repo = InfoRepository::new(2);
+        assert!(!repo.all_warm());
+    }
+
+    #[test]
+    fn updates_for_unknown_replicas_are_dropped() {
+        let mut repo = InfoRepository::new(2);
+        let ghost = ReplicaId::new(9);
+        repo.record_perf(ghost, report(1, 1, 1), Instant::EPOCH);
+        repo.record_gateway_delay(ghost, ms(1), Instant::EPOCH);
+        assert!(!repo.contains(ghost));
+    }
+
+    #[test]
+    fn apply_view_adds_and_removes() {
+        let mut repo = InfoRepository::new(2);
+        let a = ReplicaId::new(1);
+        let b = ReplicaId::new(2);
+        let c = ReplicaId::new(3);
+        repo.insert_replica(a);
+        repo.insert_replica(b);
+        repo.record_perf(a, report(10, 0, 0), Instant::EPOCH);
+        repo.apply_view([a, c]);
+        assert!(repo.contains(a) && repo.contains(c) && !repo.contains(b));
+        assert!(
+            repo.stats(a).unwrap().history(MethodId::DEFAULT).is_some(),
+            "surviving members keep their history"
+        );
+    }
+
+    #[test]
+    fn per_method_histories_are_separate() {
+        let mut repo = InfoRepository::new(4);
+        let r = ReplicaId::new(0);
+        repo.insert_replica(r);
+        let fast = MethodId::new(1);
+        let slow = MethodId::new(2);
+        repo.record_perf(r, report(10, 0, 0).with_method(fast), Instant::EPOCH);
+        repo.record_perf(r, report(500, 0, 0).with_method(slow), Instant::EPOCH);
+        let stats = repo.stats(r).unwrap();
+        assert_eq!(stats.histories().count(), 2);
+        assert_eq!(
+            stats.history(fast).unwrap().service_times().latest(),
+            Some(&ms(10))
+        );
+        assert_eq!(
+            stats.history(slow).unwrap().service_times().latest(),
+            Some(&ms(500))
+        );
+        assert!(stats.history(MethodId::DEFAULT).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = InfoRepository::new(0);
+    }
+
+    #[test]
+    fn replica_ids_are_sorted() {
+        let mut repo = InfoRepository::new(1);
+        for i in [5u64, 1, 3] {
+            repo.insert_replica(ReplicaId::new(i));
+        }
+        let ids: Vec<u64> = repo.replica_ids().map(ReplicaId::index).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+    }
+}

@@ -1,0 +1,316 @@
+//! Fixed-capacity sliding windows over recent measurements.
+//!
+//! The gateway information repository (paper §5.2) records "the service time
+//! … for the most recent `l` requests serviced by that replica" and likewise
+//! for the queuing delay. `l` is "chosen so that it includes a reasonable
+//! number of recent requests but eliminates obsolete measurements". The
+//! paper's experiments use `l ∈ {5, 10, 20}` (Figure 3) and `l = 5` for the
+//! end-to-end runs.
+
+use core::fmt;
+
+/// A bounded ring buffer that keeps only the most recent `capacity` samples.
+///
+/// Pushing into a full window evicts the oldest sample. Iteration order is
+/// oldest → newest.
+///
+/// # Examples
+///
+/// ```
+/// use aqua_core::window::SlidingWindow;
+///
+/// let mut w = SlidingWindow::new(3);
+/// for x in [1, 2, 3, 4] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+/// assert_eq!(w.latest(), Some(&4));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SlidingWindow<T> {
+    samples: Vec<T>,
+    capacity: usize,
+    /// Index of the oldest sample once the buffer has wrapped.
+    head: usize,
+    /// Total number of samples ever pushed (for diagnostics).
+    pushed: u64,
+}
+
+impl<T> SlidingWindow<T> {
+    /// Creates an empty window holding at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero: a zero-length history cannot support
+    /// the relative-frequency estimate of §5.3.1.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "sliding window capacity must be positive");
+        SlidingWindow {
+            samples: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            pushed: 0,
+        }
+    }
+
+    /// The maximum number of samples retained (`l` in the paper).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The number of samples currently held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples have been recorded yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Returns `true` once the window holds `capacity` samples.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.samples.len() == self.capacity
+    }
+
+    /// Total number of samples ever pushed, including evicted ones.
+    #[inline]
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Records a new sample, evicting the oldest if the window is full.
+    pub fn push(&mut self, sample: T) {
+        self.pushed += 1;
+        if self.samples.len() < self.capacity {
+            self.samples.push(sample);
+        } else {
+            self.samples[self.head] = sample;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// The most recently pushed sample, if any.
+    pub fn latest(&self) -> Option<&T> {
+        if self.samples.is_empty() {
+            None
+        } else if self.samples.len() < self.capacity {
+            self.samples.last()
+        } else {
+            let idx = (self.head + self.capacity - 1) % self.capacity;
+            Some(&self.samples[idx])
+        }
+    }
+
+    /// The oldest retained sample, if any.
+    pub fn oldest(&self) -> Option<&T> {
+        if self.samples.is_empty() {
+            None
+        } else if self.samples.len() < self.capacity {
+            self.samples.first()
+        } else {
+            Some(&self.samples[self.head])
+        }
+    }
+
+    /// Iterates over retained samples from oldest to newest.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            window: self,
+            pos: 0,
+        }
+    }
+
+    /// Removes all samples but keeps the capacity.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.head = 0;
+    }
+
+    /// Grows or shrinks the capacity, keeping the newest samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        assert!(capacity > 0, "sliding window capacity must be positive");
+        let kept: Vec<T> = {
+            let mut ordered: Vec<T> = Vec::with_capacity(self.samples.len());
+            // Drain in oldest→newest order.
+            let len = self.samples.len();
+            let head = self.head;
+            let mut tmp: Vec<Option<T>> = self.samples.drain(..).map(Some).collect();
+            for i in 0..len {
+                let idx = if len == self.capacity {
+                    (head + i) % len
+                } else {
+                    i
+                };
+                ordered.push(tmp[idx].take().expect("each slot drained once"));
+            }
+            let skip = ordered.len().saturating_sub(capacity);
+            ordered.drain(..skip);
+            ordered
+        };
+        self.capacity = capacity;
+        self.samples = kept;
+        self.head = 0;
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for SlidingWindow<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlidingWindow")
+            .field("capacity", &self.capacity)
+            .field("samples", &self.iter().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a SlidingWindow<T> {
+    type Item = &'a T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+impl<T> Extend<T> for SlidingWindow<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for sample in iter {
+            self.push(sample);
+        }
+    }
+}
+
+/// Iterator over a [`SlidingWindow`] from oldest to newest sample.
+#[derive(Debug)]
+pub struct Iter<'a, T> {
+    window: &'a SlidingWindow<T>,
+    pos: usize,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        if self.pos >= self.window.samples.len() {
+            return None;
+        }
+        let idx = if self.window.samples.len() == self.window.capacity {
+            (self.window.head + self.pos) % self.window.capacity
+        } else {
+            self.pos
+        };
+        self.pos += 1;
+        Some(&self.window.samples[idx])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.window.samples.len() - self.pos;
+        (remaining, Some(remaining))
+    }
+}
+
+impl<T> ExactSizeIterator for Iter<'_, T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = SlidingWindow::<u32>::new(0);
+    }
+
+    #[test]
+    fn fills_then_evicts_oldest() {
+        let mut w = SlidingWindow::new(3);
+        assert!(w.is_empty());
+        w.push(1);
+        w.push(2);
+        assert!(!w.is_full());
+        assert_eq!(w.oldest(), Some(&1));
+        w.push(3);
+        assert!(w.is_full());
+        w.push(4);
+        w.push(5);
+        assert_eq!(w.iter().copied().collect::<Vec<_>>(), vec![3, 4, 5]);
+        assert_eq!(w.latest(), Some(&5));
+        assert_eq!(w.oldest(), Some(&3));
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.total_pushed(), 5);
+    }
+
+    #[test]
+    fn latest_and_oldest_on_partial_fill() {
+        let mut w = SlidingWindow::new(5);
+        assert_eq!(w.latest(), None);
+        assert_eq!(w.oldest(), None);
+        w.push(10);
+        w.push(20);
+        assert_eq!(w.latest(), Some(&20));
+        assert_eq!(w.oldest(), Some(&10));
+    }
+
+    #[test]
+    fn clear_resets_contents_not_capacity() {
+        let mut w = SlidingWindow::new(2);
+        w.extend([1, 2, 3]);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.capacity(), 2);
+        w.push(9);
+        assert_eq!(w.iter().copied().collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    fn extend_wraps_like_repeated_push() {
+        let mut w = SlidingWindow::new(4);
+        w.extend(0..10);
+        assert_eq!(w.iter().copied().collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn shrink_capacity_keeps_newest() {
+        let mut w = SlidingWindow::new(5);
+        w.extend([1, 2, 3, 4, 5, 6]); // retained: 2..=6
+        w.set_capacity(3);
+        assert_eq!(w.capacity(), 3);
+        assert_eq!(w.iter().copied().collect::<Vec<_>>(), vec![4, 5, 6]);
+        w.push(7);
+        assert_eq!(w.iter().copied().collect::<Vec<_>>(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn grow_capacity_keeps_order() {
+        let mut w = SlidingWindow::new(2);
+        w.extend([1, 2, 3]); // retained: 2, 3
+        w.set_capacity(4);
+        w.push(4);
+        w.push(5);
+        assert_eq!(w.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn iter_is_exact_size() {
+        let mut w = SlidingWindow::new(3);
+        w.extend([1, 2, 3, 4]);
+        let it = w.iter();
+        assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    fn debug_shows_samples_in_order() {
+        let mut w = SlidingWindow::new(2);
+        w.extend([1, 2, 3]);
+        let dbg = format!("{w:?}");
+        assert!(dbg.contains("[2, 3]"), "unexpected debug output: {dbg}");
+    }
+}

@@ -1,0 +1,487 @@
+//! The simulated client gateway: the timing fault handler wired to the
+//! group, plus the paper's closed-loop client workload.
+//!
+//! The paper's experiment clients "independently issued requests to the
+//! same service with a one second delay between receiving a response and
+//! issuing the next request" (§6). [`ClientGateway`] reproduces that loop:
+//! join the group, subscribe to performance updates, issue a request,
+//! deliver the earliest reply, think, repeat — recording one
+//! [`RequestRecord`] per request for the harness.
+
+use std::collections::HashMap;
+
+use aqua_core::qos::QosSpec;
+use aqua_core::repository::MethodId;
+use aqua_core::time::{Duration, Instant};
+use aqua_group::{FailureDetectorConfig, GroupMsg, Member, MembershipAgent};
+use aqua_strategies::SelectionStrategy;
+use lan_sim::{Context, Event, Node, NodeId, TimerToken};
+
+use crate::proto::{AquaMsg, RequestId, Wire};
+use crate::timing::{ReplyOutcome, TimingFaultHandler};
+
+/// How a client paces its requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalModel {
+    /// One request outstanding at a time; the next is issued `think_time`
+    /// after the previous response (the paper's §6 clients).
+    ClosedLoop,
+    /// Poisson arrivals with the given mean inter-arrival time; requests
+    /// are issued regardless of outstanding ones, so they can overlap and
+    /// genuinely queue at the replicas.
+    OpenLoopPoisson {
+        /// Mean inter-arrival time (1/λ).
+        mean_interarrival: Duration,
+    },
+    /// On/off bursts: every `interval`, issue `size` requests
+    /// back-to-back. Produces the sudden queue build-ups that distinguish
+    /// leading (queue-length) from lagging (delay-history) load signals.
+    Bursts {
+        /// Requests per burst.
+        size: u32,
+        /// Time between burst starts.
+        interval: Duration,
+    },
+}
+
+/// Static configuration of one client gateway.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// The group coordinator node.
+    pub coordinator: NodeId,
+    /// Group cadence parameters.
+    pub group: FailureDetectorConfig,
+    /// The client's QoS specification.
+    pub qos: QosSpec,
+    /// Sliding-window size `l` for the information repository.
+    pub window: usize,
+    /// Request pacing discipline.
+    pub arrivals: ArrivalModel,
+    /// Delay between receiving a response and the next request (paper: 1 s;
+    /// used by [`ArrivalModel::ClosedLoop`]).
+    pub think_time: Duration,
+    /// Stop after this many requests (paper: 50 per run); `None` = endless.
+    pub num_requests: Option<u64>,
+    /// Delay before the first request (lets the group form).
+    pub start_after: Duration,
+    /// Request payload size in bytes.
+    pub request_size: u32,
+    /// Give up on a request this long after sending it (handles the case
+    /// where every selected replica crashed before replying).
+    pub give_up_after: Duration,
+    /// Method ids cycled across requests (multi-interface extension; a
+    /// single-entry vector reproduces the paper's single-method service).
+    pub methods: Vec<MethodId>,
+    /// If set, actively probe replicas whose performance data is older
+    /// than this (§8, extension 3), checking at the same interval.
+    pub probe_stale_after: Option<Duration>,
+    /// If set, renegotiate to this spec when the QoS callback fires (§4).
+    pub renegotiate_to: Option<QosSpec>,
+}
+
+impl ClientConfig {
+    /// The paper's client loop: think 1 s, 50 requests, minimal payload.
+    pub fn paper(coordinator: NodeId, qos: QosSpec) -> Self {
+        ClientConfig {
+            coordinator,
+            group: FailureDetectorConfig::default(),
+            qos,
+            window: 5,
+            arrivals: ArrivalModel::ClosedLoop,
+            think_time: Duration::from_secs(1),
+            num_requests: Some(50),
+            start_after: Duration::from_millis(500),
+            request_size: 16,
+            give_up_after: Duration::from_secs(5),
+            methods: vec![MethodId::DEFAULT],
+            probe_stale_after: None,
+            renegotiate_to: None,
+        }
+    }
+}
+
+/// Outcome of one request, as observed by the client gateway.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// Client-local sequence number.
+    pub seq: u64,
+    /// When the request was intercepted/sent (`t0` = `t1`).
+    pub sent_at: Instant,
+    /// How many replicas were selected (the redundancy level).
+    pub redundancy: usize,
+    /// When the first reply arrived (`t4`), if any.
+    pub first_reply_at: Option<Instant>,
+    /// End-to-end response time `tr`, if a reply arrived.
+    pub response_time: Option<Duration>,
+    /// Whether the deadline was met (`false` for give-ups).
+    pub timely: bool,
+    /// Whether the QoS-violation callback fired on this request.
+    pub callback: bool,
+}
+
+/// Outcome of trying to issue a single request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IssueResult {
+    /// Request multicast; a give-up timer is armed.
+    Issued,
+    /// No servers in the view (or a view-change race emptied the targets).
+    NoServers,
+    /// The configured request budget is exhausted.
+    Finished,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TimerKind {
+    /// Fire the next request (start or think-time expiry).
+    IssueRequest,
+    /// Give up on request `seq`.
+    GiveUp(u64),
+    /// Check for stale replica entries and probe them (§8 ext. 3).
+    ProbeCheck,
+}
+
+/// The simulated client gateway node. See the module docs.
+pub struct ClientGateway {
+    config: ClientConfig,
+    handler: Option<TimingFaultHandler>,
+    strategy: Option<Box<dyn SelectionStrategy>>,
+    agent: Option<MembershipAgent>,
+    timers: HashMap<TimerToken, TimerKind>,
+    records: Vec<RequestRecord>,
+    issued: u64,
+    subscribed: Vec<NodeId>,
+    finished: bool,
+}
+
+impl std::fmt::Debug for ClientGateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientGateway")
+            .field("issued", &self.issued)
+            .field("records", &self.records.len())
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+impl ClientGateway {
+    /// Creates a client gateway with the given selection strategy.
+    pub fn new(config: ClientConfig, strategy: Box<dyn SelectionStrategy>) -> Self {
+        ClientGateway {
+            config,
+            handler: None,
+            strategy: Some(strategy),
+            agent: None,
+            timers: HashMap::new(),
+            records: Vec::new(),
+            issued: 0,
+            subscribed: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// The per-request records collected so far (in issue order).
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// The handler, once the node has started.
+    pub fn handler(&self) -> Option<&TimingFaultHandler> {
+        self.handler.as_ref()
+    }
+
+    /// Whether the configured number of requests has completed.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    fn handler_mut(&mut self) -> &mut TimingFaultHandler {
+        self.handler.as_mut().expect("started")
+    }
+
+    fn schedule(&mut self, ctx: &mut Context<'_, Wire>, after: Duration, kind: TimerKind) {
+        let token = ctx.set_timer(after);
+        self.timers.insert(token, kind);
+    }
+
+    fn subscribe_to_new_servers(&mut self, ctx: &mut Context<'_, Wire>) {
+        let Some(agent) = self.agent.as_ref() else {
+            return;
+        };
+        let me = ctx.self_id();
+        let new_servers: Vec<NodeId> = agent
+            .view()
+            .servers()
+            .map(|m| m.node)
+            .filter(|n| !self.subscribed.contains(n))
+            .collect();
+        if !new_servers.is_empty() {
+            ctx.multicast(&new_servers, GroupMsg::App(AquaMsg::Subscribe { client: me }));
+            self.subscribed.extend(new_servers);
+        }
+    }
+
+    /// Tries to issue exactly one request. All arrival pacing lives in
+    /// [`ClientGateway::on_arrival`].
+    fn issue_one(&mut self, ctx: &mut Context<'_, Wire>) -> IssueResult {
+        if self.finished {
+            return IssueResult::Finished;
+        }
+        if self
+            .config
+            .num_requests
+            .is_some_and(|limit| self.issued >= limit)
+        {
+            self.finished = true;
+            return IssueResult::Finished;
+        }
+        let has_servers = self
+            .agent
+            .as_ref()
+            .is_some_and(|a| a.view().servers().count() > 0);
+        if !has_servers {
+            return IssueResult::NoServers;
+        }
+
+        let now = ctx.now();
+        let method = if self.config.methods.is_empty() {
+            MethodId::DEFAULT
+        } else {
+            self.config.methods[(self.issued as usize) % self.config.methods.len()]
+        };
+        let plan = self.handler_mut().plan_request_for(now, Some(method));
+        // Map replica ids to their hosts via the current view.
+        let view = self.agent.as_ref().expect("started").view();
+        let targets: Vec<NodeId> = plan
+            .replicas
+            .iter()
+            .filter_map(|r| view.node_of(*r))
+            .collect();
+        if targets.is_empty() {
+            // Selection raced a view change; drop the pending entry as an
+            // immediate give-up.
+            self.handler_mut().on_give_up(plan.seq);
+            return IssueResult::NoServers;
+        }
+
+        self.issued += 1;
+        let id = RequestId {
+            client: ctx.self_id(),
+            seq: plan.seq,
+        };
+        ctx.multicast(
+            &targets,
+            GroupMsg::App(AquaMsg::Request {
+                id,
+                method,
+                payload_size: self.config.request_size,
+            }),
+        );
+        self.records.push(RequestRecord {
+            seq: plan.seq,
+            sent_at: now,
+            redundancy: targets.len(),
+            first_reply_at: None,
+            response_time: None,
+            timely: false,
+            callback: false,
+        });
+        let give_up_after = self.config.give_up_after;
+        self.schedule(ctx, give_up_after, TimerKind::GiveUp(plan.seq));
+        IssueResult::Issued
+    }
+
+    /// Handles one arrival tick according to the pacing discipline.
+    fn issue_request(&mut self, ctx: &mut Context<'_, Wire>) {
+        const RETRY: Duration = Duration::from_millis(50);
+        match self.config.arrivals {
+            ArrivalModel::ClosedLoop => match self.issue_one(ctx) {
+                IssueResult::Issued | IssueResult::Finished => {}
+                // Group still forming: retry shortly.
+                IssueResult::NoServers => self.schedule(ctx, RETRY, TimerKind::IssueRequest),
+            },
+            ArrivalModel::OpenLoopPoisson { mean_interarrival } => {
+                // Open-loop clients pace themselves at issue time,
+                // independent of when (or whether) replies arrive; a
+                // no-server arrival is simply lost.
+                let outcome = self.issue_one(ctx);
+                if !matches!(outcome, IssueResult::Finished) {
+                    let u: f64 = rand::Rng::gen_range(ctx.rng(), 0.0..1.0f64);
+                    let gap = mean_interarrival.mul_f64(-(1.0 - u).ln());
+                    self.schedule(ctx, gap.max(Duration::from_nanos(1)), TimerKind::IssueRequest);
+                }
+            }
+            ArrivalModel::Bursts { size, interval } => {
+                let mut outcome = IssueResult::Issued;
+                for _ in 0..size.max(1) {
+                    outcome = self.issue_one(ctx);
+                    if !matches!(outcome, IssueResult::Issued) {
+                        break;
+                    }
+                }
+                match outcome {
+                    IssueResult::Finished => {}
+                    IssueResult::NoServers => {
+                        self.schedule(ctx, RETRY, TimerKind::IssueRequest)
+                    }
+                    IssueResult::Issued => {
+                        self.schedule(ctx, interval, TimerKind::IssueRequest)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Probes every replica whose repository entry has gone stale (§8,
+    /// extension 3), then re-arms the check timer.
+    fn probe_stale(&mut self, ctx: &mut Context<'_, Wire>) {
+        let Some(staleness) = self.config.probe_stale_after else {
+            return;
+        };
+        if !self.finished {
+            let now = ctx.now();
+            let stale = self.handler_mut().stale_replicas(now, staleness);
+            for replica in stale {
+                let plan = self.handler_mut().plan_probe(now, replica);
+                let Some(node) = self
+                    .agent
+                    .as_ref()
+                    .and_then(|a| a.view().node_of(replica))
+                else {
+                    self.handler_mut().on_give_up(plan.seq);
+                    continue;
+                };
+                ctx.send(
+                    node,
+                    GroupMsg::App(AquaMsg::Request {
+                        id: RequestId {
+                            client: ctx.self_id(),
+                            seq: plan.seq,
+                        },
+                        method: MethodId::DEFAULT,
+                        payload_size: 0,
+                    }),
+                );
+                let give_up = self.config.give_up_after;
+                self.schedule(ctx, give_up, TimerKind::GiveUp(plan.seq));
+            }
+            self.schedule(ctx, staleness, TimerKind::ProbeCheck);
+        }
+    }
+
+    /// Called when a request resolves (first reply or give-up); closed-loop
+    /// clients schedule their next request from here.
+    fn finish_request(&mut self, ctx: &mut Context<'_, Wire>) {
+        if self
+            .config
+            .num_requests
+            .is_some_and(|limit| self.issued >= limit)
+        {
+            self.finished = true;
+            return;
+        }
+        if self.config.arrivals == ArrivalModel::ClosedLoop {
+            let think = self.config.think_time;
+            self.schedule(ctx, think, TimerKind::IssueRequest);
+        }
+    }
+
+    fn on_app(&mut self, msg: AquaMsg, ctx: &mut Context<'_, Wire>) {
+        match msg {
+            AquaMsg::Reply {
+                id,
+                replica,
+                perf,
+                payload_size: _,
+            } => {
+                let now = ctx.now();
+                let outcome = self.handler_mut().on_reply(now, id.seq, replica, perf);
+                if let ReplyOutcome::Deliver {
+                    response_time,
+                    verdict,
+                } = outcome
+                {
+                    if let Some(rec) = self.records.iter_mut().find(|r| r.seq == id.seq) {
+                        rec.first_reply_at = Some(now);
+                        rec.response_time = Some(response_time);
+                        rec.timely = verdict.is_timely();
+                        rec.callback = verdict.should_notify();
+                    }
+                    if verdict.should_notify() {
+                        if let Some(new_qos) = self.config.renegotiate_to {
+                            self.handler_mut().renegotiate(new_qos);
+                        }
+                    }
+                    self.finish_request(ctx);
+                }
+            }
+            AquaMsg::PerfUpdate { replica, perf } => {
+                let now = ctx.now();
+                self.handler_mut().on_perf_update(now, replica, perf);
+            }
+            // Requests/subscriptions are not addressed to clients.
+            _ => {}
+        }
+    }
+}
+
+impl Node<Wire> for ClientGateway {
+    fn on_event(&mut self, event: Event<Wire>, ctx: &mut Context<'_, Wire>) {
+        match event {
+            Event::Started => {
+                let strategy = self.strategy.take().expect("strategy set at construction");
+                self.handler = Some(TimingFaultHandler::new(
+                    self.config.qos,
+                    self.config.window,
+                    strategy,
+                ));
+                self.finished = false;
+                let me = Member::client(ctx.self_id());
+                let mut agent =
+                    MembershipAgent::new(self.config.coordinator, me, self.config.group);
+                agent.on_started(ctx);
+                self.agent = Some(agent);
+                let start_after = self.config.start_after;
+                self.schedule(ctx, start_after, TimerKind::IssueRequest);
+                if let Some(interval) = self.config.probe_stale_after {
+                    self.schedule(ctx, interval, TimerKind::ProbeCheck);
+                }
+            }
+            Event::Timer { token } => {
+                if let Some(agent) = self.agent.as_mut() {
+                    if agent.on_timer(token, ctx) {
+                        return;
+                    }
+                }
+                match self.timers.remove(&token) {
+                    Some(TimerKind::IssueRequest) => self.issue_request(ctx),
+                    Some(TimerKind::ProbeCheck) => self.probe_stale(ctx),
+                    Some(TimerKind::GiveUp(seq)) => {
+                        if self.handler_mut().on_give_up(seq) {
+                            if let Some(rec) = self.records.iter_mut().find(|r| r.seq == seq) {
+                                rec.timely = false;
+                            }
+                            self.finish_request(ctx);
+                        }
+                    }
+                    None => {}
+                }
+            }
+            Event::Message { payload, .. } => match payload {
+                GroupMsg::App(msg) => self.on_app(msg, ctx),
+                GroupMsg::ViewChange(view) => {
+                    let installed = self
+                        .agent
+                        .as_mut()
+                        .expect("started")
+                        .on_view_change(view)
+                        .map(|v| v.replica_ids().collect::<Vec<_>>());
+                    if let Some(servers) = installed {
+                        self.handler_mut().on_view(servers);
+                        self.subscribe_to_new_servers(ctx);
+                    }
+                }
+                _ => {}
+            },
+        }
+    }
+}

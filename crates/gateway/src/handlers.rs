@@ -1,0 +1,223 @@
+//! The other AQuA gateway handlers (§2): active and passive replication.
+//!
+//! Prior AQuA work tolerated crash failures with an **active** handler
+//! (every replica processes every request; first reply wins) and a
+//! **passive** handler (a primary services requests; backups take over on
+//! failure). Here they serve as baselines that bracket the timing fault
+//! handler: the active handler is maximum redundancy, the passive handler
+//! is minimum redundancy plus failover latency.
+
+use std::collections::HashMap;
+
+use aqua_core::qos::ReplicaId;
+use aqua_core::time::Instant;
+use aqua_strategies::AllReplicas;
+
+/// The active-replication handler is exactly the [`AllReplicas`] strategy
+/// behind the timing fault handler's machinery: multicast to everyone,
+/// deliver the first reply.
+///
+/// Construct a client with it via
+/// [`crate::ClientGateway::new`]`(config, Box::new(active_strategy()))`.
+pub fn active_strategy() -> AllReplicas {
+    AllReplicas
+}
+
+/// A request the passive handler has sent to the current primary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassivePending {
+    /// When the request was (last) sent.
+    pub sent_at: Instant,
+    /// How many times it has been (re)sent.
+    pub attempts: u32,
+}
+
+/// What the passive handler wants the caller to do after a view change.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FailoverAction {
+    /// The new primary, if one exists.
+    pub new_primary: Option<ReplicaId>,
+    /// Outstanding request sequence numbers to resend to the new primary.
+    pub resend: Vec<u64>,
+}
+
+/// Client-side passive-replication handler logic (sans-IO).
+///
+/// # Examples
+///
+/// ```
+/// use aqua_gateway::PassiveHandler;
+/// use aqua_core::qos::ReplicaId;
+/// use aqua_core::time::Instant;
+///
+/// let mut h = PassiveHandler::new();
+/// h.on_view([ReplicaId::new(0), ReplicaId::new(1)]);
+/// let (seq, primary) = h.plan_request(Instant::EPOCH).unwrap();
+/// assert_eq!(primary, ReplicaId::new(0));
+///
+/// // Primary crashes before replying: fail over and resend.
+/// let action = h.on_view([ReplicaId::new(1)]);
+/// assert_eq!(action.new_primary, Some(ReplicaId::new(1)));
+/// assert_eq!(action.resend, vec![seq]);
+/// ```
+#[derive(Debug, Default)]
+pub struct PassiveHandler {
+    members: Vec<ReplicaId>,
+    pending: HashMap<u64, PassivePending>,
+    next_seq: u64,
+    failovers: u64,
+}
+
+impl PassiveHandler {
+    /// Creates an empty handler; call [`PassiveHandler::on_view`] before
+    /// planning requests.
+    pub fn new() -> Self {
+        PassiveHandler::default()
+    }
+
+    /// The current primary: the first member of the view, mirroring how
+    /// AQuA's passive scheme promotes the senior backup.
+    pub fn primary(&self) -> Option<ReplicaId> {
+        self.members.first().copied()
+    }
+
+    /// Number of failovers performed.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Outstanding (unanswered) requests.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Installs a view. If the primary changed while requests were
+    /// outstanding, returns the resend instructions.
+    pub fn on_view<I: IntoIterator<Item = ReplicaId>>(&mut self, servers: I) -> FailoverAction {
+        let old_primary = self.primary();
+        self.members = servers.into_iter().collect();
+        let new_primary = self.primary();
+        // No failover when the primary is unchanged, when there was no
+        // primary before, or when nobody is left to fail over to.
+        if new_primary == old_primary || old_primary.is_none() || new_primary.is_none() {
+            return FailoverAction {
+                new_primary,
+                resend: Vec::new(),
+            };
+        }
+        self.failovers += 1;
+        let mut resend: Vec<u64> = self.pending.keys().copied().collect();
+        resend.sort_unstable();
+        FailoverAction {
+            new_primary,
+            resend,
+        }
+    }
+
+    /// Plans a request: returns its sequence number and the primary to send
+    /// it to, or `None` when no replica is available.
+    pub fn plan_request(&mut self, now: Instant) -> Option<(u64, ReplicaId)> {
+        let primary = self.primary()?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(
+            seq,
+            PassivePending {
+                sent_at: now,
+                attempts: 1,
+            },
+        );
+        Some((seq, primary))
+    }
+
+    /// Marks a resend (after failover) for bookkeeping.
+    pub fn mark_resent(&mut self, seq: u64, now: Instant) {
+        if let Some(p) = self.pending.get_mut(&seq) {
+            p.sent_at = now;
+            p.attempts += 1;
+        }
+    }
+
+    /// Records a reply; returns `true` if the request was outstanding (the
+    /// reply should be delivered) and `false` for duplicates.
+    pub fn on_reply(&mut self, seq: u64) -> bool {
+        self.pending.remove(&seq).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u64) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+
+    #[test]
+    fn primary_is_first_member() {
+        let mut h = PassiveHandler::new();
+        assert_eq!(h.primary(), None);
+        assert!(h.plan_request(Instant::EPOCH).is_none());
+        h.on_view([r(3), r(5)]);
+        assert_eq!(h.primary(), Some(r(3)));
+    }
+
+    #[test]
+    fn replies_clear_pending() {
+        let mut h = PassiveHandler::new();
+        h.on_view([r(0)]);
+        let (seq, _) = h.plan_request(Instant::EPOCH).unwrap();
+        assert_eq!(h.pending_count(), 1);
+        assert!(h.on_reply(seq));
+        assert!(!h.on_reply(seq), "duplicate reply is not re-delivered");
+        assert_eq!(h.pending_count(), 0);
+    }
+
+    #[test]
+    fn failover_resends_outstanding_in_order() {
+        let mut h = PassiveHandler::new();
+        h.on_view([r(0), r(1), r(2)]);
+        let (s1, p1) = h.plan_request(Instant::EPOCH).unwrap();
+        let (s2, _) = h.plan_request(Instant::EPOCH).unwrap();
+        assert_eq!(p1, r(0));
+        let action = h.on_view([r(1), r(2)]);
+        assert_eq!(action.new_primary, Some(r(1)));
+        assert_eq!(action.resend, vec![s1, s2]);
+        assert_eq!(h.failovers(), 1);
+        h.mark_resent(s1, Instant::from_millis(5));
+        h.mark_resent(s2, Instant::from_millis(5));
+        assert!(h.on_reply(s1));
+    }
+
+    #[test]
+    fn unchanged_primary_resends_nothing() {
+        let mut h = PassiveHandler::new();
+        h.on_view([r(0), r(1)]);
+        let _ = h.plan_request(Instant::EPOCH);
+        // Backup crashes: primary unchanged.
+        let action = h.on_view([r(0)]);
+        assert_eq!(action.new_primary, Some(r(0)));
+        assert!(action.resend.is_empty());
+        assert_eq!(h.failovers(), 0);
+    }
+
+    #[test]
+    fn total_loss_leaves_no_primary() {
+        let mut h = PassiveHandler::new();
+        h.on_view([r(0)]);
+        let _ = h.plan_request(Instant::EPOCH);
+        let action = h.on_view([]);
+        assert_eq!(action.new_primary, None);
+        assert!(
+            action.resend.is_empty(),
+            "nothing to resend with nobody to send to"
+        );
+        assert!(h.plan_request(Instant::EPOCH).is_none());
+    }
+
+    #[test]
+    fn active_strategy_is_all_replicas() {
+        use aqua_strategies::SelectionStrategy;
+        assert_eq!(active_strategy().name(), "all-replicas");
+    }
+}

@@ -1,0 +1,269 @@
+//! The Proteus dependability manager (§2).
+//!
+//! "The Proteus dependability manager manages the replication level for
+//! different applications based on their dependability requirements." Here
+//! that means: watch the group view, and whenever the number of live
+//! server replicas drops below the configured target, activate replicas
+//! from a standby pool (processes that are running but have not joined the
+//! service group). Newly activated replicas join the view, get explored by
+//! the clients' cold-start rule, and restore the selection algorithm's
+//! room to manoeuvre.
+
+use aqua_core::time::Duration;
+use aqua_group::{FailureDetectorConfig, GroupMsg, Member, MembershipAgent};
+use lan_sim::{Context, Event, Node, NodeId};
+
+use crate::proto::{AquaMsg, Wire};
+
+/// Configuration of the dependability manager.
+#[derive(Debug, Clone)]
+pub struct ManagerConfig {
+    /// The group coordinator node.
+    pub coordinator: NodeId,
+    /// Group cadence parameters.
+    pub group: FailureDetectorConfig,
+    /// Desired number of live server replicas.
+    pub target_replication: usize,
+    /// Standby server nodes (spawned with `standby: true`) that can be
+    /// activated, in activation order.
+    pub standbys: Vec<NodeId>,
+    /// How often to re-check the replication level (besides reacting to
+    /// every view change).
+    pub check_interval: Duration,
+    /// Do not enforce during this long after start: views installed while
+    /// the group is still forming under-count the servers (their joins are
+    /// in flight), and acting on them would activate standbys spuriously.
+    pub startup_grace: Duration,
+}
+
+/// The dependability manager node. See the module docs.
+pub struct DependabilityManager {
+    config: ManagerConfig,
+    agent: Option<MembershipAgent>,
+    enforce_after: Option<aqua_core::time::Instant>,
+    next_standby: usize,
+    activations: u64,
+}
+
+impl std::fmt::Debug for DependabilityManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DependabilityManager")
+            .field("target", &self.config.target_replication)
+            .field("activations", &self.activations)
+            .field(
+                "standbys_left",
+                &(self.config.standbys.len() - self.next_standby),
+            )
+            .finish()
+    }
+}
+
+impl DependabilityManager {
+    /// Creates a manager from its configuration.
+    pub fn new(config: ManagerConfig) -> Self {
+        DependabilityManager {
+            config,
+            agent: None,
+            enforce_after: None,
+            next_standby: 0,
+            activations: 0,
+        }
+    }
+
+    /// Standby activations performed so far.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Standbys not yet activated.
+    pub fn standbys_remaining(&self) -> usize {
+        self.config.standbys.len() - self.next_standby
+    }
+
+    fn enforce_replication(&mut self, ctx: &mut Context<'_, Wire>) {
+        let Some(agent) = self.agent.as_ref() else {
+            return;
+        };
+        // Never act before the first view arrives (an empty membership
+        // snapshot is indistinguishable from "everything crashed") or
+        // while the group is still forming.
+        if agent.view().id == 0 || self.enforce_after.is_none_or(|t| ctx.now() < t) {
+            return;
+        }
+        let live = agent.view().servers().count();
+        let mut deficit = self.config.target_replication.saturating_sub(live);
+        // Account for activations already in flight (standbys we poked
+        // that have not appeared in a view yet): every activated standby
+        // beyond the live servers counts toward the target.
+        let in_flight = self
+            .config
+            .standbys[..self.next_standby]
+            .iter()
+            .filter(|n| !agent.view().contains(**n))
+            .count();
+        deficit = deficit.saturating_sub(in_flight);
+        while deficit > 0 && self.next_standby < self.config.standbys.len() {
+            let standby = self.config.standbys[self.next_standby];
+            self.next_standby += 1;
+            self.activations += 1;
+            ctx.send(standby, GroupMsg::App(AquaMsg::Activate));
+            deficit -= 1;
+        }
+    }
+}
+
+impl Node<Wire> for DependabilityManager {
+    fn on_event(&mut self, event: Event<Wire>, ctx: &mut Context<'_, Wire>) {
+        match event {
+            Event::Started => {
+                let me = Member::client(ctx.self_id());
+                let mut agent = MembershipAgent::new(self.config.coordinator, me, self.config.group);
+                agent.on_started(ctx);
+                self.agent = Some(agent);
+                self.enforce_after = Some(ctx.now().saturating_add(self.config.startup_grace));
+                ctx.set_timer(self.config.check_interval);
+            }
+            Event::Timer { token } => {
+                if let Some(agent) = self.agent.as_mut() {
+                    if agent.on_timer(token, ctx) {
+                        return;
+                    }
+                }
+                self.enforce_replication(ctx);
+                ctx.set_timer(self.config.check_interval);
+            }
+            Event::Message { payload, .. } => {
+                if let GroupMsg::ViewChange(view) = payload {
+                    let installed = self
+                        .agent
+                        .as_mut()
+                        .expect("started")
+                        .on_view_change(view)
+                        .is_some();
+                    if installed {
+                        self.enforce_replication(ctx);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClientConfig, ClientGateway, ServerConfig, ServerGateway};
+    use aqua_core::qos::{QosSpec, ReplicaId};
+    use aqua_core::time::Instant;
+    use aqua_group::GroupCoordinator;
+    use aqua_replica::{CrashPlan, ServiceTimeModel};
+    use aqua_strategies::ModelBased;
+    use lan_sim::{Simulation, UniformLan};
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn standby_is_activated_after_a_crash() {
+        let mut sim = Simulation::with_network(51, UniformLan::aqua_testbed());
+        let coordinator = sim.add_node(GroupCoordinator::<AquaMsg>::new(
+            FailureDetectorConfig::default(),
+        ));
+        // Three active replicas, one of which crashes at 2 s.
+        for i in 0..3u64 {
+            let mut cfg = ServerConfig::paper(ReplicaId::new(i), coordinator);
+            cfg.service = ServiceTimeModel::Deterministic(ms(40));
+            if i == 0 {
+                cfg.crash = CrashPlan::AtTime(Instant::from_secs(2));
+            }
+            sim.add_node(ServerGateway::new(cfg));
+        }
+        // Two standbys.
+        let mut standbys = Vec::new();
+        for i in 3..5u64 {
+            let mut cfg = ServerConfig::paper(ReplicaId::new(i), coordinator);
+            cfg.service = ServiceTimeModel::Deterministic(ms(40));
+            cfg.standby = true;
+            standbys.push(sim.add_node(ServerGateway::new(cfg)));
+        }
+        let manager = sim.add_node(DependabilityManager::new(ManagerConfig {
+            coordinator,
+            group: FailureDetectorConfig::default(),
+            target_replication: 3,
+            standbys: standbys.clone(),
+            check_interval: ms(200),
+            startup_grace: ms(800),
+        }));
+        let mut ccfg = ClientConfig::paper(coordinator, QosSpec::new(ms(300), 0.9).unwrap());
+        ccfg.num_requests = Some(40);
+        ccfg.think_time = ms(250);
+        let client = sim.add_node(ClientGateway::new(ccfg, Box::new(ModelBased::default())));
+
+        // Before the crash: 3 live servers, standbys dormant.
+        sim.run_until(Instant::from_millis(1_800));
+        {
+            let coord = sim.node::<GroupCoordinator<AquaMsg>>(coordinator).unwrap();
+            assert_eq!(coord.view().servers().count(), 3);
+            let mgr = sim.node::<DependabilityManager>(manager).unwrap();
+            assert_eq!(mgr.activations(), 0);
+        }
+
+        // After the crash + detection: the manager restores the level.
+        sim.run_until(Instant::from_secs(30));
+        let coord = sim.node::<GroupCoordinator<AquaMsg>>(coordinator).unwrap();
+        assert_eq!(
+            coord.view().servers().count(),
+            3,
+            "replication level restored"
+        );
+        let mgr = sim.node::<DependabilityManager>(manager).unwrap();
+        assert_eq!(mgr.activations(), 1, "exactly one standby activated");
+        assert_eq!(mgr.standbys_remaining(), 1);
+        // The standby replica (r3) is now in the client's repository and
+        // has serviced work.
+        let standby_node = sim.node::<ServerGateway>(standbys[0]).unwrap();
+        assert!(standby_node.serviced() > 0, "{standby_node:?}");
+        let gw = sim.node::<ClientGateway>(client).unwrap();
+        assert!(gw
+            .handler()
+            .unwrap()
+            .repository()
+            .contains(ReplicaId::new(3)));
+    }
+
+    #[test]
+    fn manager_does_not_overshoot_the_target() {
+        let mut sim = Simulation::with_network(52, UniformLan::aqua_testbed());
+        let coordinator = sim.add_node(GroupCoordinator::<AquaMsg>::new(
+            FailureDetectorConfig::default(),
+        ));
+        for i in 0..2u64 {
+            sim.add_node(ServerGateway::new(ServerConfig::paper(
+                ReplicaId::new(i),
+                coordinator,
+            )));
+        }
+        let mut standbys = Vec::new();
+        for i in 2..6u64 {
+            let mut cfg = ServerConfig::paper(ReplicaId::new(i), coordinator);
+            cfg.standby = true;
+            standbys.push(sim.add_node(ServerGateway::new(cfg)));
+        }
+        let manager = sim.add_node(DependabilityManager::new(ManagerConfig {
+            coordinator,
+            group: FailureDetectorConfig::default(),
+            target_replication: 4,
+            standbys,
+            check_interval: ms(100),
+            startup_grace: ms(800),
+        }));
+        sim.run_until(Instant::from_secs(10));
+        // Target 4 with 2 active: exactly 2 activations even though the
+        // check timer fired many times while joins were in flight.
+        let mgr = sim.node::<DependabilityManager>(manager).unwrap();
+        assert_eq!(mgr.activations(), 2);
+        let coord = sim.node::<GroupCoordinator<AquaMsg>>(coordinator).unwrap();
+        assert_eq!(coord.view().servers().count(), 4);
+    }
+}

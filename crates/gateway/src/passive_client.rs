@@ -1,0 +1,350 @@
+//! A simulated client gateway running the **passive** replication handler
+//! of earlier AQuA work (§2), for head-to-head comparison with the timing
+//! fault handler.
+//!
+//! The passive scheme sends each request to a single primary; when the
+//! primary crashes, the group's view change promotes the senior backup and
+//! outstanding requests are resent. Crash masking therefore costs a full
+//! *detection + failover + retransmission* round trip, where the timing
+//! fault handler's redundant multicast masks the same crash with zero
+//! added latency (Eq. 3).
+
+use std::collections::HashMap;
+
+use aqua_core::qos::QosSpec;
+use aqua_core::repository::MethodId;
+use aqua_core::time::Duration;
+use aqua_group::{FailureDetectorConfig, GroupMsg, Member, MembershipAgent};
+use lan_sim::{Context, Event, Node, NodeId, TimerToken};
+
+use crate::client::RequestRecord;
+use crate::handlers::PassiveHandler;
+use crate::proto::{AquaMsg, RequestId, Wire};
+
+/// Configuration of a passive-replication client gateway.
+#[derive(Debug, Clone)]
+pub struct PassiveClientConfig {
+    /// The group coordinator node.
+    pub coordinator: NodeId,
+    /// Group cadence parameters.
+    pub group: FailureDetectorConfig,
+    /// Used only for timing-failure accounting in the records (the passive
+    /// handler itself is deadline-oblivious).
+    pub qos: QosSpec,
+    /// Think time between a response and the next request.
+    pub think_time: Duration,
+    /// Requests to issue.
+    pub num_requests: u64,
+    /// Delay before the first request.
+    pub start_after: Duration,
+    /// Give up on a request this long after its (first) transmission.
+    pub give_up_after: Duration,
+}
+
+impl PassiveClientConfig {
+    /// Paper-style loop: think 1 s, 50 requests.
+    pub fn paper(coordinator: NodeId, qos: QosSpec) -> Self {
+        PassiveClientConfig {
+            coordinator,
+            group: FailureDetectorConfig::default(),
+            qos,
+            think_time: Duration::from_secs(1),
+            num_requests: 50,
+            start_after: Duration::from_millis(500),
+            give_up_after: Duration::from_secs(5),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TimerKind {
+    IssueRequest,
+    GiveUp(u64),
+}
+
+/// The passive-replication client node. See the module docs.
+pub struct PassiveClientGateway {
+    config: PassiveClientConfig,
+    handler: PassiveHandler,
+    agent: Option<MembershipAgent>,
+    timers: HashMap<TimerToken, TimerKind>,
+    records: Vec<RequestRecord>,
+    issued: u64,
+    finished: bool,
+}
+
+impl std::fmt::Debug for PassiveClientGateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassiveClientGateway")
+            .field("issued", &self.issued)
+            .field("failovers", &self.handler.failovers())
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+impl PassiveClientGateway {
+    /// Creates a passive client gateway.
+    pub fn new(config: PassiveClientConfig) -> Self {
+        PassiveClientGateway {
+            config,
+            handler: PassiveHandler::new(),
+            agent: None,
+            timers: HashMap::new(),
+            records: Vec::new(),
+            issued: 0,
+            finished: false,
+        }
+    }
+
+    /// The per-request records collected so far.
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// Whether the configured number of requests has completed.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Failovers performed by the underlying handler.
+    pub fn failovers(&self) -> u64 {
+        self.handler.failovers()
+    }
+
+    fn schedule(&mut self, ctx: &mut Context<'_, Wire>, after: Duration, kind: TimerKind) {
+        let token = ctx.set_timer(after);
+        self.timers.insert(token, kind);
+    }
+
+    fn send_to_primary(&mut self, ctx: &mut Context<'_, Wire>, seq: u64) {
+        let Some(primary) = self.handler.primary() else {
+            return;
+        };
+        let Some(node) = self
+            .agent
+            .as_ref()
+            .and_then(|a| a.view().node_of(primary))
+        else {
+            return;
+        };
+        ctx.send(
+            node,
+            GroupMsg::App(AquaMsg::Request {
+                id: RequestId {
+                    client: ctx.self_id(),
+                    seq,
+                },
+                method: MethodId::DEFAULT,
+                payload_size: 16,
+            }),
+        );
+    }
+
+    fn issue_request(&mut self, ctx: &mut Context<'_, Wire>) {
+        if self.finished {
+            return;
+        }
+        if self.issued >= self.config.num_requests {
+            self.finished = true;
+            return;
+        }
+        if self.handler.primary().is_none() {
+            self.schedule(ctx, Duration::from_millis(50), TimerKind::IssueRequest);
+            return;
+        }
+        let now = ctx.now();
+        let Some((seq, _primary)) = self.handler.plan_request(now) else {
+            self.schedule(ctx, Duration::from_millis(50), TimerKind::IssueRequest);
+            return;
+        };
+        self.issued += 1;
+        self.send_to_primary(ctx, seq);
+        self.records.push(RequestRecord {
+            seq,
+            sent_at: now,
+            redundancy: 1,
+            first_reply_at: None,
+            response_time: None,
+            timely: false,
+            callback: false,
+        });
+        let give_up = self.config.give_up_after;
+        self.schedule(ctx, give_up, TimerKind::GiveUp(seq));
+    }
+
+    fn next_request(&mut self, ctx: &mut Context<'_, Wire>) {
+        if self.issued >= self.config.num_requests {
+            self.finished = true;
+            return;
+        }
+        let think = self.config.think_time;
+        self.schedule(ctx, think, TimerKind::IssueRequest);
+    }
+}
+
+impl Node<Wire> for PassiveClientGateway {
+    fn on_event(&mut self, event: Event<Wire>, ctx: &mut Context<'_, Wire>) {
+        match event {
+            Event::Started => {
+                let me = Member::client(ctx.self_id());
+                let mut agent =
+                    MembershipAgent::new(self.config.coordinator, me, self.config.group);
+                agent.on_started(ctx);
+                self.agent = Some(agent);
+                let start_after = self.config.start_after;
+                self.schedule(ctx, start_after, TimerKind::IssueRequest);
+            }
+            Event::Timer { token } => {
+                if let Some(agent) = self.agent.as_mut() {
+                    if agent.on_timer(token, ctx) {
+                        return;
+                    }
+                }
+                match self.timers.remove(&token) {
+                    Some(TimerKind::IssueRequest) => self.issue_request(ctx),
+                    Some(TimerKind::GiveUp(seq)) => {
+                        if self.handler.on_reply(seq) {
+                            // Still outstanding: count as a failure.
+                            if let Some(rec) = self.records.iter_mut().find(|r| r.seq == seq) {
+                                rec.timely = false;
+                            }
+                            self.next_request(ctx);
+                        }
+                    }
+                    None => {}
+                }
+            }
+            Event::Message { payload, .. } => match payload {
+                GroupMsg::App(AquaMsg::Reply { id, .. }) => {
+                    if self.handler.on_reply(id.seq) {
+                        let now = ctx.now();
+                        if let Some(rec) = self.records.iter_mut().find(|r| r.seq == id.seq) {
+                            rec.first_reply_at = Some(now);
+                            let tr = now.saturating_duration_since(rec.sent_at);
+                            rec.response_time = Some(tr);
+                            rec.timely = tr <= self.config.qos.deadline();
+                        }
+                        self.next_request(ctx);
+                    }
+                }
+                GroupMsg::ViewChange(view) => {
+                    let installed = self
+                        .agent
+                        .as_mut()
+                        .expect("started")
+                        .on_view_change(view)
+                        .map(|v| v.replica_ids().collect::<Vec<_>>());
+                    if let Some(servers) = installed {
+                        let action = self.handler.on_view(servers);
+                        for seq in action.resend {
+                            self.handler.mark_resent(seq, ctx.now());
+                            // Record the resend as extra transmissions.
+                            if let Some(rec) = self.records.iter_mut().find(|r| r.seq == seq) {
+                                rec.redundancy += 1;
+                            }
+                            self.send_to_primary(ctx, seq);
+                        }
+                    }
+                }
+                _ => {}
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServerConfig, ServerGateway};
+    use aqua_core::qos::ReplicaId;
+    use aqua_group::GroupCoordinator;
+    use aqua_core::time::Instant;
+    use aqua_replica::{CrashPlan, ServiceTimeModel};
+    use lan_sim::Simulation;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn passive_client_serves_through_the_primary() {
+        // Zero-latency network: joins arrive in node order, so replica 0
+        // is deterministically the senior member (the primary).
+        let mut sim = Simulation::new(71);
+        let coordinator = sim.add_node(GroupCoordinator::<AquaMsg>::new(
+            FailureDetectorConfig::default(),
+        ));
+        let mut primary_node = None;
+        for i in 0..3u64 {
+            let mut cfg = ServerConfig::paper(ReplicaId::new(i), coordinator);
+            cfg.service = ServiceTimeModel::Deterministic(ms(30));
+            let n = sim.add_node(ServerGateway::new(cfg));
+            if i == 0 {
+                primary_node = Some(n);
+            }
+        }
+        let mut ccfg =
+            PassiveClientConfig::paper(coordinator, QosSpec::new(ms(200), 0.9).unwrap());
+        ccfg.num_requests = 10;
+        ccfg.think_time = ms(150);
+        let client = sim.add_node(PassiveClientGateway::new(ccfg));
+        sim.run_until(Instant::from_secs(30));
+
+        let gw = sim.node::<PassiveClientGateway>(client).unwrap();
+        assert!(gw.is_finished(), "{gw:?}");
+        assert_eq!(gw.records().len(), 10);
+        assert!(gw.records().iter().all(|r| r.timely));
+        assert_eq!(gw.failovers(), 0);
+        // Only the primary serviced anything.
+        let primary = sim
+            .node::<ServerGateway>(primary_node.unwrap())
+            .unwrap();
+        assert_eq!(primary.serviced(), 10, "primary-only traffic");
+    }
+
+    #[test]
+    fn primary_crash_triggers_failover_and_resend() {
+        // Zero-latency network (see above): replica 0 is the primary.
+        let mut sim = Simulation::new(72);
+        let coordinator = sim.add_node(GroupCoordinator::<AquaMsg>::new(
+            FailureDetectorConfig::default(),
+        ));
+        for i in 0..3u64 {
+            let mut cfg = ServerConfig::paper(ReplicaId::new(i), coordinator);
+            // Slow service so the crash catches requests in flight.
+            cfg.service = ServiceTimeModel::Deterministic(ms(400));
+            if i == 0 {
+                cfg.crash = CrashPlan::AtTime(Instant::from_secs(3));
+            }
+            sim.add_node(ServerGateway::new(cfg));
+        }
+        let mut ccfg =
+            PassiveClientConfig::paper(coordinator, QosSpec::new(ms(2_000), 0.9).unwrap());
+        ccfg.num_requests = 15;
+        ccfg.think_time = ms(100);
+        ccfg.give_up_after = Duration::from_secs(4);
+        let client = sim.add_node(PassiveClientGateway::new(ccfg));
+        sim.run_until(Instant::from_secs(60));
+
+        let gw = sim.node::<PassiveClientGateway>(client).unwrap();
+        assert!(gw.is_finished(), "{gw:?}");
+        assert_eq!(gw.failovers(), 1, "one primary crash, one failover");
+        // Some request was resent after the failover…
+        let resent: Vec<_> = gw.records().iter().filter(|r| r.redundancy > 1).collect();
+        assert!(!resent.is_empty(), "in-flight request was retransmitted");
+        // …and its latency includes the detection + failover gap, far
+        // above the nominal 400 ms service.
+        let max_latency = resent
+            .iter()
+            .filter_map(|r| r.response_time)
+            .max()
+            .expect("resent request eventually answered");
+        assert!(
+            max_latency > ms(500),
+            "failover costs detection latency: {max_latency}"
+        );
+        // All requests were eventually served (no budget exceeded).
+        assert!(gw.records().iter().all(|r| r.first_reply_at.is_some()));
+    }
+}

@@ -1,0 +1,125 @@
+//! The application-level wire protocol between AQuA gateways (§5.4.1).
+//!
+//! Requests flow client → selected replicas; replies carry the piggybacked
+//! performance data (`ts`, `tq`, queue length); replicas additionally push
+//! [`AquaMsg::PerfUpdate`]s to every subscriber after servicing a request.
+
+use aqua_core::qos::ReplicaId;
+use aqua_core::repository::{MethodId, PerfReport};
+use lan_sim::{NodeId, Payload};
+
+/// Globally unique request identity: issuing client + per-client sequence
+/// number (the "sequence number of the message" the handler records).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId {
+    /// The client gateway's node.
+    pub client: NodeId,
+    /// Client-local sequence number.
+    pub seq: u64,
+}
+
+/// Application messages exchanged through the multicast group.
+#[derive(Debug, Clone)]
+pub enum AquaMsg {
+    /// A client request, multicast to the selected replica subset.
+    Request {
+        /// Request identity.
+        id: RequestId,
+        /// Invoked method (single-interface services use the default).
+        method: MethodId,
+        /// Marshalled argument size in bytes (drives the bandwidth term).
+        payload_size: u32,
+    },
+    /// A replica's reply, carrying the performance data the client uses to
+    /// update its repository and measure the gateway-to-gateway delay.
+    Reply {
+        /// Request identity this reply answers.
+        id: RequestId,
+        /// The servicing replica.
+        replica: ReplicaId,
+        /// Piggybacked measurements (`ts`, `tq`, queue length).
+        perf: PerfReport,
+        /// Reply payload size in bytes.
+        payload_size: u32,
+    },
+    /// A client subscribes to a replica group's performance updates.
+    Subscribe {
+        /// The subscribing client gateway.
+        client: NodeId,
+    },
+    /// A replica pushes fresh performance data to a subscriber.
+    PerfUpdate {
+        /// The publishing replica.
+        replica: ReplicaId,
+        /// The measurements of the request it just serviced.
+        perf: PerfReport,
+    },
+    /// The dependability manager activates a standby replica (Proteus,
+    /// §2): the target joins the service group and starts serving.
+    Activate,
+}
+
+impl Payload for AquaMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            AquaMsg::Request { payload_size, .. } => 40 + *payload_size as usize,
+            AquaMsg::Reply { payload_size, .. } => 72 + *payload_size as usize,
+            AquaMsg::Subscribe { .. } => 24,
+            AquaMsg::PerfUpdate { .. } => 56,
+            AquaMsg::Activate => 16,
+        }
+    }
+}
+
+/// The concrete simulation payload: group control + application messages.
+pub type Wire = aqua_group::GroupMsg<AquaMsg>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_core::time::Duration;
+
+    #[test]
+    fn wire_sizes_reflect_payloads() {
+        let small = AquaMsg::Request {
+            id: RequestId {
+                client: NodeId::new(0),
+                seq: 1,
+            },
+            method: MethodId::DEFAULT,
+            payload_size: 0,
+        };
+        let big = AquaMsg::Request {
+            id: RequestId {
+                client: NodeId::new(0),
+                seq: 2,
+            },
+            method: MethodId::DEFAULT,
+            payload_size: 4_096,
+        };
+        assert!(big.wire_size() > small.wire_size());
+        let reply = AquaMsg::Reply {
+            id: RequestId {
+                client: NodeId::new(0),
+                seq: 1,
+            },
+            replica: ReplicaId::new(0),
+            perf: PerfReport::new(Duration::from_millis(1), Duration::ZERO, 0),
+            payload_size: 8,
+        };
+        assert!(reply.wire_size() > small.wire_size());
+    }
+
+    #[test]
+    fn request_ids_order_by_client_then_seq() {
+        let a = RequestId {
+            client: NodeId::new(0),
+            seq: 5,
+        };
+        let b = RequestId {
+            client: NodeId::new(1),
+            seq: 0,
+        };
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,385 @@
+//! The simulated server-side gateway + replica application (§5.1 stages
+//! 3–4, §5.4.1 server side).
+//!
+//! One [`ServerGateway`] node models a host running one replica: it joins
+//! the multicast group as a server, FIFO-queues incoming requests
+//! (recording `t2`/`t3`), "services" each request by waiting out a sampled
+//! service time (scaled by the host's load process), replies with the
+//! piggybacked performance data, and pushes a [`AquaMsg::PerfUpdate`] to
+//! every subscriber — "each time it processes a request" (§5.4.1).
+//!
+//! Crashes are silent: the node stops heartbeating and detaches, so the
+//! group coordinator eventually evicts it via a view change.
+
+use aqua_core::qos::ReplicaId;
+use aqua_core::repository::{MethodId, PerfReport};
+use aqua_core::time::Duration;
+use aqua_group::{FailureDetectorConfig, GroupMsg, Member, MembershipAgent};
+use aqua_replica::{CrashPlan, CrashState, LoadModel, LoadProcess, RequestQueue, ServiceTimeModel};
+use lan_sim::{Context, Event, Node, NodeId, TimerToken};
+
+use crate::proto::{AquaMsg, RequestId, Wire};
+
+/// Static configuration of one server replica host.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The replica identity this server joins the group as.
+    pub replica: ReplicaId,
+    /// The group coordinator node.
+    pub coordinator: NodeId,
+    /// Group/failure-detector cadence.
+    pub group: FailureDetectorConfig,
+    /// Per-request service-time distribution.
+    pub service: ServiceTimeModel,
+    /// Method-specific overrides of `service` (multi-interface extension,
+    /// §8 ext. 1): a server exporting several methods with different costs.
+    pub method_services: Vec<(MethodId, ServiceTimeModel)>,
+    /// Host load fluctuation.
+    pub load: LoadModel,
+    /// Crash injection plan.
+    pub crash: CrashPlan,
+    /// If set, the replica restarts this long after crashing: it rejoins
+    /// the group with an empty queue and fresh state (a process restart on
+    /// the same host). `None` = crashes are permanent (the paper's model).
+    pub recover_after: Option<Duration>,
+    /// Start dormant: the replica process runs but does not join the
+    /// service group until the dependability manager activates it
+    /// (Proteus, §2).
+    pub standby: bool,
+    /// Reply payload size in bytes.
+    pub reply_size: u32,
+}
+
+impl ServerConfig {
+    /// A paper-style server: Normal(100 ms, σ50 ms) service, steady host,
+    /// no crash.
+    pub fn paper(replica: ReplicaId, coordinator: NodeId) -> Self {
+        ServerConfig {
+            replica,
+            coordinator,
+            group: FailureDetectorConfig::default(),
+            service: ServiceTimeModel::paper_load(),
+            method_services: Vec::new(),
+            load: LoadModel::nominal(),
+            crash: CrashPlan::Never,
+            recover_after: None,
+            standby: false,
+            reply_size: 8, // "responded with an integer data" (§6)
+        }
+    }
+}
+
+/// A request being serviced right now.
+#[derive(Debug, Clone)]
+struct InService {
+    id: RequestId,
+    method: MethodId,
+    queuing_delay: Duration,
+    service_time: Duration,
+    timer: TimerToken,
+}
+
+/// The simulated server node. See the module docs.
+pub struct ServerGateway {
+    config: ServerConfig,
+    agent: Option<MembershipAgent>,
+    queue: RequestQueue<(RequestId, MethodId)>,
+    in_service: Option<InService>,
+    load: LoadProcess,
+    crash: Option<CrashState>,
+    crash_timer: Option<TimerToken>,
+    /// Standby replica that has not been activated yet (Proteus, §2).
+    dormant: bool,
+    /// Dead-but-recoverable: events are dropped until the recovery timer.
+    dead: bool,
+    recovery_timer: Option<TimerToken>,
+    subscribers: Vec<NodeId>,
+    serviced: u64,
+    restarts: u64,
+}
+
+impl std::fmt::Debug for ServerGateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerGateway")
+            .field("replica", &self.config.replica)
+            .field("queued", &self.queue.len())
+            .field("serviced", &self.serviced)
+            .field("crashed", &self.is_crashed())
+            .finish()
+    }
+}
+
+impl ServerGateway {
+    /// Creates a server from its configuration.
+    pub fn new(config: ServerConfig) -> Self {
+        let load = LoadProcess::new(config.load.clone());
+        ServerGateway {
+            config,
+            agent: None,
+            queue: RequestQueue::new(),
+            in_service: None,
+            load,
+            crash: None,
+            crash_timer: None,
+            dormant: false,
+            dead: false,
+            recovery_timer: None,
+            subscribers: Vec::new(),
+            serviced: 0,
+            restarts: 0,
+        }
+    }
+
+    /// Number of times this replica has restarted after a crash.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Whether this replica is a standby that has not been activated.
+    pub fn is_dormant(&self) -> bool {
+        self.dormant
+    }
+
+    /// Joins the group and arms the crash schedule (initial start or
+    /// standby activation).
+    fn go_live(&mut self, ctx: &mut Context<'_, Wire>) {
+        // Instantiate the crash schedule with the simulation RNG so it is
+        // deterministic per seed.
+        let crash = CrashState::new(self.config.crash, ctx.now(), ctx.rng());
+        if let Some(at) = crash.crash_at() {
+            // A timer guarantees the crash happens even while idle.
+            self.crash_timer = Some(ctx.set_timer(at.saturating_duration_since(ctx.now())));
+        }
+        self.crash = Some(crash);
+
+        let me = Member::server(ctx.self_id(), self.config.replica);
+        let mut agent = MembershipAgent::new(self.config.coordinator, me, self.config.group);
+        agent.on_started(ctx);
+        self.agent = Some(agent);
+    }
+
+    /// Requests serviced so far.
+    pub fn serviced(&self) -> u64 {
+        self.serviced
+    }
+
+    /// Whether this replica is currently crashed (permanently, or down
+    /// awaiting recovery).
+    pub fn is_crashed(&self) -> bool {
+        self.dead || self.crash.as_ref().is_some_and(CrashState::is_crashed)
+    }
+
+    /// Current queue depth.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Registered performance-update subscribers.
+    pub fn subscribers(&self) -> &[NodeId] {
+        &self.subscribers
+    }
+
+    fn crash_now(&mut self, ctx: &mut Context<'_, Wire>) {
+        if let Some(agent) = self.agent.as_mut() {
+            agent.stop();
+        }
+        self.queue.drain();
+        self.in_service = None;
+        match self.config.recover_after {
+            // Permanent crash: leave the simulation entirely.
+            None => ctx.detach_self(),
+            // Process restart: go silent, come back after the downtime.
+            Some(downtime) => {
+                self.dead = true;
+                self.recovery_timer = Some(ctx.set_timer(downtime));
+            }
+        }
+    }
+
+    fn recover(&mut self, ctx: &mut Context<'_, Wire>) {
+        self.dead = false;
+        self.restarts += 1;
+        self.subscribers.clear();
+        // A restarted process gets a fresh crash schedule: one-shot
+        // time-based plans do not refire, counters and MTBF draws restart.
+        let plan = match self.config.crash {
+            CrashPlan::AtTime(_) => CrashPlan::Never,
+            other => other,
+        };
+        let crash = CrashState::new(plan, ctx.now(), ctx.rng());
+        if let Some(at) = crash.crash_at() {
+            self.crash_timer = Some(ctx.set_timer(at.saturating_duration_since(ctx.now())));
+        }
+        self.crash = Some(crash);
+        // Rejoin the group under a fresh membership agent.
+        let me = Member::server(ctx.self_id(), self.config.replica);
+        let mut agent = MembershipAgent::new(self.config.coordinator, me, self.config.group);
+        agent.on_started(ctx);
+        self.agent = Some(agent);
+    }
+
+    fn check_time_crash(&mut self, ctx: &mut Context<'_, Wire>) -> bool {
+        let crashed_now = self
+            .crash
+            .as_mut()
+            .is_some_and(|c| c.observe_time(ctx.now()));
+        if crashed_now {
+            self.crash_now(ctx);
+        }
+        self.is_crashed()
+    }
+
+    fn start_next_service(&mut self, ctx: &mut Context<'_, Wire>) {
+        if self.in_service.is_some() {
+            return;
+        }
+        // t3: dequeue for service.
+        let Some(((id, method), queuing_delay)) = self.queue.pop(ctx.now()) else {
+            return;
+        };
+        let factor = self.load.factor(ctx.now(), ctx.rng());
+        let model = self
+            .config
+            .method_services
+            .iter()
+            .find(|(m, _)| *m == method)
+            .map(|(_, s)| s)
+            .unwrap_or(&self.config.service);
+        let service_time = model.sample(ctx.rng()).mul_f64(factor);
+        let timer = ctx.set_timer(service_time);
+        self.in_service = Some(InService {
+            id,
+            method,
+            queuing_delay,
+            service_time,
+            timer,
+        });
+    }
+
+    fn finish_service(&mut self, ctx: &mut Context<'_, Wire>) {
+        let Some(job) = self.in_service.take() else {
+            return;
+        };
+        self.serviced += 1;
+        let perf = PerfReport {
+            service_time: job.service_time,
+            queuing_delay: job.queuing_delay,
+            queue_len: self.queue.len() as u32,
+            method: job.method,
+        };
+        // Reply to the requesting client (perf piggybacked)…
+        ctx.send(
+            job.id.client,
+            GroupMsg::App(AquaMsg::Reply {
+                id: job.id,
+                replica: self.config.replica,
+                perf,
+                payload_size: self.config.reply_size,
+            }),
+        );
+        // …and publish the update to all subscribers (§5.4.1). The
+        // requesting client already got the data on the reply.
+        let update = GroupMsg::App(AquaMsg::PerfUpdate {
+            replica: self.config.replica,
+            perf,
+        });
+        let targets: Vec<NodeId> = self
+            .subscribers
+            .iter()
+            .copied()
+            .filter(|s| *s != job.id.client)
+            .collect();
+        if !targets.is_empty() {
+            ctx.multicast(&targets, update);
+        }
+
+        // Crash-after-N triggers after the reply is sent (the request that
+        // hits the threshold is the last one serviced).
+        let crashed = self
+            .crash
+            .as_mut()
+            .is_some_and(|c| c.observe_serviced());
+        if crashed {
+            self.crash_now(ctx);
+            return;
+        }
+        self.start_next_service(ctx);
+    }
+}
+
+impl Node<Wire> for ServerGateway {
+    fn on_event(&mut self, event: Event<Wire>, ctx: &mut Context<'_, Wire>) {
+        match event {
+            Event::Started => {
+                if self.config.standby {
+                    self.dormant = true;
+                } else {
+                    self.go_live(ctx);
+                }
+            }
+            Event::Timer { token } => {
+                if self.dead {
+                    if Some(token) == self.recovery_timer {
+                        self.recover(ctx);
+                    }
+                    return;
+                }
+                if self.check_time_crash(ctx) {
+                    return;
+                }
+                if Some(token) == self.crash_timer {
+                    // Crash time passed; check_time_crash above handled it
+                    // unless the plan moved — nothing more to do.
+                    return;
+                }
+                if let Some(agent) = self.agent.as_mut() {
+                    if agent.on_timer(token, ctx) {
+                        return;
+                    }
+                }
+                if self.in_service.as_ref().is_some_and(|j| j.timer == token) {
+                    self.finish_service(ctx);
+                }
+            }
+            Event::Message { payload, .. } => {
+                if self.dormant {
+                    if matches!(payload, GroupMsg::App(AquaMsg::Activate)) {
+                        self.dormant = false;
+                        self.go_live(ctx);
+                    }
+                    return;
+                }
+                if self.dead {
+                    return;
+                }
+                if self.check_time_crash(ctx) {
+                    return;
+                }
+                match payload {
+                    GroupMsg::App(AquaMsg::Request {
+                        id,
+                        method,
+                        payload_size: _,
+                    }) => {
+                        // t2: enqueue on arrival.
+                        self.queue.push((id, method), ctx.now());
+                        self.start_next_service(ctx);
+                    }
+                    GroupMsg::App(AquaMsg::Subscribe { client }) => {
+                        if !self.subscribers.contains(&client) {
+                            self.subscribers.push(client);
+                        }
+                    }
+                    GroupMsg::ViewChange(view) => {
+                        if let Some(agent) = self.agent.as_mut() {
+                            agent.on_view_change(view);
+                        }
+                    }
+                    // Replies/updates are not addressed to servers; other
+                    // control traffic is coordinator-bound.
+                    _ => {}
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! # aqua-group — group communication for the AQuA reproduction
+//!
+//! A compact stand-in for the Maestro/Ensemble layer the paper builds on
+//! (§2, §5.4): multicast groups with membership **views**, list-addressed
+//! multicast (send to a chosen subset rather than the whole group), and a
+//! heartbeat failure detector that turns replica crashes into view changes.
+//!
+//! The timing fault handler depends on exactly two properties of this
+//! layer, both provided here:
+//!
+//! 1. a request can be multicast to a *selected list* of members, and
+//! 2. when a member crashes, every surviving member is notified via a view
+//!    change so the failed replica "will … not be considered in the
+//!    selection process for future requests".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coordinator;
+mod view;
+
+pub use coordinator::{FailureDetectorConfig, GroupCoordinator, MembershipAgent};
+pub use view::{Member, Role, View};
+
+use lan_sim::Payload;
+
+/// The wire format of a multicast group: control traffic plus application
+/// payloads of type `A`.
+#[derive(Debug, Clone)]
+pub enum GroupMsg<A> {
+    /// Application traffic (requests, replies, performance updates).
+    App(A),
+    /// A member announces itself to the coordinator.
+    Join {
+        /// The joining member.
+        member: Member,
+    },
+    /// A member leaves gracefully.
+    Leave {
+        /// The leaving member's node.
+        member: lan_sim::NodeId,
+    },
+    /// Periodic liveness signal from server members.
+    Heartbeat,
+    /// The coordinator installs a new membership view.
+    ViewChange(View),
+}
+
+impl<A: Payload> Payload for GroupMsg<A> {
+    fn wire_size(&self) -> usize {
+        match self {
+            GroupMsg::App(a) => a.wire_size(),
+            GroupMsg::Join { .. } => 48,
+            GroupMsg::Leave { .. } => 16,
+            GroupMsg::Heartbeat => 16,
+            GroupMsg::ViewChange(v) => 32 + 24 * v.members.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_core::qos::ReplicaId;
+    use aqua_core::time::{Duration, Instant};
+    use lan_sim::{Context, Event, Node, NodeId, Simulation};
+
+    #[derive(Debug, Clone)]
+    struct NoApp;
+    impl Payload for NoApp {}
+
+    /// A minimal group member driven entirely by its MembershipAgent.
+    struct TestMember {
+        agent: Option<MembershipAgent>,
+        /// Wiring happens after ids are known, so the agent arrives late.
+        pending: Option<(NodeId, Member, FailureDetectorConfig)>,
+        views_seen: Vec<u64>,
+        crash_at: Option<Instant>,
+    }
+
+    impl TestMember {
+        fn new(crash_at: Option<Instant>) -> Self {
+            TestMember {
+                agent: None,
+                pending: None,
+                views_seen: Vec::new(),
+                crash_at,
+            }
+        }
+    }
+
+    impl Node<GroupMsg<NoApp>> for TestMember {
+        fn on_event(
+            &mut self,
+            event: Event<GroupMsg<NoApp>>,
+            ctx: &mut Context<'_, GroupMsg<NoApp>>,
+        ) {
+            match event {
+                Event::Started => {
+                    let (coord, me, cfg) = self.pending.take().expect("wired before start");
+                    let mut agent = MembershipAgent::new(coord, me, cfg);
+                    agent.on_started(ctx);
+                    self.agent = Some(agent);
+                }
+                Event::Timer { token } => {
+                    if let Some(crash_at) = self.crash_at {
+                        if ctx.now() >= crash_at {
+                            // Crash silently: stop heartbeating, drop events.
+                            self.agent.as_mut().unwrap().stop();
+                            ctx.detach_self();
+                            return;
+                        }
+                    }
+                    let agent = self.agent.as_mut().unwrap();
+                    let _ = agent.on_timer(token, ctx);
+                }
+                Event::Message { payload, .. } => {
+                    if let GroupMsg::ViewChange(view) = payload {
+                        if let Some(v) = self.agent.as_mut().unwrap().on_view_change(view) {
+                            self.views_seen.push(v.id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn wire(
+        sim: &mut Simulation<GroupMsg<NoApp>>,
+        node: NodeId,
+        coord: NodeId,
+        me: Member,
+        cfg: FailureDetectorConfig,
+    ) {
+        sim.node_mut::<TestMember>(node).unwrap().pending = Some((coord, me, cfg));
+    }
+
+    #[test]
+    fn members_join_and_receive_views() {
+        let cfg = FailureDetectorConfig::default();
+        let mut sim = Simulation::new(1);
+        let coord = sim.add_node(GroupCoordinator::<NoApp>::new(cfg));
+        let a = sim.add_node(TestMember::new(None));
+        let b = sim.add_node(TestMember::new(None));
+        wire(&mut sim, a, coord, Member::server(a, ReplicaId::new(0)), cfg);
+        wire(&mut sim, b, coord, Member::client(b), cfg);
+        sim.run_for(Duration::from_millis(500));
+        let view = sim
+            .node::<GroupCoordinator<NoApp>>(coord)
+            .unwrap()
+            .view()
+            .clone();
+        assert_eq!(view.servers().count(), 1);
+        assert_eq!(view.clients().count(), 1);
+        assert!(
+            !sim.node::<TestMember>(b).unwrap().views_seen.is_empty(),
+            "client observed at least one view change"
+        );
+    }
+
+    #[test]
+    fn crashed_server_is_evicted_from_view() {
+        let cfg = FailureDetectorConfig {
+            heartbeat_interval: Duration::from_millis(20),
+            timeout: Duration::from_millis(100),
+            check_interval: Duration::from_millis(20),
+        };
+        let mut sim = Simulation::new(7);
+        let coord = sim.add_node(GroupCoordinator::<NoApp>::new(cfg));
+        let server = sim.add_node(TestMember::new(Some(Instant::from_millis(300))));
+        let client = sim.add_node(TestMember::new(None));
+        wire(
+            &mut sim,
+            server,
+            coord,
+            Member::server(server, ReplicaId::new(5)),
+            cfg,
+        );
+        wire(&mut sim, client, coord, Member::client(client), cfg);
+
+        sim.run_until(Instant::from_millis(250));
+        assert_eq!(
+            sim.node::<GroupCoordinator<NoApp>>(coord)
+                .unwrap()
+                .view()
+                .servers()
+                .count(),
+            1,
+            "server alive before crash"
+        );
+
+        sim.run_until(Instant::from_millis(900));
+        let coord_state = sim.node::<GroupCoordinator<NoApp>>(coord).unwrap();
+        assert_eq!(
+            coord_state.view().servers().count(),
+            0,
+            "crashed server evicted"
+        );
+        // The surviving client saw the eviction view.
+        let client_state = sim.node::<TestMember>(client).unwrap();
+        let last_view = client_state.agent.as_ref().unwrap().view();
+        assert_eq!(last_view.servers().count(), 0);
+        assert!(last_view.contains(client));
+    }
+
+    #[test]
+    fn graceful_leave_installs_new_view() {
+        let cfg = FailureDetectorConfig::default();
+        let mut sim = Simulation::new(3);
+        let coord = sim.add_node(GroupCoordinator::<NoApp>::new(cfg));
+        let a = sim.add_node(TestMember::new(None));
+        wire(&mut sim, a, coord, Member::server(a, ReplicaId::new(1)), cfg);
+        sim.run_for(Duration::from_millis(100));
+        // Inject a Leave directly.
+        sim.schedule_message(sim.now(), a, coord, GroupMsg::Leave { member: a });
+        sim.run_for(Duration::from_millis(100));
+        assert_eq!(
+            sim.node::<GroupCoordinator<NoApp>>(coord)
+                .unwrap()
+                .view()
+                .members
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn duplicate_join_is_idempotent() {
+        let cfg = FailureDetectorConfig::default();
+        let mut sim = Simulation::new(3);
+        let coord = sim.add_node(GroupCoordinator::<NoApp>::new(cfg));
+        let a = sim.add_node(TestMember::new(None));
+        let member = Member::server(a, ReplicaId::new(1));
+        wire(&mut sim, a, coord, member, cfg);
+        sim.run_for(Duration::from_millis(50));
+        let views_before = sim
+            .node::<GroupCoordinator<NoApp>>(coord)
+            .unwrap()
+            .views_installed();
+        sim.schedule_message(sim.now(), a, coord, GroupMsg::Join { member });
+        sim.run_for(Duration::from_millis(50));
+        let coord_state = sim.node::<GroupCoordinator<NoApp>>(coord).unwrap();
+        assert_eq!(coord_state.views_installed(), views_before);
+        assert_eq!(coord_state.view().members.len(), 1);
+    }
+
+    #[test]
+    fn stale_views_are_ignored_by_agents() {
+        let cfg = FailureDetectorConfig::default();
+        let mut agent = MembershipAgent::new(NodeId::new(0), Member::client(NodeId::new(1)), cfg);
+        let new = View {
+            id: 5,
+            members: vec![],
+        };
+        assert!(agent.on_view_change(new).is_some());
+        let stale = View {
+            id: 4,
+            members: vec![Member::client(NodeId::new(9))],
+        };
+        assert!(agent.on_view_change(stale).is_none());
+        assert_eq!(agent.view().id, 5);
+    }
+}

@@ -1,0 +1,158 @@
+//! Group views: the membership snapshots Maestro/Ensemble delivers.
+
+use core::fmt;
+
+use aqua_core::qos::ReplicaId;
+use lan_sim::NodeId;
+
+/// The role a member plays in a multicast group.
+///
+/// The paper's timing fault handler puts both the client gateways and the
+/// server replicas into one multicast group; clients subscribe to
+/// performance updates while servers service requests (§5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// A server replica offering the group's service.
+    Server,
+    /// A client gateway using the service.
+    Client,
+}
+
+/// One member of a group view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Member {
+    /// The simulated host.
+    pub node: NodeId,
+    /// Server or client.
+    pub role: Role,
+    /// For servers: the stable replica identity used by the information
+    /// repository and selection algorithm.
+    pub replica: Option<ReplicaId>,
+}
+
+impl Member {
+    /// A server member with its replica identity.
+    pub fn server(node: NodeId, replica: ReplicaId) -> Self {
+        Member {
+            node,
+            role: Role::Server,
+            replica: Some(replica),
+        }
+    }
+
+    /// A client member.
+    pub fn client(node: NodeId) -> Self {
+        Member {
+            node,
+            role: Role::Client,
+            replica: None,
+        }
+    }
+}
+
+/// A numbered membership snapshot. Views are totally ordered by id; the
+/// coordinator installs a new view whenever membership changes, and members
+/// discard views older than the one they hold.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct View {
+    /// Monotonically increasing view number.
+    pub id: u64,
+    /// Current members, in join order.
+    pub members: Vec<Member>,
+}
+
+impl View {
+    /// The nodes of all members.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members.iter().map(|m| m.node)
+    }
+
+    /// The server members (the replicas available for selection).
+    pub fn servers(&self) -> impl Iterator<Item = &Member> {
+        self.members.iter().filter(|m| m.role == Role::Server)
+    }
+
+    /// The client members (performance-update subscribers).
+    pub fn clients(&self) -> impl Iterator<Item = &Member> {
+        self.members.iter().filter(|m| m.role == Role::Client)
+    }
+
+    /// The replica ids of all server members, in join order.
+    pub fn replica_ids(&self) -> impl Iterator<Item = ReplicaId> + '_ {
+        self.servers().filter_map(|m| m.replica)
+    }
+
+    /// Finds the node hosting a given replica.
+    pub fn node_of(&self, replica: ReplicaId) -> Option<NodeId> {
+        self.servers()
+            .find(|m| m.replica == Some(replica))
+            .map(|m| m.node)
+    }
+
+    /// Finds the replica hosted by a given node, if it is a server.
+    pub fn replica_of(&self, node: NodeId) -> Option<ReplicaId> {
+        self.servers()
+            .find(|m| m.node == node)
+            .and_then(|m| m.replica)
+    }
+
+    /// Whether `node` is a member.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.iter().any(|m| m.node == node)
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "view {} ({} server(s), {} client(s))",
+            self.id,
+            self.servers().count(),
+            self.clients().count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> View {
+        View {
+            id: 3,
+            members: vec![
+                Member::server(NodeId::new(1), ReplicaId::new(10)),
+                Member::server(NodeId::new(2), ReplicaId::new(20)),
+                Member::client(NodeId::new(5)),
+            ],
+        }
+    }
+
+    #[test]
+    fn filters_by_role() {
+        let v = sample();
+        assert_eq!(v.servers().count(), 2);
+        assert_eq!(v.clients().count(), 1);
+        assert_eq!(
+            v.replica_ids().collect::<Vec<_>>(),
+            vec![ReplicaId::new(10), ReplicaId::new(20)]
+        );
+    }
+
+    #[test]
+    fn node_replica_mapping() {
+        let v = sample();
+        assert_eq!(v.node_of(ReplicaId::new(20)), Some(NodeId::new(2)));
+        assert_eq!(v.node_of(ReplicaId::new(99)), None);
+        assert_eq!(v.replica_of(NodeId::new(1)), Some(ReplicaId::new(10)));
+        assert_eq!(v.replica_of(NodeId::new(5)), None, "clients have no replica");
+        assert!(v.contains(NodeId::new(5)));
+        assert!(!v.contains(NodeId::new(9)));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        assert_eq!(sample().to_string(), "view 3 (2 server(s), 1 client(s))");
+    }
+}

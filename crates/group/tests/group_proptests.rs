@@ -1,0 +1,142 @@
+//! Property tests for the group layer: view bookkeeping under arbitrary
+//! join/leave/crash interleavings.
+
+use aqua_core::qos::ReplicaId;
+use aqua_core::time::{Duration, Instant};
+use aqua_group::{FailureDetectorConfig, GroupCoordinator, GroupMsg, Member};
+use lan_sim::{NodeId, Payload, Simulation};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct NoApp;
+impl Payload for NoApp {}
+
+/// A scripted membership action.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    JoinServer(u8),
+    JoinClient(u8),
+    Leave(u8),
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0u8..8).prop_map(Action::JoinServer),
+        (0u8..8).prop_map(Action::JoinClient),
+        (0u8..8).prop_map(Action::Leave),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coordinator_view_matches_reference_model(
+        actions in prop::collection::vec(action(), 1..40),
+    ) {
+        // Drive the coordinator with injected control messages (no
+        // heartbeats: members never expire because the detector only
+        // evicts *servers*, and we keep the run shorter than the timeout).
+        let cfg = FailureDetectorConfig {
+            heartbeat_interval: Duration::from_secs(100),
+            timeout: Duration::from_secs(1_000),
+            check_interval: Duration::from_secs(100),
+        };
+        let mut sim = Simulation::<GroupMsg<NoApp>>::new(9);
+        let coord = sim.add_node(GroupCoordinator::<NoApp>::new(cfg));
+
+        // Reference model: ordered set of members.
+        let mut reference: Vec<(u8, bool)> = Vec::new(); // (id, is_server)
+        let mut t = 1u64;
+        for act in &actions {
+            let at = Instant::from_millis(t);
+            t += 1;
+            match act {
+                Action::JoinServer(i) => {
+                    let node = NodeId::new(100 + *i as u32);
+                    sim.schedule_message(
+                        at,
+                        node,
+                        coord,
+                        GroupMsg::Join {
+                            member: Member::server(node, ReplicaId::new(*i as u64)),
+                        },
+                    );
+                    if !reference.iter().any(|(id, _)| id == i) {
+                        reference.push((*i, true));
+                    }
+                }
+                Action::JoinClient(i) => {
+                    let node = NodeId::new(100 + *i as u32);
+                    sim.schedule_message(
+                        at,
+                        node,
+                        coord,
+                        GroupMsg::Join {
+                            member: Member::client(node),
+                        },
+                    );
+                    if !reference.iter().any(|(id, _)| id == i) {
+                        reference.push((*i, false));
+                    }
+                }
+                Action::Leave(i) => {
+                    let node = NodeId::new(100 + *i as u32);
+                    sim.schedule_message(at, NodeId::new(99), coord, GroupMsg::Leave {
+                        member: node,
+                    });
+                    reference.retain(|(id, _)| id != i);
+                }
+            }
+        }
+        sim.run_until(Instant::from_millis(t + 10));
+
+        let coordinator = sim.node::<GroupCoordinator<NoApp>>(coord).unwrap();
+        let view = coordinator.view();
+        // Same members, same join order, same roles.
+        let got: Vec<(u8, bool)> = view
+            .members
+            .iter()
+            .map(|m| {
+                (
+                    (m.node.index() - 100) as u8,
+                    m.role == aqua_group::Role::Server,
+                )
+            })
+            .collect();
+        prop_assert_eq!(got, reference.clone());
+        // View id grew once per effective change.
+        prop_assert!(view.id >= reference.len() as u64 / 2);
+        // Server/replica mappings are consistent.
+        for m in view.servers() {
+            let r = m.replica.expect("servers carry replica ids");
+            prop_assert_eq!(view.node_of(r), Some(m.node));
+            prop_assert_eq!(view.replica_of(m.node), Some(r));
+        }
+    }
+
+    #[test]
+    fn view_ids_are_strictly_monotone_at_members(
+        joins in prop::collection::vec(0u8..6, 1..20),
+    ) {
+        // A member observing a stream of views never installs a stale one.
+        use aqua_group::MembershipAgent;
+        let cfg = FailureDetectorConfig::default();
+        let mut agent =
+            MembershipAgent::new(NodeId::new(0), Member::client(NodeId::new(1)), cfg);
+        let mut last_installed = 0u64;
+        for (i, _) in joins.iter().enumerate() {
+            // Deliver views out of order: even indices ascending, odd
+            // indices replay an old id.
+            let id = if i % 2 == 0 { (i as u64) + 1 } else { 1 };
+            let view = aqua_group::View {
+                id,
+                members: vec![],
+            };
+            if let Some(v) = agent.on_view_change(view) {
+                prop_assert!(v.id > last_installed);
+                last_installed = v.id;
+            }
+        }
+    }
+}

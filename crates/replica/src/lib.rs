@@ -1,0 +1,26 @@
+//! # aqua-replica — server replica behaviour models
+//!
+//! The pure (transport-free) behaviour of an AQuA server replica:
+//!
+//! * [`ServiceTimeModel`] — per-request service-time distributions,
+//!   including the paper's Normal(100 ms, σ 50 ms) synthetic load (§6);
+//! * [`LoadModel`] / [`LoadProcess`] — host load fluctuation (§3);
+//! * [`CrashPlan`] / [`CrashState`] — silent crash injection (§3);
+//! * [`RequestQueue`] — the FIFO request queue with queuing-delay
+//!   measurement (§5.1 Stage 3).
+//!
+//! The simulated server gateway node in `aqua-gateway` and the socket
+//! server in `aqua-runtime` both compose these pieces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crash;
+mod load;
+mod queue;
+mod service;
+
+pub use crash::{CrashPlan, CrashState};
+pub use load::{LoadModel, LoadProcess, LoadState};
+pub use queue::{Queued, RequestQueue};
+pub use service::ServiceTimeModel;

@@ -1,0 +1,172 @@
+//! The server-side FIFO request queue (§5.1, Stage 3).
+//!
+//! "The protocol handler in the server gateway … enqueues it in the request
+//! queue of the server application … The server uses FIFO ordering for
+//! servicing the requests in the queue." The queue records the enqueue time
+//! `t2` and, at dequeue time `t3`, yields the queuing delay `tq = t3 − t2`
+//! that the replica publishes to its subscribers.
+
+use std::collections::VecDeque;
+
+use aqua_core::time::{Duration, Instant};
+
+/// A request waiting in the queue, with its enqueue timestamp (`t2`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Queued<T> {
+    /// The queued request.
+    pub item: T,
+    /// When it was enqueued (`t2`).
+    pub enqueued_at: Instant,
+}
+
+/// FIFO request queue with queuing-delay measurement.
+///
+/// # Examples
+///
+/// ```
+/// use aqua_replica::RequestQueue;
+/// use aqua_core::time::{Duration, Instant};
+///
+/// let mut q = RequestQueue::new();
+/// q.push("req-1", Instant::from_millis(10));
+/// q.push("req-2", Instant::from_millis(12));
+/// let (item, tq) = q.pop(Instant::from_millis(15)).unwrap();
+/// assert_eq!(item, "req-1");
+/// assert_eq!(tq, Duration::from_millis(5));
+/// assert_eq!(q.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RequestQueue<T> {
+    queue: VecDeque<Queued<T>>,
+    total_enqueued: u64,
+    max_depth: usize,
+}
+
+impl<T> RequestQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        RequestQueue {
+            queue: VecDeque::new(),
+            total_enqueued: 0,
+            max_depth: 0,
+        }
+    }
+
+    /// Enqueues a request at time `now` (`t2`).
+    pub fn push(&mut self, item: T, now: Instant) {
+        self.queue.push_back(Queued {
+            item,
+            enqueued_at: now,
+        });
+        self.total_enqueued += 1;
+        self.max_depth = self.max_depth.max(self.queue.len());
+    }
+
+    /// Dequeues the oldest request at time `now` (`t3`), returning it with
+    /// its queuing delay `tq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the request's enqueue time (the simulator
+    /// guarantees monotone time).
+    pub fn pop(&mut self, now: Instant) -> Option<(T, Duration)> {
+        self.queue.pop_front().map(|q| {
+            let tq = now.duration_since(q.enqueued_at);
+            (q.item, tq)
+        })
+    }
+
+    /// Number of requests currently waiting — the "current number of
+    /// outstanding requests" the repository stores per replica.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total requests ever enqueued.
+    pub fn total_enqueued(&self) -> u64 {
+        self.total_enqueued
+    }
+
+    /// High-water mark of the queue depth.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Drops all waiting requests (on crash), returning how many were lost.
+    pub fn drain(&mut self) -> usize {
+        let n = self.queue.len();
+        self.queue.clear();
+        n
+    }
+
+    /// Iterates over waiting requests, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Queued<T>> {
+        self.queue.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    #[test]
+    fn fifo_order_and_delays() {
+        let mut q = RequestQueue::new();
+        q.push(1, at(0));
+        q.push(2, at(5));
+        q.push(3, at(5));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(at(10)), Some((1, Duration::from_millis(10))));
+        assert_eq!(q.pop(at(10)), Some((2, Duration::from_millis(5))));
+        assert_eq!(q.pop(at(20)), Some((3, Duration::from_millis(15))));
+        assert_eq!(q.pop(at(20)), None);
+    }
+
+    #[test]
+    fn zero_delay_when_served_immediately() {
+        let mut q = RequestQueue::new();
+        q.push("a", at(7));
+        assert_eq!(q.pop(at(7)), Some(("a", Duration::ZERO)));
+    }
+
+    #[test]
+    fn statistics_track_depth() {
+        let mut q = RequestQueue::new();
+        for i in 0..4 {
+            q.push(i, at(i));
+        }
+        q.pop(at(10));
+        q.push(9, at(11));
+        assert_eq!(q.total_enqueued(), 5);
+        assert_eq!(q.max_depth(), 4);
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn drain_clears_everything() {
+        let mut q = RequestQueue::new();
+        q.push(1, at(0));
+        q.push(2, at(0));
+        assert_eq!(q.drain(), 2);
+        assert!(q.is_empty());
+        assert_eq!(q.drain(), 0);
+    }
+
+    #[test]
+    fn iter_is_oldest_first() {
+        let mut q = RequestQueue::new();
+        q.push("x", at(1));
+        q.push("y", at(2));
+        let items: Vec<_> = q.iter().map(|e| e.item).collect();
+        assert_eq!(items, vec!["x", "y"]);
+    }
+}

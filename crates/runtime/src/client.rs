@@ -1,0 +1,544 @@
+//! The socket client gateway: the same [`TimingFaultHandler`] as the
+//! simulation, driven by real TCP connections and the wall clock.
+//!
+//! One [`AquaClient`] holds a connection to every replica of a service,
+//! subscribes to their performance updates, and exposes a synchronous
+//! [`AquaClient::call`] that plans the replica subset, multicasts the
+//! request, and delivers the earliest reply — measuring everything exactly
+//! as §5.4.1 prescribes.
+//!
+//! Concurrency: a dispatcher thread drains the network events (replies,
+//! perf updates, disconnects) into the handler; callers only hold the
+//! handler lock while planning, so multiple threads can have calls in
+//! flight simultaneously and requests genuinely queue at the replicas.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Instant as StdInstant;
+
+use aqua_core::qos::{QosSpec, ReplicaId};
+use aqua_core::repository::{MethodId, PerfReport};
+use aqua_core::time::{Duration, Instant};
+use aqua_gateway::{ReplyOutcome, TimingFaultHandler};
+use aqua_strategies::SelectionStrategy;
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::wire::Frame;
+
+/// Configuration of a socket client.
+#[derive(Debug, Clone)]
+pub struct AquaClientConfig {
+    /// The client's QoS specification.
+    pub qos: QosSpec,
+    /// Sliding-window size `l`.
+    pub window: usize,
+    /// Give up on a call after this long (must exceed the deadline).
+    pub give_up_after: Duration,
+    /// Client identifier sent in `Hello` (diagnostics only).
+    pub id: u64,
+}
+
+impl AquaClientConfig {
+    /// Paper defaults: window 5, give up after 5 s.
+    pub fn new(qos: QosSpec) -> Self {
+        AquaClientConfig {
+            qos,
+            window: 5,
+            give_up_after: Duration::from_secs(5),
+            id: 0,
+        }
+    }
+}
+
+/// A successful call.
+#[derive(Debug, Clone)]
+pub struct CallOutcome {
+    /// End-to-end response time `tr`.
+    pub response_time: Duration,
+    /// Whether the deadline was met.
+    pub timely: bool,
+    /// Whether the QoS-violation callback fired.
+    pub callback: bool,
+    /// How many replicas the request was multicast to.
+    pub redundancy: usize,
+    /// The replying replica.
+    pub replica: ReplicaId,
+    /// The reply payload.
+    pub payload: Bytes,
+}
+
+/// A failed call.
+#[derive(Debug)]
+pub enum CallError {
+    /// No replicas are connected.
+    NoReplicas,
+    /// No reply arrived within the give-up window (counted as a timing
+    /// failure).
+    GaveUp {
+        /// How many replicas had been selected.
+        redundancy: usize,
+    },
+    /// Transport-level failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::NoReplicas => write!(f, "no replicas available"),
+            CallError::GaveUp { redundancy } => {
+                write!(f, "no reply from any of {redundancy} selected replicas")
+            }
+            CallError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CallError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CallError {
+    fn from(e: io::Error) -> Self {
+        CallError::Io(e)
+    }
+}
+
+enum NetEvent {
+    Frame(ReplicaId, Frame),
+    Disconnected(ReplicaId),
+}
+
+struct State {
+    handler: TimingFaultHandler,
+    writers: HashMap<ReplicaId, TcpStream>,
+    /// In-flight calls awaiting their first reply: seq → (waiter,
+    /// redundancy).
+    waiters: HashMap<u64, (Sender<CallOutcome>, usize)>,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    event_tx: Sender<NetEvent>,
+    epoch: StdInstant,
+}
+
+impl Inner {
+    fn now(&self) -> Instant {
+        Instant::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// Applies one network event to the handler; completed calls are
+    /// resolved through their waiter channel.
+    fn apply_event(&self, event: NetEvent) {
+        let mut state = self.state.lock();
+        match event {
+            NetEvent::Frame(id, frame) => match frame {
+                Frame::Reply {
+                    seq,
+                    replica,
+                    service_ns,
+                    queue_ns,
+                    queue_len,
+                    method,
+                    payload,
+                } => {
+                    let perf = PerfReport {
+                        service_time: Duration::from_nanos(service_ns),
+                        queuing_delay: Duration::from_nanos(queue_ns),
+                        queue_len,
+                        method: MethodId::new(method),
+                    };
+                    let replica = ReplicaId::new(replica);
+                    debug_assert_eq!(replica, id, "replies come from their own connection");
+                    let outcome = state.handler.on_reply(self.now(), seq, replica, perf);
+                    if let ReplyOutcome::Deliver {
+                        response_time,
+                        verdict,
+                    } = outcome
+                    {
+                        if let Some((waiter, redundancy)) = state.waiters.remove(&seq) {
+                            let _ = waiter.send(CallOutcome {
+                                response_time,
+                                timely: verdict.is_timely(),
+                                callback: verdict.should_notify(),
+                                redundancy,
+                                replica,
+                                payload,
+                            });
+                        }
+                    }
+                }
+                Frame::PerfUpdate {
+                    replica,
+                    service_ns,
+                    queue_ns,
+                    queue_len,
+                    method,
+                } => {
+                    let perf = PerfReport {
+                        service_time: Duration::from_nanos(service_ns),
+                        queuing_delay: Duration::from_nanos(queue_ns),
+                        queue_len,
+                        method: MethodId::new(method),
+                    };
+                    state
+                        .handler
+                        .on_perf_update(self.now(), ReplicaId::new(replica), perf);
+                }
+                _ => {}
+            },
+            NetEvent::Disconnected(id) => {
+                // TCP teardown is our crash detector: the replica leaves
+                // the "view".
+                state.writers.remove(&id);
+                let remaining: Vec<ReplicaId> = state.writers.keys().copied().collect();
+                state.handler.on_view(remaining);
+            }
+        }
+    }
+}
+
+/// The socket client gateway. See the module docs.
+///
+/// Safe to share behind an `Arc`; concurrent [`AquaClient::call`]s proceed
+/// in parallel (their requests genuinely queue at the replicas).
+pub struct AquaClient {
+    inner: Arc<Inner>,
+    give_up_after: Duration,
+}
+
+impl std::fmt::Debug for AquaClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AquaClient")
+            .field("replicas", &self.inner.state.lock().writers.len())
+            .finish()
+    }
+}
+
+impl AquaClient {
+    /// Connects to every replica, subscribes to performance updates, and
+    /// initializes the handler with the given strategy.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any initial connection cannot be established.
+    pub fn connect(
+        replicas: &[(ReplicaId, SocketAddr)],
+        config: AquaClientConfig,
+        strategy: Box<dyn SelectionStrategy>,
+    ) -> io::Result<AquaClient> {
+        let mut handler = TimingFaultHandler::new(config.qos, config.window, strategy);
+        let (event_tx, event_rx) = unbounded();
+        let mut writers = HashMap::new();
+        for (id, addr) in replicas {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true).ok();
+            let mut writer = stream.try_clone()?;
+            Frame::Hello { client: config.id }.write_to(&mut writer)?;
+            handler.repository_mut().insert_replica(*id);
+            writers.insert(*id, writer);
+            let tx = event_tx.clone();
+            let id = *id;
+            std::thread::spawn(move || reader_loop(stream, id, tx));
+        }
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                handler,
+                writers,
+                waiters: HashMap::new(),
+            }),
+            event_tx,
+            epoch: StdInstant::now(),
+        });
+        {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || dispatcher_loop(inner, event_rx));
+        }
+        Ok(AquaClient {
+            inner,
+            give_up_after: config.give_up_after,
+        })
+    }
+
+    /// Runs `f` against the handler (repository inspection, stats, …).
+    pub fn with_handler<R>(&self, f: impl FnOnce(&TimingFaultHandler) -> R) -> R {
+        f(&self.inner.state.lock().handler)
+    }
+
+    /// Renegotiates the QoS specification.
+    pub fn renegotiate(&self, qos: QosSpec) {
+        self.inner.state.lock().handler.renegotiate(qos);
+    }
+
+    /// Connects to an additional replica at runtime (a new member joining
+    /// the service group). The replica starts cold, so the next request is
+    /// a full multicast that warms it up (§5.4.1's bootstrap rule).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors; the client is unchanged on failure.
+    pub fn add_replica(&self, id: ReplicaId, addr: SocketAddr) -> io::Result<()> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut writer = stream.try_clone()?;
+        Frame::Hello { client: 0 }.write_to(&mut writer)?;
+        {
+            let mut state = self.inner.state.lock();
+            state.handler.repository_mut().insert_replica(id);
+            state.writers.insert(id, writer);
+        }
+        let tx = self.inner.event_tx.clone();
+        std::thread::spawn(move || reader_loop(stream, id, tx));
+        Ok(())
+    }
+
+    /// Invokes the replicated service: selects replicas per the QoS spec,
+    /// multicasts the request, and returns the earliest reply.
+    ///
+    /// # Errors
+    ///
+    /// [`CallError::NoReplicas`] when every replica is gone,
+    /// [`CallError::GaveUp`] when no selected replica answered within the
+    /// give-up window, [`CallError::Io`] on transport failures during send.
+    pub fn call(&self, method: MethodId, payload: &[u8]) -> Result<CallOutcome, CallError> {
+        let (seq, redundancy, outcome_rx) = {
+            let mut state = self.inner.state.lock();
+            let plan = state
+                .handler
+                .plan_request_for(self.inner.now(), Some(method));
+            if plan.replicas.is_empty() {
+                state.handler.on_give_up(plan.seq);
+                return Err(CallError::NoReplicas);
+            }
+            let frame = Frame::Request {
+                seq: plan.seq,
+                method: method.index(),
+                payload: Bytes::copy_from_slice(payload),
+            };
+            let mut sent = 0usize;
+            for id in &plan.replicas {
+                if let Some(writer) = state.writers.get_mut(id) {
+                    if frame.write_to(writer).is_ok() {
+                        sent += 1;
+                    }
+                }
+            }
+            let redundancy = plan.replicas.len();
+            if sent == 0 {
+                state.handler.on_give_up(plan.seq);
+                return Err(CallError::GaveUp { redundancy });
+            }
+            let (tx, rx) = bounded(1);
+            state.waiters.insert(plan.seq, (tx, redundancy));
+            (plan.seq, redundancy, rx)
+        };
+
+        match outcome_rx.recv_timeout(std::time::Duration::from(self.give_up_after)) {
+            Ok(outcome) => Ok(outcome),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                // Race window: the dispatcher may have resolved the call
+                // between the timeout and us taking the lock.
+                let mut state = self.inner.state.lock();
+                if let Ok(outcome) = outcome_rx.try_recv() {
+                    return Ok(outcome);
+                }
+                state.waiters.remove(&seq);
+                state.handler.on_give_up(seq);
+                Err(CallError::GaveUp { redundancy })
+            }
+        }
+    }
+}
+
+fn dispatcher_loop(inner: Arc<Inner>, events: Receiver<NetEvent>) {
+    while let Ok(ev) = events.recv() {
+        inner.apply_event(ev);
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, id: ReplicaId, tx: Sender<NetEvent>) {
+    loop {
+        match Frame::read_from(&mut stream) {
+            Ok(frame) => {
+                if tx.send(NetEvent::Frame(id, frame)).is_err() {
+                    return;
+                }
+            }
+            Err(_) => {
+                let _ = tx.send(NetEvent::Disconnected(id));
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ReplicaServer, ReplicaServerConfig};
+    use aqua_strategies::ModelBased;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn spawn_servers(service_ms: &[u64]) -> Vec<ReplicaServer> {
+        service_ms
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                ReplicaServer::spawn(ReplicaServerConfig::quick(ReplicaId::new(i as u64), *s))
+                    .expect("spawn")
+            })
+            .collect()
+    }
+
+    fn client_for(servers: &[ReplicaServer], qos: QosSpec) -> AquaClient {
+        let replicas: Vec<(ReplicaId, SocketAddr)> =
+            servers.iter().map(|s| (s.replica(), s.addr())).collect();
+        AquaClient::connect(
+            &replicas,
+            AquaClientConfig::new(qos),
+            Box::new(ModelBased::default()),
+        )
+        .expect("connect")
+    }
+
+    #[test]
+    fn end_to_end_calls_over_sockets() {
+        let servers = spawn_servers(&[5, 10, 15]);
+        let qos = QosSpec::new(ms(500), 0.9).unwrap();
+        let client = client_for(&servers, qos);
+        let mut redundancies = Vec::new();
+        for _ in 0..6 {
+            let out = client
+                .call(MethodId::DEFAULT, b"hello")
+                .expect("call succeeds");
+            assert!(out.timely, "500 ms deadline vs ≤15 ms service");
+            assert_eq!(out.payload, Bytes::from_static(b"hello"), "echoed");
+            redundancies.push(out.redundancy);
+        }
+        assert_eq!(redundancies[0], 3, "cold start selects all");
+        assert_eq!(
+            *redundancies.last().unwrap(),
+            2,
+            "warm Pc=0.9 needs only 2: {redundancies:?}"
+        );
+    }
+
+    #[test]
+    fn crash_is_detected_and_masked() {
+        let servers = spawn_servers(&[5, 5, 5]);
+        let qos = QosSpec::new(ms(500), 0.9).unwrap();
+        let client = client_for(&servers, qos);
+        for _ in 0..3 {
+            client.call(MethodId::DEFAULT, b"x").expect("warm up");
+        }
+        servers[0].crash();
+        // The very next calls still succeed via the other replicas.
+        let mut successes = 0;
+        for _ in 0..5 {
+            if client.call(MethodId::DEFAULT, b"x").is_ok() {
+                successes += 1;
+            }
+        }
+        assert!(successes >= 4, "only the in-flight call may be lost");
+        client.with_handler(|h| {
+            assert!(
+                !h.repository().contains(ReplicaId::new(0)),
+                "disconnect evicted the crashed replica"
+            );
+        });
+    }
+
+    #[test]
+    fn all_crashed_yields_no_replicas() {
+        let servers = spawn_servers(&[5]);
+        let qos = QosSpec::new(ms(200), 0.0).unwrap();
+        let mut config = AquaClientConfig::new(qos);
+        config.give_up_after = ms(400);
+        let replicas: Vec<(ReplicaId, SocketAddr)> =
+            servers.iter().map(|s| (s.replica(), s.addr())).collect();
+        let client =
+            AquaClient::connect(&replicas, config, Box::new(ModelBased::default())).unwrap();
+        client.call(MethodId::DEFAULT, b"x").expect("first ok");
+        servers[0].crash();
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let err = client.call(MethodId::DEFAULT, b"x").unwrap_err();
+        assert!(
+            matches!(err, CallError::NoReplicas | CallError::GaveUp { .. }),
+            "{err}"
+        );
+        // Once the disconnect is processed, further calls fail fast.
+        let err = client.call(MethodId::DEFAULT, b"x").unwrap_err();
+        assert!(matches!(err, CallError::NoReplicas), "{err}");
+    }
+
+    #[test]
+    fn measurements_fill_the_repository() {
+        let servers = spawn_servers(&[20, 20]);
+        let qos = QosSpec::new(ms(500), 0.5).unwrap();
+        let client = client_for(&servers, qos);
+        for _ in 0..4 {
+            client.call(MethodId::DEFAULT, b"y").expect("ok");
+        }
+        client.with_handler(|h| {
+            let repo = h.repository();
+            assert!(repo.all_warm(), "both replicas have measurements");
+            for (_, stats) in repo.iter() {
+                let hist = stats.history(MethodId::DEFAULT).unwrap();
+                let latest = *hist.service_times().latest().unwrap();
+                assert!(
+                    latest >= ms(20) && latest < ms(200),
+                    "measured ts ≈ slept 20 ms, got {latest}"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn timing_failures_are_detected_on_the_wall_clock() {
+        let servers = spawn_servers(&[80]);
+        // 30 ms deadline vs 80 ms service: every reply is late.
+        let qos = QosSpec::new(ms(30), 0.0).unwrap();
+        let client = client_for(&servers, qos);
+        let out = client.call(MethodId::DEFAULT, b"z").expect("reply arrives");
+        assert!(!out.timely);
+        assert!(out.response_time >= ms(80));
+        client.with_handler(|h| {
+            assert_eq!(h.detector().failures(), 1);
+        });
+    }
+
+    #[test]
+    fn concurrent_calls_share_the_client() {
+        let servers = spawn_servers(&[10, 10, 10]);
+        let qos = QosSpec::new(ms(800), 0.9).unwrap();
+        let client = std::sync::Arc::new(client_for(&servers, qos));
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let c = std::sync::Arc::clone(&client);
+            handles.push(std::thread::spawn(move || {
+                c.call(MethodId::DEFAULT, format!("c{i}").as_bytes())
+                    .map(|o| o.timely)
+            }));
+        }
+        for h in handles {
+            assert!(h.join().unwrap().expect("call ok"), "all timely");
+        }
+        client.with_handler(|h| {
+            assert_eq!(h.stats().delivered, 8);
+            assert_eq!(h.pending_count(), 0);
+        });
+    }
+}

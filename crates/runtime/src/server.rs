@@ -1,0 +1,419 @@
+//! A replica server over real TCP sockets.
+//!
+//! One [`ReplicaServer`] is one AQuA server replica on localhost: an accept
+//! loop, per-connection reader threads feeding a single **FIFO service
+//! thread** (the request queue of §5.1 Stage 3), and performance
+//! publication to subscribers after every serviced request (§5.4.1).
+//! Service time is simulated by sleeping a sampled duration; the *measured*
+//! elapsed time is what gets reported, exactly like the instrumented
+//! gateway of the paper.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration as StdDuration, Instant as StdInstant};
+
+use aqua_core::qos::ReplicaId;
+use aqua_replica::ServiceTimeModel;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::wire::Frame;
+
+/// Configuration of one socket replica.
+#[derive(Debug, Clone)]
+pub struct ReplicaServerConfig {
+    /// This replica's identity.
+    pub replica: ReplicaId,
+    /// Per-request service-time distribution (slept out in real time).
+    pub service: ServiceTimeModel,
+    /// RNG seed for the service-time draws.
+    pub seed: u64,
+    /// Crash (silently drop every connection and stop) after this many
+    /// serviced requests.
+    pub crash_after: Option<u64>,
+}
+
+impl ReplicaServerConfig {
+    /// A responsive test replica with deterministic service time.
+    pub fn quick(replica: ReplicaId, service_ms: u64) -> Self {
+        ReplicaServerConfig {
+            replica,
+            service: ServiceTimeModel::Deterministic(aqua_core::time::Duration::from_millis(
+                service_ms,
+            )),
+            seed: replica.index(),
+            crash_after: None,
+        }
+    }
+}
+
+/// A queued request job.
+struct Job {
+    writer: TcpStream,
+    peer: SocketAddr,
+    seq: u64,
+    method: u32,
+    payload: Bytes,
+    enqueued: StdInstant,
+}
+
+#[derive(Debug)]
+struct Shared {
+    shutdown: AtomicBool,
+    serviced: AtomicU64,
+    /// Writer clones of subscriber connections (for perf pushes).
+    subscribers: Mutex<Vec<(SocketAddr, TcpStream)>>,
+    /// Every live connection, for forced shutdown.
+    connections: Mutex<Vec<TcpStream>>,
+}
+
+/// Handle to a running socket replica. Dropping the handle crashes the
+/// replica (all connections are torn down), which is also how crash tests
+/// inject failures.
+#[derive(Debug)]
+pub struct ReplicaServer {
+    addr: SocketAddr,
+    replica: ReplicaId,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ReplicaServer {
+    /// Binds a listener on `127.0.0.1:0` and spawns the accept and service
+    /// threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding errors.
+    pub fn spawn(config: ReplicaServerConfig) -> io::Result<ReplicaServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            serviced: AtomicU64::new(0),
+            subscribers: Mutex::new(Vec::new()),
+            connections: Mutex::new(Vec::new()),
+        });
+        let (job_tx, job_rx) = unbounded::<Job>();
+
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            let job_tx = job_tx.clone();
+            threads.push(std::thread::spawn(move || {
+                accept_loop(listener, shared, job_tx);
+            }));
+        }
+        {
+            let shared = Arc::clone(&shared);
+            let replica = config.replica;
+            let service = config.service.clone();
+            let seed = config.seed;
+            let crash_after = config.crash_after;
+            threads.push(std::thread::spawn(move || {
+                service_loop(shared, job_rx, replica, service, seed, crash_after);
+            }));
+        }
+        drop(job_tx);
+
+        Ok(ReplicaServer {
+            addr,
+            replica: config.replica,
+            shared,
+            threads,
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// This replica's identity.
+    pub fn replica(&self) -> ReplicaId {
+        self.replica
+    }
+
+    /// Requests serviced so far.
+    pub fn serviced(&self) -> u64 {
+        self.shared.serviced.load(Ordering::Relaxed)
+    }
+
+    /// Crashes the replica: connections are closed, the queue is dropped,
+    /// and no further requests are serviced. Idempotent.
+    pub fn crash(&self) {
+        crash(&self.shared);
+    }
+
+    /// Whether the replica has crashed (or been shut down).
+    pub fn is_crashed(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for ReplicaServer {
+    fn drop(&mut self) {
+        self.crash();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn crash(shared: &Shared) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    for conn in shared.connections.lock().drain(..) {
+        let _ = conn.shutdown(std::net::Shutdown::Both);
+    }
+    shared.subscribers.lock().clear();
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, job_tx: Sender<Job>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                stream.set_nodelay(true).ok();
+                if let Ok(clone) = stream.try_clone() {
+                    shared.connections.lock().push(clone);
+                }
+                let shared = Arc::clone(&shared);
+                let job_tx = job_tx.clone();
+                std::thread::spawn(move || reader_loop(stream, peer, shared, job_tx));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(StdDuration::from_millis(2));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, peer: SocketAddr, shared: Arc<Shared>, job_tx: Sender<Job>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match Frame::read_from(&mut stream) {
+            Ok(Frame::Hello { .. }) => {
+                if let Ok(writer) = stream.try_clone() {
+                    shared.subscribers.lock().push((peer, writer));
+                }
+            }
+            Ok(Frame::Request {
+                seq,
+                method,
+                payload,
+            }) => {
+                let Ok(writer) = stream.try_clone() else {
+                    return;
+                };
+                // t2: enqueue time.
+                let job = Job {
+                    writer,
+                    peer,
+                    seq,
+                    method,
+                    payload,
+                    enqueued: StdInstant::now(),
+                };
+                if job_tx.send(job).is_err() {
+                    return;
+                }
+            }
+            Ok(_) => {} // clients do not send replies/updates
+            Err(_) => {
+                // EOF or reset: deregister this peer's subscription.
+                shared.subscribers.lock().retain(|(p, _)| *p != peer);
+                return;
+            }
+        }
+    }
+}
+
+fn service_loop(
+    shared: Arc<Shared>,
+    job_rx: Receiver<Job>,
+    replica: ReplicaId,
+    service: ServiceTimeModel,
+    seed: u64,
+    crash_after: Option<u64>,
+) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let job = match job_rx.recv_timeout(StdDuration::from_millis(20)) {
+            Ok(job) => job,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+        };
+        // t3: dequeue; tq = t3 − t2.
+        let queue_ns = job.enqueued.elapsed().as_nanos() as u64;
+        let target: std::time::Duration = service.sample(&mut rng).into();
+        let service_started = StdInstant::now();
+        if !target.is_zero() {
+            std::thread::sleep(target);
+        }
+        let service_ns = service_started.elapsed().as_nanos() as u64;
+        let queue_len = job_rx.len() as u32;
+
+        let reply = Frame::Reply {
+            seq: job.seq,
+            replica: replica.index(),
+            service_ns,
+            queue_ns,
+            queue_len,
+            method: job.method,
+            payload: job.payload,
+        };
+        let mut writer = job.writer;
+        if reply.write_to(&mut writer).is_err() {
+            shared.subscribers.lock().retain(|(p, _)| *p != job.peer);
+        }
+
+        // Publish to every *other* subscriber (the requester already got
+        // the data piggybacked on its reply).
+        let update = Frame::PerfUpdate {
+            replica: replica.index(),
+            service_ns,
+            queue_ns,
+            queue_len,
+            method: job.method,
+        };
+        {
+            let mut subs = shared.subscribers.lock();
+            subs.retain_mut(|(p, w)| *p == job.peer || update.write_to(w).is_ok());
+        }
+
+        let done = shared.serviced.fetch_add(1, Ordering::Relaxed) + 1;
+        if crash_after.is_some_and(|n| done >= n) {
+            crash(&shared);
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn connect(addr: SocketAddr) -> TcpStream {
+        let s = TcpStream::connect(addr).expect("connect");
+        s.set_nodelay(true).ok();
+        s
+    }
+
+    #[test]
+    fn serves_a_request_with_perf_data() {
+        let server =
+            ReplicaServer::spawn(ReplicaServerConfig::quick(ReplicaId::new(1), 5)).unwrap();
+        let mut conn = connect(server.addr());
+        Frame::Request {
+            seq: 9,
+            method: 3,
+            payload: Bytes::from_static(b"ping"),
+        }
+        .write_to(&mut conn)
+        .unwrap();
+        conn.flush().unwrap();
+        let reply = Frame::read_from(&mut conn).unwrap();
+        match reply {
+            Frame::Reply {
+                seq,
+                replica,
+                service_ns,
+                method,
+                payload,
+                ..
+            } => {
+                assert_eq!(seq, 9);
+                assert_eq!(replica, 1);
+                assert_eq!(method, 3);
+                assert_eq!(payload, Bytes::from_static(b"ping"));
+                assert!(service_ns >= 5_000_000, "slept ≥ 5 ms: {service_ns}");
+            }
+            other => panic!("expected reply, got {other:?}"),
+        }
+        assert_eq!(server.serviced(), 1);
+    }
+
+    #[test]
+    fn subscribers_receive_updates_for_others_requests() {
+        let server =
+            ReplicaServer::spawn(ReplicaServerConfig::quick(ReplicaId::new(2), 1)).unwrap();
+        // Subscriber connection.
+        let mut sub = connect(server.addr());
+        Frame::Hello { client: 7 }.write_to(&mut sub).unwrap();
+        // Give the server a beat to register the subscription.
+        std::thread::sleep(StdDuration::from_millis(50));
+        // Requester connection.
+        let mut req = connect(server.addr());
+        Frame::Request {
+            seq: 1,
+            method: 0,
+            payload: Bytes::new(),
+        }
+        .write_to(&mut req)
+        .unwrap();
+        let _ = Frame::read_from(&mut req).unwrap();
+        sub.set_read_timeout(Some(StdDuration::from_secs(2))).ok();
+        match Frame::read_from(&mut sub).unwrap() {
+            Frame::PerfUpdate { replica, .. } => assert_eq!(replica, 2),
+            other => panic!("expected perf update, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crash_tears_down_connections() {
+        let server =
+            ReplicaServer::spawn(ReplicaServerConfig::quick(ReplicaId::new(3), 1)).unwrap();
+        let mut conn = connect(server.addr());
+        server.crash();
+        assert!(server.is_crashed());
+        conn.set_read_timeout(Some(StdDuration::from_secs(2))).ok();
+        let err = Frame::read_from(&mut conn).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::UnexpectedEof
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn crash_after_n_requests() {
+        let mut cfg = ReplicaServerConfig::quick(ReplicaId::new(4), 1);
+        cfg.crash_after = Some(2);
+        let server = ReplicaServer::spawn(cfg).unwrap();
+        let mut conn = connect(server.addr());
+        for seq in 0..2 {
+            Frame::Request {
+                seq,
+                method: 0,
+                payload: Bytes::new(),
+            }
+            .write_to(&mut conn)
+            .unwrap();
+            let _ = Frame::read_from(&mut conn).unwrap();
+        }
+        // Allow the crash to propagate.
+        std::thread::sleep(StdDuration::from_millis(100));
+        assert!(server.is_crashed());
+        assert_eq!(server.serviced(), 2);
+    }
+}

@@ -1,0 +1,351 @@
+//! Length-prefixed binary wire protocol for the socket runtime.
+//!
+//! Every frame is `u32 length (big-endian) | u8 tag | body`. The body
+//! layout is fixed per tag — no self-describing serialization, mirroring
+//! the compact messages the AQuA gateways exchange.
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Maximum accepted frame body size (1 MiB) — defends against corrupt
+/// length prefixes.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// A protocol frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → replica: service this request.
+    Request {
+        /// Client-local sequence number.
+        seq: u64,
+        /// Invoked method.
+        method: u32,
+        /// Opaque argument bytes.
+        payload: Bytes,
+    },
+    /// Replica → client: the reply with piggybacked performance data.
+    Reply {
+        /// Sequence number this answers.
+        seq: u64,
+        /// The servicing replica.
+        replica: u64,
+        /// Service duration `ts` in nanoseconds.
+        service_ns: u64,
+        /// Queuing delay `tq` in nanoseconds.
+        queue_ns: u64,
+        /// Outstanding requests left in the queue.
+        queue_len: u32,
+        /// Invoked method (echoed for per-method classification).
+        method: u32,
+        /// Opaque result bytes.
+        payload: Bytes,
+    },
+    /// Replica → subscriber: pushed performance update.
+    PerfUpdate {
+        /// The publishing replica.
+        replica: u64,
+        /// Service duration `ts` in nanoseconds.
+        service_ns: u64,
+        /// Queuing delay `tq` in nanoseconds.
+        queue_ns: u64,
+        /// Outstanding requests left in the queue.
+        queue_len: u32,
+        /// Method the measurements belong to.
+        method: u32,
+    },
+    /// Client → replica: identify and subscribe to performance updates.
+    Hello {
+        /// An arbitrary client identifier (diagnostics only).
+        client: u64,
+    },
+}
+
+const TAG_REQUEST: u8 = 1;
+const TAG_REPLY: u8 = 2;
+const TAG_PERF: u8 = 3;
+const TAG_HELLO: u8 = 4;
+
+impl Frame {
+    /// Encodes the frame (length prefix included).
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::with_capacity(64);
+        match self {
+            Frame::Request {
+                seq,
+                method,
+                payload,
+            } => {
+                body.put_u8(TAG_REQUEST);
+                body.put_u64(*seq);
+                body.put_u32(*method);
+                body.put_u32(payload.len() as u32);
+                body.put_slice(payload);
+            }
+            Frame::Reply {
+                seq,
+                replica,
+                service_ns,
+                queue_ns,
+                queue_len,
+                method,
+                payload,
+            } => {
+                body.put_u8(TAG_REPLY);
+                body.put_u64(*seq);
+                body.put_u64(*replica);
+                body.put_u64(*service_ns);
+                body.put_u64(*queue_ns);
+                body.put_u32(*queue_len);
+                body.put_u32(*method);
+                body.put_u32(payload.len() as u32);
+                body.put_slice(payload);
+            }
+            Frame::PerfUpdate {
+                replica,
+                service_ns,
+                queue_ns,
+                queue_len,
+                method,
+            } => {
+                body.put_u8(TAG_PERF);
+                body.put_u64(*replica);
+                body.put_u64(*service_ns);
+                body.put_u64(*queue_ns);
+                body.put_u32(*queue_len);
+                body.put_u32(*method);
+            }
+            Frame::Hello { client } => {
+                body.put_u8(TAG_HELLO);
+                body.put_u64(*client);
+            }
+        }
+        let mut out = BytesMut::with_capacity(4 + body.len());
+        out.put_u32(body.len() as u32);
+        out.extend_from_slice(&body);
+        out.freeze()
+    }
+
+    /// Decodes a frame body (without the length prefix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidData`] on unknown tags or truncated
+    /// bodies.
+    pub fn decode(mut body: Bytes) -> io::Result<Frame> {
+        fn need(body: &Bytes, n: usize) -> io::Result<()> {
+            if body.remaining() < n {
+                Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "truncated frame body",
+                ))
+            } else {
+                Ok(())
+            }
+        }
+        need(&body, 1)?;
+        let tag = body.get_u8();
+        match tag {
+            TAG_REQUEST => {
+                need(&body, 8 + 4 + 4)?;
+                let seq = body.get_u64();
+                let method = body.get_u32();
+                let len = body.get_u32() as usize;
+                need(&body, len)?;
+                let payload = body.split_to(len);
+                Ok(Frame::Request {
+                    seq,
+                    method,
+                    payload,
+                })
+            }
+            TAG_REPLY => {
+                need(&body, 8 * 4 + 4 + 4 + 4)?;
+                let seq = body.get_u64();
+                let replica = body.get_u64();
+                let service_ns = body.get_u64();
+                let queue_ns = body.get_u64();
+                let queue_len = body.get_u32();
+                let method = body.get_u32();
+                let len = body.get_u32() as usize;
+                need(&body, len)?;
+                let payload = body.split_to(len);
+                Ok(Frame::Reply {
+                    seq,
+                    replica,
+                    service_ns,
+                    queue_ns,
+                    queue_len,
+                    method,
+                    payload,
+                })
+            }
+            TAG_PERF => {
+                need(&body, 8 * 3 + 4 + 4)?;
+                Ok(Frame::PerfUpdate {
+                    replica: body.get_u64(),
+                    service_ns: body.get_u64(),
+                    queue_ns: body.get_u64(),
+                    queue_len: body.get_u32(),
+                    method: body.get_u32(),
+                })
+            }
+            TAG_HELLO => {
+                need(&body, 8)?;
+                Ok(Frame::Hello {
+                    client: body.get_u64(),
+                })
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown frame tag {other}"),
+            )),
+        }
+    }
+
+    /// Writes one frame to a stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(&self.encode())
+    }
+
+    /// Reads one frame from a stream (blocking).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::UnexpectedEof`] on a cleanly closed peer,
+    /// [`io::ErrorKind::InvalidData`] on oversized or malformed frames, and
+    /// propagates other I/O errors.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Frame> {
+        let mut len_buf = [0u8; 4];
+        r.read_exact(&mut len_buf)?;
+        let len = u32::from_be_bytes(len_buf);
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds the {MAX_FRAME} cap"),
+            ));
+        }
+        let mut body = vec![0u8; len as usize];
+        r.read_exact(&mut body)?;
+        Frame::decode(Bytes::from(body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let encoded = frame.encode();
+        let mut cursor = std::io::Cursor::new(encoded.to_vec());
+        let decoded = Frame::read_from(&mut cursor).expect("decodes");
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        roundtrip(Frame::Request {
+            seq: 42,
+            method: 7,
+            payload: Bytes::from_static(b"hello world"),
+        });
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        roundtrip(Frame::Reply {
+            seq: 1,
+            replica: 3,
+            service_ns: 1_000_000,
+            queue_ns: 42,
+            queue_len: 9,
+            method: 2,
+            payload: Bytes::from_static(b"result"),
+        });
+    }
+
+    #[test]
+    fn perf_and_hello_roundtrip() {
+        roundtrip(Frame::PerfUpdate {
+            replica: 5,
+            service_ns: 9,
+            queue_ns: 8,
+            queue_len: 7,
+            method: 0,
+        });
+        roundtrip(Frame::Hello { client: 77 });
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        roundtrip(Frame::Request {
+            seq: 0,
+            method: 0,
+            payload: Bytes::new(),
+        });
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut body = BytesMut::new();
+        body.put_u8(99);
+        assert_eq!(
+            Frame::decode(body.freeze()).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let mut body = BytesMut::new();
+        body.put_u8(1); // request tag but nothing else
+        assert_eq!(
+            Frame::decode(body.freeze()).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut data = Vec::new();
+        data.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        let mut cursor = std::io::Cursor::new(data);
+        assert_eq!(
+            Frame::read_from(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn eof_surfaces_as_unexpected_eof() {
+        let mut cursor = std::io::Cursor::new(Vec::<u8>::new());
+        assert_eq!(
+            Frame::read_from(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn frames_stream_back_to_back() {
+        let frames = vec![
+            Frame::Hello { client: 1 },
+            Frame::Request {
+                seq: 2,
+                method: 0,
+                payload: Bytes::from_static(b"x"),
+            },
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            f.write_to(&mut buf).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for f in &frames {
+            assert_eq!(&Frame::read_from(&mut cursor).unwrap(), f);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the wire protocol: roundtrips, and robustness of the
+//! decoder against arbitrary bytes (it must reject, never panic).
+
+use aqua_runtime::wire::Frame;
+use bytes::Bytes;
+use proptest::prelude::*;
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (any::<u64>(), any::<u32>(), prop::collection::vec(any::<u8>(), 0..512)).prop_map(
+            |(seq, method, payload)| Frame::Request {
+                seq,
+                method,
+                payload: Bytes::from(payload),
+            }
+        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>(),
+            prop::collection::vec(any::<u8>(), 0..512),
+        )
+            .prop_map(
+                |(seq, replica, service_ns, queue_ns, queue_len, method, payload)| Frame::Reply {
+                    seq,
+                    replica,
+                    service_ns,
+                    queue_ns,
+                    queue_len,
+                    method,
+                    payload: Bytes::from(payload),
+                }
+            ),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u32>(), any::<u32>()).prop_map(
+            |(replica, service_ns, queue_ns, queue_len, method)| Frame::PerfUpdate {
+                replica,
+                service_ns,
+                queue_ns,
+                queue_len,
+                method,
+            }
+        ),
+        any::<u64>().prop_map(|client| Frame::Hello { client }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_frame_roundtrips(frame in arb_frame()) {
+        let encoded = frame.encode();
+        let mut cursor = std::io::Cursor::new(encoded.to_vec());
+        let decoded = Frame::read_from(&mut cursor).expect("own encoding decodes");
+        prop_assert_eq!(decoded, frame);
+        prop_assert_eq!(
+            cursor.position() as usize,
+            cursor.get_ref().len(),
+            "no trailing bytes"
+        );
+    }
+
+    #[test]
+    fn frames_stream_without_framing_errors(frames in prop::collection::vec(arb_frame(), 1..20)) {
+        let mut buf = Vec::new();
+        for f in &frames {
+            f.write_to(&mut buf).expect("vec write");
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for f in &frames {
+            prop_assert_eq!(&Frame::read_from(&mut cursor).expect("streamed"), f);
+        }
+    }
+
+    #[test]
+    fn arbitrary_bodies_never_panic(body in prop::collection::vec(any::<u8>(), 0..256)) {
+        // decode must either produce a frame or a clean error.
+        let _ = Frame::decode(Bytes::from(body));
+    }
+
+    #[test]
+    fn truncated_encodings_error_cleanly(frame in arb_frame(), cut in 0usize..100) {
+        let encoded = frame.encode();
+        if cut >= encoded.len() {
+            return Ok(());
+        }
+        // Truncate the stream mid-frame: reading must error, not panic or
+        // hang (cursor EOF).
+        let mut cursor = std::io::Cursor::new(encoded[..cut].to_vec());
+        prop_assert!(Frame::read_from(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn corrupted_tag_is_rejected(frame in arb_frame(), tag in 5u8..255) {
+        let encoded = frame.encode().to_vec();
+        let mut corrupted = encoded.clone();
+        corrupted[4] = tag; // the tag byte follows the 4-byte length prefix
+        let mut cursor = std::io::Cursor::new(corrupted);
+        prop_assert!(Frame::read_from(&mut cursor).is_err());
+    }
+}

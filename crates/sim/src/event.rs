@@ -1,0 +1,94 @@
+//! Events and their deterministic ordering.
+
+use core::cmp::Ordering;
+use core::fmt;
+
+use aqua_core::time::Instant;
+
+use crate::node::NodeId;
+
+/// Handle for a pending timer, usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerToken(pub(crate) u64);
+
+impl TimerToken {
+    /// The raw token value (unique within one simulation).
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TimerToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer#{}", self.0)
+    }
+}
+
+/// An event delivered to a [`crate::node::Node`].
+#[derive(Debug, Clone)]
+pub enum Event<M> {
+    /// Delivered once to every node when the simulation starts (and to
+    /// nodes added later, at their insertion time).
+    Started,
+    /// A message arriving over the simulated network.
+    Message {
+        /// The sending node.
+        from: NodeId,
+        /// The payload.
+        payload: M,
+    },
+    /// A timer set by this node has fired.
+    Timer {
+        /// The token returned when the timer was set.
+        token: TimerToken,
+    },
+}
+
+/// Internal: what sits in the event queue.
+#[derive(Debug)]
+pub(crate) struct Scheduled<M> {
+    pub at: Instant,
+    /// Global sequence number: ties at equal timestamps are delivered in
+    /// scheduling order, making runs fully deterministic.
+    pub seq: u64,
+    pub target: NodeId,
+    pub event: Event<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Scheduled<M> {}
+
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduled_orders_by_time_then_seq() {
+        let mk = |at_ms: u64, seq: u64| Scheduled::<()> {
+            at: Instant::from_millis(at_ms),
+            seq,
+            target: NodeId::new(0),
+            event: Event::Started,
+        };
+        assert!(mk(1, 5) < mk(2, 0));
+        assert!(mk(1, 0) < mk(1, 1));
+        assert_eq!(mk(3, 7), mk(3, 7));
+    }
+}

@@ -1,0 +1,210 @@
+//! Nodes (simulated hosts/processes) and the context they act through.
+
+use core::fmt;
+use std::any::Any;
+
+use aqua_core::time::{Duration, Instant};
+use rand::rngs::SmallRng;
+
+use crate::event::{Event, Scheduled, TimerToken};
+use crate::network::NetworkModel;
+use crate::trace::{TraceEvent, Tracer};
+use crate::Payload;
+
+/// Identifier of a node within one simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    ///
+    /// Normally ids come from [`crate::Simulation::add_node`]; this
+    /// constructor exists for tests and table-driven wiring.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Behaviour of a simulated host/process.
+///
+/// Implementations receive [`Event`]s one at a time and react through the
+/// [`Context`]: sending messages (which traverse the simulated network) and
+/// setting timers. All state lives inside the node; the simulator guarantees
+/// events are delivered in deterministic timestamp order.
+pub trait Node<M: Payload> {
+    /// Handles one event. `ctx` carries the current virtual time, the
+    /// node's own id, the RNG, and the scheduling operations.
+    fn on_event(&mut self, event: Event<M>, ctx: &mut Context<'_, M>);
+}
+
+/// Object-safe companion of [`Node`] that supports downcasting, so tests
+/// and harnesses can inspect node state after a run.
+pub trait AnyNode<M: Payload>: Node<M> + Any {
+    /// Upcast to [`Any`] for downcasting.
+    fn as_any(&self) -> &dyn Any;
+    /// Upcast to mutable [`Any`] for downcasting.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<M: Payload, T: Node<M> + Any> AnyNode<M> for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Internal scheduling state shared between the simulation driver and the
+/// contexts it hands to nodes.
+pub(crate) struct SimCore<M> {
+    pub now: Instant,
+    pub queue: std::collections::BinaryHeap<core::cmp::Reverse<Scheduled<M>>>,
+    pub seq: u64,
+    pub next_timer: u64,
+    pub cancelled: std::collections::HashSet<u64>,
+    pub network: Box<dyn NetworkModel>,
+    pub rng: SmallRng,
+    /// Nodes that have been detached (crashed at the simulator level);
+    /// deliveries to them are silently dropped at pop time.
+    pub detached: std::collections::HashSet<NodeId>,
+    /// Total messages pushed through the network (diagnostics).
+    pub messages_sent: u64,
+    /// Trace ring + per-node counters.
+    pub tracer: Tracer,
+}
+
+impl<M> SimCore<M> {
+    pub(crate) fn push(&mut self, at: Instant, target: NodeId, event: Event<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(core::cmp::Reverse(Scheduled {
+            at,
+            seq,
+            target,
+            event,
+        }));
+    }
+}
+
+/// The interface a node uses to act on the simulated world.
+pub struct Context<'a, M: Payload> {
+    pub(crate) core: &'a mut SimCore<M>,
+    pub(crate) self_id: NodeId,
+}
+
+impl<M: Payload> Context<'_, M> {
+    /// The current virtual time.
+    pub fn now(&self) -> Instant {
+        self.core.now
+    }
+
+    /// This node's id.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// The simulation's deterministic random number generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.core.rng
+    }
+
+    /// Sends `payload` to `to` over the simulated network; the network
+    /// model decides the delivery latency.
+    pub fn send(&mut self, to: NodeId, payload: M) {
+        self.transmit(to, payload, 1);
+    }
+
+    /// Sends `payload` to every node in `to` (list-addressed multicast).
+    ///
+    /// The network model sees the full fan-out, matching the paper's
+    /// observation that the gateway-to-gateway delay "varies … with the
+    /// number of group members involved in the communication".
+    pub fn multicast(&mut self, to: &[NodeId], payload: M) {
+        for dest in to {
+            self.transmit(*dest, payload.clone(), to.len());
+        }
+    }
+
+    fn transmit(&mut self, to: NodeId, payload: M, fanout: usize) {
+        let size = payload.wire_size();
+        let delay = self.core.network.delay(
+            self.self_id,
+            to,
+            size,
+            fanout,
+            self.core.now,
+            &mut self.core.rng,
+        );
+        self.core.messages_sent += 1;
+        let at = self.core.now.saturating_add(delay);
+        let from = self.self_id;
+        self.core.tracer.record(
+            self.core.now,
+            TraceEvent::MessageSent {
+                from,
+                to,
+                size,
+                deliver_at: at,
+            },
+        );
+        self.core.push(at, to, Event::Message { from, payload });
+    }
+
+    /// Delivers `payload` to this node itself after `after`, bypassing the
+    /// network (used to model local asynchronous processing).
+    pub fn send_self(&mut self, after: Duration, payload: M) {
+        let at = self.core.now.saturating_add(after);
+        let from = self.self_id;
+        self.core.push(at, self.self_id, Event::Message { from, payload });
+    }
+
+    /// Sets a timer that fires on this node after `after`.
+    pub fn set_timer(&mut self, after: Duration) -> TimerToken {
+        let token = TimerToken(self.core.next_timer);
+        self.core.next_timer += 1;
+        let at = self.core.now.saturating_add(after);
+        self.core.push(at, self.self_id, Event::Timer { token });
+        token
+    }
+
+    /// Cancels a pending timer; firing events for it are dropped.
+    pub fn cancel_timer(&mut self, token: TimerToken) {
+        self.core.cancelled.insert(token.0);
+    }
+
+    /// Detaches this node from the simulation: all subsequent deliveries to
+    /// it (messages and timers) are dropped. Models a host crash.
+    pub fn detach_self(&mut self) {
+        self.core.detached.insert(self.self_id);
+        self.core
+            .tracer
+            .record(self.core.now, TraceEvent::NodeDetached { node: self.self_id });
+    }
+}
+
+impl<M: Payload> fmt::Debug for Context<'_, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Context")
+            .field("self_id", &self.self_id)
+            .field("now", &self.core.now)
+            .finish()
+    }
+}

@@ -1,0 +1,524 @@
+//! The simulation driver: event loop, node registry, determinism.
+
+use core::cmp::Reverse;
+use core::fmt;
+use std::collections::{BinaryHeap, HashSet};
+
+use aqua_core::time::{Duration, Instant};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::event::{Event, Scheduled};
+use crate::network::{InstantNetwork, NetworkModel};
+use crate::node::{AnyNode, Context, NodeId, SimCore};
+use crate::trace::{NodeCounters, TraceEvent, TraceRecord};
+use crate::Payload;
+
+/// A deterministic discrete-event simulation over a set of [`crate::node::Node`]s
+/// connected by a [`NetworkModel`].
+///
+/// Determinism: events are totally ordered by `(timestamp, scheduling
+/// sequence)`, and all randomness flows through one seeded [`SmallRng`], so
+/// two runs with the same seed and the same wiring produce identical
+/// histories.
+///
+/// # Examples
+///
+/// ```
+/// use lan_sim::{Event, Context, Node, NodeId, Payload, Simulation};
+/// use aqua_core::time::{Duration, Instant};
+///
+/// #[derive(Clone, Debug)]
+/// struct Ping;
+/// impl Payload for Ping {}
+///
+/// /// Sends one ping to a peer on start; counts pings received.
+/// struct Peer { other: Option<NodeId>, received: u32 }
+///
+/// impl Node<Ping> for Peer {
+///     fn on_event(&mut self, event: Event<Ping>, ctx: &mut Context<'_, Ping>) {
+///         match event {
+///             Event::Started => {
+///                 if let Some(other) = self.other {
+///                     ctx.send(other, Ping);
+///                 }
+///             }
+///             Event::Message { .. } => self.received += 1,
+///             Event::Timer { .. } => {}
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(7);
+/// let a = sim.add_node(Peer { other: None, received: 0 });
+/// let b = sim.add_node(Peer { other: Some(a), received: 0 });
+/// # let _ = b;
+/// sim.run_until_idle();
+/// assert_eq!(sim.node::<Peer>(a).unwrap().received, 1);
+/// ```
+pub struct Simulation<M: Payload> {
+    core: SimCore<M>,
+    nodes: Vec<Option<Box<dyn AnyNode<M>>>>,
+    started: bool,
+    events_processed: u64,
+}
+
+impl<M: Payload> Simulation<M> {
+    /// Creates a simulation with a zero-latency network and the given RNG
+    /// seed.
+    pub fn new(seed: u64) -> Self {
+        Simulation::with_network(seed, InstantNetwork)
+    }
+
+    /// Creates a simulation over a specific network model.
+    pub fn with_network<N: NetworkModel + 'static>(seed: u64, network: N) -> Self {
+        Simulation {
+            core: SimCore {
+                now: Instant::EPOCH,
+                queue: BinaryHeap::new(),
+                seq: 0,
+                next_timer: 0,
+                cancelled: HashSet::new(),
+                network: Box::new(network),
+                rng: SmallRng::seed_from_u64(seed),
+                detached: HashSet::new(),
+                messages_sent: 0,
+                tracer: Default::default(),
+            },
+            nodes: Vec::new(),
+            started: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Registers a node and returns its id. Nodes added after the
+    /// simulation has started receive their [`Event::Started`] at the
+    /// current virtual time.
+    pub fn add_node<N: AnyNode<M>>(&mut self, node: N) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("node count fits in u32"));
+        self.nodes.push(Some(Box::new(node)));
+        if self.started {
+            self.core.push(self.core.now, id, Event::Started);
+        }
+        id
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Instant {
+        self.core.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of messages sent over the simulated network so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.core.messages_sent
+    }
+
+    /// Number of registered nodes (including detached ones).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Detaches a node: every future delivery to it is dropped. Models a
+    /// crash injected by the harness rather than by the node itself.
+    pub fn detach_node(&mut self, id: NodeId) {
+        self.core.detached.insert(id);
+        self.core
+            .tracer
+            .record(self.core.now, TraceEvent::NodeDetached { node: id });
+    }
+
+    /// Starts recording a bounded ring of [`TraceRecord`]s (per-node
+    /// counters are always collected, ring or not).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.core.tracer.enable(capacity);
+    }
+
+    /// The recorded trace, oldest first (empty unless
+    /// [`Simulation::enable_trace`] was called).
+    pub fn trace(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.core.tracer.records()
+    }
+
+    /// How many trace records were evicted from the ring.
+    pub fn trace_dropped(&self) -> u64 {
+        self.core.tracer.dropped()
+    }
+
+    /// Communication counters for one node.
+    pub fn node_counters(&self, id: NodeId) -> NodeCounters {
+        self.core.tracer.counters(id)
+    }
+
+    /// Whether a node is detached (crashed).
+    pub fn is_detached(&self, id: NodeId) -> bool {
+        self.core.detached.contains(&id)
+    }
+
+    /// Injects a message from `from` to `to` at absolute time `at`,
+    /// bypassing the network model. Intended for tests and harnesses.
+    pub fn schedule_message(&mut self, at: Instant, from: NodeId, to: NodeId, payload: M) {
+        self.core.push(at, to, Event::Message { from, payload });
+    }
+
+    /// Immutable, downcast access to a node's state.
+    ///
+    /// Returns `None` if the id is unknown or the concrete type does not
+    /// match. Detached (crashed) nodes remain inspectable.
+    pub fn node<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        self.nodes
+            .get(id.0 as usize)?
+            .as_deref()?
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Mutable, downcast access to a node's state.
+    pub fn node_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes
+            .get_mut(id.0 as usize)?
+            .as_deref_mut()?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for index in 0..self.nodes.len() {
+            self.core
+                .push(self.core.now, NodeId(index as u32), Event::Started);
+        }
+    }
+
+    /// Processes the single next event. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        loop {
+            let Some(Reverse(scheduled)) = self.core.queue.pop() else {
+                return false;
+            };
+            debug_assert!(scheduled.at >= self.core.now, "time must not move backwards");
+            self.core.now = scheduled.at;
+
+            // Drop cancelled timers and deliveries to detached nodes.
+            if let Event::Timer { token } = &scheduled.event {
+                if self.core.cancelled.remove(&token.value()) {
+                    continue;
+                }
+            }
+            if self.core.detached.contains(&scheduled.target) {
+                continue;
+            }
+
+            let Scheduled { target, event, .. } = scheduled;
+            match &event {
+                Event::Started => self
+                    .core
+                    .tracer
+                    .record(self.core.now, TraceEvent::NodeStarted { node: target }),
+                Event::Message { from, .. } => self.core.tracer.record(
+                    self.core.now,
+                    TraceEvent::MessageDelivered {
+                        from: *from,
+                        to: target,
+                    },
+                ),
+                Event::Timer { .. } => self
+                    .core
+                    .tracer
+                    .record(self.core.now, TraceEvent::TimerFired { node: target }),
+            }
+            let mut node = match self.nodes.get_mut(target.0 as usize) {
+                Some(slot) => slot.take().expect("node not re-entrantly dispatched"),
+                None => continue,
+            };
+            {
+                let mut ctx = Context {
+                    core: &mut self.core,
+                    self_id: target,
+                };
+                node.on_event(event, &mut ctx);
+            }
+            self.nodes[target.0 as usize] = Some(node);
+            self.events_processed += 1;
+            return true;
+        }
+    }
+
+    /// Runs until the event queue is exhausted.
+    pub fn run_until_idle(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until virtual time reaches `deadline` (events at exactly
+    /// `deadline` are processed) or the queue empties.
+    pub fn run_until(&mut self, deadline: Instant) {
+        self.ensure_started();
+        loop {
+            match self.core.queue.peek() {
+                Some(Reverse(next)) if next.at <= deadline => {
+                    if !self.step() {
+                        break;
+                    }
+                }
+                _ => {
+                    self.core.now = self.core.now.max(deadline);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Runs for `span` of virtual time from the current instant.
+    pub fn run_for(&mut self, span: Duration) {
+        let deadline = self.core.now.saturating_add(span);
+        self.run_until(deadline);
+    }
+}
+
+impl<M: Payload> fmt::Debug for Simulation<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.core.now)
+            .field("nodes", &self.nodes.len())
+            .field("pending_events", &self.core.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TimerToken;
+    use crate::node::Node;
+
+    #[derive(Clone, Debug)]
+    enum Msg {
+        Ping,
+        Pong,
+    }
+    impl Payload for Msg {}
+
+    /// Replies Pong to every Ping; log of (time_ms, kind) for assertions.
+    #[derive(Default)]
+    struct Echo {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    impl Node<Msg> for Echo {
+        fn on_event(&mut self, event: Event<Msg>, ctx: &mut Context<'_, Msg>) {
+            match event {
+                Event::Started => self.log.push((ctx.now().as_nanos(), "start")),
+                Event::Message { from, payload } => match payload {
+                    Msg::Ping => {
+                        self.log.push((ctx.now().as_nanos(), "ping"));
+                        ctx.send(from, Msg::Pong);
+                    }
+                    Msg::Pong => self.log.push((ctx.now().as_nanos(), "pong")),
+                },
+                Event::Timer { .. } => self.log.push((ctx.now().as_nanos(), "timer")),
+            }
+        }
+    }
+
+    #[test]
+    fn started_delivered_to_all_nodes() {
+        let mut sim = Simulation::<Msg>::new(1);
+        let a = sim.add_node(Echo::default());
+        let b = sim.add_node(Echo::default());
+        sim.run_until_idle();
+        assert_eq!(sim.node::<Echo>(a).unwrap().log, vec![(0, "start")]);
+        assert_eq!(sim.node::<Echo>(b).unwrap().log, vec![(0, "start")]);
+    }
+
+    #[test]
+    fn message_roundtrip() {
+        let mut sim = Simulation::<Msg>::new(1);
+        let a = sim.add_node(Echo::default());
+        let b = sim.add_node(Echo::default());
+        sim.schedule_message(Instant::from_millis(1), a, b, Msg::Ping);
+        sim.run_until_idle();
+        let b_log = &sim.node::<Echo>(b).unwrap().log;
+        assert!(b_log.contains(&(1_000_000, "ping")));
+        let a_log = &sim.node::<Echo>(a).unwrap().log;
+        assert!(a_log.iter().any(|(_, k)| *k == "pong"));
+        assert_eq!(sim.messages_sent(), 1, "only the Pong used the network");
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Simulation::<Msg>::new(1);
+        let a = sim.add_node(Echo::default());
+        let b = sim.add_node(Echo::default());
+        sim.schedule_message(Instant::from_millis(10), a, b, Msg::Ping);
+        sim.run_until(Instant::from_millis(5));
+        assert_eq!(sim.now(), Instant::from_millis(5));
+        assert!(sim.node::<Echo>(b).unwrap().log.len() == 1, "only start");
+        sim.run_until(Instant::from_millis(10));
+        assert!(sim
+            .node::<Echo>(b)
+            .unwrap()
+            .log
+            .contains(&(10_000_000, "ping")));
+    }
+
+    #[test]
+    fn detached_nodes_receive_nothing() {
+        let mut sim = Simulation::<Msg>::new(1);
+        let a = sim.add_node(Echo::default());
+        let b = sim.add_node(Echo::default());
+        sim.run_until(Instant::from_millis(1));
+        sim.detach_node(b);
+        sim.schedule_message(Instant::from_millis(2), a, b, Msg::Ping);
+        sim.run_until_idle();
+        assert!(sim.is_detached(b));
+        let log = &sim.node::<Echo>(b).unwrap().log;
+        assert_eq!(log.len(), 1, "only the start event: {log:?}");
+    }
+
+    /// A node that sets a timer on start and records whether it fired.
+    struct TimerNode {
+        cancel: bool,
+        token: Option<TimerToken>,
+        fired: bool,
+    }
+
+    impl Node<Msg> for TimerNode {
+        fn on_event(&mut self, event: Event<Msg>, ctx: &mut Context<'_, Msg>) {
+            match event {
+                Event::Started => {
+                    let token = ctx.set_timer(Duration::from_millis(5));
+                    if self.cancel {
+                        ctx.cancel_timer(token);
+                    }
+                    self.token = Some(token);
+                }
+                Event::Timer { token } => {
+                    assert_eq!(Some(token), self.token);
+                    self.fired = true;
+                }
+                Event::Message { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_unless_cancelled() {
+        let mut sim = Simulation::<Msg>::new(1);
+        let keep = sim.add_node(TimerNode {
+            cancel: false,
+            token: None,
+            fired: false,
+        });
+        let cancel = sim.add_node(TimerNode {
+            cancel: true,
+            token: None,
+            fired: false,
+        });
+        sim.run_until_idle();
+        assert!(sim.node::<TimerNode>(keep).unwrap().fired);
+        assert!(!sim.node::<TimerNode>(cancel).unwrap().fired);
+        assert_eq!(sim.now(), Instant::from_millis(5));
+    }
+
+    #[test]
+    fn late_added_nodes_get_started() {
+        let mut sim = Simulation::<Msg>::new(1);
+        let _a = sim.add_node(Echo::default());
+        sim.run_until(Instant::from_millis(3));
+        let b = sim.add_node(Echo::default());
+        sim.run_until_idle();
+        assert_eq!(
+            sim.node::<Echo>(b).unwrap().log,
+            vec![(3_000_000, "start")]
+        );
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        fn run(seed: u64) -> Vec<(u64, &'static str)> {
+            let mut sim =
+                Simulation::with_network(seed, crate::network::UniformLan::aqua_testbed());
+            let a = sim.add_node(Echo::default());
+            let b = sim.add_node(Echo::default());
+            for i in 0..20 {
+                sim.schedule_message(Instant::from_millis(i), a, b, Msg::Ping);
+            }
+            sim.run_until_idle();
+            sim.node::<Echo>(a).unwrap().log.clone()
+        }
+        assert_eq!(run(99), run(99));
+        assert_ne!(
+            run(99),
+            run(100),
+            "different seeds jitter delays differently"
+        );
+    }
+
+    #[test]
+    fn downcast_to_wrong_type_is_none() {
+        let mut sim = Simulation::<Msg>::new(1);
+        let a = sim.add_node(Echo::default());
+        assert!(sim.node::<TimerNode>(a).is_none());
+        assert!(sim.node::<Echo>(NodeId::new(42)).is_none());
+    }
+
+    #[test]
+    fn trace_records_sends_deliveries_and_timers() {
+        let mut sim = Simulation::<Msg>::new(1);
+        sim.enable_trace(64);
+        let a = sim.add_node(Echo::default());
+        let b = sim.add_node(Echo::default());
+        sim.schedule_message(Instant::from_millis(1), a, b, Msg::Ping);
+        sim.run_until_idle();
+        // b got the ping and replied: a sent nothing itself? No — the Pong
+        // came from b; a only received. Counters reflect that.
+        assert_eq!(sim.node_counters(b).sent, 1, "the Pong");
+        assert_eq!(sim.node_counters(b).delivered, 1, "the Ping");
+        assert_eq!(sim.node_counters(a).delivered, 1, "the Pong");
+        let kinds: Vec<&'static str> = sim
+            .trace()
+            .map(|r| match r.event {
+                TraceEvent::NodeStarted { .. } => "start",
+                TraceEvent::MessageSent { .. } => "sent",
+                TraceEvent::MessageDelivered { .. } => "delivered",
+                TraceEvent::TimerFired { .. } => "timer",
+                TraceEvent::NodeDetached { .. } => "detached",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["start", "start", "delivered", "sent", "delivered"]);
+    }
+
+    #[test]
+    fn send_self_bypasses_network() {
+        struct SelfSender {
+            got: bool,
+        }
+        impl Node<Msg> for SelfSender {
+            fn on_event(&mut self, event: Event<Msg>, ctx: &mut Context<'_, Msg>) {
+                match event {
+                    Event::Started => ctx.send_self(Duration::from_millis(2), Msg::Ping),
+                    Event::Message { from, .. } => {
+                        assert_eq!(from, ctx.self_id());
+                        self.got = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut sim = Simulation::<Msg>::new(1);
+        let a = sim.add_node(SelfSender { got: false });
+        sim.run_until_idle();
+        assert!(sim.node::<SelfSender>(a).unwrap().got);
+        assert_eq!(sim.messages_sent(), 0);
+    }
+}

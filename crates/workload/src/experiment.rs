@@ -1,0 +1,341 @@
+//! Building, running, and summarizing experiments.
+
+use aqua_core::qos::ReplicaId;
+use aqua_core::time::{Duration, Instant};
+use aqua_gateway::{
+    AquaMsg, ClientConfig, ClientGateway, HandlerStats, RequestRecord, ServerConfig,
+    ServerGateway, Wire,
+};
+use aqua_group::{FailureDetectorConfig, GroupCoordinator};
+use lan_sim::{NodeId, Simulation};
+
+use crate::config::ExperimentConfig;
+
+/// Summary of one client's run.
+#[derive(Debug, Clone)]
+pub struct ClientReport {
+    /// Which client (index into the config).
+    pub index: usize,
+    /// The strategy name it ran.
+    pub strategy: &'static str,
+    /// Per-request records in issue order.
+    pub records: Vec<RequestRecord>,
+    /// Handler counters.
+    pub stats: HandlerStats,
+    /// Observed timing-failure probability over the run.
+    pub failure_probability: f64,
+    /// QoS callbacks issued.
+    pub callbacks: u64,
+}
+
+impl ClientReport {
+    /// Mean redundancy over all requests (cold-start multicast included,
+    /// matching how the paper averages over a run of fifty requests).
+    pub fn mean_redundancy(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.redundancy).sum::<usize>() as f64
+            / self.records.len() as f64
+    }
+
+    /// Mean redundancy excluding the cold-start (first) request.
+    pub fn mean_redundancy_warm(&self) -> f64 {
+        if self.records.len() < 2 {
+            return self.mean_redundancy();
+        }
+        let warm = &self.records[1..];
+        warm.iter().map(|r| r.redundancy).sum::<usize>() as f64 / warm.len() as f64
+    }
+
+    /// The `q`-quantile of observed response times (answered requests
+    /// only); `None` when nothing was answered.
+    pub fn latency_quantile(&self, q: f64) -> Option<Duration> {
+        let mut latencies: Vec<Duration> =
+            self.records.iter().filter_map(|r| r.response_time).collect();
+        if latencies.is_empty() {
+            return None;
+        }
+        latencies.sort_unstable();
+        let idx = ((latencies.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(latencies[idx])
+    }
+
+    /// Mean observed response time (answered requests only).
+    pub fn mean_latency(&self) -> Option<Duration> {
+        let latencies: Vec<Duration> =
+            self.records.iter().filter_map(|r| r.response_time).collect();
+        if latencies.is_empty() {
+            return None;
+        }
+        let total: Duration = latencies.iter().copied().sum();
+        Some(total / latencies.len() as u64)
+    }
+}
+
+/// The outcome of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Per-client summaries, in config order.
+    pub clients: Vec<ClientReport>,
+    /// Virtual time when the run ended.
+    pub ended_at: Instant,
+    /// Total messages sent over the simulated network.
+    pub messages: u64,
+    /// Total simulation events processed.
+    pub events: u64,
+}
+
+impl ExperimentReport {
+    /// The report of the *last* configured client — the "second client"
+    /// under test in the paper's setup.
+    pub fn client_under_test(&self) -> &ClientReport {
+        self.clients.last().expect("at least one client configured")
+    }
+}
+
+/// Builds and runs an experiment to completion (all clients finished or the
+/// virtual-time budget exhausted).
+///
+/// # Examples
+///
+/// ```
+/// use aqua_workload::{run_experiment, ExperimentConfig};
+/// use aqua_core::qos::QosSpec;
+/// use aqua_core::time::Duration;
+///
+/// # fn main() -> Result<(), aqua_core::qos::QosError> {
+/// let qos = QosSpec::new(Duration::from_millis(160), 0.9)?;
+/// let mut config = ExperimentConfig::paper(qos, 1);
+/// // Keep the doctest quick: 5 requests per client.
+/// for c in &mut config.clients {
+///     c.num_requests = 5;
+/// }
+/// let report = run_experiment(&config);
+/// assert_eq!(report.client_under_test().records.len(), 5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_experiment(config: &ExperimentConfig) -> ExperimentReport {
+    let mut sim: Simulation<Wire> = {
+        let network = config.network.build();
+        // Simulation::with_network takes the model by value; box-dyn via a
+        // small adapter below.
+        Simulation::with_network(config.seed, BoxedNetwork(network))
+    };
+
+    let coordinator = sim.add_node(GroupCoordinator::<AquaMsg>::new(
+        FailureDetectorConfig::default(),
+    ));
+
+    let server_config = |i: usize, server: &crate::config::ServerSpec, standby: bool| {
+        ServerConfig {
+            replica: ReplicaId::new(i as u64),
+            coordinator,
+            group: FailureDetectorConfig::default(),
+            service: server.service.clone(),
+            method_services: server.method_services.clone(),
+            load: server.load.clone(),
+            crash: server.crash,
+            recover_after: server.recover_after,
+            standby,
+            reply_size: 8,
+        }
+    };
+    for (i, server) in config.servers.iter().enumerate() {
+        let cfg = server_config(i, server, false);
+        sim.add_node(ServerGateway::new(cfg));
+    }
+    let mut standby_nodes = Vec::new();
+    for (i, server) in config.standby_servers.iter().enumerate() {
+        let cfg = server_config(config.servers.len() + i, server, true);
+        standby_nodes.push(sim.add_node(ServerGateway::new(cfg)));
+    }
+    if let Some(manager) = &config.manager {
+        sim.add_node(aqua_gateway::DependabilityManager::new(
+            aqua_gateway::ManagerConfig {
+                coordinator,
+                group: FailureDetectorConfig::default(),
+                target_replication: manager.target_replication,
+                standbys: standby_nodes,
+                check_interval: manager.check_interval,
+                startup_grace: Duration::from_secs(1),
+            },
+        ));
+    }
+
+    let mut client_nodes: Vec<NodeId> = Vec::new();
+    for (i, client) in config.clients.iter().enumerate() {
+        let cfg = ClientConfig {
+            coordinator,
+            group: FailureDetectorConfig::default(),
+            qos: client.qos,
+            window: client.window,
+            arrivals: client.arrivals,
+            think_time: client.think_time,
+            num_requests: Some(client.num_requests),
+            start_after: client.start_after,
+            request_size: 16,
+            give_up_after: Duration::from_secs(5),
+            methods: client.methods.clone(),
+            probe_stale_after: client.probe_stale_after,
+            renegotiate_to: client.renegotiate_to,
+        };
+        let strategy = client.strategy.build(config.seed.wrapping_add(i as u64));
+        client_nodes.push(sim.add_node(ClientGateway::new(cfg, strategy)));
+    }
+
+    // Run in slices until every client reports finished (or time is up).
+    let deadline = Instant::EPOCH + config.max_virtual_time;
+    loop {
+        let slice_end = (sim.now() + Duration::from_secs(1)).min(deadline);
+        sim.run_until(slice_end);
+        let all_done = client_nodes
+            .iter()
+            .all(|n| sim.node::<ClientGateway>(*n).is_some_and(|c| c.is_finished()));
+        if all_done || sim.now() >= deadline {
+            break;
+        }
+    }
+    // Let in-flight replies land so records are complete.
+    sim.run_until(sim.now() + Duration::from_secs(8));
+
+    let clients = client_nodes
+        .iter()
+        .enumerate()
+        .map(|(index, node)| {
+            let gw = sim
+                .node::<ClientGateway>(*node)
+                .expect("client node exists");
+            let handler = gw.handler().expect("client started");
+            let records = gw.records().to_vec();
+            let failures = records.iter().filter(|r| !r.timely).count();
+            let failure_probability = if records.is_empty() {
+                0.0
+            } else {
+                failures as f64 / records.len() as f64
+            };
+            ClientReport {
+                index,
+                strategy: handler.strategy_name(),
+                stats: handler.stats(),
+                callbacks: handler.stats().callbacks,
+                failure_probability,
+                records,
+            }
+        })
+        .collect();
+
+    ExperimentReport {
+        clients,
+        ended_at: sim.now(),
+        messages: sim.messages_sent(),
+        events: sim.events_processed(),
+    }
+}
+
+/// Adapter: a boxed network model as a `NetworkModel`.
+struct BoxedNetwork(Box<dyn lan_sim::NetworkModel>);
+
+impl lan_sim::NetworkModel for BoxedNetwork {
+    fn delay(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        size: usize,
+        fanout: usize,
+        now: Instant,
+        rng: &mut rand::rngs::SmallRng,
+    ) -> Duration {
+        self.0.delay(from, to, size, fanout, now, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClientSpec, ServerSpec, StrategySpec};
+    use aqua_core::qos::QosSpec;
+    use aqua_replica::ServiceTimeModel;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn quick_config(qos: QosSpec, n_servers: usize, requests: u64, seed: u64) -> ExperimentConfig {
+        let mut client = ClientSpec::paper(qos);
+        client.num_requests = requests;
+        client.think_time = ms(100);
+        ExperimentConfig {
+            seed,
+            network: crate::config::NetworkSpec::paper(),
+            servers: (0..n_servers)
+                .map(|_| ServerSpec {
+                    service: ServiceTimeModel::Deterministic(ms(40)),
+                    ..ServerSpec::paper()
+                })
+                .collect(),
+            standby_servers: Vec::new(),
+            manager: None,
+            clients: vec![client],
+            max_virtual_time: Duration::from_secs(120),
+        }
+    }
+
+    #[test]
+    fn experiment_runs_to_completion() {
+        let qos = QosSpec::new(ms(200), 0.9).unwrap();
+        let report = run_experiment(&quick_config(qos, 3, 10, 5));
+        let client = report.client_under_test();
+        assert_eq!(client.records.len(), 10);
+        assert_eq!(client.failure_probability, 0.0);
+        assert_eq!(client.strategy, "model-based");
+        assert!(report.messages > 0);
+    }
+
+    #[test]
+    fn reports_compute_redundancy_and_latency() {
+        let qos = QosSpec::new(ms(200), 0.0).unwrap();
+        let report = run_experiment(&quick_config(qos, 4, 10, 9));
+        let client = report.client_under_test();
+        // Cold start (4) then 2 each: mean in (2, 4].
+        assert!(client.mean_redundancy() > 2.0);
+        assert!((client.mean_redundancy_warm() - 2.0).abs() < 1e-9);
+        let p50 = client.latency_quantile(0.5).unwrap();
+        assert!(p50 >= ms(40) && p50 < ms(80), "p50 = {p50}");
+        assert!(client.mean_latency().unwrap() >= ms(40));
+    }
+
+    #[test]
+    fn different_strategies_are_wired_through() {
+        let qos = QosSpec::new(ms(200), 0.5).unwrap();
+        let mut config = quick_config(qos, 3, 5, 2);
+        config.clients[0].strategy = StrategySpec::RoundRobin { k: 1 };
+        let report = run_experiment(&config);
+        assert_eq!(report.client_under_test().strategy, "round-robin");
+        assert!(
+            (report.client_under_test().mean_redundancy() - 1.0).abs() < 1e-9,
+            "round-robin k=1 always selects one replica"
+        );
+    }
+
+    #[test]
+    fn deterministic_reports_per_seed() {
+        let qos = QosSpec::new(ms(150), 0.9).unwrap();
+        let a = run_experiment(&quick_config(qos, 3, 8, 77));
+        let b = run_experiment(&quick_config(qos, 3, 8, 77));
+        let ra: Vec<_> = a
+            .client_under_test()
+            .records
+            .iter()
+            .map(|r| (r.seq, r.timely, r.response_time))
+            .collect();
+        let rb: Vec<_> = b
+            .client_under_test()
+            .records
+            .iter()
+            .map(|r| (r.seq, r.timely, r.response_time))
+            .collect();
+        assert_eq!(ra, rb);
+    }
+}

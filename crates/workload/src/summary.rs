@@ -1,0 +1,234 @@
+//! Latency summaries: exact percentiles plus running moments.
+//!
+//! Experiment scales here are small (10²–10⁵ samples), so the summary
+//! stores every sample for exact quantiles and keeps Welford-style running
+//! moments for mean/variance without a second pass.
+
+use aqua_core::time::Duration;
+
+/// An accumulating summary of duration samples.
+///
+/// # Examples
+///
+/// ```
+/// use aqua_workload::LatencySummary;
+/// use aqua_core::time::Duration;
+///
+/// let mut s = LatencySummary::new();
+/// for v in [10u64, 20, 30, 40] {
+///     s.push(Duration::from_millis(v));
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert_eq!(s.mean(), Some(Duration::from_millis(25)));
+/// assert_eq!(s.quantile(0.5), Some(Duration::from_millis(30)), "nearest rank rounds up");
+/// assert_eq!(s.max(), Some(Duration::from_millis(40)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencySummary {
+    samples: Vec<Duration>,
+    sorted: bool,
+    mean_ns: f64,
+    m2: f64,
+}
+
+impl LatencySummary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        LatencySummary {
+            samples: Vec::new(),
+            sorted: true,
+            mean_ns: 0.0,
+            m2: 0.0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn push(&mut self, sample: Duration) {
+        // Welford's online update.
+        let x = sample.as_nanos() as f64;
+        let n = self.samples.len() as f64 + 1.0;
+        let delta = x - self.mean_ns;
+        self.mean_ns += delta / n;
+        self.m2 += delta * (x - self.mean_ns);
+        if let Some(last) = self.samples.last() {
+            if sample < *last {
+                self.sorted = false;
+            }
+        }
+        self.samples.push(sample);
+    }
+
+    /// Records every sample of an iterator.
+    pub fn extend<I: IntoIterator<Item = Duration>>(&mut self, iter: I) {
+        for s in iter {
+            self.push(s);
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(Duration::from_nanos(self.mean_ns.round() as u64))
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let var = self.m2 / self.samples.len() as f64;
+        Some(Duration::from_nanos(var.sqrt().round() as u64))
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<Duration> {
+        self.samples.iter().min().copied()
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<Duration> {
+        self.samples.iter().max().copied()
+    }
+
+    /// Exact `q`-quantile (nearest-rank on the sorted samples).
+    pub fn quantile(&mut self, q: f64) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let idx = ((self.samples.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(self.samples[idx])
+    }
+
+    /// Fraction of samples at or below `threshold` — e.g. the observed
+    /// probability of meeting a deadline.
+    pub fn fraction_within(&self, threshold: Duration) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|s| **s <= threshold).count() as f64
+            / self.samples.len() as f64
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &LatencySummary) {
+        for s in &other.samples {
+            self.push(*s);
+        }
+    }
+
+    /// One-line human-readable rendering.
+    pub fn describe(&mut self) -> String {
+        if self.is_empty() {
+            return "no samples".to_string();
+        }
+        let mean = self.mean().expect("non-empty");
+        let p50 = self.quantile(0.5).expect("non-empty");
+        let p99 = self.quantile(0.99).expect("non-empty");
+        let max = self.max().expect("non-empty");
+        format!(
+            "n={} mean={mean} p50={p50} p99={p99} max={max}",
+            self.count()
+        )
+    }
+}
+
+impl FromIterator<Duration> for LatencySummary {
+    fn from_iter<I: IntoIterator<Item = Duration>>(iter: I) -> Self {
+        let mut s = LatencySummary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_summary_yields_none() {
+        let mut s = LatencySummary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.std_dev(), None);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.fraction_within(ms(1)), 0.0);
+        assert_eq!(s.describe(), "no samples");
+    }
+
+    #[test]
+    fn moments_match_direct_computation() {
+        let mut s = LatencySummary::new();
+        s.extend([ms(10), ms(20), ms(30), ms(40)]);
+        assert_eq!(s.mean(), Some(ms(25)));
+        // Population std dev of {10,20,30,40} (ms) = √125 ≈ 11.18.
+        let sd = s.std_dev().unwrap().as_millis_f64();
+        assert!((sd - 125f64.sqrt()).abs() < 0.01, "{sd}");
+        assert_eq!(s.min(), Some(ms(10)));
+        assert_eq!(s.max(), Some(ms(40)));
+    }
+
+    #[test]
+    fn quantiles_are_exact_nearest_rank() {
+        let mut s: LatencySummary = (1..=100).map(ms).collect();
+        assert_eq!(s.quantile(0.0), Some(ms(1)));
+        assert_eq!(s.quantile(0.5), Some(ms(51)));
+        assert_eq!(s.quantile(0.99), Some(ms(99)));
+        assert_eq!(s.quantile(1.0), Some(ms(100)));
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let mut s = LatencySummary::new();
+        s.extend([ms(30), ms(10), ms(20)]);
+        assert_eq!(s.quantile(0.5), Some(ms(20)));
+        // Pushing after sorting keeps correctness.
+        s.push(ms(5));
+        assert_eq!(s.quantile(0.0), Some(ms(5)));
+    }
+
+    #[test]
+    fn fraction_within_counts_inclusive() {
+        let s: LatencySummary = [ms(10), ms(20), ms(30)].into_iter().collect();
+        assert_eq!(s.fraction_within(ms(20)), 2.0 / 3.0);
+        assert_eq!(s.fraction_within(ms(9)), 0.0);
+        assert_eq!(s.fraction_within(ms(100)), 1.0);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a: LatencySummary = [ms(10), ms(20)].into_iter().collect();
+        let b: LatencySummary = [ms(30), ms(40)].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.mean(), Some(ms(25)));
+    }
+
+    #[test]
+    fn describe_mentions_count() {
+        let mut s: LatencySummary = [ms(10)].into_iter().collect();
+        let d = s.describe();
+        assert!(d.contains("n=1"), "{d}");
+        assert!(d.contains("mean=10ms"), "{d}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Quickstart: the paper's algorithm in three acts.
+//!
+//! 1. Run Algorithm 1 by hand on a set of per-replica probabilities.
+//! 2. Let the full model (pmf convolution over measured history) produce
+//!    those probabilities.
+//! 3. Run a complete simulated cluster and watch the handler adapt.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use aqua::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ms = Duration::from_millis;
+
+    // ---- Act 1: Algorithm 1 in isolation -------------------------------
+    println!("== Act 1: Algorithm 1 on known probabilities ==");
+    let candidates: Vec<Candidate> = [0.97f64, 0.9, 0.62, 0.4, 0.1]
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Candidate::new(ReplicaId::new(i as u64), *p))
+        .collect();
+    for pc in [0.0, 0.5, 0.9, 0.999] {
+        let s = select_replicas(&candidates, pc);
+        println!(
+            "  Pc = {pc:<5} → {} (crash-tolerant probability {:.3})",
+            s,
+            s.crash_tolerant_probability()
+        );
+    }
+
+    // ---- Act 2: probabilities from measured history --------------------
+    println!("\n== Act 2: the response-time model over measurements ==");
+    let mut selector = ReplicaSelector::new(5, SelectorConfig::default());
+    // Three replicas: fast-and-steady, fast-but-queued, slow.
+    let profiles: [(&str, u64, u64); 3] =
+        [("fast", 40, 0), ("queued", 40, 120), ("slow", 170, 0)];
+    for (i, (_, service, queue)) in profiles.iter().enumerate() {
+        let id = ReplicaId::new(i as u64);
+        selector.repository_mut().insert_replica(id);
+        for k in 0..5u64 {
+            selector.repository_mut().record_perf(
+                id,
+                PerfReport::new(ms(service + 5 * k), ms(*queue), 1),
+                Instant::EPOCH,
+            );
+        }
+        selector
+            .repository_mut()
+            .record_gateway_delay(id, ms(3), Instant::EPOCH);
+    }
+    let qos = QosSpec::new(ms(150), 0.9)?;
+    let decision = selector.select(&qos);
+    for c in &decision.candidates {
+        let name = profiles[c.id.index() as usize].0;
+        println!("  F_R({name})({}) = {:.3}", qos.deadline(), c.probability);
+    }
+    println!(
+        "  selected: {} in {} (model {}, Algorithm 1 {})",
+        decision.selection,
+        decision.overhead(),
+        decision.model_time,
+        decision.select_time
+    );
+
+    // ---- Act 3: a live simulated cluster --------------------------------
+    println!("\n== Act 3: a simulated 5-replica cluster, 20 requests ==");
+    let mut config = ExperimentConfig::paper(QosSpec::new(ms(140), 0.9)?, 7);
+    config.servers.truncate(5);
+    for c in &mut config.clients {
+        c.num_requests = 20;
+        c.think_time = ms(200);
+    }
+    let report = run_experiment(&config);
+    let client = report.client_under_test();
+    println!(
+        "  {} requests, mean redundancy {:.2}, observed P(timing failure) {:.2}",
+        client.records.len(),
+        client.mean_redundancy(),
+        client.failure_probability
+    );
+    println!(
+        "  median latency {:.1} ms over {} network messages",
+        client
+            .latency_quantile(0.5)
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(f64::NAN),
+        report.messages
+    );
+    assert!(
+        client.failure_probability <= 0.1 + 1e-9,
+        "the Pc = 0.9 budget held"
+    );
+    println!("  ✓ the QoS budget held");
+    Ok(())
+}

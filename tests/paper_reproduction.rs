@@ -1,0 +1,107 @@
+//! Integration tests asserting the paper's §6 claims hold qualitatively on
+//! the full simulated stack (Figures 4 and 5, scaled down for CI speed).
+
+use aqua::core::qos::QosSpec;
+use aqua::core::time::Duration;
+use aqua::workload::{run_experiment, ExperimentConfig};
+
+fn ms(v: u64) -> Duration {
+    Duration::from_millis(v)
+}
+
+/// Runs one (deadline, Pc) cell of the paper's experiment with fewer
+/// requests than the full figure regenerators use.
+fn cell(deadline_ms: u64, pc: f64, seed: u64, requests: u64) -> (f64, f64) {
+    let qos = QosSpec::new(ms(deadline_ms), pc).unwrap();
+    let mut config = ExperimentConfig::paper(qos, seed);
+    for c in &mut config.clients {
+        c.num_requests = requests;
+        c.think_time = ms(200);
+    }
+    let report = run_experiment(&config);
+    let c = report.client_under_test();
+    (c.mean_redundancy(), c.failure_probability)
+}
+
+#[test]
+fn figure4_redundancy_decreases_with_deadline() {
+    let (tight, _) = cell(100, 0.9, 1, 40);
+    let (mid, _) = cell(150, 0.9, 1, 40);
+    let (loose, _) = cell(200, 0.9, 1, 40);
+    assert!(
+        tight > mid && mid > loose,
+        "Pc=0.9 redundancy must fall with the deadline: {tight} > {mid} > {loose}"
+    );
+    assert!(tight >= 3.5, "tight deadlines demand heavy fan-out: {tight}");
+    assert!(loose < 3.0, "loose deadlines need little redundancy: {loose}");
+}
+
+#[test]
+fn figure4_redundancy_decreases_with_requested_probability() {
+    let (strict, _) = cell(120, 0.9, 2, 40);
+    let (medium, _) = cell(120, 0.5, 2, 40);
+    let (loose, _) = cell(120, 0.0, 2, 40);
+    assert!(
+        strict > medium && medium >= loose,
+        "redundancy must be monotone in Pc: {strict} ≥ {medium} ≥ {loose}"
+    );
+}
+
+#[test]
+fn figure4_pc_zero_selects_the_minimum_two() {
+    // "the algorithm chooses only a redundancy level of 2, which is the
+    // minimum number of replicas selected by Algorithm 1" — plus the
+    // cold-start multicast on the very first request.
+    let (mean, _) = cell(200, 0.0, 3, 50);
+    let cold_start_share = (7.0 - 2.0) / 50.0;
+    assert!(
+        (mean - (2.0 + cold_start_share)).abs() < 0.2,
+        "Pc=0 mean redundancy ≈ 2 (+cold start): {mean}"
+    );
+}
+
+#[test]
+fn figure5_failure_probability_stays_within_budget() {
+    for (pc, budget) in [(0.9, 0.1), (0.5, 0.5), (0.0, 1.0)] {
+        for deadline in [110, 150, 190] {
+            let (_, failures) = cell(deadline, pc, 4, 40);
+            assert!(
+                failures <= budget + 0.05,
+                "Pc={pc} deadline={deadline}: observed {failures} vs budget {budget}"
+            );
+        }
+    }
+}
+
+#[test]
+fn figure5_failures_decrease_with_deadline() {
+    let (_, tight) = cell(100, 0.0, 5, 50);
+    let (_, loose) = cell(200, 0.0, 5, 50);
+    assert!(
+        tight >= loose,
+        "failures cannot increase with a looser deadline: {tight} vs {loose}"
+    );
+    assert!(
+        loose < 0.05,
+        "at 200 ms vs N(100, 50) service, failures are rare: {loose}"
+    );
+}
+
+#[test]
+fn background_client_is_unaffected_by_the_sweep() {
+    // Client 1 always requests (200 ms, Pc ≥ 0); its outcome should be
+    // stable regardless of what client 2 asks for.
+    let qos = QosSpec::new(ms(100), 0.9).unwrap();
+    let mut config = ExperimentConfig::paper(qos, 6);
+    for c in &mut config.clients {
+        c.num_requests = 40;
+        c.think_time = ms(200);
+    }
+    let report = run_experiment(&config);
+    let background = &report.clients[0];
+    assert!(
+        background.failure_probability < 0.15,
+        "the 200 ms background client rarely fails: {}",
+        background.failure_probability
+    );
+}

@@ -1,0 +1,134 @@
+//! Integration tests comparing the paper's strategy against the baselines
+//! from §1/§7 on scenarios where adaptivity matters.
+
+use aqua::core::qos::QosSpec;
+use aqua::core::time::Duration;
+use aqua::replica::{LoadModel, ServiceTimeModel};
+use aqua::workload::{
+    run_experiment, ClientReport, ClientSpec, ExperimentConfig, NetworkSpec, ServerSpec,
+    StrategySpec,
+};
+
+fn ms(v: u64) -> Duration {
+    Duration::from_millis(v)
+}
+
+/// Heterogeneous, partially bursty pool — the environment §8 calls
+/// "compute-bound service providers that display variability in their
+/// response times".
+fn bursty_scenario(strategy: StrategySpec, seed: u64, deadline_ms: u64) -> ExperimentConfig {
+    let qos = QosSpec::new(ms(deadline_ms), 0.9).unwrap();
+    let mut client = ClientSpec::paper(qos);
+    client.strategy = strategy;
+    client.num_requests = 80;
+    client.think_time = ms(200);
+    let servers = (0..6)
+        .map(|i| ServerSpec {
+            service: ServiceTimeModel::Normal {
+                mean: ms(50 + 12 * i as u64),
+                std_dev: ms(15),
+                min: Duration::ZERO,
+            },
+            method_services: Vec::new(),
+            load: if i % 2 == 0 {
+                LoadModel::bursty(Duration::from_secs(4), Duration::from_secs(2), 7.0)
+            } else {
+                LoadModel::nominal()
+            },
+            crash: aqua::replica::CrashPlan::Never,
+            recover_after: None,
+        })
+        .collect();
+    ExperimentConfig {
+        seed,
+        network: NetworkSpec::paper(),
+        servers,
+        standby_servers: Vec::new(),
+        manager: None,
+        clients: vec![client],
+        max_virtual_time: Duration::from_secs(120),
+    }
+}
+
+fn run_avg(
+    strategy: StrategySpec,
+    seeds: std::ops::RangeInclusive<u64>,
+    deadline_ms: u64,
+) -> (f64, f64) {
+    let mut fail = 0.0;
+    let mut red = 0.0;
+    let n = seeds.clone().count() as f64;
+    for seed in seeds {
+        let report = run_experiment(&bursty_scenario(strategy.clone(), seed, deadline_ms));
+        let c: &ClientReport = report.client_under_test();
+        fail += c.failure_probability;
+        red += c.mean_redundancy();
+    }
+    (fail / n, red / n)
+}
+
+#[test]
+fn model_based_meets_budget_where_round_robin_does_not() {
+    // A tight 100 ms deadline: the model dodges bursty/slow hosts, a
+    // blind rotation cannot.
+    let (model_fail, _) = run_avg(StrategySpec::paper(), 1..=3, 100);
+    let (rr_fail, _) = run_avg(StrategySpec::RoundRobin { k: 2 }, 1..=3, 100);
+    assert!(
+        model_fail <= 0.1,
+        "model-based holds the 0.9 spec: {model_fail}"
+    );
+    assert!(
+        rr_fail > model_fail + 0.05,
+        "blind rotation hits bursty/slow hosts: {rr_fail} vs {model_fail}"
+    );
+}
+
+#[test]
+fn model_based_is_cheaper_than_full_replication() {
+    let (model_fail, model_red) = run_avg(StrategySpec::paper(), 4..=6, 150);
+    let (all_fail, all_red) = run_avg(StrategySpec::AllReplicas, 4..=6, 150);
+    assert!(model_fail <= 0.1 + 0.02);
+    assert!(all_fail <= 0.05, "all-replicas is the gold standard");
+    assert!(
+        model_red < all_red / 1.5,
+        "the paper's point: comparable protection at a fraction of the load \
+         ({model_red:.2} vs {all_red:.2} replicas per request)"
+    );
+}
+
+#[test]
+fn model_based_beats_random_at_equal_cost() {
+    let (model_fail, model_red) = run_avg(StrategySpec::paper(), 7..=9, 120);
+    let (rand_fail, rand_red) = run_avg(StrategySpec::Random { k: 2 }, 7..=9, 120);
+    // Similar redundancy…
+    assert!((model_red - rand_red).abs() < 1.0, "{model_red} vs {rand_red}");
+    // …but informed choice fails less.
+    assert!(
+        model_fail <= rand_fail,
+        "informed {model_fail} ≤ random {rand_fail}"
+    );
+}
+
+#[test]
+fn every_strategy_completes_the_workload() {
+    for strategy in [
+        StrategySpec::paper(),
+        StrategySpec::Random { k: 2 },
+        StrategySpec::FastestMean { k: 2 },
+        StrategySpec::LeastLoaded { k: 2 },
+        StrategySpec::Nearest { k: 2 },
+        StrategySpec::RoundRobin { k: 2 },
+        StrategySpec::StaticK { k: 2 },
+        StrategySpec::AllReplicas,
+    ] {
+        let report = run_experiment(&bursty_scenario(strategy.clone(), 42, 150));
+        let c = report.client_under_test();
+        assert_eq!(
+            c.records.len(),
+            80,
+            "{} finished its 80 requests",
+            strategy.name()
+        );
+        assert_eq!(c.strategy, strategy.name());
+    }
+}
