@@ -11,7 +11,9 @@
 use aqua_core::model::ModelConfig;
 use aqua_core::qos::QosSpec;
 use aqua_core::time::Duration;
-use aqua_workload::{run_experiment, ClientSpec, ExperimentConfig, NetworkSpec, ServerSpec, StrategySpec};
+use aqua_workload::{
+    run_experiment, ClientSpec, ExperimentConfig, NetworkSpec, ServerSpec, StrategySpec,
+};
 
 fn ms(v: u64) -> Duration {
     Duration::from_millis(v)

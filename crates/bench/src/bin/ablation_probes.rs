@@ -106,7 +106,11 @@ fn main() {
         let n = seeds as f64;
         println!(
             "| {} | {:.3} | {:.1} | {:.1} | {} |",
-            if probe { "every 2 s (ext.)" } else { "off (paper)" },
+            if probe {
+                "every 2 s (ext.)"
+            } else {
+                "off (paper)"
+            },
             fail / n,
             lat / n,
             tail_p50 / n,

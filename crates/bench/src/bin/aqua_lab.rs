@@ -27,6 +27,9 @@
 //!   --queue-scaled        predict W from current queue length (A9 ext.)
 //!   --seed S              RNG seed                           (default 1)
 //!   --json                emit a JSON report instead of text
+//!   --obs DIR             write journal.jsonl + metrics.prom +
+//!                         metrics.json into DIR (also honoured via the
+//!                         AQUA_OBS environment variable)
 //! ```
 
 use aqua_core::model::ModelConfig;
@@ -35,7 +38,7 @@ use aqua_core::time::{Duration, Instant};
 use aqua_gateway::ArrivalModel;
 use aqua_replica::{CrashPlan, LoadModel, ServiceTimeModel};
 use aqua_workload::{
-    run_experiment, ClientSpec, ExperimentConfig, NetworkSpec, ServerSpec, StrategySpec,
+    run_experiment_observed, ClientSpec, ExperimentConfig, NetworkSpec, ServerSpec, StrategySpec,
 };
 use lan_sim::UniformLan;
 
@@ -60,6 +63,7 @@ struct Options {
     queue_scaled: bool,
     seed: u64,
     json: bool,
+    obs: Option<String>,
 }
 
 impl Default for Options {
@@ -84,6 +88,7 @@ impl Default for Options {
             queue_scaled: false,
             seed: 1,
             json: false,
+            obs: None,
         }
     }
 }
@@ -142,7 +147,9 @@ fn parse_args() -> Options {
             "--strategy" => opts.strategy = parse_strategy(&value("--strategy")),
             "--crash" => {
                 let v = value("--crash");
-                let Some((i, s)) = v.split_once('@') else { usage() };
+                let Some((i, s)) = v.split_once('@') else {
+                    usage()
+                };
                 opts.crash_at.push((
                     i.parse().unwrap_or_else(|_| usage()),
                     s.parse().unwrap_or_else(|_| usage()),
@@ -159,6 +166,7 @@ fn parse_args() -> Options {
             "--queue-scaled" => opts.queue_scaled = true,
             "--seed" => opts.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--json" => opts.json = true,
+            "--obs" => opts.obs = Some(value("--obs")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -196,8 +204,7 @@ fn build_config(opts: &Options) -> ExperimentConfig {
 
     let mut clients: Vec<ClientSpec> = (0..opts.background)
         .map(|_| {
-            let mut c =
-                ClientSpec::paper(QosSpec::new(ms(200), 0.0).expect("constant spec valid"));
+            let mut c = ClientSpec::paper(QosSpec::new(ms(200), 0.0).expect("constant spec valid"));
             c.num_requests = opts.requests;
             c.think_time = ms(opts.think_ms);
             c
@@ -270,31 +277,60 @@ fn build_config(opts: &Options) -> ExperimentConfig {
 fn main() {
     let opts = parse_args();
     let config = build_config(&opts);
-    let report = run_experiment(&config);
+    let obs_dir = opts.obs.clone().or_else(aqua_obs::dir_from_env);
+    let obs = obs_dir.as_deref().map(|dir| {
+        aqua_obs::Obs::to_dir(dir).unwrap_or_else(|e| {
+            eprintln!("cannot open observability directory {dir:?}: {e}");
+            std::process::exit(2);
+        })
+    });
+    let report = run_experiment_observed(&config, obs.as_ref());
+    if let (Some(obs), Some(dir)) = (&obs, &obs_dir) {
+        if let Err(e) = obs.dump(dir) {
+            eprintln!("cannot write metric snapshots into {dir:?}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("observability written to {dir}/{{journal.jsonl,metrics.prom,metrics.json}}");
+    }
     let client = report.client_under_test();
 
     if opts.json {
-        let json = serde_json::json!({
-            "options": format!("{opts:?}"),
-            "strategy": client.strategy,
-            "requests": client.records.len(),
-            "failure_probability": client.failure_probability,
-            "budget": 1.0 - opts.pc,
-            "within_budget": client.failure_probability <= 1.0 - opts.pc + 1e-9,
-            "mean_redundancy": client.mean_redundancy(),
-            "mean_latency_ms": client.mean_latency().map(|d| d.as_millis_f64()),
-            "p50_ms": client.latency_quantile(0.5).map(|d| d.as_millis_f64()),
-            "p99_ms": client.latency_quantile(0.99).map(|d| d.as_millis_f64()),
-            "callbacks": client.callbacks,
-            "gave_up": client.stats.gave_up,
-            "virtual_seconds": report.ended_at.as_secs_f64(),
-            "network_messages": report.messages,
-        });
-        println!("{}", serde_json::to_string_pretty(&json).expect("serializable"));
+        let json = aqua_obs::json::JsonValue::object()
+            .field("options", format!("{opts:?}"))
+            .field("strategy", client.strategy)
+            .field("requests", client.records.len())
+            .field("failure_probability", client.failure_probability)
+            .field("budget", 1.0 - opts.pc)
+            .field(
+                "within_budget",
+                client.failure_probability <= 1.0 - opts.pc + 1e-9,
+            )
+            .field("mean_redundancy", client.mean_redundancy())
+            .field(
+                "mean_latency_ms",
+                client.mean_latency().map(|d| d.as_millis_f64()),
+            )
+            .field(
+                "p50_ms",
+                client.latency_quantile(0.5).map(|d| d.as_millis_f64()),
+            )
+            .field(
+                "p99_ms",
+                client.latency_quantile(0.99).map(|d| d.as_millis_f64()),
+            )
+            .field("callbacks", client.callbacks)
+            .field("gave_up", client.stats.gave_up)
+            .field("virtual_seconds", report.ended_at.as_secs_f64())
+            .field("network_messages", report.messages)
+            .build();
+        println!("{}", json.render_pretty());
         return;
     }
 
-    println!("aqua-lab: {} replica(s), strategy {}, seed {}", opts.replicas, client.strategy, opts.seed);
+    println!(
+        "aqua-lab: {} replica(s), strategy {}, seed {}",
+        opts.replicas, client.strategy, opts.seed
+    );
     println!(
         "QoS: deadline {} ms with Pc ≥ {}  (failure budget {:.2})",
         opts.deadline_ms,
@@ -318,7 +354,11 @@ fn main() {
     }
     for q in [0.5, 0.9, 0.99] {
         if let Some(l) = client.latency_quantile(q) {
-            println!("p{:<2.0}                 : {:.1} ms", q * 100.0, l.as_millis_f64());
+            println!(
+                "p{:<2.0}                 : {:.1} ms",
+                q * 100.0,
+                l.as_millis_f64()
+            );
         }
     }
     println!("QoS callbacks       : {}", client.callbacks);

@@ -28,6 +28,7 @@ fn main() {
     );
     let mut model_fraction_sum = 0.0;
     let mut cells = 0u32;
+    let obs = aqua_bench::obs_from_env();
     for l in [5usize, 10, 20] {
         let mut series = Series::new(format!("window = {l}"));
         for n in 2..=8 {
@@ -35,8 +36,26 @@ fn main() {
             series.push(n as f64, m.mean_total.as_nanos() as f64 / 1_000.0);
             model_fraction_sum += m.model_fraction();
             cells += 1;
+            if let Some((obs, _)) = &obs {
+                let window = l.to_string();
+                let replicas = n.to_string();
+                let labels = [("window", window.as_str()), ("replicas", replicas.as_str())];
+                let registry = obs.registry();
+                registry
+                    .histogram("aqua_selection_overhead_ns", &labels)
+                    .record(m.mean_total.as_nanos());
+                registry
+                    .histogram("aqua_selection_model_ns", &labels)
+                    .record(m.mean_model.as_nanos());
+                registry
+                    .histogram("aqua_selection_algorithm_ns", &labels)
+                    .record(m.mean_select.as_nanos());
+            }
         }
         fig.series.push(series);
+    }
+    if let Some((obs, dir)) = &obs {
+        aqua_bench::obs_dump(obs, dir);
     }
     println!("{}", fig.to_ascii(60, 12));
     println!("{}", fig.to_markdown());

@@ -15,7 +15,14 @@ fn main() {
         .unwrap_or(5);
     let seed_list: Vec<u64> = (1..=seeds).collect();
     eprintln!("running the §6 sweep over {seeds} seed(s)…");
-    let (fig4, _) = aqua_bench::paper_eval::run_paper_sweep(&seed_list);
+    let obs = aqua_bench::obs_from_env();
+    let (fig4, _) = aqua_bench::paper_eval::run_paper_sweep_observed(
+        &seed_list,
+        obs.as_ref().map(|(obs, _)| obs),
+    );
+    if let Some((obs, dir)) = &obs {
+        aqua_bench::obs_dump(obs, dir);
+    }
     println!("{}", fig4.to_ascii(60, 14));
     println!("{}", fig4.to_markdown());
     println!("```csv\n{}```", fig4.to_csv());

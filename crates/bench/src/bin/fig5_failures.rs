@@ -15,7 +15,14 @@ fn main() {
         .unwrap_or(5);
     let seed_list: Vec<u64> = (1..=seeds).collect();
     eprintln!("running the §6 sweep over {seeds} seed(s)…");
-    let (_, fig5) = aqua_bench::paper_eval::run_paper_sweep(&seed_list);
+    let obs = aqua_bench::obs_from_env();
+    let (_, fig5) = aqua_bench::paper_eval::run_paper_sweep_observed(
+        &seed_list,
+        obs.as_ref().map(|(obs, _)| obs),
+    );
+    if let Some((obs, dir)) = &obs {
+        aqua_bench::obs_dump(obs, dir);
+    }
     println!("{}", fig5.to_ascii(60, 14));
     println!("{}", fig5.to_markdown());
     println!("```csv\n{}```", fig5.to_csv());

@@ -8,13 +8,17 @@
 //! the backup's reply is already in flight (Eq. 3). This binary crashes
 //! the primary mid-run and compares worst-case latencies.
 //!
-//! Usage: `handler_comparison [seeds]`.
+//! Usage: `handler_comparison [seeds] [--json]`.
+//!
+//! With `--json`, the comparison plus a full metrics snapshot of the
+//! timing-fault runs (from `aqua-obs`) is emitted as one JSON document
+//! instead of the markdown table.
 
 use aqua_core::qos::{QosSpec, ReplicaId};
 use aqua_core::time::{Duration, Instant};
 use aqua_gateway::{
-    AquaMsg, ClientConfig, ClientGateway, PassiveClientConfig, PassiveClientGateway,
-    RequestRecord, ServerConfig, ServerGateway, Wire,
+    AquaMsg, ClientConfig, ClientGateway, PassiveClientConfig, PassiveClientGateway, RequestRecord,
+    ServerConfig, ServerGateway, Wire,
 };
 use aqua_group::{FailureDetectorConfig, GroupCoordinator};
 use aqua_replica::{CrashPlan, ServiceTimeModel};
@@ -58,17 +62,27 @@ fn summarize(records: &[RequestRecord], deadline: Duration) -> (f64, Duration, f
     (late as f64 / records.len().max(1) as f64, worst, mean_red)
 }
 
+struct HandlerSummary {
+    failure_probability: f64,
+    worst: Duration,
+    mean_transmissions: f64,
+}
+
 fn main() {
-    let seeds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
+    let mut seeds: u64 = 5;
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else if let Ok(n) = arg.parse() {
+            seeds = n;
+        } else {
+            eprintln!("usage: handler_comparison [seeds] [--json]");
+            std::process::exit(2);
+        }
+    }
     let qos = QosSpec::new(ms(300), 0.9).expect("valid spec");
-    println!("scenario: 4 replicas N(80 ms, 15 ms); the primary (r0) crashes");
-    println!("at t = 6 s; 60 requests, think 150 ms, deadline 300 ms,");
-    println!("{seeds} seed(s). failure budget = 0.10.\n");
-    println!("| handler | P(failure) | worst latency | mean transmissions |");
-    println!("|---|---|---|---|");
+    let obs = aqua_obs::Obs::metrics_only();
 
     // --- timing fault handler ---
     let mut fail = 0.0;
@@ -79,20 +93,23 @@ fn main() {
         let mut cfg = ClientConfig::paper(coordinator, qos);
         cfg.num_requests = Some(60);
         cfg.think_time = ms(150);
-        let client = sim.add_node(ClientGateway::new(cfg, Box::new(ModelBased::default())));
+        let gateway = ClientGateway::new(cfg, Box::new(ModelBased::default())).with_obs(&obs, seed);
+        let client = sim.add_node(gateway);
         sim.run_until(Instant::from_secs(120));
+        sim.node_mut::<ClientGateway>(client)
+            .unwrap()
+            .finish_observability();
         let records = sim.node::<ClientGateway>(client).unwrap().records();
         let (f, w, r) = summarize(records, qos.deadline());
         fail += f;
         worst = worst.max(w);
         red += r;
     }
-    println!(
-        "| timing-fault (paper) | {:.3} | {} | {:.2} |",
-        fail / seeds as f64,
+    let timing = HandlerSummary {
+        failure_probability: fail / seeds as f64,
         worst,
-        red / seeds as f64
-    );
+        mean_transmissions: red / seeds as f64,
+    };
 
     // --- passive handler ---
     let mut fail = 0.0;
@@ -113,11 +130,50 @@ fn main() {
         red += r;
         failovers += gw.failovers();
     }
+    let passive = HandlerSummary {
+        failure_probability: fail / seeds as f64,
+        worst,
+        mean_transmissions: red / seeds as f64,
+    };
+
+    if json {
+        let summary = |s: &HandlerSummary| {
+            aqua_obs::json::JsonValue::object()
+                .field("failure_probability", s.failure_probability)
+                .field("worst_latency_ms", s.worst.as_millis_f64())
+                .field("mean_transmissions", s.mean_transmissions)
+        };
+        let doc = aqua_obs::json::JsonValue::object()
+            .field(
+                "scenario",
+                "4 replicas N(80 ms, 15 ms), primary crashes at 6 s",
+            )
+            .field("seeds", seeds)
+            .field("deadline_ms", 300u64)
+            .field("failure_budget", 0.1)
+            .field("timing_fault", summary(&timing))
+            .field("passive", summary(&passive).field("failovers", failovers))
+            .field(
+                "metrics",
+                aqua_obs::export::to_json(&obs.registry().snapshot()),
+            )
+            .build();
+        println!("{}", doc.render_pretty());
+        return;
+    }
+
+    println!("scenario: 4 replicas N(80 ms, 15 ms); the primary (r0) crashes");
+    println!("at t = 6 s; 60 requests, think 150 ms, deadline 300 ms,");
+    println!("{seeds} seed(s). failure budget = 0.10.\n");
+    println!("| handler | P(failure) | worst latency | mean transmissions |");
+    println!("|---|---|---|---|");
+    println!(
+        "| timing-fault (paper) | {:.3} | {} | {:.2} |",
+        timing.failure_probability, timing.worst, timing.mean_transmissions
+    );
     println!(
         "| passive (prior AQuA) | {:.3} | {} | {:.2} |",
-        fail / seeds as f64,
-        worst,
-        red / seeds as f64
+        passive.failure_probability, passive.worst, passive.mean_transmissions
     );
     println!();
     println!("({failovers} failovers across the passive runs.)");

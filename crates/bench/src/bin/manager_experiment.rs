@@ -76,8 +76,7 @@ fn main() {
             let c = report.client_under_test();
             fail += c.failure_probability;
             let tail = &c.records[c.records.len().saturating_sub(20)..];
-            tail_red +=
-                tail.iter().map(|r| r.redundancy).sum::<usize>() as f64 / tail.len() as f64;
+            tail_red += tail.iter().map(|r| r.redundancy).sum::<usize>() as f64 / tail.len() as f64;
             gave_up += c.stats.gave_up;
         }
         let n = seeds as f64;

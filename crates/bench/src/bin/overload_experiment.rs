@@ -67,10 +67,7 @@ fn main() {
     println!("under test starts at (150 ms, Pc = 0.9); {seeds} seed(s).\n");
     println!("| policy | P(failure) | callbacks | mean latency (ms) | mean redundancy |");
     println!("|---|---|---|---|---|");
-    for (name, renegotiate) in [
-        ("keep tight spec", false),
-        ("renegotiate to 400 ms", true),
-    ] {
+    for (name, renegotiate) in [("keep tight spec", false), ("renegotiate to 400 ms", true)] {
         let mut fail = 0.0;
         let mut callbacks = 0u64;
         let mut lat = 0.0;

@@ -7,7 +7,9 @@
 //! deadlines 50–90 ms, 30 requests per cell.
 //!
 //! Usage: `runtime_sweep [requests_per_cell]` (default 30; the whole sweep
-//! takes ~15 s of real time).
+//! takes ~15 s of real time). Set `AQUA_OBS=DIR` to capture the socket
+//! runtime's observability bundle (wire frame/byte counters, server
+//! service/queue metrics, per-request spans).
 
 use aqua_core::qos::{QosSpec, ReplicaId};
 use aqua_core::repository::MethodId;
@@ -25,10 +27,14 @@ fn run_cell(
     deadline_ms: u64,
     pc: f64,
     requests: u32,
+    obs: Option<&aqua_obs::Obs>,
+    cell: u64,
 ) -> (f64, f64) {
     let replicas: Vec<_> = servers.iter().map(|s| (s.replica(), s.addr())).collect();
     let mut config = AquaClientConfig::new(QosSpec::new(ms(deadline_ms), pc).expect("valid"));
     config.give_up_after = ms(2_000);
+    config.obs = obs.cloned();
+    config.id = cell;
     let client = AquaClient::connect(&replicas, config, Box::new(ModelBased::default()))
         .expect("connect to local replicas");
     let mut failures = 0u32;
@@ -50,6 +56,7 @@ fn run_cell(
         // the redundant copies drain so queues do not snowball.
         std::thread::sleep(std::time::Duration::from_millis(120));
     }
+    client.finish_observability();
     (
         redundancy_sum as f64 / requests as f64,
         failures as f64 / requests as f64,
@@ -61,6 +68,8 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(30);
+
+    let obs = aqua_bench::obs_from_env();
 
     eprintln!("spawning 5 replica servers (Normal 40 ms, σ20 ms) on localhost…");
     let servers: Vec<ReplicaServer> = (0..5)
@@ -74,6 +83,7 @@ fn main() {
                 },
                 seed: 500 + i,
                 crash_after: None,
+                obs: obs.as_ref().map(|(obs, _)| obs.clone()),
             })
             .expect("spawn replica server")
         })
@@ -82,9 +92,18 @@ fn main() {
     println!("| deadline (ms) | Pc | mean redundancy | observed P(failure) | budget | ok? |");
     println!("|---|---|---|---|---|---|");
     let mut all_ok = true;
+    let mut cell = 0u64;
     for pc in [0.9, 0.0] {
         for deadline in [50u64, 70, 90] {
-            let (redundancy, failures) = run_cell(&servers, deadline, pc, requests);
+            let (redundancy, failures) = run_cell(
+                &servers,
+                deadline,
+                pc,
+                requests,
+                obs.as_ref().map(|(obs, _)| obs),
+                cell,
+            );
+            cell += 1;
             let budget = 1.0 - pc;
             let ok = failures <= budget + 1e-9;
             all_ok &= ok;
@@ -105,5 +124,8 @@ fn main() {
     if !all_ok {
         println!("WARNING: a cell exceeded its budget — wall-clock noise on a");
         println!("loaded machine can do this; re-run with more requests.");
+    }
+    if let Some((obs, dir)) = &obs {
+        aqua_bench::obs_dump(obs, dir);
     }
 }

@@ -10,3 +10,28 @@
 
 pub mod paper_eval;
 pub mod synthetic;
+
+/// Opens the observability sink requested via the `AQUA_OBS` environment
+/// variable (see [`aqua_obs::dir_from_env`]): returns the handle plus the
+/// output directory, or `None` when observability is off. Exits on I/O
+/// errors — this is binary-startup code.
+pub fn obs_from_env() -> Option<(aqua_obs::Obs, String)> {
+    let dir = aqua_obs::dir_from_env()?;
+    match aqua_obs::Obs::to_dir(&dir) {
+        Ok(obs) => Some((obs, dir)),
+        Err(e) => {
+            eprintln!("cannot open observability directory {dir:?}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Flushes `obs` into `dir` (journal + both metric snapshots), reporting
+/// the location on stderr. Exits on I/O errors.
+pub fn obs_dump(obs: &aqua_obs::Obs, dir: &str) {
+    if let Err(e) = obs.dump(dir) {
+        eprintln!("cannot write metric snapshots into {dir:?}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("observability written to {dir}/{{journal.jsonl,metrics.prom,metrics.json}}");
+}

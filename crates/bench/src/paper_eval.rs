@@ -3,7 +3,7 @@
 
 use aqua_core::qos::QosSpec;
 use aqua_core::time::Duration;
-use aqua_workload::{average_series, run_experiment, ExperimentConfig, Figure, Series};
+use aqua_workload::{average_series, run_experiment_observed, ExperimentConfig, Figure, Series};
 
 /// The probabilities the paper's second client requests.
 pub const PAPER_PROBABILITIES: [f64; 3] = [0.9, 0.5, 0.0];
@@ -30,10 +30,21 @@ pub struct SweepPoint {
 /// Runs the paper's two-client experiment for one (deadline, Pc) cell and
 /// one seed.
 pub fn run_cell(deadline_ms: u64, probability: f64, seed: u64) -> SweepPoint {
+    run_cell_observed(deadline_ms, probability, seed, None)
+}
+
+/// [`run_cell`] with optional observability — every cell of a sweep
+/// accumulates into the same [`aqua_obs::Obs`] handle.
+pub fn run_cell_observed(
+    deadline_ms: u64,
+    probability: f64,
+    seed: u64,
+    obs: Option<&aqua_obs::Obs>,
+) -> SweepPoint {
     let qos = QosSpec::new(Duration::from_millis(deadline_ms), probability)
         .expect("sweep parameters are valid");
     let config = ExperimentConfig::paper(qos, seed);
-    let report = run_experiment(&config);
+    let report = run_experiment_observed(&config, obs);
     let client = report.client_under_test();
     SweepPoint {
         deadline_ms,
@@ -47,6 +58,13 @@ pub fn run_cell(deadline_ms: u64, probability: f64, seed: u64) -> SweepPoint {
 /// reproduction of Figure 4 (average replicas selected) and Figure 5
 /// (observed timing-failure probability).
 pub fn run_paper_sweep(seeds: &[u64]) -> (Figure, Figure) {
+    run_paper_sweep_observed(seeds, None)
+}
+
+/// [`run_paper_sweep`] with optional observability: all cells of the sweep
+/// feed one [`aqua_obs::Obs`] handle, so the resulting snapshot aggregates
+/// the whole grid.
+pub fn run_paper_sweep_observed(seeds: &[u64], obs: Option<&aqua_obs::Obs>) -> (Figure, Figure) {
     let mut fig4 = Figure::new(
         "Figure 4: Comparison of the number of selected replicas",
         "deadline_ms",
@@ -66,7 +84,7 @@ pub fn run_paper_sweep(seeds: &[u64]) -> (Figure, Figure) {
             let mut red = Series::new(label.clone());
             let mut fail = Series::new(label.clone());
             for deadline in paper_deadlines() {
-                let point = run_cell(deadline, pc, *seed);
+                let point = run_cell_observed(deadline, pc, *seed, obs);
                 red.push(deadline as f64, point.mean_redundancy);
                 fail.push(deadline as f64, point.failure_probability);
             }

@@ -46,12 +46,7 @@ pub fn synthetic_selector(n: usize, l: usize, seed: u64) -> ReplicaSelector {
 
 /// Measures the mean per-decision overhead δ (and its model/selection
 /// split) over `iters` scheduling decisions.
-pub fn measure_overhead(
-    n: usize,
-    l: usize,
-    qos: &QosSpec,
-    iters: u32,
-) -> OverheadMeasurement {
+pub fn measure_overhead(n: usize, l: usize, qos: &QosSpec, iters: u32) -> OverheadMeasurement {
     let mut selector = synthetic_selector(n, l, 42);
     // Warm up caches and the δ tracker.
     for _ in 0..16 {

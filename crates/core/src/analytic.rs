@@ -18,7 +18,8 @@ pub fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -197,8 +198,7 @@ mod tests {
         for p in [0.0, 0.3, 0.7, 1.0] {
             for n in 0..5 {
                 let direct = at_least_one(p, n);
-                let via_core =
-                    crate::select::combined_probability(&vec![p; n]);
+                let via_core = crate::select::combined_probability(&vec![p; n]);
                 assert!((direct - via_core).abs() < 1e-12, "p={p} n={n}");
             }
         }

@@ -213,7 +213,9 @@ mod tests {
         // 3 timely + 1 late = 0.75: not yet below.
         assert_eq!(
             det.record(Duration::from_millis(200)),
-            TimingVerdict::Failure { qos_violated: false }
+            TimingVerdict::Failure {
+                qos_violated: false
+            }
         );
         // 3 timely + 2 late = 0.6 < 0.75: notify.
         let verdict = det.record(Duration::from_millis(200));
@@ -229,7 +231,9 @@ mod tests {
         // is below the warm-up threshold.
         assert_eq!(
             det.record(Duration::from_millis(500)),
-            TimingVerdict::Failure { qos_violated: false }
+            TimingVerdict::Failure {
+                qos_violated: false
+            }
         );
         for _ in 0..8 {
             det.record(Duration::from_millis(1));

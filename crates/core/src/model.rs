@@ -180,13 +180,9 @@ impl ResponseTimeModel {
                         .collect::<Vec<_>>(),
                 )
                 .ok()?;
-                let queuing = Pmf::mixture(
-                    &queue_parts
-                        .iter()
-                        .map(|(w, p)| (*w, p))
-                        .collect::<Vec<_>>(),
-                )
-                .ok()?;
+                let queuing =
+                    Pmf::mixture(&queue_parts.iter().map(|(w, p)| (*w, p)).collect::<Vec<_>>())
+                        .ok()?;
                 (service, queuing)
             }
         };
@@ -240,7 +236,8 @@ impl ResponseTimeModel {
         deadline: Duration,
         method: Option<MethodId>,
     ) -> Option<f64> {
-        self.response_pmf_for(stats, method).map(|pmf| pmf.cdf(deadline))
+        self.response_pmf_for(stats, method)
+            .map(|pmf| pmf.cdf(deadline))
     }
 }
 
@@ -353,15 +350,11 @@ mod tests {
         let model = ResponseTimeModel::default();
         let stats = repo.stats(r).unwrap();
         assert_eq!(
-            model
-                .probability_by_for(stats, ms(50), Some(fast))
-                .unwrap(),
+            model.probability_by_for(stats, ms(50), Some(fast)).unwrap(),
             1.0
         );
         assert_eq!(
-            model
-                .probability_by_for(stats, ms(50), Some(slow))
-                .unwrap(),
+            model.probability_by_for(stats, ms(50), Some(slow)).unwrap(),
             0.0
         );
         assert!(

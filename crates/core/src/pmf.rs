@@ -383,8 +383,16 @@ impl Pmf {
             .filter(|(_, p)| **p > 0.0)
             .map(|(i, p)| ((self.offset + i as u64) * old_ns / new_ns, *p));
         let entries: Vec<(u64, f64)> = entries.collect();
-        let lo = entries.iter().map(|(i, _)| *i).min().expect("non-empty pmf");
-        let hi = entries.iter().map(|(i, _)| *i).max().expect("non-empty pmf");
+        let lo = entries
+            .iter()
+            .map(|(i, _)| *i)
+            .min()
+            .expect("non-empty pmf");
+        let hi = entries
+            .iter()
+            .map(|(i, _)| *i)
+            .max()
+            .expect("non-empty pmf");
         let mut probs = vec![0.0; usize::try_from(hi - lo + 1).expect("span fits")];
         for (idx, p) in entries {
             probs[(idx - lo) as usize] += p;
@@ -424,7 +432,11 @@ impl Pmf {
             }
         }
         let total_w: f64 = active.iter().map(|(w, _)| *w).sum();
-        let lo = active.iter().map(|(_, p)| p.offset).min().expect("non-empty");
+        let lo = active
+            .iter()
+            .map(|(_, p)| p.offset)
+            .min()
+            .expect("non-empty");
         let hi = active
             .iter()
             .map(|(_, p)| p.offset + p.probs.len() as u64 - 1)
@@ -489,9 +501,11 @@ mod tests {
 
     #[test]
     fn samples_within_a_bucket_collapse() {
-        let pmf =
-            Pmf::from_samples([Duration::from_micros(100), Duration::from_micros(900)], ms(1))
-                .unwrap();
+        let pmf = Pmf::from_samples(
+            [Duration::from_micros(100), Duration::from_micros(900)],
+            ms(1),
+        )
+        .unwrap();
         assert_eq!(pmf.len(), 1);
         assert_eq!(pmf.cdf(Duration::ZERO), 1.0, "both samples map to bucket 0");
     }
@@ -600,8 +614,7 @@ mod tests {
 
     #[test]
     fn from_weighted_ignores_nonpositive_weights() {
-        let pmf =
-            Pmf::from_weighted([(ms(1), -2.0), (ms(2), 0.0), (ms(3), 1.0)], ms(1)).unwrap();
+        let pmf = Pmf::from_weighted([(ms(1), -2.0), (ms(2), 0.0), (ms(3), 1.0)], ms(1)).unwrap();
         assert_eq!(pmf.support_min(), ms(3));
         assert!(matches!(
             Pmf::from_weighted([(ms(1), 0.0)], ms(1)).unwrap_err(),

@@ -240,9 +240,6 @@ mod tests {
     #[test]
     fn qos_display() {
         let qos = QosSpec::new(Duration::from_millis(150), 0.5).unwrap();
-        assert_eq!(
-            qos.to_string(),
-            "deadline 150ms met with probability ≥ 0.5"
-        );
+        assert_eq!(qos.to_string(), "deadline 150ms met with probability ≥ 0.5");
     }
 }

@@ -267,10 +267,7 @@ impl ReplicaSelector {
 fn cold_start_selection(all: Vec<ReplicaId>) -> Selection {
     // Reuse Algorithm 1 with an unattainable requirement so it returns the
     // complete set M with consistent bookkeeping.
-    let candidates: Vec<Candidate> = all
-        .into_iter()
-        .map(|id| Candidate::new(id, 0.0))
-        .collect();
+    let candidates: Vec<Candidate> = all.into_iter().map(|id| Candidate::new(id, 0.0)).collect();
     select_replicas(&candidates, 1.0)
 }
 
@@ -288,9 +285,11 @@ mod tests {
         let r = ReplicaId::new(id);
         selector.repository_mut().insert_replica(r);
         for _ in 0..3 {
-            selector
-                .repository_mut()
-                .record_perf(r, PerfReport::new(ms(service_ms), ms(0), 0), Instant::EPOCH);
+            selector.repository_mut().record_perf(
+                r,
+                PerfReport::new(ms(service_ms), ms(0), 0),
+                Instant::EPOCH,
+            );
         }
         selector
             .repository_mut()

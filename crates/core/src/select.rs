@@ -100,7 +100,11 @@ impl fmt::Display for Selection {
                 .collect::<Vec<_>>()
                 .join(", "),
             self.predicted_probability,
-            if self.fallback_all { " (fallback: all)" } else { "" }
+            if self.fallback_all {
+                " (fallback: all)"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -200,7 +204,11 @@ pub fn select_replicas_tolerating(
     if sorted.is_empty() || sorted.len() <= crashes {
         // Not enough replicas to both reserve and test: return everything.
         let full_prod: f64 = sorted.iter().map(|c| 1.0 - c.probability).product();
-        let predicted = if sorted.is_empty() { 0.0 } else { 1.0 - full_prod };
+        let predicted = if sorted.is_empty() {
+            0.0
+        } else {
+            1.0 - full_prod
+        };
         return Selection {
             replicas: sorted.iter().map(|c| c.id).collect(),
             predicted_probability: predicted,

@@ -205,11 +205,11 @@ impl fmt::Display for Duration {
         let ns = self.0;
         if ns == 0 {
             write!(f, "0ns")
-        } else if ns % 1_000_000_000 == 0 {
+        } else if ns.is_multiple_of(1_000_000_000) {
             write!(f, "{}s", ns / 1_000_000_000)
-        } else if ns % 1_000_000 == 0 && ns < 1_000_000_000 {
+        } else if ns.is_multiple_of(1_000_000) && ns < 1_000_000_000 {
             write!(f, "{}ms", ns / 1_000_000)
-        } else if ns % 1_000 == 0 && ns < 1_000_000 {
+        } else if ns.is_multiple_of(1_000) && ns < 1_000_000 {
             write!(f, "{}us", ns / 1_000)
         } else if ns >= 1_000_000_000 {
             write!(f, "{:.2}s", ns as f64 / 1e9)

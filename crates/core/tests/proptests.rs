@@ -318,7 +318,7 @@ proptest! {
             .collect();
         let s = select_replicas(&cands, pc);
         let k = replicas_needed(p, pc).expect("p > 0").max(1) as usize;
-        if k <= n - 1 {
+        if k < n {
             prop_assert!(!s.is_fallback_all());
             prop_assert_eq!(
                 s.redundancy(),

@@ -151,6 +151,7 @@ pub struct ClientGateway {
     issued: u64,
     subscribed: Vec<NodeId>,
     finished: bool,
+    obs: Option<(aqua_obs::Obs, u64)>,
 }
 
 impl std::fmt::Debug for ClientGateway {
@@ -176,6 +177,24 @@ impl ClientGateway {
             issued: 0,
             subscribed: Vec::new(),
             finished: false,
+            obs: None,
+        }
+    }
+
+    /// Enables observability: the handler will record metrics into `obs`
+    /// labelled with `client`, and journal one span per request.
+    #[must_use]
+    pub fn with_obs(mut self, obs: &aqua_obs::Obs, client: u64) -> Self {
+        self.obs = Some((obs.clone(), client));
+        self
+    }
+
+    /// Emits the handler's remaining journal spans and flushes the sink.
+    /// Call once at the end of a run; no-op without
+    /// [`ClientGateway::with_obs`].
+    pub fn finish_observability(&mut self) {
+        if let Some(handler) = self.handler.as_mut() {
+            handler.flush_observability();
         }
     }
 
@@ -215,7 +234,10 @@ impl ClientGateway {
             .filter(|n| !self.subscribed.contains(n))
             .collect();
         if !new_servers.is_empty() {
-            ctx.multicast(&new_servers, GroupMsg::App(AquaMsg::Subscribe { client: me }));
+            ctx.multicast(
+                &new_servers,
+                GroupMsg::App(AquaMsg::Subscribe { client: me }),
+            );
             self.subscribed.extend(new_servers);
         }
     }
@@ -307,7 +329,11 @@ impl ClientGateway {
                 if !matches!(outcome, IssueResult::Finished) {
                     let u: f64 = rand::Rng::gen_range(ctx.rng(), 0.0..1.0f64);
                     let gap = mean_interarrival.mul_f64(-(1.0 - u).ln());
-                    self.schedule(ctx, gap.max(Duration::from_nanos(1)), TimerKind::IssueRequest);
+                    self.schedule(
+                        ctx,
+                        gap.max(Duration::from_nanos(1)),
+                        TimerKind::IssueRequest,
+                    );
                 }
             }
             ArrivalModel::Bursts { size, interval } => {
@@ -320,12 +346,8 @@ impl ClientGateway {
                 }
                 match outcome {
                     IssueResult::Finished => {}
-                    IssueResult::NoServers => {
-                        self.schedule(ctx, RETRY, TimerKind::IssueRequest)
-                    }
-                    IssueResult::Issued => {
-                        self.schedule(ctx, interval, TimerKind::IssueRequest)
-                    }
+                    IssueResult::NoServers => self.schedule(ctx, RETRY, TimerKind::IssueRequest),
+                    IssueResult::Issued => self.schedule(ctx, interval, TimerKind::IssueRequest),
                 }
             }
         }
@@ -342,11 +364,7 @@ impl ClientGateway {
             let stale = self.handler_mut().stale_replicas(now, staleness);
             for replica in stale {
                 let plan = self.handler_mut().plan_probe(now, replica);
-                let Some(node) = self
-                    .agent
-                    .as_ref()
-                    .and_then(|a| a.view().node_of(replica))
-                else {
+                let Some(node) = self.agent.as_ref().and_then(|a| a.view().node_of(replica)) else {
                     self.handler_mut().on_give_up(plan.seq);
                     continue;
                 };
@@ -365,6 +383,17 @@ impl ClientGateway {
                 self.schedule(ctx, give_up, TimerKind::GiveUp(plan.seq));
             }
             self.schedule(ctx, staleness, TimerKind::ProbeCheck);
+        }
+    }
+
+    /// The give-up timer fired; if the request is still outstanding, record
+    /// the timing failure and move on.
+    fn give_up(&mut self, seq: u64, ctx: &mut Context<'_, Wire>) {
+        if self.handler_mut().on_give_up(seq) {
+            if let Some(rec) = self.records.iter_mut().find(|r| r.seq == seq) {
+                rec.timely = false;
+            }
+            self.finish_request(ctx);
         }
     }
 
@@ -429,11 +458,12 @@ impl Node<Wire> for ClientGateway {
         match event {
             Event::Started => {
                 let strategy = self.strategy.take().expect("strategy set at construction");
-                self.handler = Some(TimingFaultHandler::new(
-                    self.config.qos,
-                    self.config.window,
-                    strategy,
-                ));
+                let mut handler =
+                    TimingFaultHandler::new(self.config.qos, self.config.window, strategy);
+                if let Some((obs, client)) = self.obs.as_ref() {
+                    handler.attach_obs(obs, Some(*client));
+                }
+                self.handler = Some(handler);
                 self.finished = false;
                 let me = Member::client(ctx.self_id());
                 let mut agent =
@@ -455,14 +485,7 @@ impl Node<Wire> for ClientGateway {
                 match self.timers.remove(&token) {
                     Some(TimerKind::IssueRequest) => self.issue_request(ctx),
                     Some(TimerKind::ProbeCheck) => self.probe_stale(ctx),
-                    Some(TimerKind::GiveUp(seq)) => {
-                        if self.handler_mut().on_give_up(seq) {
-                            if let Some(rec) = self.records.iter_mut().find(|r| r.seq == seq) {
-                                rec.timely = false;
-                            }
-                            self.finish_request(ctx);
-                        }
-                    }
+                    Some(TimerKind::GiveUp(seq)) => self.give_up(seq, ctx),
                     None => {}
                 }
             }

@@ -20,6 +20,7 @@
 mod client;
 mod handlers;
 mod manager;
+pub mod obs;
 mod passive_client;
 mod proto;
 mod server;
@@ -28,6 +29,7 @@ mod timing;
 pub use client::{ArrivalModel, ClientConfig, ClientGateway, RequestRecord};
 pub use handlers::{active_strategy, FailoverAction, PassiveHandler, PassivePending};
 pub use manager::{DependabilityManager, ManagerConfig};
+pub use obs::HandlerObserver;
 pub use passive_client::{PassiveClientConfig, PassiveClientGateway};
 pub use proto::{AquaMsg, RequestId, Wire};
 pub use server::{ServerConfig, ServerGateway};
@@ -128,9 +130,10 @@ mod sim_tests {
         let coordinator = NodeId::new(0);
         let mut idle_cfg = ClientConfig::paper(coordinator, qos);
         idle_cfg.num_requests = Some(0);
-        let idle = bed
-            .sim
-            .add_node(ClientGateway::new(idle_cfg, Box::new(ModelBased::default())));
+        let idle = bed.sim.add_node(ClientGateway::new(
+            idle_cfg,
+            Box::new(ModelBased::default()),
+        ));
         bed.sim.run_until(Instant::from_secs(30));
 
         let idle_client = bed.sim.node::<ClientGateway>(idle).unwrap();
@@ -365,7 +368,10 @@ mod sim_tests {
                 None => true,
             })
             .count();
-        assert!(overlapping > 5, "open loop overlaps requests: {overlapping}");
+        assert!(
+            overlapping > 5,
+            "open loop overlaps requests: {overlapping}"
+        );
     }
 
     #[test]

@@ -95,9 +95,7 @@ impl DependabilityManager {
         // Account for activations already in flight (standbys we poked
         // that have not appeared in a view yet): every activated standby
         // beyond the live servers counts toward the target.
-        let in_flight = self
-            .config
-            .standbys[..self.next_standby]
+        let in_flight = self.config.standbys[..self.next_standby]
             .iter()
             .filter(|n| !agent.view().contains(**n))
             .count();
@@ -117,7 +115,8 @@ impl Node<Wire> for DependabilityManager {
         match event {
             Event::Started => {
                 let me = Member::client(ctx.self_id());
-                let mut agent = MembershipAgent::new(self.config.coordinator, me, self.config.group);
+                let mut agent =
+                    MembershipAgent::new(self.config.coordinator, me, self.config.group);
                 agent.on_started(ctx);
                 self.agent = Some(agent);
                 self.enforce_after = Some(ctx.now().saturating_add(self.config.startup_grace));

@@ -1,0 +1,334 @@
+//! Observability hooks for the timing fault handler.
+//!
+//! [`HandlerObserver`] is the glue between [`crate::TimingFaultHandler`]
+//! and the `aqua-obs` registry/journal: the handler calls one hook per
+//! lifecycle event (plan, reply, give-up) and the observer maintains
+//!
+//! * counters — requests, probes, delivered/redundant replies, give-ups,
+//!   QoS callbacks, timing failures, selection-set-size counts;
+//! * histograms — per-replica `ts`/`tq`/`td` decompositions, end-to-end
+//!   response times, and the selection overhead δ of §5.3.3;
+//! * one [`RequestSpan`] per request, emitted to the JSONL journal when
+//!   the request retires (give-up) or when the run flushes.
+//!
+//! All metric handles are cached here, so steady-state recording never
+//! touches the registry lock.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use aqua_core::failure::TimingVerdict;
+use aqua_core::qos::ReplicaId;
+use aqua_obs::journal::{ReplyObservation, RequestSpan, SpanOutcome};
+use aqua_obs::metrics::{Counter, Histogram};
+use aqua_obs::Obs;
+
+/// Renders a verdict as the journal's stable string form.
+fn verdict_label(verdict: TimingVerdict) -> &'static str {
+    match verdict {
+        TimingVerdict::Timely => "timely",
+        TimingVerdict::Failure { qos_violated: true } => "failure_qos_violated",
+        TimingVerdict::Failure {
+            qos_violated: false,
+        } => "failure",
+    }
+}
+
+struct ReplicaHistograms {
+    ts: Arc<Histogram>,
+    tq: Arc<Histogram>,
+    td: Arc<Histogram>,
+}
+
+/// Per-handler observability state. See the module docs.
+pub struct HandlerObserver {
+    obs: Obs,
+    client_label: String,
+    requests: Arc<Counter>,
+    probes: Arc<Counter>,
+    delivered: Arc<Counter>,
+    redundant: Arc<Counter>,
+    gave_up: Arc<Counter>,
+    callbacks: Arc<Counter>,
+    timing_failures: Arc<Counter>,
+    overhead: Arc<Histogram>,
+    response: Arc<Histogram>,
+    selection_sizes: HashMap<usize, Arc<Counter>>,
+    per_replica: HashMap<ReplicaId, ReplicaHistograms>,
+    spans: HashMap<u64, RequestSpan>,
+}
+
+impl std::fmt::Debug for HandlerObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HandlerObserver")
+            .field("client", &self.client_label)
+            .field("open_spans", &self.spans.len())
+            .finish()
+    }
+}
+
+impl HandlerObserver {
+    /// Creates an observer recording into `obs`, labelling every metric
+    /// with `client` (the gateway's client identity, when known).
+    pub fn new(obs: &Obs, client: Option<u64>) -> Self {
+        let client_label = client.map_or_else(|| "-".to_owned(), |c| c.to_string());
+        let registry = obs.registry();
+        let labels = [("client", client_label.as_str())];
+        HandlerObserver {
+            requests: registry.counter("aqua_requests_total", &labels),
+            probes: registry.counter("aqua_probes_total", &labels),
+            delivered: registry.counter("aqua_replies_delivered_total", &labels),
+            redundant: registry.counter("aqua_replies_redundant_total", &labels),
+            gave_up: registry.counter("aqua_gave_up_total", &labels),
+            callbacks: registry.counter("aqua_qos_callbacks_total", &labels),
+            timing_failures: registry.counter("aqua_timing_failures_total", &labels),
+            overhead: registry.histogram("aqua_selection_overhead_ns", &labels),
+            response: registry.histogram("aqua_response_time_ns", &labels),
+            selection_sizes: HashMap::new(),
+            per_replica: HashMap::new(),
+            spans: HashMap::new(),
+            obs: obs.clone(),
+            client_label,
+        }
+    }
+
+    fn replica_histograms(&mut self, replica: ReplicaId) -> &ReplicaHistograms {
+        if !self.per_replica.contains_key(&replica) {
+            let client_label = self.client_label.clone();
+            let replica_label = replica.index().to_string();
+            let entry = {
+                let registry = self.obs.registry();
+                let labels = [
+                    ("client", client_label.as_str()),
+                    ("replica", replica_label.as_str()),
+                ];
+                ReplicaHistograms {
+                    ts: registry.histogram("aqua_reply_ts_ns", &labels),
+                    tq: registry.histogram("aqua_reply_tq_ns", &labels),
+                    td: registry.histogram("aqua_reply_td_ns", &labels),
+                }
+            };
+            self.per_replica.insert(replica, entry);
+        }
+        &self.per_replica[&replica]
+    }
+
+    fn selection_size_counter(&mut self, size: usize) -> &Arc<Counter> {
+        if !self.selection_sizes.contains_key(&size) {
+            let client_label = self.client_label.clone();
+            let size_label = size.to_string();
+            let counter = self.obs.registry().counter(
+                "aqua_selection_size_total",
+                &[
+                    ("client", client_label.as_str()),
+                    ("size", size_label.as_str()),
+                ],
+            );
+            self.selection_sizes.insert(size, counter);
+        }
+        &self.selection_sizes[&size]
+    }
+
+    /// Records a planned request (or probe) and opens its span.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_plan(
+        &mut self,
+        seq: u64,
+        method: u32,
+        client: Option<u64>,
+        now_nanos: u64,
+        deadline_nanos: u64,
+        selected: &[ReplicaId],
+        probe: bool,
+        overhead_nanos: Option<u64>,
+    ) {
+        if probe {
+            self.probes.inc();
+        } else {
+            self.requests.inc();
+            self.selection_size_counter(selected.len()).inc();
+        }
+        if let Some(delta) = overhead_nanos {
+            self.overhead.record(delta);
+        }
+        let mut span = RequestSpan::begin(seq, method, now_nanos, now_nanos);
+        span.client = client;
+        span.deadline_nanos = deadline_nanos;
+        span.selected = selected.iter().map(|r| r.index()).collect();
+        span.probe = probe;
+        self.spans.insert(seq, span);
+        // Keep memory bounded on endless runs: spill the oldest finished
+        // spans once a generous cap is exceeded.
+        if self.spans.len() > 4096 {
+            let cutoff = seq.saturating_sub(4096);
+            let old: Vec<u64> = self
+                .spans
+                .iter()
+                .filter(|(s, span)| **s < cutoff && span.outcome != SpanOutcome::Pending)
+                .map(|(s, _)| *s)
+                .collect();
+            let journal = self.obs.journal();
+            let mut old = old;
+            old.sort_unstable();
+            for seq in old {
+                if let Some(span) = self.spans.remove(&seq) {
+                    journal.emit_span(&span);
+                }
+            }
+        }
+    }
+
+    /// Records one reply's measurements and appends it to its span.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_reply(
+        &mut self,
+        seq: u64,
+        replica: ReplicaId,
+        at_nanos: u64,
+        service_nanos: u64,
+        queue_nanos: u64,
+        gateway_nanos: u64,
+        response_nanos: u64,
+        first: bool,
+        probe: bool,
+        verdict: Option<TimingVerdict>,
+    ) {
+        {
+            let hists = self.replica_histograms(replica);
+            hists.ts.record(service_nanos);
+            hists.tq.record(queue_nanos);
+            hists.td.record(gateway_nanos);
+        }
+        if !probe {
+            if first {
+                self.delivered.inc();
+                self.response.record(response_nanos);
+            } else {
+                self.redundant.inc();
+            }
+            if let Some(v) = verdict {
+                if !v.is_timely() {
+                    self.timing_failures.inc();
+                }
+                if v.should_notify() {
+                    self.callbacks.inc();
+                }
+            }
+        }
+        if let Some(span) = self.spans.get_mut(&seq) {
+            span.replies.push(ReplyObservation {
+                replica: replica.index(),
+                at_nanos,
+                service_nanos,
+                queue_nanos,
+                gateway_nanos,
+                response_nanos,
+                first,
+                verdict: verdict.map(|v| verdict_label(v).to_owned()),
+            });
+            if first {
+                span.outcome = SpanOutcome::Delivered;
+                span.end_nanos = Some(at_nanos);
+            }
+        }
+    }
+
+    /// Records a give-up (no reply before the extended deadline) and emits
+    /// the span. Probe give-ups close the span without counting a failure.
+    pub(crate) fn on_give_up(&mut self, seq: u64, probe: bool) {
+        if !probe {
+            self.gave_up.inc();
+            self.timing_failures.inc();
+        }
+        if let Some(mut span) = self.spans.remove(&seq) {
+            span.outcome = SpanOutcome::GaveUp;
+            self.obs.journal().emit_span(&span);
+        }
+    }
+
+    /// Records a QoS callback fired by a give-up (reply callbacks are
+    /// counted inside [`HandlerObserver::on_reply`]).
+    pub(crate) fn on_give_up_callback(&mut self) {
+        self.callbacks.inc();
+    }
+
+    /// Emits every remaining span (delivered and still-pending ones) in
+    /// sequence order and flushes the journal.
+    pub fn flush(&mut self) {
+        let mut seqs: Vec<u64> = self.spans.keys().copied().collect();
+        seqs.sort_unstable();
+        let journal = self.obs.journal();
+        for seq in seqs {
+            if let Some(span) = self.spans.remove(&seq) {
+                journal.emit_span(&span);
+            }
+        }
+        journal.flush();
+    }
+
+    /// Number of spans not yet emitted.
+    pub fn open_spans(&self) -> usize {
+        self.spans.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_labels_are_stable() {
+        assert_eq!(verdict_label(TimingVerdict::Timely), "timely");
+        assert_eq!(
+            verdict_label(TimingVerdict::Failure {
+                qos_violated: false
+            }),
+            "failure"
+        );
+        assert_eq!(
+            verdict_label(TimingVerdict::Failure { qos_violated: true }),
+            "failure_qos_violated"
+        );
+    }
+
+    #[test]
+    fn plan_reply_give_up_round_trip() {
+        let (obs, reader) = Obs::in_memory();
+        let mut observer = HandlerObserver::new(&obs, Some(3));
+        let r = ReplicaId::new(1);
+        observer.on_plan(0, 0, Some(3), 100, 200_000_000, &[r], false, Some(1_500));
+        observer.on_reply(
+            0,
+            r,
+            90_000_100,
+            80_000_000,
+            5_000_000,
+            5_000_000,
+            90_000_000,
+            true,
+            false,
+            Some(TimingVerdict::Timely),
+        );
+        observer.on_plan(1, 0, Some(3), 200, 200_000_000, &[r], false, Some(1_200));
+        observer.on_give_up(1, false);
+        observer.flush();
+
+        let lines = reader.lines();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].contains(r#""outcome":"gave_up""#), "{}", lines[0]);
+        assert!(
+            lines[1].contains(r#""outcome":"delivered""#),
+            "{}",
+            lines[1]
+        );
+
+        let prom = obs.prometheus();
+        assert!(
+            prom.contains("aqua_requests_total{client=\"3\"} 2"),
+            "{prom}"
+        );
+        assert!(prom.contains("aqua_timing_failures_total{client=\"3\"} 1"));
+        assert!(prom.contains("aqua_selection_overhead_ns"));
+        assert!(prom.contains("aqua_reply_ts_ns"));
+    }
+}

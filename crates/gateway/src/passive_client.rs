@@ -121,11 +121,7 @@ impl PassiveClientGateway {
         let Some(primary) = self.handler.primary() else {
             return;
         };
-        let Some(node) = self
-            .agent
-            .as_ref()
-            .and_then(|a| a.view().node_of(primary))
-        else {
+        let Some(node) = self.agent.as_ref().and_then(|a| a.view().node_of(primary)) else {
             return;
         };
         ctx.send(
@@ -181,6 +177,32 @@ impl PassiveClientGateway {
         let think = self.config.think_time;
         self.schedule(ctx, think, TimerKind::IssueRequest);
     }
+
+    /// The give-up timer fired; if the request is still outstanding, count
+    /// it as a failure and move on.
+    fn give_up(&mut self, seq: u64, ctx: &mut Context<'_, Wire>) {
+        if self.handler.on_reply(seq) {
+            if let Some(rec) = self.records.iter_mut().find(|r| r.seq == seq) {
+                rec.timely = false;
+            }
+            self.next_request(ctx);
+        }
+    }
+
+    /// A (primary's) reply arrived; close out the request if it is the
+    /// first one.
+    fn handle_reply(&mut self, seq: u64, ctx: &mut Context<'_, Wire>) {
+        if self.handler.on_reply(seq) {
+            let now = ctx.now();
+            if let Some(rec) = self.records.iter_mut().find(|r| r.seq == seq) {
+                rec.first_reply_at = Some(now);
+                let tr = now.saturating_duration_since(rec.sent_at);
+                rec.response_time = Some(tr);
+                rec.timely = tr <= self.config.qos.deadline();
+            }
+            self.next_request(ctx);
+        }
+    }
 }
 
 impl Node<Wire> for PassiveClientGateway {
@@ -203,31 +225,12 @@ impl Node<Wire> for PassiveClientGateway {
                 }
                 match self.timers.remove(&token) {
                     Some(TimerKind::IssueRequest) => self.issue_request(ctx),
-                    Some(TimerKind::GiveUp(seq)) => {
-                        if self.handler.on_reply(seq) {
-                            // Still outstanding: count as a failure.
-                            if let Some(rec) = self.records.iter_mut().find(|r| r.seq == seq) {
-                                rec.timely = false;
-                            }
-                            self.next_request(ctx);
-                        }
-                    }
+                    Some(TimerKind::GiveUp(seq)) => self.give_up(seq, ctx),
                     None => {}
                 }
             }
             Event::Message { payload, .. } => match payload {
-                GroupMsg::App(AquaMsg::Reply { id, .. }) => {
-                    if self.handler.on_reply(id.seq) {
-                        let now = ctx.now();
-                        if let Some(rec) = self.records.iter_mut().find(|r| r.seq == id.seq) {
-                            rec.first_reply_at = Some(now);
-                            let tr = now.saturating_duration_since(rec.sent_at);
-                            rec.response_time = Some(tr);
-                            rec.timely = tr <= self.config.qos.deadline();
-                        }
-                        self.next_request(ctx);
-                    }
-                }
+                GroupMsg::App(AquaMsg::Reply { id, .. }) => self.handle_reply(id.seq, ctx),
                 GroupMsg::ViewChange(view) => {
                     let installed = self
                         .agent
@@ -258,8 +261,8 @@ mod tests {
     use super::*;
     use crate::{ServerConfig, ServerGateway};
     use aqua_core::qos::ReplicaId;
-    use aqua_group::GroupCoordinator;
     use aqua_core::time::Instant;
+    use aqua_group::GroupCoordinator;
     use aqua_replica::{CrashPlan, ServiceTimeModel};
     use lan_sim::Simulation;
 
@@ -284,8 +287,7 @@ mod tests {
                 primary_node = Some(n);
             }
         }
-        let mut ccfg =
-            PassiveClientConfig::paper(coordinator, QosSpec::new(ms(200), 0.9).unwrap());
+        let mut ccfg = PassiveClientConfig::paper(coordinator, QosSpec::new(ms(200), 0.9).unwrap());
         ccfg.num_requests = 10;
         ccfg.think_time = ms(150);
         let client = sim.add_node(PassiveClientGateway::new(ccfg));
@@ -297,9 +299,7 @@ mod tests {
         assert!(gw.records().iter().all(|r| r.timely));
         assert_eq!(gw.failovers(), 0);
         // Only the primary serviced anything.
-        let primary = sim
-            .node::<ServerGateway>(primary_node.unwrap())
-            .unwrap();
+        let primary = sim.node::<ServerGateway>(primary_node.unwrap()).unwrap();
         assert_eq!(primary.serviced(), 10, "primary-only traffic");
     }
 

@@ -295,10 +295,7 @@ impl ServerGateway {
 
         // Crash-after-N triggers after the reply is sent (the request that
         // hits the threshold is the last one serviced).
-        let crashed = self
-            .crash
-            .as_mut()
-            .is_some_and(|c| c.observe_serviced());
+        let crashed = self.crash.as_mut().is_some_and(|c| c.observe_serviced());
         if crashed {
             self.crash_now(ctx);
             return;
@@ -365,10 +362,10 @@ impl Node<Wire> for ServerGateway {
                         self.queue.push((id, method), ctx.now());
                         self.start_next_service(ctx);
                     }
-                    GroupMsg::App(AquaMsg::Subscribe { client }) => {
-                        if !self.subscribers.contains(&client) {
-                            self.subscribers.push(client);
-                        }
+                    GroupMsg::App(AquaMsg::Subscribe { client })
+                        if !self.subscribers.contains(&client) =>
+                    {
+                        self.subscribers.push(client);
                     }
                     GroupMsg::ViewChange(view) => {
                         if let Some(agent) = self.agent.as_mut() {

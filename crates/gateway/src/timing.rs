@@ -22,6 +22,8 @@ use aqua_core::repository::{InfoRepository, MethodId, PerfReport};
 use aqua_core::time::{Duration, Instant};
 use aqua_strategies::{SelectionInput, SelectionStrategy};
 
+use crate::obs::HandlerObserver;
+
 /// A request the handler has multicast and is awaiting replies for.
 #[derive(Debug, Clone)]
 pub struct PendingRequest {
@@ -104,6 +106,8 @@ pub struct TimingFaultHandler {
     pending: HashMap<u64, PendingRequest>,
     next_seq: u64,
     stats: HandlerStats,
+    observer: Option<HandlerObserver>,
+    client_id: Option<u64>,
 }
 
 impl std::fmt::Debug for TimingFaultHandler {
@@ -133,6 +137,30 @@ impl TimingFaultHandler {
             pending: HashMap::new(),
             next_seq: 0,
             stats: HandlerStats::default(),
+            observer: None,
+            client_id: None,
+        }
+    }
+
+    /// Attaches an observability sink: from now on every planned request,
+    /// reply, and give-up updates the `obs` registry and opens/extends a
+    /// journal span. `client` labels the metrics and spans.
+    pub fn attach_obs(&mut self, obs: &aqua_obs::Obs, client: Option<u64>) {
+        self.observer = Some(HandlerObserver::new(obs, client));
+        self.client_id = client;
+    }
+
+    /// The attached observer, if any.
+    pub fn observer(&self) -> Option<&HandlerObserver> {
+        self.observer.as_ref()
+    }
+
+    /// Emits every span still held by the observer (delivered requests
+    /// keep their span open to absorb late redundant replies) and flushes
+    /// the journal. No-op without an attached observer.
+    pub fn flush_observability(&mut self) {
+        if let Some(observer) = self.observer.as_mut() {
+            observer.flush();
         }
     }
 
@@ -187,16 +215,32 @@ impl TimingFaultHandler {
     /// Like [`TimingFaultHandler::plan_request`] with a method id for
     /// per-method performance classification (§8 ext. 1).
     pub fn plan_request_for(&mut self, now: Instant, method: Option<MethodId>) -> RequestPlan {
+        // δ (§5.3.3): the wall-clock cost of evaluating the model and
+        // running the selection, fed to the overhead histogram.
+        let select_started = std::time::Instant::now();
         let replicas = self.strategy.select(&SelectionInput {
             repository: &self.repository,
             qos: &self.qos,
             method,
             now,
         });
+        let overhead_nanos = select_started.elapsed().as_nanos() as u64;
         let seq = self.next_seq;
         self.next_seq += 1;
         self.stats.requests += 1;
         self.stats.replicas_selected += replicas.len() as u64;
+        if let Some(observer) = self.observer.as_mut() {
+            observer.on_plan(
+                seq,
+                method.unwrap_or_default().index(),
+                self.client_id,
+                now.as_nanos(),
+                self.qos.deadline().as_nanos(),
+                &replicas,
+                false,
+                Some(overhead_nanos),
+            );
+        }
         self.pending.insert(
             seq,
             PendingRequest {
@@ -220,6 +264,18 @@ impl TimingFaultHandler {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.stats.probes += 1;
+        if let Some(observer) = self.observer.as_mut() {
+            observer.on_plan(
+                seq,
+                MethodId::DEFAULT.index(),
+                self.client_id,
+                now.as_nanos(),
+                self.qos.deadline().as_nanos(),
+                std::slice::from_ref(&replica),
+                true,
+                None,
+            );
+        }
         self.pending.insert(
             seq,
             PendingRequest {
@@ -283,6 +339,7 @@ impl TimingFaultHandler {
 
         if probe {
             // Probe replies only feed the repository.
+            self.observe_reply(seq, replica, now, &perf, td, in_flight, first, true, None);
             return ReplyOutcome::Redundant;
         }
         if first {
@@ -292,14 +349,55 @@ impl TimingFaultHandler {
             if verdict.should_notify() {
                 self.stats.callbacks += 1;
             }
+            self.observe_reply(
+                seq,
+                replica,
+                now,
+                &perf,
+                td,
+                in_flight,
+                true,
+                false,
+                Some(verdict),
+            );
             ReplyOutcome::Deliver {
                 response_time,
                 verdict,
             }
         } else {
             self.stats.redundant += 1;
+            self.observe_reply(seq, replica, now, &perf, td, in_flight, false, false, None);
             self.retire_old_entries();
             ReplyOutcome::Redundant
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn observe_reply(
+        &mut self,
+        seq: u64,
+        replica: ReplicaId,
+        now: Instant,
+        perf: &PerfReport,
+        td: Duration,
+        in_flight: Duration,
+        first: bool,
+        probe: bool,
+        verdict: Option<TimingVerdict>,
+    ) {
+        if let Some(observer) = self.observer.as_mut() {
+            observer.on_reply(
+                seq,
+                replica,
+                now.as_nanos(),
+                perf.service_time.as_nanos(),
+                perf.queuing_delay.as_nanos(),
+                td.as_nanos(),
+                in_flight.as_nanos(),
+                first,
+                probe,
+                verdict,
+            );
         }
     }
 
@@ -337,6 +435,9 @@ impl TimingFaultHandler {
             Some(p) if p.probe => {
                 // An unanswered probe is not a client-visible failure.
                 self.pending.remove(&seq);
+                if let Some(observer) = self.observer.as_mut() {
+                    observer.on_give_up(seq, true);
+                }
                 false
             }
             Some(p) if !p.answered => {
@@ -348,6 +449,12 @@ impl TimingFaultHandler {
                     .record(self.qos.deadline().saturating_mul(1_000));
                 if verdict.should_notify() {
                     self.stats.callbacks += 1;
+                }
+                if let Some(observer) = self.observer.as_mut() {
+                    observer.on_give_up(seq, false);
+                    if verdict.should_notify() {
+                        observer.on_give_up_callback();
+                    }
                 }
                 true
             }

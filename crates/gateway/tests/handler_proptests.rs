@@ -27,11 +27,18 @@ enum Action {
         queue_ms: u64,
     },
     /// Push a perf update from replica `r % pool`.
-    PerfUpdate { r: u64, service_ms: u64 },
+    PerfUpdate {
+        r: u64,
+        service_ms: u64,
+    },
     /// Give up on the `nth` most recent plan.
-    GiveUp { nth: usize },
+    GiveUp {
+        nth: usize,
+    },
     /// Install a view containing replicas with index bitmask `mask`.
-    View { mask: u8 },
+    View {
+        mask: u8,
+    },
 }
 
 fn action() -> impl Strategy<Value = Action> {

@@ -142,7 +142,13 @@ mod tests {
         let coord = sim.add_node(GroupCoordinator::<NoApp>::new(cfg));
         let a = sim.add_node(TestMember::new(None));
         let b = sim.add_node(TestMember::new(None));
-        wire(&mut sim, a, coord, Member::server(a, ReplicaId::new(0)), cfg);
+        wire(
+            &mut sim,
+            a,
+            coord,
+            Member::server(a, ReplicaId::new(0)),
+            cfg,
+        );
         wire(&mut sim, b, coord, Member::client(b), cfg);
         sim.run_for(Duration::from_millis(500));
         let view = sim
@@ -209,7 +215,13 @@ mod tests {
         let mut sim = Simulation::new(3);
         let coord = sim.add_node(GroupCoordinator::<NoApp>::new(cfg));
         let a = sim.add_node(TestMember::new(None));
-        wire(&mut sim, a, coord, Member::server(a, ReplicaId::new(1)), cfg);
+        wire(
+            &mut sim,
+            a,
+            coord,
+            Member::server(a, ReplicaId::new(1)),
+            cfg,
+        );
         sim.run_for(Duration::from_millis(100));
         // Inject a Leave directly.
         sim.schedule_message(sim.now(), a, coord, GroupMsg::Leave { member: a });

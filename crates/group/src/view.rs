@@ -146,7 +146,11 @@ mod tests {
         assert_eq!(v.node_of(ReplicaId::new(20)), Some(NodeId::new(2)));
         assert_eq!(v.node_of(ReplicaId::new(99)), None);
         assert_eq!(v.replica_of(NodeId::new(1)), Some(ReplicaId::new(10)));
-        assert_eq!(v.replica_of(NodeId::new(5)), None, "clients have no replica");
+        assert_eq!(
+            v.replica_of(NodeId::new(5)),
+            None,
+            "clients have no replica"
+        );
         assert!(v.contains(NodeId::new(5)));
         assert!(!v.contains(NodeId::new(9)));
     }

@@ -1,0 +1,241 @@
+//! Exporters: Prometheus text format and a JSON snapshot.
+//!
+//! Both render a [`MetricsSnapshot`], so one scrape of the registry feeds
+//! either output. Histogram quantiles (p50/p95/p99) are exported alongside
+//! the cumulative `_bucket` series; values keep the units they were
+//! recorded in (nanoseconds by convention, so metric names end in `_ns`).
+
+use crate::json::JsonValue;
+use crate::metrics::{HistogramSnapshot, MetricKey, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Renders a snapshot in the Prometheus text exposition format.
+pub fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_name = String::new();
+    for (key, value) in &snapshot.counters {
+        type_header(&mut out, &mut last_name, &key.name, "counter");
+        let _ = writeln!(out, "{} {}", series(key, &[]), value);
+    }
+    for (key, value) in &snapshot.gauges {
+        type_header(&mut out, &mut last_name, &key.name, "gauge");
+        let _ = writeln!(out, "{} {}", series(key, &[]), value);
+    }
+    for (key, histogram) in &snapshot.histograms {
+        type_header(&mut out, &mut last_name, &key.name, "histogram");
+        let mut cumulative = 0u64;
+        for bucket in &histogram.buckets {
+            cumulative += bucket.count;
+            let _ = writeln!(
+                out,
+                "{} {}",
+                series_suffixed(key, "_bucket", &[("le", &bucket.upper_bound.to_string())]),
+                cumulative
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} {}",
+            series_suffixed(key, "_bucket", &[("le", "+Inf")]),
+            histogram.count
+        );
+        let _ = writeln!(
+            out,
+            "{} {}",
+            series_suffixed(key, "_sum", &[]),
+            histogram.sum
+        );
+        let _ = writeln!(
+            out,
+            "{} {}",
+            series_suffixed(key, "_count", &[]),
+            histogram.count
+        );
+        for (q, v) in [
+            ("0.5", histogram.p50),
+            ("0.95", histogram.p95),
+            ("0.99", histogram.p99),
+        ] {
+            let _ = writeln!(out, "{} {}", series(key, &[("quantile", q)]), v);
+        }
+    }
+    out
+}
+
+/// Emits a `# TYPE` line once per metric name.
+fn type_header(out: &mut String, last_name: &mut String, name: &str, kind: &str) {
+    if last_name != name {
+        let _ = writeln!(out, "# TYPE {} {kind}", sanitize(name));
+        *last_name = name.to_owned();
+    }
+}
+
+fn series(key: &MetricKey, extra: &[(&str, &str)]) -> String {
+    series_suffixed(key, "", extra)
+}
+
+fn series_suffixed(key: &MetricKey, suffix: &str, extra: &[(&str, &str)]) -> String {
+    let mut s = sanitize(&key.name);
+    s.push_str(suffix);
+    let mut labels: Vec<(String, String)> = key
+        .labels
+        .iter()
+        .map(|(k, v)| (sanitize(k), v.clone()))
+        .collect();
+    labels.extend(
+        extra
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned())),
+    );
+    if !labels.is_empty() {
+        s.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{k}=\"{}\"",
+                v.replace('\\', "\\\\").replace('"', "\\\"")
+            );
+        }
+        s.push('}');
+    }
+    s
+}
+
+/// Prometheus metric/label names allow `[a-zA-Z0-9_:]`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Renders a snapshot as one JSON document.
+pub fn to_json(snapshot: &MetricsSnapshot) -> JsonValue {
+    let counters = snapshot
+        .counters
+        .iter()
+        .map(|(key, value)| keyed_value(key, JsonValue::from(*value)))
+        .collect();
+    let gauges = snapshot
+        .gauges
+        .iter()
+        .map(|(key, value)| keyed_value(key, JsonValue::from(*value)))
+        .collect();
+    let histograms = snapshot
+        .histograms
+        .iter()
+        .map(|(key, histogram)| keyed_value(key, histogram_json(histogram)))
+        .collect();
+    JsonValue::object()
+        .field("counters", JsonValue::Array(counters))
+        .field("gauges", JsonValue::Array(gauges))
+        .field("histograms", JsonValue::Array(histograms))
+        .build()
+}
+
+fn keyed_value(key: &MetricKey, value: JsonValue) -> JsonValue {
+    let labels = key.labels.iter().fold(JsonValue::object(), |acc, (k, v)| {
+        acc.field(k.clone(), v.clone())
+    });
+    JsonValue::object()
+        .field("name", key.name.clone())
+        .field("labels", labels)
+        .field("value", value)
+        .build()
+}
+
+fn histogram_json(histogram: &HistogramSnapshot) -> JsonValue {
+    let buckets = histogram
+        .buckets
+        .iter()
+        .map(|b| {
+            JsonValue::object()
+                .field("le", b.upper_bound)
+                .field("count", b.count)
+                .build()
+        })
+        .collect();
+    JsonValue::object()
+        .field("count", histogram.count)
+        .field("sum", histogram.sum)
+        .field("min", histogram.min)
+        .field("max", histogram.max)
+        .field("p50", histogram.p50)
+        .field("p95", histogram.p95)
+        .field("p99", histogram.p99)
+        .field("buckets", JsonValue::Array(buckets))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn populated() -> MetricsSnapshot {
+        let registry = Registry::new();
+        registry
+            .counter("aqua_requests_total", &[("client", "1")])
+            .add(5);
+        registry
+            .gauge("aqua_queue_depth", &[("replica", "2")])
+            .set(3);
+        let h = registry.histogram("aqua_reply_ts_ns", &[("replica", "2")]);
+        for v in [100u64, 200, 400, 800] {
+            h.record(v);
+        }
+        registry.snapshot()
+    }
+
+    #[test]
+    fn prometheus_format_is_well_formed() {
+        let text = to_prometheus(&populated());
+        assert!(text.contains("# TYPE aqua_requests_total counter"));
+        assert!(text.contains("aqua_requests_total{client=\"1\"} 5"));
+        assert!(text.contains("aqua_queue_depth{replica=\"2\"} 3"));
+        assert!(text.contains("# TYPE aqua_reply_ts_ns histogram"));
+        assert!(text.contains("aqua_reply_ts_ns_bucket{replica=\"2\",le=\"+Inf\"} 4"));
+        assert!(text.contains("aqua_reply_ts_ns_count{replica=\"2\"} 4"));
+        assert!(text.contains("aqua_reply_ts_ns{replica=\"2\",quantile=\"0.5\"}"));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let text = to_prometheus(&populated());
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.contains("_bucket") && !l.contains("+Inf"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(!counts.is_empty());
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        assert_eq!(*counts.last().unwrap(), 4);
+    }
+
+    #[test]
+    fn json_snapshot_contains_quantiles() {
+        let rendered = to_json(&populated()).render();
+        for needle in [
+            r#""name":"aqua_reply_ts_ns""#,
+            r#""labels":{"replica":"2"}"#,
+            r#""p50":"#,
+            r#""p99":"#,
+            r#""max":800"#,
+        ] {
+            assert!(rendered.contains(needle), "missing {needle} in {rendered}");
+        }
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize("aqua.reply-ts ns"), "aqua_reply_ts_ns");
+    }
+}

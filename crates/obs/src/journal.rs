@@ -1,0 +1,385 @@
+//! Structured per-request trace journal.
+//!
+//! Every request the timing-fault handler plans becomes a
+//! [`RequestSpan`]: the paper's timestamps (`t0` submit, `t1` multicast,
+//! per-reply `t4`), the selected replica set, each reply's `(ts, tq, td)`
+//! latency decomposition with first-vs-redundant classification, and the
+//! final timing verdict rendered as a string.
+//! Spans are emitted as single JSONL lines through a pluggable [`Sink`]:
+//! in-memory for tests, a buffered writer for binaries. Simulator trace
+//! events are bridged into the same stream as `"sim_event"` lines so sim
+//! and socket runs produce comparable journals.
+
+use crate::json::JsonValue;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// One reply observed for a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplyObservation {
+    /// Replica that sent the reply.
+    pub replica: u64,
+    /// Arrival time of the reply at the gateway (the paper's `t4`), in
+    /// nanoseconds on the run's clock.
+    pub at_nanos: u64,
+    /// Service time `ts` reported by the replica.
+    pub service_nanos: u64,
+    /// Queueing delay `tq` reported by the replica.
+    pub queue_nanos: u64,
+    /// Gateway/transmission delay `td = (t4 - t1) - tq - ts`.
+    pub gateway_nanos: u64,
+    /// End-to-end response time `t4 - t1` for this reply.
+    pub response_nanos: u64,
+    /// Whether this was the first reply (delivered to the application);
+    /// later replies are redundant.
+    pub first: bool,
+    /// Timing verdict for a delivered reply (`"timely"`, a failure
+    /// description, ...); `None` for redundant replies.
+    pub verdict: Option<String>,
+}
+
+impl ReplyObservation {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("replica", self.replica)
+            .field("at_ns", self.at_nanos)
+            .field("ts_ns", self.service_nanos)
+            .field("tq_ns", self.queue_nanos)
+            .field("td_ns", self.gateway_nanos)
+            .field("response_ns", self.response_nanos)
+            .field("first", self.first)
+            .field("verdict", self.verdict.clone())
+            .build()
+    }
+}
+
+/// Terminal state of a request span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// A reply was delivered to the application.
+    Delivered,
+    /// The handler gave up (no reply before the extended deadline).
+    GaveUp,
+    /// The span was still pending when the journal was flushed.
+    Pending,
+}
+
+impl SpanOutcome {
+    fn as_str(self) -> &'static str {
+        match self {
+            SpanOutcome::Delivered => "delivered",
+            SpanOutcome::GaveUp => "gave_up",
+            SpanOutcome::Pending => "pending",
+        }
+    }
+}
+
+/// The full trace of one request, emitted as a single JSONL line.
+#[derive(Clone, Debug)]
+pub struct RequestSpan {
+    /// Handler-assigned sequence number.
+    pub seq: u64,
+    /// Client identity, when known.
+    pub client: Option<u64>,
+    /// Method identifier of the request.
+    pub method: u32,
+    /// Application submit time `t0` (nanoseconds).
+    pub t0_nanos: u64,
+    /// Multicast send time `t1` (nanoseconds).
+    pub t1_nanos: u64,
+    /// QoS deadline for the request (nanoseconds, relative to `t1`).
+    pub deadline_nanos: u64,
+    /// Replica set chosen by the selection algorithm, in send order.
+    pub selected: Vec<u64>,
+    /// Whether this was a probe (sent to all replicas, not client-paid).
+    pub probe: bool,
+    /// Every reply observed so far, in arrival order.
+    pub replies: Vec<ReplyObservation>,
+    /// How the span ended.
+    pub outcome: SpanOutcome,
+    /// Time the span ended (first delivery or give-up), if it did.
+    pub end_nanos: Option<u64>,
+}
+
+impl RequestSpan {
+    /// Starts a span at plan time.
+    pub fn begin(seq: u64, method: u32, t0_nanos: u64, t1_nanos: u64) -> Self {
+        RequestSpan {
+            seq,
+            client: None,
+            method,
+            t0_nanos,
+            t1_nanos,
+            deadline_nanos: 0,
+            selected: Vec::new(),
+            probe: false,
+            replies: Vec::new(),
+            outcome: SpanOutcome::Pending,
+            end_nanos: None,
+        }
+    }
+
+    /// Size of the selected replica set.
+    pub fn selection_size(&self) -> usize {
+        self.selected.len()
+    }
+
+    /// Number of redundant (non-first) replies observed.
+    pub fn redundant_replies(&self) -> usize {
+        self.replies.iter().filter(|r| !r.first).count()
+    }
+
+    /// Renders the span as one JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("type", "request")
+            .field("seq", self.seq)
+            .field("client", self.client)
+            .field("method", self.method)
+            .field("t0_ns", self.t0_nanos)
+            .field("t1_ns", self.t1_nanos)
+            .field("deadline_ns", self.deadline_nanos)
+            .field("selected", self.selected.clone())
+            .field("selection_size", self.selection_size())
+            .field("probe", self.probe)
+            .field(
+                "replies",
+                JsonValue::Array(self.replies.iter().map(ReplyObservation::to_json).collect()),
+            )
+            .field("outcome", self.outcome.as_str())
+            .field("end_ns", self.end_nanos)
+            .build()
+    }
+}
+
+/// Destination for journal lines.
+pub trait Sink: Send {
+    /// Receives one complete JSONL line (no trailing newline).
+    fn emit(&mut self, line: &str);
+
+    /// Flushes buffered lines to their destination.
+    fn flush(&mut self) {}
+}
+
+/// Test sink retaining every line in memory.
+#[derive(Default)]
+pub struct MemorySink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl Sink for MemorySink {
+    fn emit(&mut self, line: &str) {
+        lock(&self.lines).push(line.to_owned());
+    }
+}
+
+/// Read side of a [`MemorySink`]; usable while the journal is live.
+#[derive(Clone, Debug)]
+pub struct MemoryReader {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemoryReader {
+    /// All lines emitted so far.
+    pub fn lines(&self) -> Vec<String> {
+        lock(&self.lines).clone()
+    }
+
+    /// Parses nothing — returns the lines that contain `needle`.
+    pub fn lines_containing(&self, needle: &str) -> Vec<String> {
+        lock(&self.lines)
+            .iter()
+            .filter(|l| l.contains(needle))
+            .cloned()
+            .collect()
+    }
+}
+
+fn lock(lines: &Mutex<Vec<String>>) -> std::sync::MutexGuard<'_, Vec<String>> {
+    lines.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Buffered sink writing JSONL to any `io::Write` (a file in practice).
+pub struct WriterSink<W: Write + Send> {
+    writer: std::io::BufWriter<W>,
+}
+
+impl<W: Write + Send> WriterSink<W> {
+    /// Wraps `writer` in a buffered journal sink.
+    pub fn new(writer: W) -> Self {
+        WriterSink {
+            writer: std::io::BufWriter::new(writer),
+        }
+    }
+}
+
+impl<W: Write + Send> Sink for WriterSink<W> {
+    fn emit(&mut self, line: &str) {
+        // Journal output is best-effort; losing lines on a full disk must
+        // not take down the experiment.
+        let _ = writeln!(self.writer, "{line}");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Sink that discards everything (observability disabled).
+#[derive(Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn emit(&mut self, _line: &str) {}
+}
+
+/// Cloneable handle writing spans and events to a shared [`Sink`].
+#[derive(Clone)]
+pub struct Journal {
+    sink: Arc<Mutex<dyn Sink>>,
+}
+
+impl Journal {
+    /// Wraps any sink in a cloneable journal handle.
+    pub fn new(sink: impl Sink + 'static) -> Self {
+        Journal {
+            sink: Arc::new(Mutex::new(sink)),
+        }
+    }
+
+    /// Journal that keeps lines in memory, plus its reader.
+    pub fn in_memory() -> (Self, MemoryReader) {
+        let sink = MemorySink::default();
+        let reader = MemoryReader {
+            lines: Arc::clone(&sink.lines),
+        };
+        (Journal::new(sink), reader)
+    }
+
+    /// Journal that drops everything.
+    pub fn null() -> Self {
+        Journal::new(NullSink)
+    }
+
+    /// Emits a finished (or flushed-while-pending) request span.
+    pub fn emit_span(&self, span: &RequestSpan) {
+        self.emit_json(&span.to_json());
+    }
+
+    /// Emits an arbitrary event object; `kind` becomes the `"type"` field.
+    pub fn emit_event(&self, kind: &str, fields: crate::json::JsonObject) {
+        let mut object = JsonValue::object().field("type", kind).build();
+        if let (JsonValue::Object(target), JsonValue::Object(extra)) = (&mut object, fields.build())
+        {
+            target.extend(extra);
+        }
+        self.emit_json(&object);
+    }
+
+    fn emit_json(&self, value: &JsonValue) {
+        self.lock().emit(&value.render());
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&self) {
+        self.lock().flush();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, dyn Sink + 'static> {
+        self.sink
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Journal { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_span() -> RequestSpan {
+        let mut span = RequestSpan::begin(7, 3, 1_000, 1_100);
+        span.client = Some(1);
+        span.deadline_nanos = 200_000_000;
+        span.selected = vec![2, 5];
+        span.replies.push(ReplyObservation {
+            replica: 5,
+            at_nanos: 90_001_100,
+            service_nanos: 80_000_000,
+            queue_nanos: 5_000_000,
+            gateway_nanos: 5_000_000,
+            response_nanos: 90_000_000,
+            first: true,
+            verdict: Some("timely".to_owned()),
+        });
+        span.replies.push(ReplyObservation {
+            replica: 2,
+            at_nanos: 95_001_100,
+            service_nanos: 90_000_000,
+            queue_nanos: 2_000_000,
+            gateway_nanos: 3_000_000,
+            response_nanos: 95_000_000,
+            first: false,
+            verdict: None,
+        });
+        span.outcome = SpanOutcome::Delivered;
+        span.end_nanos = Some(90_001_100);
+        span
+    }
+
+    #[test]
+    fn span_renders_expected_fields() {
+        let line = sample_span().to_json().render();
+        for needle in [
+            r#""type":"request""#,
+            r#""seq":7"#,
+            r#""selection_size":2"#,
+            r#""ts_ns":80000000"#,
+            r#""first":true"#,
+            r#""verdict":"timely""#,
+            r#""outcome":"delivered""#,
+        ] {
+            assert!(line.contains(needle), "missing {needle} in {line}");
+        }
+    }
+
+    #[test]
+    fn memory_journal_round_trips() {
+        let (journal, reader) = Journal::in_memory();
+        journal.emit_span(&sample_span());
+        journal.emit_event(
+            "sim_event",
+            crate::json::JsonValue::object().field("node", 3u64),
+        );
+        journal.flush();
+        let lines = reader.lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""type":"request""#));
+        assert!(lines[1].starts_with(r#"{"type":"sim_event""#));
+        assert_eq!(reader.lines_containing("sim_event").len(), 1);
+    }
+
+    #[test]
+    fn writer_sink_writes_lines() {
+        let buffer: Vec<u8> = Vec::new();
+        let mut sink = WriterSink::new(buffer);
+        sink.emit(r#"{"a":1}"#);
+        sink.emit(r#"{"b":2}"#);
+        sink.flush();
+        let written = sink.writer.into_inner().unwrap();
+        assert_eq!(
+            String::from_utf8(written).unwrap(),
+            "{\"a\":1}\n{\"b\":2}\n"
+        );
+    }
+
+    #[test]
+    fn redundant_reply_count() {
+        assert_eq!(sample_span().redundant_replies(), 1);
+    }
+}

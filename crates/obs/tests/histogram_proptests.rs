@@ -1,0 +1,120 @@
+//! Property tests for the log-linear histogram: exact count/sum/min/max
+//! bookkeeping, quantile estimates that bracket the true order statistics
+//! within the bucket resolution, and merge behaving like recording the
+//! union of both sample sets.
+
+use aqua_obs::metrics::Histogram;
+use proptest::prelude::*;
+
+/// The reference quantile: the same 1-based ceil-rank order statistic the
+/// histogram estimates, computed exactly from the raw samples.
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let total = sorted.len() as u64;
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    sorted[(rank - 1) as usize]
+}
+
+/// The histogram's buckets have at most 1/16 relative width (plus one for
+/// the integer truncation), so any estimate must sit in
+/// `[v, v + v/16 + 1]` where `v` is the true order statistic.
+fn assert_brackets(estimate: u64, v: u64, max: u64, q: f64) {
+    assert!(
+        estimate >= v,
+        "q={q}: estimate {estimate} below the true order statistic {v}"
+    );
+    assert!(
+        estimate <= (v + v / 16 + 1).min(max),
+        "q={q}: estimate {estimate} too far above {v} (max {max})"
+    );
+}
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..(1u64 << 40), 1..200)
+}
+
+proptest! {
+    #[test]
+    fn bookkeeping_is_exact(values in samples()) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        prop_assert_eq!(hist.count(), values.len() as u64);
+        prop_assert_eq!(hist.sum(), values.iter().sum::<u64>());
+        prop_assert_eq!(hist.min(), values.iter().min().copied());
+        prop_assert_eq!(hist.max(), values.iter().max().copied());
+    }
+
+    #[test]
+    fn quantiles_bracket_the_order_statistics(values in samples()) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let max = *sorted.last().unwrap();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let estimate = hist.quantile(q).unwrap();
+            assert_brackets(estimate, true_quantile(&sorted, q), max, q);
+        }
+        prop_assert_eq!(hist.quantile(1.0), Some(max), "p100 is the exact max");
+    }
+
+    #[test]
+    fn quantiles_are_monotone(values in samples()) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let p50 = hist.quantile(0.5).unwrap();
+        let p95 = hist.quantile(0.95).unwrap();
+        let p99 = hist.quantile(0.99).unwrap();
+        let max = hist.max().unwrap();
+        prop_assert!(p50 <= p95 && p95 <= p99 && p99 <= max);
+    }
+
+    #[test]
+    fn at_least_half_the_samples_sit_at_or_below_p50(values in samples()) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let p50 = hist.quantile(0.5).unwrap();
+        let at_or_below = values.iter().filter(|&&v| v <= p50).count() as u64;
+        let needed = (values.len() as u64).div_ceil(2);
+        prop_assert!(
+            at_or_below >= needed,
+            "only {at_or_below}/{} samples ≤ p50 estimate {p50}",
+            values.len()
+        );
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union(a in samples(), b in samples()) {
+        let left = Histogram::new();
+        for &v in &a {
+            left.record(v);
+        }
+        let right = Histogram::new();
+        for &v in &b {
+            right.record(v);
+        }
+        left.merge(&right);
+
+        let mut union: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        union.sort_unstable();
+        let max = *union.last().unwrap();
+
+        prop_assert_eq!(left.count(), union.len() as u64);
+        prop_assert_eq!(left.sum(), union.iter().sum::<u64>());
+        prop_assert_eq!(left.min(), union.first().copied());
+        prop_assert_eq!(left.max(), Some(max));
+        // Merged quantiles bracket the union's order statistics, exactly
+        // as if every sample had been recorded into one histogram.
+        for q in [0.5, 0.95, 0.99] {
+            let estimate = left.quantile(q).unwrap();
+            assert_brackets(estimate, true_quantile(&union, q), max, q);
+        }
+    }
+}

@@ -95,8 +95,7 @@ impl LoadProcess {
                 }
                 if !self.initialized {
                     self.initialized = true;
-                    self.until = Instant::EPOCH
-                        .saturating_add(Self::draw_dwell(&states[0], rng));
+                    self.until = Instant::EPOCH.saturating_add(Self::draw_dwell(&states[0], rng));
                 }
                 // `until` is the end of the current state's dwell interval;
                 // once `now` passes it, hop to the next state (round-robin)

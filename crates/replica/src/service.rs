@@ -139,9 +139,7 @@ impl ServiceTimeModel {
             ServiceTimeModel::Bimodal { p_slow, fast, slow } => {
                 let f = fast.mean()?.as_secs_f64();
                 let s = slow.mean()?.as_secs_f64();
-                Some(Duration::from_secs_f64(
-                    p_slow * s + (1.0 - p_slow) * f,
-                ))
+                Some(Duration::from_secs_f64(p_slow * s + (1.0 - p_slow) * f))
             }
         }
     }
@@ -163,7 +161,10 @@ mod tests {
 
     fn empirical_mean(model: &ServiceTimeModel, n: usize) -> f64 {
         let mut r = rng();
-        (0..n).map(|_| model.sample(&mut r).as_millis_f64()).sum::<f64>() / n as f64
+        (0..n)
+            .map(|_| model.sample(&mut r).as_millis_f64())
+            .sum::<f64>()
+            / n as f64
     }
 
     #[test]
@@ -178,7 +179,10 @@ mod tests {
 
     #[test]
     fn uniform_stays_in_bounds() {
-        let model = ServiceTimeModel::Uniform { lo: ms(10), hi: ms(20) };
+        let model = ServiceTimeModel::Uniform {
+            lo: ms(10),
+            hi: ms(20),
+        };
         let mut r = rng();
         for _ in 0..1_000 {
             let s = model.sample(&mut r);

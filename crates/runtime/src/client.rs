@@ -40,6 +40,9 @@ pub struct AquaClientConfig {
     pub give_up_after: Duration,
     /// Client identifier sent in `Hello` (diagnostics only).
     pub id: u64,
+    /// Optional observability sink: handler metrics/spans plus wire-level
+    /// frame and byte counters.
+    pub obs: Option<aqua_obs::Obs>,
 }
 
 impl AquaClientConfig {
@@ -50,6 +53,7 @@ impl AquaClientConfig {
             window: 5,
             give_up_after: Duration::from_secs(5),
             id: 0,
+            obs: None,
         }
     }
 }
@@ -118,6 +122,39 @@ enum NetEvent {
     Disconnected(ReplicaId),
 }
 
+/// Cached wire-level counters (frames/bytes in each direction), so the
+/// hot path never touches the registry lock.
+struct WireMetrics {
+    frames_sent: Arc<aqua_obs::metrics::Counter>,
+    bytes_sent: Arc<aqua_obs::metrics::Counter>,
+    frames_received: Arc<aqua_obs::metrics::Counter>,
+    bytes_received: Arc<aqua_obs::metrics::Counter>,
+}
+
+impl WireMetrics {
+    fn new(obs: &aqua_obs::Obs, client: u64) -> Self {
+        let client = client.to_string();
+        let labels = [("client", client.as_str())];
+        let registry = obs.registry();
+        WireMetrics {
+            frames_sent: registry.counter("aqua_wire_frames_sent_total", &labels),
+            bytes_sent: registry.counter("aqua_wire_bytes_sent_total", &labels),
+            frames_received: registry.counter("aqua_wire_frames_received_total", &labels),
+            bytes_received: registry.counter("aqua_wire_bytes_received_total", &labels),
+        }
+    }
+
+    fn on_sent(&self, frame: &Frame) {
+        self.frames_sent.inc();
+        self.bytes_sent.add(frame.encoded_len() as u64);
+    }
+
+    fn on_received(&self, frame: &Frame) {
+        self.frames_received.inc();
+        self.bytes_received.add(frame.encoded_len() as u64);
+    }
+}
+
 struct State {
     handler: TimingFaultHandler,
     writers: HashMap<ReplicaId, TcpStream>,
@@ -130,6 +167,7 @@ struct Inner {
     state: Mutex<State>,
     event_tx: Sender<NetEvent>,
     epoch: StdInstant,
+    wire: Option<WireMetrics>,
 }
 
 impl Inner {
@@ -142,61 +180,66 @@ impl Inner {
     fn apply_event(&self, event: NetEvent) {
         let mut state = self.state.lock();
         match event {
-            NetEvent::Frame(id, frame) => match frame {
-                Frame::Reply {
-                    seq,
-                    replica,
-                    service_ns,
-                    queue_ns,
-                    queue_len,
-                    method,
-                    payload,
-                } => {
-                    let perf = PerfReport {
-                        service_time: Duration::from_nanos(service_ns),
-                        queuing_delay: Duration::from_nanos(queue_ns),
+            NetEvent::Frame(id, frame) => {
+                if let Some(wire) = &self.wire {
+                    wire.on_received(&frame);
+                }
+                match frame {
+                    Frame::Reply {
+                        seq,
+                        replica,
+                        service_ns,
+                        queue_ns,
                         queue_len,
-                        method: MethodId::new(method),
-                    };
-                    let replica = ReplicaId::new(replica);
-                    debug_assert_eq!(replica, id, "replies come from their own connection");
-                    let outcome = state.handler.on_reply(self.now(), seq, replica, perf);
-                    if let ReplyOutcome::Deliver {
-                        response_time,
-                        verdict,
-                    } = outcome
-                    {
-                        if let Some((waiter, redundancy)) = state.waiters.remove(&seq) {
-                            let _ = waiter.send(CallOutcome {
-                                response_time,
-                                timely: verdict.is_timely(),
-                                callback: verdict.should_notify(),
-                                redundancy,
-                                replica,
-                                payload,
-                            });
+                        method,
+                        payload,
+                    } => {
+                        let perf = PerfReport {
+                            service_time: Duration::from_nanos(service_ns),
+                            queuing_delay: Duration::from_nanos(queue_ns),
+                            queue_len,
+                            method: MethodId::new(method),
+                        };
+                        let replica = ReplicaId::new(replica);
+                        debug_assert_eq!(replica, id, "replies come from their own connection");
+                        let outcome = state.handler.on_reply(self.now(), seq, replica, perf);
+                        if let ReplyOutcome::Deliver {
+                            response_time,
+                            verdict,
+                        } = outcome
+                        {
+                            if let Some((waiter, redundancy)) = state.waiters.remove(&seq) {
+                                let _ = waiter.send(CallOutcome {
+                                    response_time,
+                                    timely: verdict.is_timely(),
+                                    callback: verdict.should_notify(),
+                                    redundancy,
+                                    replica,
+                                    payload,
+                                });
+                            }
                         }
                     }
-                }
-                Frame::PerfUpdate {
-                    replica,
-                    service_ns,
-                    queue_ns,
-                    queue_len,
-                    method,
-                } => {
-                    let perf = PerfReport {
-                        service_time: Duration::from_nanos(service_ns),
-                        queuing_delay: Duration::from_nanos(queue_ns),
+                    Frame::PerfUpdate {
+                        replica,
+                        service_ns,
+                        queue_ns,
                         queue_len,
-                        method: MethodId::new(method),
-                    };
-                    state
-                        .handler
-                        .on_perf_update(self.now(), ReplicaId::new(replica), perf);
+                        method,
+                    } => {
+                        let perf = PerfReport {
+                            service_time: Duration::from_nanos(service_ns),
+                            queuing_delay: Duration::from_nanos(queue_ns),
+                            queue_len,
+                            method: MethodId::new(method),
+                        };
+                        state
+                            .handler
+                            .on_perf_update(self.now(), ReplicaId::new(replica), perf);
+                    }
+                    _ => {}
                 }
-                _ => {}
-            },
+            }
             NetEvent::Disconnected(id) => {
                 // TCP teardown is our crash detector: the replica leaves
                 // the "view".
@@ -238,13 +281,24 @@ impl AquaClient {
         strategy: Box<dyn SelectionStrategy>,
     ) -> io::Result<AquaClient> {
         let mut handler = TimingFaultHandler::new(config.qos, config.window, strategy);
+        if let Some(obs) = &config.obs {
+            handler.attach_obs(obs, Some(config.id));
+        }
+        let wire = config
+            .obs
+            .as_ref()
+            .map(|obs| WireMetrics::new(obs, config.id));
         let (event_tx, event_rx) = unbounded();
         let mut writers = HashMap::new();
         for (id, addr) in replicas {
             let stream = TcpStream::connect(addr)?;
             stream.set_nodelay(true).ok();
             let mut writer = stream.try_clone()?;
-            Frame::Hello { client: config.id }.write_to(&mut writer)?;
+            let hello = Frame::Hello { client: config.id };
+            hello.write_to(&mut writer)?;
+            if let Some(wire) = &wire {
+                wire.on_sent(&hello);
+            }
             handler.repository_mut().insert_replica(*id);
             writers.insert(*id, writer);
             let tx = event_tx.clone();
@@ -259,6 +313,7 @@ impl AquaClient {
             }),
             event_tx,
             epoch: StdInstant::now(),
+            wire,
         });
         {
             let inner = Arc::clone(&inner);
@@ -273,6 +328,12 @@ impl AquaClient {
     /// Runs `f` against the handler (repository inspection, stats, …).
     pub fn with_handler<R>(&self, f: impl FnOnce(&TimingFaultHandler) -> R) -> R {
         f(&self.inner.state.lock().handler)
+    }
+
+    /// Emits any request spans still buffered by the handler's observer
+    /// and flushes the journal. Call once at the end of an observed run.
+    pub fn finish_observability(&self) {
+        self.inner.state.lock().handler.flush_observability();
     }
 
     /// Renegotiates the QoS specification.
@@ -291,7 +352,11 @@ impl AquaClient {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let mut writer = stream.try_clone()?;
-        Frame::Hello { client: 0 }.write_to(&mut writer)?;
+        let hello = Frame::Hello { client: 0 };
+        hello.write_to(&mut writer)?;
+        if let Some(wire) = &self.inner.wire {
+            wire.on_sent(&hello);
+        }
         {
             let mut state = self.inner.state.lock();
             state.handler.repository_mut().insert_replica(id);
@@ -330,6 +395,9 @@ impl AquaClient {
                 if let Some(writer) = state.writers.get_mut(id) {
                     if frame.write_to(writer).is_ok() {
                         sent += 1;
+                        if let Some(wire) = &self.inner.wire {
+                            wire.on_sent(&frame);
+                        }
                     }
                 }
             }
@@ -518,6 +586,48 @@ mod tests {
         client.with_handler(|h| {
             assert_eq!(h.detector().failures(), 1);
         });
+    }
+
+    #[test]
+    fn observed_calls_emit_metrics_and_spans() {
+        let (obs, reader) = aqua_obs::Obs::in_memory();
+        let mut servers = Vec::new();
+        for i in 0..2u64 {
+            let mut cfg = ReplicaServerConfig::quick(ReplicaId::new(i), 5);
+            cfg.obs = Some(obs.clone());
+            servers.push(ReplicaServer::spawn(cfg).expect("spawn"));
+        }
+        let replicas: Vec<(ReplicaId, SocketAddr)> =
+            servers.iter().map(|s| (s.replica(), s.addr())).collect();
+        let mut config = AquaClientConfig::new(QosSpec::new(ms(500), 0.9).unwrap());
+        config.id = 42;
+        config.obs = Some(obs.clone());
+        let client =
+            AquaClient::connect(&replicas, config, Box::new(ModelBased::default())).unwrap();
+        for _ in 0..4 {
+            client.call(MethodId::DEFAULT, b"obs").expect("call ok");
+        }
+        client.finish_observability();
+
+        let spans: Vec<String> = reader.lines_containing(r#""type":"request""#);
+        assert_eq!(spans.len(), 4, "{spans:?}");
+        assert!(
+            spans[0].contains(r#""outcome":"delivered""#),
+            "{}",
+            spans[0]
+        );
+
+        let prom = obs.prometheus();
+        assert!(
+            prom.contains("aqua_requests_total{client=\"42\"} 4"),
+            "{prom}"
+        );
+        assert!(prom.contains("aqua_wire_frames_sent_total{client=\"42\"}"));
+        assert!(prom.contains("aqua_wire_bytes_received_total{client=\"42\"}"));
+        assert!(prom.contains("aqua_server_serviced_total{replica=\"0\"}"));
+        assert!(prom.contains("aqua_server_service_ns"));
+        let delivered = client.with_handler(|h| h.stats().delivered);
+        assert_eq!(delivered, 4);
     }
 
     #[test]

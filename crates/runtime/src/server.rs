@@ -37,6 +37,9 @@ pub struct ReplicaServerConfig {
     /// Crash (silently drop every connection and stop) after this many
     /// serviced requests.
     pub crash_after: Option<u64>,
+    /// Optional observability sink: serviced counts, measured service and
+    /// queuing times, and the instantaneous queue depth.
+    pub obs: Option<aqua_obs::Obs>,
 }
 
 impl ReplicaServerConfig {
@@ -49,6 +52,29 @@ impl ReplicaServerConfig {
             )),
             seed: replica.index(),
             crash_after: None,
+            obs: None,
+        }
+    }
+}
+
+/// Cached server-side metric handles, created once per service loop.
+struct ServerMetrics {
+    serviced: Arc<aqua_obs::metrics::Counter>,
+    service_ns: Arc<aqua_obs::metrics::Histogram>,
+    queue_ns: Arc<aqua_obs::metrics::Histogram>,
+    queue_depth: Arc<aqua_obs::metrics::Gauge>,
+}
+
+impl ServerMetrics {
+    fn new(obs: &aqua_obs::Obs, replica: ReplicaId) -> Self {
+        let replica = replica.index().to_string();
+        let labels = [("replica", replica.as_str())];
+        let registry = obs.registry();
+        ServerMetrics {
+            serviced: registry.counter("aqua_server_serviced_total", &labels),
+            service_ns: registry.histogram("aqua_server_service_ns", &labels),
+            queue_ns: registry.histogram("aqua_server_queue_ns", &labels),
+            queue_depth: registry.gauge("aqua_server_queue_depth", &labels),
         }
     }
 }
@@ -117,8 +143,12 @@ impl ReplicaServer {
             let service = config.service.clone();
             let seed = config.seed;
             let crash_after = config.crash_after;
+            let metrics = config
+                .obs
+                .as_ref()
+                .map(|obs| ServerMetrics::new(obs, replica));
             threads.push(std::thread::spawn(move || {
-                service_loop(shared, job_rx, replica, service, seed, crash_after);
+                service_loop(shared, job_rx, replica, service, seed, crash_after, metrics);
             }));
         }
         drop(job_tx);
@@ -240,6 +270,7 @@ fn reader_loop(mut stream: TcpStream, peer: SocketAddr, shared: Arc<Shared>, job
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn service_loop(
     shared: Arc<Shared>,
     job_rx: Receiver<Job>,
@@ -247,6 +278,7 @@ fn service_loop(
     service: ServiceTimeModel,
     seed: u64,
     crash_after: Option<u64>,
+    metrics: Option<ServerMetrics>,
 ) {
     let mut rng = SmallRng::seed_from_u64(seed);
     loop {
@@ -267,6 +299,12 @@ fn service_loop(
         }
         let service_ns = service_started.elapsed().as_nanos() as u64;
         let queue_len = job_rx.len() as u32;
+        if let Some(m) = &metrics {
+            m.serviced.inc();
+            m.service_ns.record(service_ns);
+            m.queue_ns.record(queue_ns);
+            m.queue_depth.set(i64::from(queue_len));
+        }
 
         let reply = Frame::Reply {
             seq: job.seq,

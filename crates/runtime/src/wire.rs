@@ -126,6 +126,18 @@ impl Frame {
         out.freeze()
     }
 
+    /// Bytes this frame occupies on the wire (length prefix included),
+    /// without encoding it. Used by the wire-level byte counters.
+    pub fn encoded_len(&self) -> usize {
+        let body = match self {
+            Frame::Request { payload, .. } => 1 + 8 + 4 + 4 + payload.len(),
+            Frame::Reply { payload, .. } => 1 + 8 * 4 + 4 + 4 + 4 + payload.len(),
+            Frame::PerfUpdate { .. } => 1 + 8 * 3 + 4 + 4,
+            Frame::Hello { .. } => 1 + 8,
+        };
+        4 + body
+    }
+
     /// Decodes a frame body (without the length prefix).
     ///
     /// # Errors
@@ -241,6 +253,7 @@ mod tests {
 
     fn roundtrip(frame: Frame) {
         let encoded = frame.encode();
+        assert_eq!(encoded.len(), frame.encoded_len(), "{frame:?}");
         let mut cursor = std::io::Cursor::new(encoded.to_vec());
         let decoded = Frame::read_from(&mut cursor).expect("decodes");
         assert_eq!(decoded, frame);

@@ -7,13 +7,16 @@ use proptest::prelude::*;
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
-        (any::<u64>(), any::<u32>(), prop::collection::vec(any::<u8>(), 0..512)).prop_map(
-            |(seq, method, payload)| Frame::Request {
+        (
+            any::<u64>(),
+            any::<u32>(),
+            prop::collection::vec(any::<u8>(), 0..512)
+        )
+            .prop_map(|(seq, method, payload)| Frame::Request {
                 seq,
                 method,
                 payload: Bytes::from(payload),
-            }
-        ),
+            }),
         (
             any::<u64>(),
             any::<u64>(),
@@ -34,15 +37,22 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                     payload: Bytes::from(payload),
                 }
             ),
-        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u32>(), any::<u32>()).prop_map(
-            |(replica, service_ns, queue_ns, queue_len, method)| Frame::PerfUpdate {
-                replica,
-                service_ns,
-                queue_ns,
-                queue_len,
-                method,
-            }
-        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(|(replica, service_ns, queue_ns, queue_len, method)| {
+                Frame::PerfUpdate {
+                    replica,
+                    service_ns,
+                    queue_ns,
+                    queue_len,
+                    method,
+                }
+            }),
         any::<u64>().prop_map(|client| Frame::Hello { client }),
     ]
 }

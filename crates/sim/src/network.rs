@@ -94,7 +94,9 @@ impl NetworkModel for UniformLan {
     ) -> Duration {
         let raw = self.base
             + self.per_byte.saturating_mul(size as u64)
-            + self.per_fanout.saturating_mul(fanout.saturating_sub(1) as u64);
+            + self
+                .per_fanout
+                .saturating_mul(fanout.saturating_sub(1) as u64);
         let factor = 1.0 + rng.gen_range(0.0..=self.jitter.max(0.0));
         raw.mul_f64(factor)
     }
@@ -194,7 +196,10 @@ impl PerLinkLan {
 
     /// The extra latency configured between two nodes.
     pub fn extra(&self, from: NodeId, to: NodeId) -> Duration {
-        self.extra.get(&(from, to)).copied().unwrap_or(Duration::ZERO)
+        self.extra
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(Duration::ZERO)
     }
 }
 

@@ -85,8 +85,6 @@ pub(crate) struct SimCore<M> {
     /// Nodes that have been detached (crashed at the simulator level);
     /// deliveries to them are silently dropped at pop time.
     pub detached: std::collections::HashSet<NodeId>,
-    /// Total messages pushed through the network (diagnostics).
-    pub messages_sent: u64,
     /// Trace ring + per-node counters.
     pub tracer: Tracer,
 }
@@ -153,7 +151,6 @@ impl<M: Payload> Context<'_, M> {
             self.core.now,
             &mut self.core.rng,
         );
-        self.core.messages_sent += 1;
         let at = self.core.now.saturating_add(delay);
         let from = self.self_id;
         self.core.tracer.record(
@@ -173,7 +170,8 @@ impl<M: Payload> Context<'_, M> {
     pub fn send_self(&mut self, after: Duration, payload: M) {
         let at = self.core.now.saturating_add(after);
         let from = self.self_id;
-        self.core.push(at, self.self_id, Event::Message { from, payload });
+        self.core
+            .push(at, self.self_id, Event::Message { from, payload });
     }
 
     /// Sets a timer that fires on this node after `after`.
@@ -194,9 +192,10 @@ impl<M: Payload> Context<'_, M> {
     /// it (messages and timers) are dropped. Models a host crash.
     pub fn detach_self(&mut self) {
         self.core.detached.insert(self.self_id);
-        self.core
-            .tracer
-            .record(self.core.now, TraceEvent::NodeDetached { node: self.self_id });
+        self.core.tracer.record(
+            self.core.now,
+            TraceEvent::NodeDetached { node: self.self_id },
+        );
     }
 }
 

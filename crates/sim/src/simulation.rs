@@ -82,7 +82,6 @@ impl<M: Payload> Simulation<M> {
                 network: Box::new(network),
                 rng: SmallRng::seed_from_u64(seed),
                 detached: HashSet::new(),
-                messages_sent: 0,
                 tracer: Default::default(),
             },
             nodes: Vec::new(),
@@ -113,9 +112,10 @@ impl<M: Payload> Simulation<M> {
         self.events_processed
     }
 
-    /// Number of messages sent over the simulated network so far.
+    /// Number of messages sent over the simulated network so far (derived
+    /// from the per-node trace counters — there is no separate tally).
     pub fn messages_sent(&self) -> u64 {
-        self.core.messages_sent
+        self.core.tracer.total_sent()
     }
 
     /// Number of registered nodes (including detached ones).
@@ -157,6 +157,65 @@ impl<M: Payload> Simulation<M> {
     /// Whether a node is detached (crashed).
     pub fn is_detached(&self, id: NodeId) -> bool {
         self.core.detached.contains(&id)
+    }
+
+    /// Bridges the simulator's observability into `obs`: per-node
+    /// communication counters become `sim_*` registry metrics and any
+    /// recorded trace ring is replayed into the journal as `sim_event`
+    /// lines. Call once at the end of a run.
+    pub fn export_obs(&self, obs: &aqua_obs::Obs) {
+        use aqua_obs::json::JsonValue;
+
+        let registry = obs.registry();
+        for (node, counters) in self.core.tracer.all_counters() {
+            let node = node.index().to_string();
+            let labels = [("node", node.as_str())];
+            registry
+                .counter("sim_messages_sent_total", &labels)
+                .add(counters.sent);
+            registry
+                .counter("sim_messages_delivered_total", &labels)
+                .add(counters.delivered);
+            registry
+                .counter("sim_timers_fired_total", &labels)
+                .add(counters.timers_fired);
+        }
+        registry
+            .counter("sim_trace_dropped_total", &[])
+            .add(self.core.tracer.dropped());
+
+        let journal = obs.journal();
+        for record in self.core.tracer.records() {
+            let fields = JsonValue::object().field("at_nanos", record.at.as_nanos());
+            let fields = match &record.event {
+                TraceEvent::NodeStarted { node } => fields
+                    .field("event", "node_started")
+                    .field("node", u64::from(node.index())),
+                TraceEvent::MessageSent {
+                    from,
+                    to,
+                    size,
+                    deliver_at,
+                } => fields
+                    .field("event", "message_sent")
+                    .field("from", u64::from(from.index()))
+                    .field("to", u64::from(to.index()))
+                    .field("size", *size)
+                    .field("deliver_at_nanos", deliver_at.as_nanos()),
+                TraceEvent::MessageDelivered { from, to } => fields
+                    .field("event", "message_delivered")
+                    .field("from", u64::from(from.index()))
+                    .field("to", u64::from(to.index())),
+                TraceEvent::TimerFired { node } => fields
+                    .field("event", "timer_fired")
+                    .field("node", u64::from(node.index())),
+                TraceEvent::NodeDetached { node } => fields
+                    .field("event", "node_detached")
+                    .field("node", u64::from(node.index())),
+            };
+            journal.emit_event("sim_event", fields);
+        }
+        journal.flush();
     }
 
     /// Injects a message from `from` to `to` at absolute time `at`,
@@ -205,7 +264,10 @@ impl<M: Payload> Simulation<M> {
             let Some(Reverse(scheduled)) = self.core.queue.pop() else {
                 return false;
             };
-            debug_assert!(scheduled.at >= self.core.now, "time must not move backwards");
+            debug_assert!(
+                scheduled.at >= self.core.now,
+                "time must not move backwards"
+            );
             self.core.now = scheduled.at;
 
             // Drop cancelled timers and deliveries to detached nodes.
@@ -437,10 +499,7 @@ mod tests {
         sim.run_until(Instant::from_millis(3));
         let b = sim.add_node(Echo::default());
         sim.run_until_idle();
-        assert_eq!(
-            sim.node::<Echo>(b).unwrap().log,
-            vec![(3_000_000, "start")]
-        );
+        assert_eq!(sim.node::<Echo>(b).unwrap().log, vec![(3_000_000, "start")]);
     }
 
     #[test]
@@ -495,7 +554,43 @@ mod tests {
                 TraceEvent::NodeDetached { .. } => "detached",
             })
             .collect();
-        assert_eq!(kinds, vec!["start", "start", "delivered", "sent", "delivered"]);
+        assert_eq!(
+            kinds,
+            vec!["start", "start", "delivered", "sent", "delivered"]
+        );
+    }
+
+    #[test]
+    fn export_obs_bridges_counters_and_trace() {
+        let (obs, reader) = aqua_obs::Obs::in_memory();
+        let mut sim = Simulation::<Msg>::new(1);
+        sim.enable_trace(64);
+        let a = sim.add_node(Echo::default());
+        let b = sim.add_node(Echo::default());
+        sim.schedule_message(Instant::from_millis(1), a, b, Msg::Ping);
+        sim.run_until_idle();
+        sim.export_obs(&obs);
+
+        let prom = obs.prometheus();
+        assert!(
+            prom.contains("sim_messages_sent_total{node=\"1\"} 1"),
+            "{prom}"
+        );
+        assert!(prom.contains("sim_messages_delivered_total{node=\"0\"} 1"));
+        assert!(
+            prom.contains("sim_timers_fired_total") || !prom.contains("timer"),
+            "no timers ran"
+        );
+        let events = reader.lines_containing(r#""type":"sim_event""#);
+        assert!(
+            events
+                .iter()
+                .any(|l| l.contains(r#""event":"message_sent""#)),
+            "{events:?}"
+        );
+        assert!(events
+            .iter()
+            .any(|l| l.contains(r#""event":"node_started""#)));
     }
 
     #[test]

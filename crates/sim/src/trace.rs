@@ -126,6 +126,21 @@ impl Tracer {
     pub fn counters(&self, node: NodeId) -> NodeCounters {
         self.counters.get(&node).copied().unwrap_or_default()
     }
+
+    /// Counters of every node that has communicated, in node order.
+    pub fn all_counters(&self) -> Vec<(NodeId, NodeCounters)> {
+        let mut all: Vec<(NodeId, NodeCounters)> =
+            self.counters.iter().map(|(n, c)| (*n, *c)).collect();
+        all.sort_by_key(|(n, _)| *n);
+        all
+    }
+
+    /// Total messages pushed through the network, summed over all nodes.
+    /// This is the single source of truth — the core keeps no separate
+    /// message counter.
+    pub fn total_sent(&self) -> u64 {
+        self.counters.values().map(|c| c.sent).sum()
+    }
 }
 
 #[cfg(test)]
@@ -164,7 +179,9 @@ mod tests {
         for i in 0..5 {
             tracer.record(
                 Instant::from_millis(i),
-                TraceEvent::NodeStarted { node: NodeId::new(0) },
+                TraceEvent::NodeStarted {
+                    node: NodeId::new(0),
+                },
             );
         }
         assert_eq!(tracer.records().count(), 3);

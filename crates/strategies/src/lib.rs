@@ -243,10 +243,7 @@ impl SelectionStrategy for LeastLoaded {
     fn select(&mut self, input: &SelectionInput<'_>) -> Vec<ReplicaId> {
         let mut ids: Vec<ReplicaId> = input.repository.replica_ids().collect();
         ids.sort_by_key(|id| {
-            let outstanding = input
-                .repository
-                .stats(*id)
-                .map_or(0, |s| s.outstanding());
+            let outstanding = input.repository.stats(*id).map_or(0, |s| s.outstanding());
             let mean = mean_response_estimate(input.repository, *id, input.method)
                 .unwrap_or(Duration::ZERO);
             (outstanding, mean)
@@ -470,10 +467,7 @@ mod tests {
     fn static_and_all() {
         let repo = repo();
         let qos = QosSpec::new(ms(150), 0.9).unwrap();
-        assert_eq!(
-            idx(&StaticK { k: 1 }.select(&input(&repo, &qos))),
-            vec![0]
-        );
+        assert_eq!(idx(&StaticK { k: 1 }.select(&input(&repo, &qos))), vec![0]);
         assert_eq!(AllReplicas.select(&input(&repo, &qos)).len(), 4);
     }
 

@@ -3,8 +3,8 @@
 use aqua_core::qos::ReplicaId;
 use aqua_core::time::{Duration, Instant};
 use aqua_gateway::{
-    AquaMsg, ClientConfig, ClientGateway, HandlerStats, RequestRecord, ServerConfig,
-    ServerGateway, Wire,
+    AquaMsg, ClientConfig, ClientGateway, HandlerStats, RequestRecord, ServerConfig, ServerGateway,
+    Wire,
 };
 use aqua_group::{FailureDetectorConfig, GroupCoordinator};
 use lan_sim::{NodeId, Simulation};
@@ -35,8 +35,7 @@ impl ClientReport {
         if self.records.is_empty() {
             return 0.0;
         }
-        self.records.iter().map(|r| r.redundancy).sum::<usize>() as f64
-            / self.records.len() as f64
+        self.records.iter().map(|r| r.redundancy).sum::<usize>() as f64 / self.records.len() as f64
     }
 
     /// Mean redundancy excluding the cold-start (first) request.
@@ -51,8 +50,11 @@ impl ClientReport {
     /// The `q`-quantile of observed response times (answered requests
     /// only); `None` when nothing was answered.
     pub fn latency_quantile(&self, q: f64) -> Option<Duration> {
-        let mut latencies: Vec<Duration> =
-            self.records.iter().filter_map(|r| r.response_time).collect();
+        let mut latencies: Vec<Duration> = self
+            .records
+            .iter()
+            .filter_map(|r| r.response_time)
+            .collect();
         if latencies.is_empty() {
             return None;
         }
@@ -63,8 +65,11 @@ impl ClientReport {
 
     /// Mean observed response time (answered requests only).
     pub fn mean_latency(&self) -> Option<Duration> {
-        let latencies: Vec<Duration> =
-            self.records.iter().filter_map(|r| r.response_time).collect();
+        let latencies: Vec<Duration> = self
+            .records
+            .iter()
+            .filter_map(|r| r.response_time)
+            .collect();
         if latencies.is_empty() {
             return None;
         }
@@ -117,19 +122,34 @@ impl ExperimentReport {
 /// # }
 /// ```
 pub fn run_experiment(config: &ExperimentConfig) -> ExperimentReport {
+    run_experiment_observed(config, None)
+}
+
+/// [`run_experiment`] with optional observability: when `obs` is given,
+/// every client gateway records its handler metrics and request spans into
+/// it (labelled by client index), and at the end of the run the simulator's
+/// communication counters and trace ring are bridged in via
+/// [`Simulation::export_obs`].
+pub fn run_experiment_observed(
+    config: &ExperimentConfig,
+    obs: Option<&aqua_obs::Obs>,
+) -> ExperimentReport {
     let mut sim: Simulation<Wire> = {
         let network = config.network.build();
         // Simulation::with_network takes the model by value; box-dyn via a
         // small adapter below.
         Simulation::with_network(config.seed, BoxedNetwork(network))
     };
+    if obs.is_some() {
+        sim.enable_trace(4096);
+    }
 
     let coordinator = sim.add_node(GroupCoordinator::<AquaMsg>::new(
         FailureDetectorConfig::default(),
     ));
 
-    let server_config = |i: usize, server: &crate::config::ServerSpec, standby: bool| {
-        ServerConfig {
+    let server_config =
+        |i: usize, server: &crate::config::ServerSpec, standby: bool| ServerConfig {
             replica: ReplicaId::new(i as u64),
             coordinator,
             group: FailureDetectorConfig::default(),
@@ -140,8 +160,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentReport {
             recover_after: server.recover_after,
             standby,
             reply_size: 8,
-        }
-    };
+        };
     for (i, server) in config.servers.iter().enumerate() {
         let cfg = server_config(i, server, false);
         sim.add_node(ServerGateway::new(cfg));
@@ -182,7 +201,11 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentReport {
             renegotiate_to: client.renegotiate_to,
         };
         let strategy = client.strategy.build(config.seed.wrapping_add(i as u64));
-        client_nodes.push(sim.add_node(ClientGateway::new(cfg, strategy)));
+        let mut gateway = ClientGateway::new(cfg, strategy);
+        if let Some(obs) = obs {
+            gateway = gateway.with_obs(obs, i as u64);
+        }
+        client_nodes.push(sim.add_node(gateway));
     }
 
     // Run in slices until every client reports finished (or time is up).
@@ -190,15 +213,25 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentReport {
     loop {
         let slice_end = (sim.now() + Duration::from_secs(1)).min(deadline);
         sim.run_until(slice_end);
-        let all_done = client_nodes
-            .iter()
-            .all(|n| sim.node::<ClientGateway>(*n).is_some_and(|c| c.is_finished()));
+        let all_done = client_nodes.iter().all(|n| {
+            sim.node::<ClientGateway>(*n)
+                .is_some_and(|c| c.is_finished())
+        });
         if all_done || sim.now() >= deadline {
             break;
         }
     }
     // Let in-flight replies land so records are complete.
     sim.run_until(sim.now() + Duration::from_secs(8));
+
+    if let Some(obs) = obs {
+        for node in &client_nodes {
+            if let Some(gw) = sim.node_mut::<ClientGateway>(*node) {
+                gw.finish_observability();
+            }
+        }
+        sim.export_obs(obs);
+    }
 
     let clients = client_nodes
         .iter()

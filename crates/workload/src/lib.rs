@@ -19,8 +19,10 @@ mod experiment;
 mod report;
 mod summary;
 
-pub use config::{ClientSpec, ExperimentConfig, ManagerSpec, NetworkSpec, ServerSpec, StrategySpec};
-pub use experiment::{run_experiment, ClientReport, ExperimentReport};
+pub use config::{
+    ClientSpec, ExperimentConfig, ManagerSpec, NetworkSpec, ServerSpec, StrategySpec,
+};
+pub use experiment::{run_experiment, run_experiment_observed, ClientReport, ExperimentReport};
 pub use report::{Figure, Series};
 pub use summary::LatencySummary;
 

@@ -7,8 +7,7 @@
 use std::fmt::Write as _;
 
 /// A labelled series of `(x, y)` points — one curve of a figure.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Series {
     /// Curve label (e.g. "Pc = 0.9").
     pub label: String,
@@ -49,8 +48,7 @@ impl Series {
 
 /// A figure: a title, axis names, and one or more series over a shared x
 /// grid.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Figure {
     /// Figure title (e.g. "Figure 4: …").
     pub title: String,
@@ -190,7 +188,7 @@ impl Figure {
         for (si, series) in self.series.iter().enumerate() {
             let _ = writeln!(out, "  {} {}", MARKERS[si % MARKERS.len()], series.label);
         }
-        let _ = writeln!(out, "{:>8.2} ┤{}", y_max, "".to_string());
+        let _ = writeln!(out, "{y_max:>8.2} ┤");
         for row in &grid {
             let line: String = row.iter().collect();
             let _ = writeln!(out, "         │{line}");

@@ -122,8 +122,7 @@ impl LatencySummary {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().filter(|s| **s <= threshold).count() as f64
-            / self.samples.len() as f64
+        self.samples.iter().filter(|s| **s <= threshold).count() as f64 / self.samples.len() as f64
     }
 
     /// Merges another summary into this one.

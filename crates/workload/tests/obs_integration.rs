@@ -1,0 +1,125 @@
+//! End-to-end observability check: the request spans written to the
+//! journal must reconcile with the handler's own delivered/redundant
+//! counters, and the exported snapshots must carry the headline series.
+
+use aqua_core::qos::QosSpec;
+use aqua_core::time::Duration;
+use aqua_obs::Obs;
+use aqua_replica::ServiceTimeModel;
+use aqua_workload::{
+    run_experiment_observed, ClientSpec, ExperimentConfig, NetworkSpec, ServerSpec,
+};
+
+fn ms(v: u64) -> Duration {
+    Duration::from_millis(v)
+}
+
+fn config(requests: u64) -> ExperimentConfig {
+    let qos = QosSpec::new(ms(200), 0.9).unwrap();
+    let mut client = ClientSpec::paper(qos);
+    client.num_requests = requests;
+    client.think_time = ms(100);
+    ExperimentConfig {
+        seed: 11,
+        network: NetworkSpec::paper(),
+        servers: (0..3)
+            .map(|_| ServerSpec {
+                service: ServiceTimeModel::Deterministic(ms(40)),
+                ..ServerSpec::paper()
+            })
+            .collect(),
+        standby_servers: Vec::new(),
+        manager: None,
+        clients: vec![client],
+        max_virtual_time: Duration::from_secs(120),
+    }
+}
+
+/// Journal lines that are real (non-probe) request spans.
+fn request_spans(lines: &[String]) -> Vec<&String> {
+    lines
+        .iter()
+        .filter(|l| l.contains(r#""type":"request""#) && l.contains(r#""probe":false"#))
+        .collect()
+}
+
+#[test]
+fn journal_spans_reconcile_with_handler_counters() {
+    let (obs, reader) = Obs::in_memory();
+    let report = run_experiment_observed(&config(12), Some(&obs));
+    let stats = report.client_under_test().stats;
+    assert_eq!(stats.requests, 12);
+
+    let lines = reader.lines();
+    let spans = request_spans(&lines);
+    assert_eq!(spans.len() as u64, stats.requests, "one span per request");
+
+    let delivered: u64 = spans
+        .iter()
+        .filter(|l| l.contains(r#""outcome":"delivered""#))
+        .count() as u64;
+    assert_eq!(delivered, stats.delivered, "delivered spans match handler");
+
+    let first_replies: u64 = spans
+        .iter()
+        .map(|l| l.matches(r#""first":true"#).count() as u64)
+        .sum();
+    assert_eq!(
+        first_replies, stats.delivered,
+        "one first reply per delivery"
+    );
+
+    let redundant_replies: u64 = spans
+        .iter()
+        .map(|l| l.matches(r#""first":false"#).count() as u64)
+        .sum();
+    assert_eq!(
+        redundant_replies, stats.redundant,
+        "redundant replies in spans match handler"
+    );
+
+    let gave_up: u64 = spans
+        .iter()
+        .filter(|l| l.contains(r#""outcome":"gave_up""#))
+        .count() as u64;
+    assert_eq!(gave_up, stats.gave_up);
+}
+
+#[test]
+fn snapshots_carry_the_headline_series() {
+    let (obs, reader) = Obs::in_memory();
+    let report = run_experiment_observed(&config(8), Some(&obs));
+    let stats = report.client_under_test().stats;
+
+    let prom = obs.prometheus();
+    assert!(
+        prom.contains(&format!(
+            "aqua_requests_total{{client=\"0\"}} {}",
+            stats.requests
+        )),
+        "{prom}"
+    );
+    assert!(
+        prom.contains(&format!(
+            "aqua_replies_delivered_total{{client=\"0\"}} {}",
+            stats.delivered
+        )),
+        "{prom}"
+    );
+    // Per-replica decomposition histograms and the selection-size counts.
+    assert!(prom.contains("aqua_reply_ts_ns{client=\"0\",replica=\"0\""));
+    assert!(prom.contains("aqua_reply_tq_ns"));
+    assert!(prom.contains("aqua_reply_td_ns"));
+    assert!(prom.contains("aqua_selection_size_total"));
+    assert!(prom.contains("aqua_selection_overhead_ns"));
+    // Simulator bridge: per-node counters and trace events.
+    assert!(prom.contains("sim_messages_sent_total"));
+    assert!(reader
+        .lines()
+        .iter()
+        .any(|l| l.contains(r#""type":"sim_event""#)));
+
+    let json = obs.json_snapshot();
+    assert!(json.contains("aqua_response_time_ns"), "{json}");
+    assert!(json.contains("histograms"));
+}

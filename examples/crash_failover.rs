@@ -22,7 +22,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let servers: Vec<ReplicaServer> = profiles
         .iter()
         .enumerate()
-        .map(|(i, s)| ReplicaServer::spawn(ReplicaServerConfig::quick(ReplicaId::new(i as u64), *s)))
+        .map(|(i, s)| {
+            ReplicaServer::spawn(ReplicaServerConfig::quick(ReplicaId::new(i as u64), *s))
+        })
         .collect::<Result<_, _>>()?;
     let replicas: Vec<_> = servers.iter().map(|s| (s.replica(), s.addr())).collect();
 

@@ -37,10 +37,7 @@ fn scenario(managed: bool) -> ExperimentConfig {
             server(230, CrashPlan::Never),
         ],
         standby_servers: if managed {
-            vec![
-                server(70, CrashPlan::Never),
-                server(70, CrashPlan::Never),
-            ]
+            vec![server(70, CrashPlan::Never), server(70, CrashPlan::Never)]
         } else {
             Vec::new()
         },
@@ -87,12 +84,8 @@ fn main() {
                 "spec VIOLATED ✗"
             }
         );
-        println!(
-            "  early phase: {early_f} failures, {early_r:.1} replicas/request"
-        );
-        println!(
-            "  late phase : {late_f} failures, {late_r:.1} replicas/request\n"
-        );
+        println!("  early phase: {early_f} failures, {early_r:.1} replicas/request");
+        println!("  late phase : {late_f} failures, {late_r:.1} replicas/request\n");
     }
     println!("the selection algorithm is only as good as its pool: Proteus");
     println!("keeps the pool healthy, Algorithm 1 spends it wisely.");

@@ -32,8 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== Act 2: the response-time model over measurements ==");
     let mut selector = ReplicaSelector::new(5, SelectorConfig::default());
     // Three replicas: fast-and-steady, fast-but-queued, slow.
-    let profiles: [(&str, u64, u64); 3] =
-        [("fast", 40, 0), ("queued", 40, 120), ("slow", 170, 0)];
+    let profiles: [(&str, u64, u64); 3] = [("fast", 40, 0), ("queued", 40, 120), ("slow", 170, 0)];
     for (i, (_, service, queue)) in profiles.iter().enumerate() {
         let id = ReplicaId::new(i as u64);
         selector.repository_mut().insert_replica(id);

@@ -36,6 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             service,
             seed: 100 + i,
             crash_after: None,
+            obs: None,
         })?);
     }
     let replicas: Vec<_> = servers.iter().map(|s| (s.replica(), s.addr())).collect();

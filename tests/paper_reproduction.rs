@@ -32,8 +32,14 @@ fn figure4_redundancy_decreases_with_deadline() {
         tight > mid && mid > loose,
         "Pc=0.9 redundancy must fall with the deadline: {tight} > {mid} > {loose}"
     );
-    assert!(tight >= 3.5, "tight deadlines demand heavy fan-out: {tight}");
-    assert!(loose < 3.0, "loose deadlines need little redundancy: {loose}");
+    assert!(
+        tight >= 3.5,
+        "tight deadlines demand heavy fan-out: {tight}"
+    );
+    assert!(
+        loose < 3.0,
+        "loose deadlines need little redundancy: {loose}"
+    );
 }
 
 #[test]

@@ -53,7 +53,10 @@ fn two_clients_share_replicas_and_updates() {
     // the perf histories must already be populated.
     std::thread::sleep(std::time::Duration::from_millis(100));
     let out = b.call(MethodId::DEFAULT, b"from-b").expect("b ok");
-    assert_eq!(out.redundancy, 3, "B's first call is a cold-start multicast");
+    assert_eq!(
+        out.redundancy, 3,
+        "B's first call is a cold-start multicast"
+    );
     b.with_handler(|h| {
         for (_, stats) in h.repository().iter() {
             assert!(
@@ -151,8 +154,7 @@ fn replicas_can_join_at_runtime() {
         assert_eq!(out.redundancy, 1, "only one replica exists");
     }
     // A faster replica joins the service group.
-    let newcomer =
-        ReplicaServer::spawn(ReplicaServerConfig::quick(ReplicaId::new(9), 5)).unwrap();
+    let newcomer = ReplicaServer::spawn(ReplicaServerConfig::quick(ReplicaId::new(9), 5)).unwrap();
     client
         .add_replica(newcomer.replica(), newcomer.addr())
         .expect("connects");

@@ -101,7 +101,10 @@ fn model_based_beats_random_at_equal_cost() {
     let (model_fail, model_red) = run_avg(StrategySpec::paper(), 7..=9, 120);
     let (rand_fail, rand_red) = run_avg(StrategySpec::Random { k: 2 }, 7..=9, 120);
     // Similar redundancy…
-    assert!((model_red - rand_red).abs() < 1.0, "{model_red} vs {rand_red}");
+    assert!(
+        (model_red - rand_red).abs() < 1.0,
+        "{model_red} vs {rand_red}"
+    );
     // …but informed choice fails less.
     assert!(
         model_fail <= rand_fail,

@@ -1,0 +1,166 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the handful of types the workspace's benches use —
+//! `Criterion`, `benchmark_group`/`bench_with_input`/`bench_function`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!`/
+//! `criterion_main!` macros. Measurement is a simple calibrated loop
+//! reporting mean ns/iter on stdout; there is no statistical analysis,
+//! HTML report, or comparison against saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Drives the timed closure of one benchmark.
+pub struct Bencher {
+    name: String,
+}
+
+impl Bencher {
+    /// Calibrates an iteration count, times the closure, and prints the
+    /// mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and find an iteration count that runs ~20ms total.
+        let mut iters: u64 = 1;
+        loop {
+            let started = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = started.elapsed();
+            if elapsed >= Duration::from_millis(20) || iters >= 1 << 20 {
+                let per_iter = elapsed.as_nanos() / u128::from(iters.max(1));
+                println!("{:<50} {:>12} ns/iter", self.name, per_iter);
+                return;
+            }
+            iters = iters.saturating_mul(if elapsed.is_zero() {
+                64
+            } else {
+                let target = Duration::from_millis(25).as_nanos() / elapsed.as_nanos().max(1);
+                (target as u64).clamp(2, 64)
+            });
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { name: name.into() };
+        routine(&mut bencher);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            name: format!("{}/{}", self.name, id.label),
+        };
+        routine(&mut bencher, input);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            name: format!("{}/{}", self.name, id.label),
+        };
+        routine(&mut bencher);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_runs_targets() {
+        benches();
+    }
+}

@@ -1,0 +1,570 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Re-implements the subset of proptest's API this workspace uses:
+//! the `proptest!` macro (with optional `#![proptest_config(...)]`),
+//! `prop_assert!`/`prop_assert_eq!`, `prop_oneof!` (weighted and
+//! unweighted), `Strategy` + `prop_map`, `Just`, `any::<T>()`, numeric
+//! range strategies, tuple strategies, and `prop::collection::vec`.
+//!
+//! Differences from upstream, deliberately accepted:
+//! - **No shrinking.** A failing case reports its inputs via the panic
+//!   message but is not minimised.
+//! - **Deterministic seeding.** Each test derives its RNG seed from its
+//!   module path and name, so runs are reproducible without a persistence
+//!   file; there is no `PROPTEST_*` environment handling.
+
+pub mod test_runner {
+    //! Config, error type, and the deterministic RNG driving each test.
+
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Per-test configuration; only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 128 keeps the heavier simulation
+            // properties fast while still exercising a wide input space.
+            ProptestConfig { cases: 128 }
+        }
+    }
+
+    /// Failure raised by `prop_assert!` and friends inside a property.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The property is false for this input.
+        Fail(String),
+        /// The input should be skipped (not counted as a failure).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(reason) => write!(f, "test case failed: {reason}"),
+                TestCaseError::Reject(reason) => write!(f, "test case rejected: {reason}"),
+            }
+        }
+    }
+
+    /// Shorthand used by helper functions inside properties.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic RNG handed to strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng(SmallRng);
+
+    impl TestRng {
+        /// Seeds from an arbitrary label (the macro passes the test's
+        /// module path + name) so every test draws a distinct, stable
+        /// stream.
+        pub fn deterministic(label: &str) -> Self {
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in label.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(SmallRng::seed_from_u64(hash))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and the combinators used by the workspace.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike upstream there is no `ValueTree`/shrinking layer: a strategy
+    /// simply samples a value from the test RNG.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted union of same-valued strategies; built by `prop_oneof!`.
+    pub struct Union<V> {
+        arms: Vec<(f64, BoxedSampler<V>)>,
+        total_weight: f64,
+    }
+
+    /// Type-erased sampler; what `prop_oneof!` arms become.
+    pub type BoxedSampler<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+    /// Erases a concrete strategy into a sampler closure so arms of
+    /// different types can share one `Union`. (A free function, not an
+    /// associated one: `Union::<V>::boxed` would leave `V` unconstrained
+    /// at the call site since the return type only mentions `S::Value`.)
+    pub fn boxed_sampler<S>(strategy: S) -> BoxedSampler<S::Value>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(move |rng| strategy.sample(rng))
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<(f64, BoxedSampler<V>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total_weight = arms.iter().map(|(w, _)| *w).sum();
+            Union { arms, total_weight }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let mut pick: f64 = rng.gen::<f64>() * self.total_weight;
+            for (weight, sampler) in &self.arms {
+                if pick < *weight {
+                    return sampler(rng);
+                }
+                pick -= weight;
+            }
+            (self.arms[self.arms.len() - 1].1)(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.start..self.end)
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    /// Types with a canonical full-range strategy, mirroring
+    /// `proptest::arbitrary::Arbitrary`.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rand::RngCore::next_u64(rng) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rand::RngCore::next_u64(rng) & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    #[derive(Clone, Debug)]
+    pub struct Any<T> {
+        _marker: PhantomData<T>,
+    }
+
+    /// Full-range strategy for `T`, mirroring `proptest::prelude::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Accepted size specifications for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange {
+                min: len,
+                max_exclusive: len + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(range: std::ops::Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty vec size range");
+            SizeRange {
+                min: range.start,
+                max_exclusive: range.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(range: std::ops::RangeInclusive<usize>) -> Self {
+            let (lo, hi) = range.into_inner();
+            assert!(lo <= hi, "empty vec size range");
+            SizeRange {
+                min: lo,
+                max_exclusive: hi + 1,
+            }
+        }
+    }
+
+    /// Strategy for vectors with element strategy `S`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length falls in `size`, mirroring
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.min + 1 >= self.size.max_exclusive {
+                self.size.min
+            } else {
+                rng.gen_range(self.size.min..self.size.max_exclusive)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests. Supports the forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u64..100, v in prop::collection::vec(any::<u8>(), 0..16)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { @config ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            @config ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (@config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[allow(unreachable_code, clippy::redundant_closure_call)]
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)+
+                let outcome = (move || -> ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(message)) => panic!(
+                        "property '{}' failed on case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        message
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property, failing the current case
+/// (without panicking the generator loop directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`: {}\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Picks among strategies producing the same value type, optionally
+/// weighted (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as f64, $crate::strategy::boxed_sampler($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1.0_f64, $crate::strategy::boxed_sampler($strategy))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn helper(x: u64) -> Result<(), TestCaseError> {
+        prop_assert!(x < 1_000, "x was {}", x);
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in 0.0f64..=1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(any::<u8>(), 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+        }
+
+        #[test]
+        fn prop_map_applies(x in (0u64..100).prop_map(|v| v * 2)) {
+            prop_assert!(x % 2 == 0);
+            prop_assert!(x < 200);
+        }
+
+        #[test]
+        fn oneof_weighted_and_tuples(pair in (0u32..5, 5u32..10), pick in prop_oneof![
+            3 => Just(1u8),
+            1 => Just(2u8),
+        ]) {
+            let (a, b) = pair;
+            prop_assert!(a < 5 && b >= 5);
+            prop_assert!(pick == 1 || pick == 2);
+            helper(u64::from(a))?;
+        }
+
+        #[test]
+        fn early_return_ok_is_accepted(x in 0u64..10) {
+            if x < 10 {
+                return Ok(());
+            }
+            prop_assert!(false, "unreachable");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'always_fails' failed")]
+    fn failures_panic_with_context() {
+        proptest! {
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x is small: {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Provides the distributions this workspace samples — `Exp`, `Normal`,
+//! `LogNormal`, `Pareto` — behind the same fallible-constructor API as
+//! upstream. Sampling uses inverse-transform (Exp, Pareto) and Box–Muller
+//! (Normal, LogNormal); statistically standard, if not bit-identical to
+//! upstream's ziggurat tables.
+
+use rand::Rng;
+
+/// A distribution over values of type `T`, mirroring
+/// `rand_distr::Distribution`.
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Construction error shared by all distributions in this stub.
+///
+/// Upstream has one error enum per distribution; the workspace only ever
+/// `expect`s them, so a single type with a message preserves behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Draws a uniform value in the open interval `(0, 1)`.
+///
+/// Inverse transforms divide by or take logs of this value, so both
+/// endpoints must be excluded.
+fn open01<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen();
+        if u > 0.0 {
+            return u;
+        }
+    }
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Clone, Copy, Debug)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(Error("Exp: lambda must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        -open01(rng).ln() / self.lambda
+    }
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if std_dev.is_finite() && std_dev >= 0.0 && mean.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(Error(
+                "Normal: mean and std_dev must be finite, std_dev >= 0",
+            ))
+        }
+    }
+
+    /// One standard-normal draw via Box–Muller.
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        let u1 = open01(rng);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * Self::standard(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(Normal(mu, sigma))`.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if sigma.is_finite() && sigma >= 0.0 && mu.is_finite() {
+            Ok(LogNormal { mu, sigma })
+        } else {
+            Err(Error("LogNormal: mu and sigma must be finite, sigma >= 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * Normal::standard(rng)).exp()
+    }
+}
+
+/// Pareto distribution with minimum `scale` and tail index `shape`.
+#[derive(Clone, Copy, Debug)]
+pub struct Pareto {
+    scale: f64,
+    inv_shape: f64,
+}
+
+impl Pareto {
+    pub fn new(scale: f64, shape: f64) -> Result<Self, Error> {
+        if scale > 0.0 && scale.is_finite() && shape > 0.0 && shape.is_finite() {
+            Ok(Pareto {
+                scale,
+                inv_shape: 1.0 / shape,
+            })
+        } else {
+            Err(Error("Pareto: scale and shape must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.scale * open01(rng).powf(-self.inv_shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mean_of(dist: &impl Distribution<f64>, n: usize) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(11);
+        (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let d = Exp::new(2.0).unwrap();
+        let m = mean_of(&d, 50_000);
+        assert!((m - 0.5).abs() < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let d = Normal::new(100.0, 15.0).unwrap();
+        let m = mean_of(&d, 50_000);
+        assert!((m - 100.0).abs() < 0.5, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let d = LogNormal::new(0.0, 0.5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!((0..1_000).all(|_| d.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let d = Pareto::new(3.0, 2.5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!((0..1_000).all(|_| d.sample(&mut rng) >= 3.0));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(Pareto::new(0.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Declares the `Serialize`/`Deserialize` trait names and re-exports the
+//! no-op derive macros from the stub `serde_derive`. The traits carry no
+//! methods because nothing in this workspace serializes through serde —
+//! structured output is produced by `aqua-obs`'s hand-rolled JSON writer.
+//! (A derive macro and a trait may share a name; they live in different
+//! namespaces.)
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

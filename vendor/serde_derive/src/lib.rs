@@ -1,0 +1,20 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of types
+//! but never actually serializes through serde (JSON output is hand-built
+//! in `aqua-obs`). These derives therefore expand to nothing; they exist so
+//! the `#[derive(serde::Serialize, serde::Deserialize)]` attributes and
+//! `#[serde(...)]` helper attributes keep compiling without crates.io
+//! access.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
