@@ -45,6 +45,7 @@ fn scenario(estimator: DelayEstimator, congested: bool, seed: u64) -> Experiment
         standby_servers: Vec::new(),
         manager: None,
         clients: vec![client],
+        faults: aqua_workload::FaultPlan::new(),
         max_virtual_time: Duration::from_secs(120),
     }
 }

@@ -62,6 +62,7 @@ fn scenario(estimator: QueueEstimator, seed: u64) -> ExperimentConfig {
         standby_servers: Vec::new(),
         manager: None,
         clients: vec![background, under_test],
+        faults: aqua_workload::FaultPlan::new(),
         max_virtual_time: Duration::from_secs(120),
     }
 }

@@ -64,6 +64,7 @@ fn scenario(strategy: StrategySpec, seed: u64) -> ExperimentConfig {
         standby_servers: Vec::new(),
         manager: None,
         clients: vec![client],
+        faults: aqua_workload::FaultPlan::new(),
         max_virtual_time: Duration::from_secs(120),
     }
 }

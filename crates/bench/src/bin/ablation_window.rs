@@ -42,6 +42,7 @@ fn scenario(window: usize, seed: u64) -> ExperimentConfig {
         standby_servers: Vec::new(),
         manager: None,
         clients: vec![client],
+        faults: aqua_workload::FaultPlan::new(),
         max_virtual_time: Duration::from_secs(120),
     }
 }

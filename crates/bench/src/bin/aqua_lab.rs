@@ -270,6 +270,7 @@ fn build_config(opts: &Options) -> ExperimentConfig {
             check_interval: ms(200),
         }),
         clients,
+        faults: aqua_workload::FaultPlan::new(),
         max_virtual_time: Duration::from_secs(600),
     }
 }

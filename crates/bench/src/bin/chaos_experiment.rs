@@ -1,0 +1,152 @@
+//! **Chaos harness** — Fig. 5's setup under injected faults.
+//!
+//! Runs the paper's seven-replica configuration (Normal(100 ms, σ50 ms)
+//! synthetic service load, (200 ms, Pc = 0.9) client) through a set of
+//! fault scenarios from `aqua-faults` — scheduled crash-and-recover, a
+//! pause/stall, a network-wide delay spike, and probabilistic message
+//! drops — with deadline-driven retries armed, and reports how far each
+//! scenario pushes the observed timing-failure probability from the
+//! fault-free baseline.
+//!
+//! Usage: `chaos_experiment [--seed N] [--check]`
+//!
+//! * `--seed N` — run a single reproducible history (default 7).
+//! * `--check` — CI soak mode: exit non-zero unless every scenario
+//!   completes all requests with a bounded failure rate.
+//!
+//! With `AQUA_OBS=dir` the full journal is written out; every injected
+//! fault window appears as `{"type":"fault","phase":"active"|"cleared",...}`
+//! lines that correlate with the request spans around them (see
+//! EXPERIMENTS.md § Chaos).
+
+use aqua_core::qos::QosSpec;
+use aqua_core::time::{Duration, Instant};
+use aqua_workload::{
+    run_experiment_observed, ClientSpec, ExperimentConfig, FaultPlan, NetworkSpec, ServerSpec,
+};
+
+fn ms(v: u64) -> Duration {
+    Duration::from_millis(v)
+}
+
+fn config(seed: u64, faults: FaultPlan) -> ExperimentConfig {
+    let qos = QosSpec::new(ms(200), 0.9).expect("valid spec");
+    let mut client = ClientSpec::paper(qos);
+    client.num_requests = 50;
+    client.think_time = ms(500);
+    client.retry_after = Some(ms(250));
+    ExperimentConfig {
+        seed,
+        network: NetworkSpec::paper(),
+        servers: (0..7).map(|_| ServerSpec::paper()).collect(),
+        standby_servers: Vec::new(),
+        manager: None,
+        clients: vec![client],
+        faults,
+        max_virtual_time: Duration::from_secs(120),
+    }
+}
+
+/// One chaos scenario: a fault plan plus the failure-probability ceiling
+/// enforced in `--check` mode.
+struct Scenario {
+    label: &'static str,
+    faults: FaultPlan,
+    budget: f64,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let at = Instant::from_secs;
+    vec![
+        Scenario {
+            label: "baseline (no faults)",
+            faults: FaultPlan::new(),
+            budget: 0.20,
+        },
+        Scenario {
+            label: "crash-recover r0 [5 s, 15 s)",
+            faults: FaultPlan::new().crash_recover(0, at(5), Duration::from_secs(10)),
+            budget: 0.30,
+        },
+        Scenario {
+            label: "pause r1 [5 s, 12 s)",
+            faults: FaultPlan::new().pause(1, at(5), Duration::from_secs(7)),
+            budget: 0.30,
+        },
+        Scenario {
+            label: "delay spike 4x [5 s, 15 s)",
+            faults: FaultPlan::new().delay_spike_all(at(5), Duration::from_secs(10), 4.0),
+            budget: 0.40,
+        },
+        Scenario {
+            label: "drop 30% at r2 [5 s, 20 s)",
+            faults: FaultPlan::new().drop_messages(2, at(5), Duration::from_secs(15), 0.3),
+            budget: 0.30,
+        },
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+
+    let obs = aqua_bench::obs_from_env();
+    println!("chaos harness: 7 replicas Normal(100 ms, σ50 ms), client");
+    println!("(200 ms, Pc = 0.9), 50 requests, retry after 250 ms, seed {seed}.\n");
+    println!("| scenario | P(failure) | gave up | retries | mean redundancy |");
+    println!("|---|---|---|---|---|");
+
+    let mut violations = Vec::new();
+    for scenario in scenarios() {
+        let report =
+            run_experiment_observed(&config(seed, scenario.faults), obs.as_ref().map(|(o, _)| o));
+        let c = report.client_under_test();
+        println!(
+            "| {} | {:.3} | {} | {} | {:.2} |",
+            scenario.label,
+            c.failure_probability,
+            c.stats.gave_up,
+            c.stats.retries,
+            c.mean_redundancy()
+        );
+        if c.records.len() != 50 {
+            violations.push(format!(
+                "{}: only {}/50 requests completed",
+                scenario.label,
+                c.records.len()
+            ));
+        }
+        if c.failure_probability > scenario.budget {
+            violations.push(format!(
+                "{}: P(failure) {:.3} over budget {:.2}",
+                scenario.label, c.failure_probability, scenario.budget
+            ));
+        }
+    }
+    println!();
+    println!("expected: every fault window is masked — the crash by the");
+    println!("redundant selection plus reconnect-with-probation, the pause");
+    println!("and the drops by the deadline-driven retry — so no scenario");
+    println!("strays far above the fault-free baseline.");
+
+    if let Some((obs, dir)) = obs {
+        aqua_bench::obs_dump(&obs, &dir);
+    }
+    if check {
+        if violations.is_empty() {
+            println!("\ncheck: all scenarios within budget.");
+        } else {
+            eprintln!("\ncheck FAILED:");
+            for v in &violations {
+                eprintln!("  - {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -40,6 +40,7 @@ fn scenario(mtbf_secs: u64, seed: u64) -> ExperimentConfig {
         standby_servers: Vec::new(),
         manager: None,
         clients: vec![client],
+        faults: aqua_workload::FaultPlan::new(),
         max_virtual_time: Duration::from_secs(180),
     }
 }

@@ -51,6 +51,7 @@ fn scenario(strategy: StrategySpec, crash_fastest: bool, seed: u64) -> Experimen
         standby_servers: Vec::new(),
         manager: None,
         clients: vec![client],
+        faults: aqua_workload::FaultPlan::new(),
         max_virtual_time: Duration::from_secs(120),
     }
 }

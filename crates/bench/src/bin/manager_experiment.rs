@@ -53,6 +53,7 @@ fn scenario(managed: bool, seed: u64) -> ExperimentConfig {
             check_interval: ms(200),
         }),
         clients: vec![client],
+        faults: aqua_workload::FaultPlan::new(),
         max_virtual_time: Duration::from_secs(120),
     }
 }

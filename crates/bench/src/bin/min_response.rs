@@ -32,6 +32,7 @@ fn main() {
         standby_servers: Vec::new(),
         manager: None,
         clients: vec![client],
+        faults: aqua_workload::FaultPlan::new(),
         max_virtual_time: Duration::from_secs(120),
     };
     let report = run_experiment(&config);

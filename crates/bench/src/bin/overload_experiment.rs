@@ -54,6 +54,7 @@ fn scenario(renegotiate: bool, seed: u64) -> ExperimentConfig {
         standby_servers: Vec::new(),
         manager: None,
         clients,
+        faults: aqua_workload::FaultPlan::new(),
         max_virtual_time: Duration::from_secs(120),
     }
 }

@@ -83,6 +83,7 @@ fn main() {
                 },
                 seed: 500 + i,
                 crash_after: None,
+                faults: None,
                 obs: obs.as_ref().map(|(obs, _)| obs.clone()),
             })
             .expect("spawn replica server")

@@ -146,6 +146,7 @@ pub struct ReplicaStats {
     outstanding: u32,
     last_update: Option<Instant>,
     window: usize,
+    probation: u32,
 }
 
 impl ReplicaStats {
@@ -156,6 +157,7 @@ impl ReplicaStats {
             outstanding: 0,
             last_update: None,
             window,
+            probation: 0,
         }
     }
 
@@ -197,8 +199,22 @@ impl ReplicaStats {
         self.histories.values().any(|h| !h.is_empty()) && !self.gateway_delays.is_empty()
     }
 
+    /// Returns `true` while the replica is on probation: it recently
+    /// (re)joined and fewer than the required number of fresh samples have
+    /// arrived, so its history is not yet trustworthy and the selection
+    /// strategies skip it (it still receives shadow traffic to warm up).
+    pub fn is_on_probation(&self) -> bool {
+        self.probation > 0
+    }
+
+    /// Fresh samples still needed before the replica leaves probation.
+    pub fn probation_remaining(&self) -> u32 {
+        self.probation
+    }
+
     fn record_perf(&mut self, report: PerfReport, now: Instant) {
         let window = self.window;
+        self.probation = self.probation.saturating_sub(1);
         let history = self
             .histories
             .entry(report.method)
@@ -277,6 +293,23 @@ impl InfoRepository {
         inserted
     }
 
+    /// Puts `id` on probation for `samples` fresh reports, inserting a blank
+    /// entry if the replica is unknown (the rejoin case: eviction dropped
+    /// its history, so a recovered replica starts from scratch).
+    ///
+    /// While on probation the replica is excluded from
+    /// [`InfoRepository::selectable`] — the strategies will not *trust* it —
+    /// but the handler keeps multicasting to it so the `l` samples that end
+    /// the probation actually arrive.
+    pub fn set_probation(&mut self, id: ReplicaId, samples: u32) {
+        let window = self.window;
+        let stats = self
+            .replicas
+            .entry(id)
+            .or_insert_with(|| ReplicaStats::new(window));
+        stats.probation = samples;
+    }
+
     /// Removes a replica (on a crash view change, §5.4): it "will therefore
     /// not be considered in the selection process for future requests".
     ///
@@ -328,6 +361,17 @@ impl InfoRepository {
         self.replicas.iter().map(|(id, s)| (*id, s))
     }
 
+    /// Like [`InfoRepository::iter`], but skips replicas on probation: the
+    /// candidates a selection strategy may trust.
+    pub fn selectable(&self) -> impl Iterator<Item = (ReplicaId, &ReplicaStats)> {
+        self.iter().filter(|(_, s)| !s.is_on_probation())
+    }
+
+    /// The ids of replicas not on probation, in ascending order.
+    pub fn selectable_ids(&self) -> impl Iterator<Item = ReplicaId> + '_ {
+        self.selectable().map(|(id, _)| id)
+    }
+
     /// Records a performance report for `id` (ignored for unknown replicas,
     /// which can happen when an update races a crash view change).
     pub fn record_perf(&mut self, id: ReplicaId, report: PerfReport, now: Instant) {
@@ -343,13 +387,22 @@ impl InfoRepository {
         }
     }
 
-    /// Returns `true` if every known replica has enough data for the model.
+    /// Returns `true` if every selectable replica has enough data for the
+    /// model.
     ///
     /// The paper's handler multicasts to **all** replicas until performance
     /// updates have initialized the repository (§5.4.1); this predicate
-    /// drives that cold-start rule.
+    /// drives that cold-start rule. Replicas on probation are ignored: they
+    /// are warmed by shadow traffic, not by falling back to full multicast.
     pub fn all_warm(&self) -> bool {
-        !self.replicas.is_empty() && self.replicas.values().all(ReplicaStats::is_warm)
+        let mut any = false;
+        for (_, stats) in self.selectable() {
+            if !stats.is_warm() {
+                return false;
+            }
+            any = true;
+        }
+        any
     }
 }
 
@@ -487,6 +540,53 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn zero_window_rejected() {
         let _ = InfoRepository::new(0);
+    }
+
+    #[test]
+    fn probation_clears_after_enough_fresh_samples() {
+        let mut repo = InfoRepository::new(3);
+        let r = ReplicaId::new(4);
+        repo.set_probation(r, 3);
+        assert!(repo.contains(r), "probation inserts unknown replicas");
+        assert!(repo.stats(r).unwrap().is_on_probation());
+        assert_eq!(repo.stats(r).unwrap().probation_remaining(), 3);
+        assert_eq!(repo.selectable_ids().count(), 0);
+        for i in 0..3 {
+            repo.record_perf(r, report(50, 1, 0), Instant::from_millis(i));
+        }
+        assert!(!repo.stats(r).unwrap().is_on_probation());
+        assert_eq!(repo.selectable_ids().collect::<Vec<_>>(), vec![r]);
+    }
+
+    #[test]
+    fn probation_preserves_existing_entries_and_history() {
+        let mut repo = InfoRepository::new(2);
+        let r = ReplicaId::new(0);
+        repo.insert_replica(r);
+        repo.record_perf(r, report(10, 0, 0), Instant::EPOCH);
+        repo.set_probation(r, 2);
+        assert!(
+            repo.stats(r).unwrap().history(MethodId::DEFAULT).is_some(),
+            "probation does not wipe history"
+        );
+    }
+
+    #[test]
+    fn all_warm_ignores_probation_replicas() {
+        let mut repo = InfoRepository::new(2);
+        let a = ReplicaId::new(0);
+        let b = ReplicaId::new(1);
+        repo.insert_replica(a);
+        repo.record_perf(a, report(10, 0, 0), Instant::EPOCH);
+        repo.record_gateway_delay(a, ms(1), Instant::EPOCH);
+        assert!(repo.all_warm());
+        // A cold rejoiner on probation must not push the handler back into
+        // full cold-start multicast…
+        repo.set_probation(b, 5);
+        assert!(repo.all_warm());
+        // …but a repository with only probation entries is not warm.
+        repo.remove_replica(a);
+        assert!(!repo.all_warm());
     }
 
     #[test]

@@ -77,6 +77,12 @@ pub struct ClientConfig {
     pub probe_stale_after: Option<Duration>,
     /// If set, renegotiate to this spec when the QoS callback fires (§4).
     pub renegotiate_to: Option<QosSpec>,
+    /// If set, a request that is still unanswered this long after being
+    /// issued is retried: Algorithm 1 re-runs over the remaining replicas
+    /// and a sibling attempt is multicast (the original stays live; the
+    /// earliest reply of either wins). Should be shorter than
+    /// `give_up_after` to be useful.
+    pub retry_after: Option<Duration>,
 }
 
 impl ClientConfig {
@@ -96,6 +102,7 @@ impl ClientConfig {
             methods: vec![MethodId::DEFAULT],
             probe_stale_after: None,
             renegotiate_to: None,
+            retry_after: None,
         }
     }
 }
@@ -138,6 +145,8 @@ enum TimerKind {
     GiveUp(u64),
     /// Check for stale replica entries and probe them (§8 ext. 3).
     ProbeCheck,
+    /// Intermediate retry deadline for request `seq` (the root attempt).
+    Retry(u64),
 }
 
 /// The simulated client gateway node. See the module docs.
@@ -152,6 +161,11 @@ pub struct ClientGateway {
     subscribed: Vec<NodeId>,
     finished: bool,
     obs: Option<(aqua_obs::Obs, u64)>,
+    /// Root seq → (method, attempt seqs in issue order). Tracked only when
+    /// retries are enabled; resolving any attempt retires its siblings.
+    retry_state: HashMap<u64, (MethodId, Vec<u64>)>,
+    /// Sibling attempt seq → root seq.
+    root_of: HashMap<u64, u64>,
 }
 
 impl std::fmt::Debug for ClientGateway {
@@ -178,6 +192,8 @@ impl ClientGateway {
             subscribed: Vec::new(),
             finished: false,
             obs: None,
+            retry_state: HashMap::new(),
+            root_of: HashMap::new(),
         }
     }
 
@@ -309,7 +325,82 @@ impl ClientGateway {
         });
         let give_up_after = self.config.give_up_after;
         self.schedule(ctx, give_up_after, TimerKind::GiveUp(plan.seq));
+        if let Some(retry_after) = self.config.retry_after {
+            if retry_after < give_up_after {
+                self.retry_state.insert(plan.seq, (method, vec![plan.seq]));
+                self.schedule(ctx, retry_after, TimerKind::Retry(plan.seq));
+            }
+        }
         IssueResult::Issued
+    }
+
+    /// The intermediate retry deadline passed without a reply: re-run
+    /// Algorithm 1 over the remaining replicas and multicast a sibling
+    /// attempt for the same logical request.
+    fn retry(&mut self, root: u64, ctx: &mut Context<'_, Wire>) {
+        let Some((method, _)) = self.retry_state.get(&root).cloned() else {
+            return;
+        };
+        let Some(pending) = self.handler_mut().pending(root).cloned() else {
+            return; // already resolved
+        };
+        if pending.answered {
+            return;
+        }
+        let now = ctx.now();
+        let plan = self.handler_mut().plan_retry(
+            now,
+            Some(method),
+            pending.intercepted_at,
+            root,
+            &pending.selected,
+        );
+        let Some(plan) = plan else {
+            return; // nobody left beyond the original selection
+        };
+        let view = self.agent.as_ref().expect("started").view();
+        let targets: Vec<NodeId> = plan
+            .replicas
+            .iter()
+            .filter_map(|r| view.node_of(*r))
+            .collect();
+        if targets.is_empty() {
+            self.handler_mut().on_abandon(now, plan.seq);
+            return;
+        }
+        ctx.multicast(
+            &targets,
+            GroupMsg::App(AquaMsg::Request {
+                id: RequestId {
+                    client: ctx.self_id(),
+                    seq: plan.seq,
+                },
+                method,
+                payload_size: self.config.request_size,
+            }),
+        );
+        if let Some((_, attempts)) = self.retry_state.get_mut(&root) {
+            attempts.push(plan.seq);
+        }
+        self.root_of.insert(plan.seq, root);
+        if let Some(rec) = self.records.iter_mut().find(|r| r.seq == root) {
+            rec.redundancy += targets.len();
+        }
+    }
+
+    /// Resolves an attempt seq to the root request it belongs to and
+    /// retires its sibling attempts.
+    fn settle_attempts(&mut self, delivered: u64, now: Instant) -> u64 {
+        let root = self.root_of.get(&delivered).copied().unwrap_or(delivered);
+        if let Some((_, attempts)) = self.retry_state.remove(&root) {
+            for attempt in attempts {
+                self.root_of.remove(&attempt);
+                if attempt != delivered {
+                    self.handler_mut().on_abandon(now, attempt);
+                }
+            }
+        }
+        root
     }
 
     /// Handles one arrival tick according to the pacing discipline.
@@ -387,9 +478,23 @@ impl ClientGateway {
     }
 
     /// The give-up timer fired; if the request is still outstanding, record
-    /// the timing failure and move on.
+    /// the timing failure and move on. With retries in play the newest
+    /// attempt carries the single give-up; earlier attempts retire.
     fn give_up(&mut self, seq: u64, ctx: &mut Context<'_, Wire>) {
-        if self.handler_mut().on_give_up(seq) {
+        let now = ctx.now();
+        let resolved = if let Some((_, attempts)) = self.retry_state.remove(&seq) {
+            let last = *attempts.last().expect("at least the root attempt");
+            for attempt in &attempts {
+                self.root_of.remove(attempt);
+                if *attempt != last {
+                    self.handler_mut().on_abandon(now, *attempt);
+                }
+            }
+            self.handler_mut().on_give_up(last)
+        } else {
+            self.handler_mut().on_give_up(seq)
+        };
+        if resolved {
             if let Some(rec) = self.records.iter_mut().find(|r| r.seq == seq) {
                 rec.timely = false;
             }
@@ -429,7 +534,8 @@ impl ClientGateway {
                     verdict,
                 } = outcome
                 {
-                    if let Some(rec) = self.records.iter_mut().find(|r| r.seq == id.seq) {
+                    let root = self.settle_attempts(id.seq, now);
+                    if let Some(rec) = self.records.iter_mut().find(|r| r.seq == root) {
                         rec.first_reply_at = Some(now);
                         rec.response_time = Some(response_time);
                         rec.timely = verdict.is_timely();
@@ -486,6 +592,7 @@ impl Node<Wire> for ClientGateway {
                     Some(TimerKind::IssueRequest) => self.issue_request(ctx),
                     Some(TimerKind::ProbeCheck) => self.probe_stale(ctx),
                     Some(TimerKind::GiveUp(seq)) => self.give_up(seq, ctx),
+                    Some(TimerKind::Retry(seq)) => self.retry(seq, ctx),
                     None => {}
                 }
             }
@@ -499,7 +606,8 @@ impl Node<Wire> for ClientGateway {
                         .on_view_change(view)
                         .map(|v| v.replica_ids().collect::<Vec<_>>());
                     if let Some(servers) = installed {
-                        self.handler_mut().on_view(servers);
+                        let now = ctx.now();
+                        self.handler_mut().on_view(now, servers);
                         self.subscribe_to_new_servers(ctx);
                     }
                 }

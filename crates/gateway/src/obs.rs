@@ -51,6 +51,10 @@ pub struct HandlerObserver {
     gave_up: Arc<Counter>,
     callbacks: Arc<Counter>,
     timing_failures: Arc<Counter>,
+    retries: Arc<Counter>,
+    abandoned: Arc<Counter>,
+    probation_started: Arc<Counter>,
+    probation_cleared: Arc<Counter>,
     overhead: Arc<Histogram>,
     response: Arc<Histogram>,
     selection_sizes: HashMap<usize, Arc<Counter>>,
@@ -82,6 +86,12 @@ impl HandlerObserver {
             gave_up: registry.counter("aqua_gave_up_total", &labels),
             callbacks: registry.counter("aqua_qos_callbacks_total", &labels),
             timing_failures: registry.counter("aqua_timing_failures_total", &labels),
+            retries: registry.counter("aqua_retries_total", &labels),
+            abandoned: registry.counter("aqua_attempts_superseded_total", &labels),
+            probation_started: registry
+                .counter("aqua_probation_transitions_total", &[("phase", "started")]),
+            probation_cleared: registry
+                .counter("aqua_probation_transitions_total", &[("phase", "cleared")]),
             overhead: registry.histogram("aqua_selection_overhead_ns", &labels),
             response: registry.histogram("aqua_response_time_ns", &labels),
             selection_sizes: HashMap::new(),
@@ -141,21 +151,38 @@ impl HandlerObserver {
         selected: &[ReplicaId],
         probe: bool,
         overhead_nanos: Option<u64>,
+        retry_of: Option<u64>,
     ) {
         if probe {
             self.probes.inc();
         } else {
-            self.requests.inc();
+            if retry_of.is_none() {
+                // Retries are extra attempts at the same logical request:
+                // they widen the selection-size histogram but must not
+                // inflate the request count.
+                self.requests.inc();
+            }
             self.selection_size_counter(selected.len()).inc();
         }
         if let Some(delta) = overhead_nanos {
             self.overhead.record(delta);
+        }
+        if let Some(superseded) = retry_of {
+            self.retries.inc();
+            self.obs.journal().emit_event(
+                "retry",
+                aqua_obs::json::JsonValue::object()
+                    .field("seq", seq)
+                    .field("retry_of", superseded)
+                    .field("at_ns", now_nanos),
+            );
         }
         let mut span = RequestSpan::begin(seq, method, now_nanos, now_nanos);
         span.client = client;
         span.deadline_nanos = deadline_nanos;
         span.selected = selected.iter().map(|r| r.index()).collect();
         span.probe = probe;
+        span.retry_of = retry_of;
         self.spans.insert(seq, span);
         // Keep memory bounded on endless runs: spill the oldest finished
         // spans once a generous cap is exceeded.
@@ -252,6 +279,38 @@ impl HandlerObserver {
         self.callbacks.inc();
     }
 
+    /// Retires an attempt superseded by a retry (or resolved through a
+    /// sibling attempt) and emits its span. Not a timing failure.
+    pub(crate) fn on_abandon(&mut self, seq: u64, at_nanos: u64) {
+        self.abandoned.inc();
+        if let Some(mut span) = self.spans.remove(&seq) {
+            if span.outcome == SpanOutcome::Pending {
+                span.outcome = SpanOutcome::Superseded;
+                span.end_nanos = Some(at_nanos);
+            }
+            self.obs.journal().emit_span(&span);
+        }
+    }
+
+    /// Records a probation transition for `replica`: `started = true` when
+    /// a rejoining replica is quarantined, `false` when the `l` fresh
+    /// samples arrived and it re-enters the selectable set.
+    pub(crate) fn on_probation(&mut self, replica: ReplicaId, started: bool, at_nanos: u64) {
+        if started {
+            self.probation_started.inc();
+        } else {
+            self.probation_cleared.inc();
+        }
+        self.obs.journal().emit_event(
+            "probation",
+            aqua_obs::json::JsonValue::object()
+                .field("replica", replica.index())
+                .field("phase", if started { "started" } else { "cleared" })
+                .field("client", self.client_label.as_str())
+                .field("at_ns", at_nanos),
+        );
+    }
+
     /// Emits every remaining span (delivered and still-pending ones) in
     /// sequence order and flushes the journal.
     pub fn flush(&mut self) {
@@ -296,7 +355,17 @@ mod tests {
         let (obs, reader) = Obs::in_memory();
         let mut observer = HandlerObserver::new(&obs, Some(3));
         let r = ReplicaId::new(1);
-        observer.on_plan(0, 0, Some(3), 100, 200_000_000, &[r], false, Some(1_500));
+        observer.on_plan(
+            0,
+            0,
+            Some(3),
+            100,
+            200_000_000,
+            &[r],
+            false,
+            Some(1_500),
+            None,
+        );
         observer.on_reply(
             0,
             r,
@@ -309,7 +378,17 @@ mod tests {
             false,
             Some(TimingVerdict::Timely),
         );
-        observer.on_plan(1, 0, Some(3), 200, 200_000_000, &[r], false, Some(1_200));
+        observer.on_plan(
+            1,
+            0,
+            Some(3),
+            200,
+            200_000_000,
+            &[r],
+            false,
+            Some(1_200),
+            None,
+        );
         observer.on_give_up(1, false);
         observer.flush();
 

@@ -14,6 +14,7 @@
 use aqua_core::qos::ReplicaId;
 use aqua_core::repository::{MethodId, PerfReport};
 use aqua_core::time::Duration;
+use aqua_faults::{FaultSchedule, ReplicaHealth};
 use aqua_group::{FailureDetectorConfig, GroupMsg, Member, MembershipAgent};
 use aqua_replica::{CrashPlan, CrashState, LoadModel, LoadProcess, RequestQueue, ServiceTimeModel};
 use lan_sim::{Context, Event, Node, NodeId, TimerToken};
@@ -48,6 +49,12 @@ pub struct ServerConfig {
     pub standby: bool,
     /// Reply payload size in bytes.
     pub reply_size: u32,
+    /// Scheduled fault injection on the simulation clock: crash windows
+    /// (down, then rejoin at the window's end), pauses (the service stage
+    /// stalls, queued work survives), and service-time degradations or
+    /// overloads. Network-scoped faults (delay spikes, drops, partitions)
+    /// live in the workload's network wrapper instead.
+    pub faults: Option<FaultSchedule>,
 }
 
 impl ServerConfig {
@@ -65,6 +72,7 @@ impl ServerConfig {
             recover_after: None,
             standby: false,
             reply_size: 8, // "responded with an integer data" (§6)
+            faults: None,
         }
     }
 }
@@ -93,6 +101,8 @@ pub struct ServerGateway {
     /// Dead-but-recoverable: events are dropped until the recovery timer.
     dead: bool,
     recovery_timer: Option<TimerToken>,
+    /// Next edge of the scheduled fault plan.
+    fault_timer: Option<TimerToken>,
     subscribers: Vec<NodeId>,
     serviced: u64,
     restarts: u64,
@@ -124,6 +134,7 @@ impl ServerGateway {
             dormant: false,
             dead: false,
             recovery_timer: None,
+            fault_timer: None,
             subscribers: Vec::new(),
             serviced: 0,
             restarts: 0,
@@ -156,6 +167,54 @@ impl ServerGateway {
         let mut agent = MembershipAgent::new(self.config.coordinator, me, self.config.group);
         agent.on_started(ctx);
         self.agent = Some(agent);
+        self.schedule_fault_edge(ctx);
+    }
+
+    /// Arms a timer at the next edge of the fault schedule (if any).
+    fn schedule_fault_edge(&mut self, ctx: &mut Context<'_, Wire>) {
+        let Some(schedule) = &self.config.faults else {
+            return;
+        };
+        let now = ctx.now();
+        self.fault_timer = schedule
+            .next_transition_after(now)
+            .map(|next| ctx.set_timer(next.saturating_duration_since(now)));
+    }
+
+    /// A fault-schedule edge passed: enter a scheduled down window, or
+    /// resume work stalled by a pause that just ended.
+    fn on_fault_edge(&mut self, ctx: &mut Context<'_, Wire>) {
+        self.apply_scheduled_faults(ctx);
+        self.schedule_fault_edge(ctx);
+        if !self.dead && !self.is_crashed() {
+            self.start_next_service(ctx);
+        }
+    }
+
+    /// Enters a scheduled down window: identical to a crash (queued work
+    /// is lost, the group evicts us), except the recovery timer is set to
+    /// the window's end — or never, for a saturated crash-forever window.
+    fn apply_scheduled_faults(&mut self, ctx: &mut Context<'_, Wire>) {
+        let Some(schedule) = &self.config.faults else {
+            return;
+        };
+        if self.dead || self.is_crashed() {
+            return;
+        }
+        let now = ctx.now();
+        if let ReplicaHealth::Down { until } = schedule.health(self.config.replica, now) {
+            if let Some(agent) = self.agent.as_mut() {
+                agent.stop();
+            }
+            self.queue.drain();
+            self.in_service = None;
+            self.dead = true;
+            self.recovery_timer = if until.as_nanos() == u64::MAX {
+                None // crash-forever: stay dark
+            } else {
+                Some(ctx.set_timer(until.saturating_duration_since(now)))
+            };
+        }
     }
 
     /// Requests serviced so far.
@@ -216,6 +275,7 @@ impl ServerGateway {
         let mut agent = MembershipAgent::new(self.config.coordinator, me, self.config.group);
         agent.on_started(ctx);
         self.agent = Some(agent);
+        self.schedule_fault_edge(ctx);
     }
 
     fn check_time_crash(&mut self, ctx: &mut Context<'_, Wire>) -> bool {
@@ -233,11 +293,24 @@ impl ServerGateway {
         if self.in_service.is_some() {
             return;
         }
+        if let Some(schedule) = &self.config.faults {
+            // Paused: the service stage stalls but queued work survives;
+            // the fault-edge timer resumes us when the pause ends.
+            if schedule
+                .paused_until(self.config.replica, ctx.now())
+                .is_some()
+            {
+                return;
+            }
+        }
         // t3: dequeue for service.
         let Some(((id, method), queuing_delay)) = self.queue.pop(ctx.now()) else {
             return;
         };
-        let factor = self.load.factor(ctx.now(), ctx.rng());
+        let mut factor = self.load.factor(ctx.now(), ctx.rng());
+        if let Some(schedule) = &self.config.faults {
+            factor *= schedule.service_factor(self.config.replica, ctx.now());
+        }
         let model = self
             .config
             .method_services
@@ -327,6 +400,10 @@ impl Node<Wire> for ServerGateway {
                 if Some(token) == self.crash_timer {
                     // Crash time passed; check_time_crash above handled it
                     // unless the plan moved — nothing more to do.
+                    return;
+                }
+                if Some(token) == self.fault_timer {
+                    self.on_fault_edge(ctx);
                     return;
                 }
                 if let Some(agent) = self.agent.as_mut() {

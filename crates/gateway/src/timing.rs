@@ -14,7 +14,7 @@
 //! 3. [`TimingFaultHandler::on_perf_update`] /
 //!    [`TimingFaultHandler::on_view`] — keep the repository current.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use aqua_core::failure::{TimingFailureDetector, TimingVerdict};
 use aqua_core::qos::{QosSpec, ReplicaId};
@@ -84,6 +84,13 @@ pub struct HandlerStats {
     pub callbacks: u64,
     /// Active probes sent to replicas with stale performance data.
     pub probes: u64,
+    /// Deadline-driven retry attempts issued (§retry: re-run Algorithm 1
+    /// over the remaining replicas when the first selection misses an
+    /// intermediate deadline).
+    pub retries: u64,
+    /// Attempts retired without delivery or failure because a sibling
+    /// attempt resolved the logical request.
+    pub abandoned: u64,
 }
 
 impl HandlerStats {
@@ -108,6 +115,10 @@ pub struct TimingFaultHandler {
     stats: HandlerStats,
     observer: Option<HandlerObserver>,
     client_id: Option<u64>,
+    /// Every replica ever observed in a view or join: a member that shows
+    /// up again after leaving is a *rejoin* and starts on probation,
+    /// whereas a first-time member is warmed by the cold-start multicast.
+    seen: BTreeSet<ReplicaId>,
 }
 
 impl std::fmt::Debug for TimingFaultHandler {
@@ -139,6 +150,7 @@ impl TimingFaultHandler {
             stats: HandlerStats::default(),
             observer: None,
             client_id: None,
+            seen: BTreeSet::new(),
         }
     }
 
@@ -215,19 +227,85 @@ impl TimingFaultHandler {
     /// Like [`TimingFaultHandler::plan_request`] with a method id for
     /// per-method performance classification (§8 ext. 1).
     pub fn plan_request_for(&mut self, now: Instant, method: Option<MethodId>) -> RequestPlan {
+        self.plan_with(now, method, now, None, &[])
+            .expect("initial selections always produce a plan")
+    }
+
+    /// Plans a **deadline-driven retry** for a logical request first issued
+    /// at `t0` whose attempt `retry_of` has missed an intermediate deadline:
+    /// Algorithm 1 re-runs over the *remaining* replicas (the original
+    /// selection is passed in `exclude`) and the new subset is multicast as
+    /// a sibling attempt. Returns `None` when no other replica is available,
+    /// in which case the caller keeps waiting on the original attempt.
+    pub fn plan_retry(
+        &mut self,
+        now: Instant,
+        method: Option<MethodId>,
+        t0: Instant,
+        retry_of: u64,
+        exclude: &[ReplicaId],
+    ) -> Option<RequestPlan> {
+        self.plan_with(now, method, t0, Some(retry_of), exclude)
+    }
+
+    fn plan_with(
+        &mut self,
+        now: Instant,
+        method: Option<MethodId>,
+        t0: Instant,
+        retry_of: Option<u64>,
+        exclude: &[ReplicaId],
+    ) -> Option<RequestPlan> {
         // δ (§5.3.3): the wall-clock cost of evaluating the model and
         // running the selection, fed to the overhead histogram.
         let select_started = std::time::Instant::now();
-        let replicas = self.strategy.select(&SelectionInput {
-            repository: &self.repository,
-            qos: &self.qos,
-            method,
-            now,
-        });
+        let mut replicas = if exclude.is_empty() {
+            self.strategy.select(&SelectionInput {
+                repository: &self.repository,
+                qos: &self.qos,
+                method,
+                now,
+            })
+        } else {
+            // Retry: Algorithm 1 runs over the *remaining* replicas, so
+            // the excluded ones must be invisible to the model — not
+            // merely filtered out of its answer.
+            let mut remaining = self.repository.clone();
+            for r in exclude {
+                remaining.remove_replica(*r);
+            }
+            self.strategy.select(&SelectionInput {
+                repository: &remaining,
+                qos: &self.qos,
+                method,
+                now,
+            })
+        };
+        if retry_of.is_some() && replicas.is_empty() {
+            // A retry with nobody left to ask is pointless; the original
+            // attempt (or the give-up timer) resolves the request.
+            return None;
+        }
+        // Probation members ride along as shadow traffic: never trusted
+        // candidates until `l` fresh samples arrive (§5.2), but the extra
+        // replies rebuild their sliding window so probation can clear.
+        let shadows: Vec<ReplicaId> = self
+            .repository
+            .iter()
+            .filter(|(id, stats)| {
+                stats.is_on_probation() && !replicas.contains(id) && !exclude.contains(id)
+            })
+            .map(|(id, _)| id)
+            .collect();
+        replicas.extend(shadows);
         let overhead_nanos = select_started.elapsed().as_nanos() as u64;
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.stats.requests += 1;
+        if retry_of.is_none() {
+            self.stats.requests += 1;
+        } else {
+            self.stats.retries += 1;
+        }
         self.stats.replicas_selected += replicas.len() as u64;
         if let Some(observer) = self.observer.as_mut() {
             observer.on_plan(
@@ -239,19 +317,20 @@ impl TimingFaultHandler {
                 &replicas,
                 false,
                 Some(overhead_nanos),
+                retry_of,
             );
         }
         self.pending.insert(
             seq,
             PendingRequest {
-                intercepted_at: now,
+                intercepted_at: t0,
                 sent_at: now,
                 selected: replicas.clone(),
                 answered: false,
                 probe: false,
             },
         );
-        RequestPlan { seq, replicas }
+        Some(RequestPlan { seq, replicas })
     }
 
     /// Plans an **active probe** to one replica (§8, extension 3: "use
@@ -273,6 +352,7 @@ impl TimingFaultHandler {
                 self.qos.deadline().as_nanos(),
                 std::slice::from_ref(&replica),
                 true,
+                None,
                 None,
             );
         }
@@ -334,7 +414,7 @@ impl TimingFaultHandler {
             pending.answered = true;
         }
 
-        self.repository.record_perf(replica, perf, now);
+        self.record_perf_tracked(now, replica, perf);
         self.repository.record_gateway_delay(replica, td, now);
 
         if probe {
@@ -412,19 +492,96 @@ impl TimingFaultHandler {
     }
 
     fn record_perf_only(&mut self, now: Instant, replica: ReplicaId, perf: PerfReport) {
+        self.record_perf_tracked(now, replica, perf);
+    }
+
+    /// Records a perf sample and emits a probation-cleared event when the
+    /// sample is the one that completes the replica's fresh window (§5.2).
+    fn record_perf_tracked(&mut self, now: Instant, replica: ReplicaId, perf: PerfReport) {
+        let was_on_probation = self
+            .repository
+            .stats(replica)
+            .is_some_and(|s| s.is_on_probation());
         self.repository.record_perf(replica, perf, now);
+        if was_on_probation {
+            let cleared = self
+                .repository
+                .stats(replica)
+                .is_some_and(|s| !s.is_on_probation());
+            if cleared {
+                if let Some(observer) = self.observer.as_mut() {
+                    observer.on_probation(replica, false, now.as_nanos());
+                }
+            }
+        }
     }
 
     /// Processes a pushed performance update from a subscriber channel.
     pub fn on_perf_update(&mut self, now: Instant, replica: ReplicaId, perf: PerfReport) {
-        self.repository.record_perf(replica, perf, now);
+        self.record_perf_tracked(now, replica, perf);
     }
 
     /// Installs a new server membership (from a group view change): departed
     /// replicas are dropped from the repository and will "not be considered
-    /// in the selection process for future requests" (§5.4).
-    pub fn on_view<I: IntoIterator<Item = ReplicaId>>(&mut self, servers: I) {
+    /// in the selection process for future requests" (§5.4). A member that
+    /// was seen before, left, and now reappears is a *rejoin* and starts on
+    /// probation; first-time members are warmed by the cold-start multicast
+    /// as usual.
+    pub fn on_view<I: IntoIterator<Item = ReplicaId>>(&mut self, now: Instant, servers: I) {
+        let servers: Vec<ReplicaId> = servers.into_iter().collect();
+        // Current members are by definition "seen", even when they were
+        // inserted directly at connect time rather than through a view.
+        let known: Vec<ReplicaId> = self.repository.replica_ids().collect();
+        self.seen.extend(known);
+        let rejoining: Vec<ReplicaId> = servers
+            .iter()
+            .filter(|id| self.seen.contains(id) && !self.repository.contains(**id))
+            .copied()
+            .collect();
+        self.seen.extend(servers.iter().copied());
         self.repository.apply_view(servers);
+        for id in rejoining {
+            self.begin_probation(now, id);
+        }
+    }
+
+    /// Marks `replica` as rejoined after an outage (e.g. a socket reconnect
+    /// after a crash-and-recover): it re-enters the repository **on
+    /// probation**, shadowing selections until `l` fresh samples arrive.
+    pub fn on_rejoin(&mut self, now: Instant, replica: ReplicaId) {
+        self.seen.insert(replica);
+        if self.repository.contains(replica) {
+            return;
+        }
+        self.repository.insert_replica(replica);
+        self.begin_probation(now, replica);
+    }
+
+    fn begin_probation(&mut self, now: Instant, replica: ReplicaId) {
+        let window = self.repository.window() as u32;
+        self.repository.set_probation(replica, window);
+        if let Some(observer) = self.observer.as_mut() {
+            observer.on_probation(replica, true, now.as_nanos());
+        }
+    }
+
+    /// Retires attempt `seq` because a sibling attempt of the same logical
+    /// request was delivered first. Not a delivery and not a failure: the
+    /// request span closes as `superseded`, and late replies degrade to
+    /// [`ReplyOutcome::Unknown`] (still mining their perf data). Returns
+    /// `true` if the attempt was still open.
+    pub fn on_abandon(&mut self, now: Instant, seq: u64) -> bool {
+        match self.pending.get(&seq) {
+            Some(p) if !p.answered && !p.probe => {
+                self.pending.remove(&seq);
+                self.stats.abandoned += 1;
+                if let Some(observer) = self.observer.as_mut() {
+                    observer.on_abandon(seq, now.as_nanos());
+                }
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Finalizes a request that never received any reply (all selected
@@ -697,7 +854,7 @@ mod tests {
     fn view_change_evicts_crashed_replica() {
         let mut h = handler(0.0);
         warm(&mut h, &[0, 1, 2], 100);
-        h.on_view([ReplicaId::new(0), ReplicaId::new(2)]);
+        h.on_view(Instant::EPOCH, [ReplicaId::new(0), ReplicaId::new(2)]);
         assert!(!h.repository().contains(ReplicaId::new(1)));
         let plan = h.plan_request(Instant::EPOCH);
         assert!(!plan.replicas.contains(&ReplicaId::new(1)));
@@ -744,5 +901,150 @@ mod tests {
             assert_eq!(plan.replicas.len(), 2, "Pc = 0 warm selects 2");
         }
         assert_eq!(h.stats().mean_redundancy(), 2.0);
+    }
+
+    #[test]
+    fn retry_replans_over_remaining_replicas() {
+        let mut h = handler(0.0);
+        warm(&mut h, &[0, 1, 2, 3], 100);
+        let first = h.plan_request(Instant::EPOCH);
+        let retry = h
+            .plan_retry(
+                Instant::from_millis(150),
+                None,
+                Instant::EPOCH,
+                first.seq,
+                &first.replicas,
+            )
+            .expect("others remain");
+        assert!(!retry.replicas.is_empty());
+        for r in &retry.replicas {
+            assert!(
+                !first.replicas.contains(r),
+                "retry must use the remaining replicas only"
+            );
+        }
+        assert_eq!(h.stats().requests, 1, "a retry is not a new request");
+        assert_eq!(h.stats().retries, 1);
+        // The retried attempt keeps the original interception time, so the
+        // end-to-end response time spans both attempts.
+        assert_eq!(h.pending(retry.seq).unwrap().intercepted_at, Instant::EPOCH);
+    }
+
+    #[test]
+    fn retry_with_nobody_left_is_refused() {
+        let mut h = handler(0.0);
+        warm(&mut h, &[0, 1], 100);
+        let first = h.plan_request(Instant::EPOCH);
+        assert_eq!(first.replicas.len(), 2);
+        assert!(
+            h.plan_retry(
+                Instant::from_millis(150),
+                None,
+                Instant::EPOCH,
+                first.seq,
+                &first.replicas
+            )
+            .is_none(),
+            "every replica is already serving the first attempt"
+        );
+        assert_eq!(h.stats().retries, 0);
+    }
+
+    #[test]
+    fn abandoned_attempt_is_neither_delivery_nor_failure() {
+        let mut h = handler(0.0);
+        warm(&mut h, &[0, 1], 100);
+        let plan = h.plan_request(Instant::EPOCH);
+        assert!(h.on_abandon(Instant::from_millis(50), plan.seq));
+        assert!(
+            !h.on_abandon(Instant::from_millis(51), plan.seq),
+            "already retired"
+        );
+        let stats = h.stats();
+        assert_eq!(stats.abandoned, 1);
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(stats.gave_up, 0);
+        assert_eq!(h.detector().failures(), 0);
+        // A late reply from the abandoned attempt still mines perf data.
+        let replica = plan.replicas[0];
+        let outcome = h.on_reply(
+            Instant::from_millis(120),
+            plan.seq,
+            replica,
+            PerfReport::new(ms(100), ms(0), 0),
+        );
+        assert!(matches!(outcome, ReplyOutcome::Unknown));
+        assert!(!h.on_give_up(plan.seq), "nothing left to give up on");
+    }
+
+    #[test]
+    fn rejoining_replica_serves_probation_until_fresh_window() {
+        let mut h = handler(0.0);
+        warm(&mut h, &[0, 1, 2], 100);
+        h.on_view(Instant::EPOCH, [ReplicaId::new(0), ReplicaId::new(1)]);
+        assert!(!h.repository().contains(ReplicaId::new(2)));
+        // Replica 2 recovers and rejoins the view: probation, not trust.
+        h.on_view(
+            Instant::from_millis(10),
+            [ReplicaId::new(0), ReplicaId::new(1), ReplicaId::new(2)],
+        );
+        let stats = h.repository().stats(ReplicaId::new(2)).unwrap();
+        assert!(stats.is_on_probation());
+        // It shadows the next selection (so its window can refill) but is
+        // never a trusted candidate while on probation.
+        let plan = h.plan_request(Instant::from_millis(20));
+        assert!(plan.replicas.contains(&ReplicaId::new(2)));
+        assert_eq!(
+            *plan.replicas.last().unwrap(),
+            ReplicaId::new(2),
+            "shadows are appended after the trusted selection"
+        );
+        // l fresh samples clear probation.
+        for i in 0..5u64 {
+            h.on_perf_update(
+                Instant::from_millis(30 + i),
+                ReplicaId::new(2),
+                PerfReport::new(ms(90), ms(0), 0),
+            );
+        }
+        let stats = h.repository().stats(ReplicaId::new(2)).unwrap();
+        assert!(!stats.is_on_probation());
+    }
+
+    #[test]
+    fn first_time_members_join_without_probation() {
+        let mut h = handler(0.0);
+        warm(&mut h, &[0, 1], 100);
+        h.on_view(
+            Instant::EPOCH,
+            [ReplicaId::new(0), ReplicaId::new(1), ReplicaId::new(2)],
+        );
+        let stats = h.repository().stats(ReplicaId::new(2)).unwrap();
+        assert!(
+            !stats.is_on_probation(),
+            "a never-seen member is warmed by the cold-start multicast instead"
+        );
+    }
+
+    #[test]
+    fn explicit_rejoin_starts_probation() {
+        let mut h = handler(0.0);
+        warm(&mut h, &[0, 1], 100);
+        h.on_view(Instant::EPOCH, [ReplicaId::new(0)]);
+        h.on_rejoin(Instant::from_millis(5), ReplicaId::new(1));
+        assert!(h.repository().contains(ReplicaId::new(1)));
+        assert!(h
+            .repository()
+            .stats(ReplicaId::new(1))
+            .unwrap()
+            .is_on_probation());
+        // Rejoining while still connected is a no-op.
+        h.on_rejoin(Instant::from_millis(6), ReplicaId::new(0));
+        assert!(!h
+            .repository()
+            .stats(ReplicaId::new(0))
+            .unwrap()
+            .is_on_probation());
     }
 }

@@ -128,7 +128,7 @@ proptest! {
                         .filter(|i| mask & (1 << i) != 0)
                         .map(ReplicaId::new)
                         .collect();
-                    handler.on_view(servers.clone());
+                    handler.on_view(Instant::EPOCH, servers.clone());
                     prop_assert_eq!(handler.repository().len(), servers.len());
                 }
             }
@@ -191,6 +191,7 @@ proptest! {
                         }
                     }
                     Action::View { mask } => handler.on_view(
+                        Instant::EPOCH,
                         (0..4u64)
                             .filter(|i| mask & (1 << i) != 0)
                             .map(ReplicaId::new)

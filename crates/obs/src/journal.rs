@@ -60,6 +60,10 @@ pub enum SpanOutcome {
     Delivered,
     /// The handler gave up (no reply before the extended deadline).
     GaveUp,
+    /// The attempt was superseded by a deadline-driven retry that won (or
+    /// was retired when its logical request resolved another way); it is
+    /// not a timing failure.
+    Superseded,
     /// The span was still pending when the journal was flushed.
     Pending,
 }
@@ -69,6 +73,7 @@ impl SpanOutcome {
         match self {
             SpanOutcome::Delivered => "delivered",
             SpanOutcome::GaveUp => "gave_up",
+            SpanOutcome::Superseded => "superseded",
             SpanOutcome::Pending => "pending",
         }
     }
@@ -93,6 +98,9 @@ pub struct RequestSpan {
     pub selected: Vec<u64>,
     /// Whether this was a probe (sent to all replicas, not client-paid).
     pub probe: bool,
+    /// For a deadline-driven retry attempt, the seq of the attempt it
+    /// supersedes.
+    pub retry_of: Option<u64>,
     /// Every reply observed so far, in arrival order.
     pub replies: Vec<ReplyObservation>,
     /// How the span ended.
@@ -113,6 +121,7 @@ impl RequestSpan {
             deadline_nanos: 0,
             selected: Vec::new(),
             probe: false,
+            retry_of: None,
             replies: Vec::new(),
             outcome: SpanOutcome::Pending,
             end_nanos: None,
@@ -142,6 +151,7 @@ impl RequestSpan {
             .field("selected", self.selected.clone())
             .field("selection_size", self.selection_size())
             .field("probe", self.probe)
+            .field("retry_of", self.retry_of)
             .field(
                 "replies",
                 JsonValue::Array(self.replies.iter().map(ReplyObservation::to_json).collect()),

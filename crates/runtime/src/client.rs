@@ -43,6 +43,17 @@ pub struct AquaClientConfig {
     /// Optional observability sink: handler metrics/spans plus wire-level
     /// frame and byte counters.
     pub obs: Option<aqua_obs::Obs>,
+    /// Optional deadline-driven retry: when the first selection has not
+    /// produced a reply after this long, Algorithm 1 re-runs over the
+    /// *remaining* replicas and the request is re-multicast as a sibling
+    /// attempt (the original stays live; the earliest reply of either
+    /// wins). `None` disables retries.
+    pub retry_after: Option<Duration>,
+    /// Reconnect policy for replicas lost to TCP teardown. With the
+    /// default policy a recovered replica rejoins the connection set and
+    /// the repository **on probation**; `None` keeps the historical
+    /// evict-forever behavior.
+    pub reconnect: Option<ReconnectPolicy>,
 }
 
 impl AquaClientConfig {
@@ -54,6 +65,35 @@ impl AquaClientConfig {
             give_up_after: Duration::from_secs(5),
             id: 0,
             obs: None,
+            retry_after: None,
+            reconnect: Some(ReconnectPolicy::default()),
+        }
+    }
+}
+
+/// Exponential-backoff reconnect policy for replicas lost to TCP teardown.
+///
+/// Backoff state is kept per replica and only resets once a **frame**
+/// arrives from the recovered replica — a refusing server that accepts and
+/// immediately drops connections therefore keeps escalating the delay
+/// instead of ping-ponging at the initial backoff.
+#[derive(Debug, Clone)]
+pub struct ReconnectPolicy {
+    /// Delay before the first reconnect attempt.
+    pub initial_backoff: Duration,
+    /// Ceiling for the doubled backoff delay.
+    pub max_backoff: Duration,
+    /// Give up on the replica after this many consecutive attempts
+    /// without receiving a frame from it.
+    pub max_attempts: u32,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            initial_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+            max_attempts: 20,
         }
     }
 }
@@ -129,6 +169,7 @@ struct WireMetrics {
     bytes_sent: Arc<aqua_obs::metrics::Counter>,
     frames_received: Arc<aqua_obs::metrics::Counter>,
     bytes_received: Arc<aqua_obs::metrics::Counter>,
+    reconnects: Arc<aqua_obs::metrics::Counter>,
 }
 
 impl WireMetrics {
@@ -141,6 +182,7 @@ impl WireMetrics {
             bytes_sent: registry.counter("aqua_wire_bytes_sent_total", &labels),
             frames_received: registry.counter("aqua_wire_frames_received_total", &labels),
             bytes_received: registry.counter("aqua_wire_bytes_received_total", &labels),
+            reconnects: registry.counter("aqua_client_reconnects_total", &labels),
         }
     }
 
@@ -155,12 +197,32 @@ impl WireMetrics {
     }
 }
 
+/// One resolved call message on a waiter channel.
+enum WaitMsg {
+    Outcome(CallOutcome),
+    /// Every replica disconnected while the call was in flight.
+    NoReplicas,
+}
+
+/// An in-flight call attempt awaiting its first reply.
+struct Waiter {
+    tx: Sender<WaitMsg>,
+    /// Total replicas multicast to across all sibling attempts.
+    redundancy: usize,
+    /// All attempt seqs of the same logical request (including this one);
+    /// resolving any attempt retires the rest.
+    group: Vec<u64>,
+}
+
 struct State {
     handler: TimingFaultHandler,
     writers: HashMap<ReplicaId, TcpStream>,
-    /// In-flight calls awaiting their first reply: seq → (waiter,
-    /// redundancy).
-    waiters: HashMap<u64, (Sender<CallOutcome>, usize)>,
+    /// In-flight call attempts: seq → waiter.
+    waiters: HashMap<u64, Waiter>,
+    /// Last known address of every replica, for reconnects.
+    addrs: HashMap<ReplicaId, SocketAddr>,
+    /// Consecutive reconnect attempts per replica since its last frame.
+    backoff: HashMap<ReplicaId, u32>,
 }
 
 struct Inner {
@@ -168,6 +230,8 @@ struct Inner {
     event_tx: Sender<NetEvent>,
     epoch: StdInstant,
     wire: Option<WireMetrics>,
+    reconnect: Option<ReconnectPolicy>,
+    client_id: u64,
 }
 
 impl Inner {
@@ -177,13 +241,16 @@ impl Inner {
 
     /// Applies one network event to the handler; completed calls are
     /// resolved through their waiter channel.
-    fn apply_event(&self, event: NetEvent) {
+    fn apply_event(self: &Arc<Self>, event: NetEvent) {
         let mut state = self.state.lock();
         match event {
             NetEvent::Frame(id, frame) => {
                 if let Some(wire) = &self.wire {
                     wire.on_received(&frame);
                 }
+                // A frame is proof of life: the replica's reconnect
+                // backoff starts over.
+                state.backoff.remove(&id);
                 match frame {
                     Frame::Reply {
                         seq,
@@ -202,21 +269,30 @@ impl Inner {
                         };
                         let replica = ReplicaId::new(replica);
                         debug_assert_eq!(replica, id, "replies come from their own connection");
-                        let outcome = state.handler.on_reply(self.now(), seq, replica, perf);
+                        let now = self.now();
+                        let outcome = state.handler.on_reply(now, seq, replica, perf);
                         if let ReplyOutcome::Deliver {
                             response_time,
                             verdict,
                         } = outcome
                         {
-                            if let Some((waiter, redundancy)) = state.waiters.remove(&seq) {
-                                let _ = waiter.send(CallOutcome {
+                            if let Some(waiter) = state.waiters.remove(&seq) {
+                                // The winning attempt retires its siblings:
+                                // they are neither failures nor deliveries.
+                                for sibling in &waiter.group {
+                                    if *sibling != seq {
+                                        state.waiters.remove(sibling);
+                                        state.handler.on_abandon(now, *sibling);
+                                    }
+                                }
+                                let _ = waiter.tx.send(WaitMsg::Outcome(CallOutcome {
                                     response_time,
                                     timely: verdict.is_timely(),
                                     callback: verdict.should_notify(),
-                                    redundancy,
+                                    redundancy: waiter.redundancy,
                                     replica,
                                     payload,
-                                });
+                                }));
                             }
                         }
                     }
@@ -244,10 +320,102 @@ impl Inner {
                 // TCP teardown is our crash detector: the replica leaves
                 // the "view".
                 state.writers.remove(&id);
+                let now = self.now();
                 let remaining: Vec<ReplicaId> = state.writers.keys().copied().collect();
-                state.handler.on_view(remaining);
+                state.handler.on_view(now, remaining);
+                if state.writers.is_empty() {
+                    // Nobody left who could ever answer: fail every
+                    // in-flight call immediately instead of letting each
+                    // caller ride out its give-up timer.
+                    let seqs: Vec<u64> = state.waiters.keys().copied().collect();
+                    for seq in seqs {
+                        let Some(waiter) = state.waiters.remove(&seq) else {
+                            continue; // retired as a sibling already
+                        };
+                        let mut group = waiter.group.clone();
+                        group.sort_unstable();
+                        let last = *group.last().unwrap_or(&seq);
+                        for s in &group {
+                            if *s != seq {
+                                state.waiters.remove(s);
+                            }
+                        }
+                        // One timing failure per logical request: the
+                        // newest attempt carries it, earlier ones retire.
+                        for s in &group {
+                            if *s != last {
+                                state.handler.on_abandon(now, *s);
+                            }
+                        }
+                        state.handler.on_give_up(last);
+                        let _ = waiter.tx.send(WaitMsg::NoReplicas);
+                    }
+                }
+                drop(state);
+                self.spawn_reconnect(id);
             }
         }
+    }
+
+    /// Starts the background reconnect loop for a lost replica (if a
+    /// policy is configured). On success the replica rejoins the
+    /// connection set and the repository **on probation**.
+    fn spawn_reconnect(self: &Arc<Self>, id: ReplicaId) {
+        let Some(policy) = self.reconnect.clone() else {
+            return;
+        };
+        let weak = Arc::downgrade(self);
+        std::thread::spawn(move || loop {
+            let Some(inner) = weak.upgrade() else { return };
+            let (addr, attempt) = {
+                let mut state = inner.state.lock();
+                if state.writers.contains_key(&id) {
+                    return; // already reconnected elsewhere
+                }
+                let Some(addr) = state.addrs.get(&id).copied() else {
+                    return;
+                };
+                let counter = state.backoff.entry(id).or_insert(0);
+                let attempt = *counter;
+                *counter += 1;
+                (addr, attempt)
+            };
+            if attempt >= policy.max_attempts {
+                return;
+            }
+            let delay = std::time::Duration::from(policy.initial_backoff)
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(std::time::Duration::from(policy.max_backoff));
+            drop(inner); // don't pin the client alive while sleeping
+            std::thread::sleep(delay);
+            let Some(inner) = weak.upgrade() else { return };
+            let Ok(stream) = TcpStream::connect(addr) else {
+                continue;
+            };
+            stream.set_nodelay(true).ok();
+            let Ok(mut writer) = stream.try_clone() else {
+                continue;
+            };
+            let hello = Frame::Hello {
+                client: inner.client_id,
+            };
+            if hello.write_to(&mut writer).is_err() {
+                continue;
+            }
+            if let Some(wire) = &inner.wire {
+                wire.on_sent(&hello);
+                wire.reconnects.inc();
+            }
+            let now = inner.now();
+            {
+                let mut state = inner.state.lock();
+                state.writers.insert(id, writer);
+                state.handler.on_rejoin(now, id);
+            }
+            let tx = inner.event_tx.clone();
+            std::thread::spawn(move || reader_loop(stream, id, tx));
+            return;
+        });
     }
 }
 
@@ -258,6 +426,7 @@ impl Inner {
 pub struct AquaClient {
     inner: Arc<Inner>,
     give_up_after: Duration,
+    retry_after: Option<Duration>,
 }
 
 impl std::fmt::Debug for AquaClient {
@@ -290,6 +459,7 @@ impl AquaClient {
             .map(|obs| WireMetrics::new(obs, config.id));
         let (event_tx, event_rx) = unbounded();
         let mut writers = HashMap::new();
+        let mut addrs = HashMap::new();
         for (id, addr) in replicas {
             let stream = TcpStream::connect(addr)?;
             stream.set_nodelay(true).ok();
@@ -301,6 +471,7 @@ impl AquaClient {
             }
             handler.repository_mut().insert_replica(*id);
             writers.insert(*id, writer);
+            addrs.insert(*id, *addr);
             let tx = event_tx.clone();
             let id = *id;
             std::thread::spawn(move || reader_loop(stream, id, tx));
@@ -310,10 +481,14 @@ impl AquaClient {
                 handler,
                 writers,
                 waiters: HashMap::new(),
+                addrs,
+                backoff: HashMap::new(),
             }),
             event_tx,
             epoch: StdInstant::now(),
             wire,
+            reconnect: config.reconnect.clone(),
+            client_id: config.id,
         });
         {
             let inner = Arc::clone(&inner);
@@ -322,6 +497,7 @@ impl AquaClient {
         Ok(AquaClient {
             inner,
             give_up_after: config.give_up_after,
+            retry_after: config.retry_after,
         })
     }
 
@@ -361,6 +537,7 @@ impl AquaClient {
             let mut state = self.inner.state.lock();
             state.handler.repository_mut().insert_replica(id);
             state.writers.insert(id, writer);
+            state.addrs.insert(id, addr);
         }
         let tx = self.inner.event_tx.clone();
         std::thread::spawn(move || reader_loop(stream, id, tx));
@@ -376,55 +553,143 @@ impl AquaClient {
     /// [`CallError::GaveUp`] when no selected replica answered within the
     /// give-up window, [`CallError::Io`] on transport failures during send.
     pub fn call(&self, method: MethodId, payload: &[u8]) -> Result<CallOutcome, CallError> {
-        let (seq, redundancy, outcome_rx) = {
+        let t0 = self.inner.now();
+        let started = StdInstant::now();
+        let give_up = std::time::Duration::from(self.give_up_after);
+        let frame_for = |seq: u64| Frame::Request {
+            seq,
+            method: method.index(),
+            payload: Bytes::copy_from_slice(payload),
+        };
+
+        let (first_seq, first_selection, mut redundancy, tx, rx) = {
             let mut state = self.inner.state.lock();
-            let plan = state
-                .handler
-                .plan_request_for(self.inner.now(), Some(method));
+            let plan = state.handler.plan_request_for(t0, Some(method));
             if plan.replicas.is_empty() {
                 state.handler.on_give_up(plan.seq);
                 return Err(CallError::NoReplicas);
             }
-            let frame = Frame::Request {
-                seq: plan.seq,
-                method: method.index(),
-                payload: Bytes::copy_from_slice(payload),
-            };
-            let mut sent = 0usize;
-            for id in &plan.replicas {
-                if let Some(writer) = state.writers.get_mut(id) {
-                    if frame.write_to(writer).is_ok() {
-                        sent += 1;
-                        if let Some(wire) = &self.inner.wire {
-                            wire.on_sent(&frame);
-                        }
-                    }
-                }
-            }
+            let sent = self.multicast(&mut state, &frame_for(plan.seq), &plan.replicas);
             let redundancy = plan.replicas.len();
             if sent == 0 {
                 state.handler.on_give_up(plan.seq);
                 return Err(CallError::GaveUp { redundancy });
             }
-            let (tx, rx) = bounded(1);
-            state.waiters.insert(plan.seq, (tx, redundancy));
-            (plan.seq, redundancy, rx)
+            let (tx, rx) = bounded(2);
+            state.waiters.insert(
+                plan.seq,
+                Waiter {
+                    tx: tx.clone(),
+                    redundancy,
+                    group: vec![plan.seq],
+                },
+            );
+            (plan.seq, plan.replicas, redundancy, tx, rx)
         };
+        let mut seqs = vec![first_seq];
 
-        match outcome_rx.recv_timeout(std::time::Duration::from(self.give_up_after)) {
-            Ok(outcome) => Ok(outcome),
+        // Stage 1 (optional): wait until the intermediate retry deadline,
+        // then re-run Algorithm 1 over the remaining replicas and multicast
+        // a sibling attempt. The original stays live; earliest reply wins.
+        if let Some(retry_after) = self.retry_after {
+            let wait = std::time::Duration::from(retry_after).min(give_up);
+            match rx.recv_timeout(wait) {
+                Ok(msg) => return resolve(msg),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    let mut state = self.inner.state.lock();
+                    if let Ok(msg) = rx.try_recv() {
+                        return resolve(msg);
+                    }
+                    if state.waiters.contains_key(&first_seq) {
+                        let now = self.inner.now();
+                        let retry = state.handler.plan_retry(
+                            now,
+                            Some(method),
+                            t0,
+                            first_seq,
+                            &first_selection,
+                        );
+                        if let Some(plan) = retry {
+                            let sent =
+                                self.multicast(&mut state, &frame_for(plan.seq), &plan.replicas);
+                            if sent > 0 {
+                                redundancy += plan.replicas.len();
+                                let group = vec![first_seq, plan.seq];
+                                if let Some(w) = state.waiters.get_mut(&first_seq) {
+                                    w.group.clone_from(&group);
+                                    w.redundancy = redundancy;
+                                }
+                                state.waiters.insert(
+                                    plan.seq,
+                                    Waiter {
+                                        tx: tx.clone(),
+                                        redundancy,
+                                        group,
+                                    },
+                                );
+                                seqs.push(plan.seq);
+                            } else {
+                                // Nobody reachable for the retry: retire
+                                // the attempt quietly.
+                                state.handler.on_abandon(now, plan.seq);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Stage 2: wait out the rest of the give-up window.
+        let remaining = give_up.saturating_sub(started.elapsed());
+        match rx.recv_timeout(remaining) {
+            Ok(msg) => resolve(msg),
             Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
                 // Race window: the dispatcher may have resolved the call
                 // between the timeout and us taking the lock.
                 let mut state = self.inner.state.lock();
-                if let Ok(outcome) = outcome_rx.try_recv() {
-                    return Ok(outcome);
+                if let Ok(msg) = rx.try_recv() {
+                    return resolve(msg);
                 }
-                state.waiters.remove(&seq);
-                state.handler.on_give_up(seq);
+                // One timing failure per logical request: the newest
+                // attempt carries the give-up, earlier ones retire.
+                let now = self.inner.now();
+                for s in &seqs {
+                    state.waiters.remove(s);
+                }
+                if let Some((last, earlier)) = seqs.split_last() {
+                    for s in earlier {
+                        state.handler.on_abandon(now, *s);
+                    }
+                    state.handler.on_give_up(*last);
+                }
+                drop(tx);
                 Err(CallError::GaveUp { redundancy })
             }
         }
+    }
+
+    /// Writes `frame` to every listed replica that still has a live
+    /// connection; returns how many writes succeeded.
+    fn multicast(&self, state: &mut State, frame: &Frame, replicas: &[ReplicaId]) -> usize {
+        let mut sent = 0usize;
+        for id in replicas {
+            if let Some(writer) = state.writers.get_mut(id) {
+                if frame.write_to(writer).is_ok() {
+                    sent += 1;
+                    if let Some(wire) = &self.inner.wire {
+                        wire.on_sent(frame);
+                    }
+                }
+            }
+        }
+        sent
+    }
+}
+
+fn resolve(msg: WaitMsg) -> Result<CallOutcome, CallError> {
+    match msg {
+        WaitMsg::Outcome(outcome) => Ok(outcome),
+        WaitMsg::NoReplicas => Err(CallError::NoReplicas),
     }
 }
 

@@ -40,5 +40,5 @@ mod client;
 mod server;
 pub mod wire;
 
-pub use client::{AquaClient, AquaClientConfig, CallError, CallOutcome};
+pub use client::{AquaClient, AquaClientConfig, CallError, CallOutcome, ReconnectPolicy};
 pub use server::{ReplicaServer, ReplicaServerConfig};

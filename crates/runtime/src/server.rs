@@ -16,6 +16,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration as StdDuration, Instant as StdInstant};
 
 use aqua_core::qos::ReplicaId;
+use aqua_core::time::Instant;
+use aqua_faults::{FaultSchedule, FaultTracker};
 use aqua_replica::ServiceTimeModel;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -40,6 +42,13 @@ pub struct ReplicaServerConfig {
     /// Optional observability sink: serviced counts, measured service and
     /// queuing times, and the instantaneous queue depth.
     pub obs: Option<aqua_obs::Obs>,
+    /// Scheduled fault injection on the server's own clock (zero at
+    /// spawn): crash-and-recover windows refuse connections and drop
+    /// queued work, pauses stall the service thread (queued work
+    /// survives), degradations and overloads stretch the slept service
+    /// time, delay spikes postpone replies, and message drops swallow
+    /// them.
+    pub faults: Option<FaultSchedule>,
 }
 
 impl ReplicaServerConfig {
@@ -53,6 +62,7 @@ impl ReplicaServerConfig {
             seed: replica.index(),
             crash_after: None,
             obs: None,
+            faults: None,
         }
     }
 }
@@ -89,14 +99,36 @@ struct Job {
     enqueued: StdInstant,
 }
 
+/// A message on the service channel: the queue of §5.1 Stage 3 plus a
+/// shutdown sentinel, so the service thread blocks on `recv()` instead of
+/// polling a timeout.
+enum ServiceMsg {
+    Job(Job),
+    Shutdown,
+}
+
 #[derive(Debug)]
 struct Shared {
     shutdown: AtomicBool,
+    /// Inside a scheduled down window: connections are refused (accepted
+    /// and immediately dropped so reconnect probes fail fast) and queued
+    /// work is discarded, but the listener stays alive for recovery.
+    refusing: AtomicBool,
     serviced: AtomicU64,
+    /// The server's time origin; fault schedules run on this clock.
+    epoch: StdInstant,
+    /// Wakes the service thread out of its blocking `recv()` on crash.
+    notify: Mutex<Option<Sender<ServiceMsg>>>,
     /// Writer clones of subscriber connections (for perf pushes).
     subscribers: Mutex<Vec<(SocketAddr, TcpStream)>>,
     /// Every live connection, for forced shutdown.
     connections: Mutex<Vec<TcpStream>>,
+}
+
+impl Shared {
+    fn now(&self) -> Instant {
+        Instant::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
 }
 
 /// Handle to a running socket replica. Dropping the handle crashes the
@@ -123,11 +155,15 @@ impl ReplicaServer {
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
+            refusing: AtomicBool::new(false),
             serviced: AtomicU64::new(0),
+            epoch: StdInstant::now(),
+            notify: Mutex::new(None),
             subscribers: Mutex::new(Vec::new()),
             connections: Mutex::new(Vec::new()),
         });
-        let (job_tx, job_rx) = unbounded::<Job>();
+        let (job_tx, job_rx) = unbounded::<ServiceMsg>();
+        *shared.notify.lock() = Some(job_tx.clone());
 
         let mut threads = Vec::new();
         {
@@ -147,8 +183,26 @@ impl ReplicaServer {
                 .obs
                 .as_ref()
                 .map(|obs| ServerMetrics::new(obs, replica));
+            let faults = config.faults.clone().unwrap_or_else(FaultSchedule::empty);
             threads.push(std::thread::spawn(move || {
-                service_loop(shared, job_rx, replica, service, seed, crash_after, metrics);
+                service_loop(
+                    shared,
+                    job_rx,
+                    replica,
+                    service,
+                    seed,
+                    crash_after,
+                    metrics,
+                    faults,
+                );
+            }));
+        }
+        if let Some(schedule) = config.faults.filter(|s| !s.is_empty()) {
+            let shared = Arc::clone(&shared);
+            let replica = config.replica;
+            let obs = config.obs.clone();
+            threads.push(std::thread::spawn(move || {
+                fault_driver(shared, schedule, replica, obs);
             }));
         }
         drop(job_tx);
@@ -199,19 +253,41 @@ impl Drop for ReplicaServer {
 
 fn crash(shared: &Shared) {
     shared.shutdown.store(true, Ordering::SeqCst);
+    // Wake the service thread out of its blocking recv; the sentinel rides
+    // behind any queued jobs, but the shutdown flag makes the loop discard
+    // those on sight.
+    if let Some(tx) = shared.notify.lock().take() {
+        let _ = tx.send(ServiceMsg::Shutdown);
+    }
     for conn in shared.connections.lock().drain(..) {
         let _ = conn.shutdown(std::net::Shutdown::Both);
     }
     shared.subscribers.lock().clear();
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>, job_tx: Sender<Job>) {
+/// Tears down live connections without shutting the replica down: the
+/// entry into a scheduled down window.
+fn drop_connections(shared: &Shared) {
+    for conn in shared.connections.lock().drain(..) {
+        let _ = conn.shutdown(std::net::Shutdown::Both);
+    }
+    shared.subscribers.lock().clear();
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, job_tx: Sender<ServiceMsg>) {
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
         match listener.accept() {
             Ok((stream, peer)) => {
+                if shared.refusing.load(Ordering::SeqCst) {
+                    // Down window: explicit refusal. Dropping the accepted
+                    // stream resets the peer immediately, so reconnect
+                    // probes fail fast instead of hanging.
+                    drop(stream);
+                    continue;
+                }
                 stream.set_nodelay(true).ok();
                 if let Ok(clone) = stream.try_clone() {
                     shared.connections.lock().push(clone);
@@ -228,7 +304,53 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, job_tx: Sender<Job>) 
     }
 }
 
-fn reader_loop(mut stream: TcpStream, peer: SocketAddr, shared: Arc<Shared>, job_tx: Sender<Job>) {
+/// Walks the fault schedule on the server's clock: flips the refusal flag
+/// at down-window edges (tearing live connections down on entry) and
+/// journals every fault activation/clearance exactly once.
+fn fault_driver(
+    shared: Arc<Shared>,
+    schedule: FaultSchedule,
+    replica: ReplicaId,
+    obs: Option<aqua_obs::Obs>,
+) {
+    let mut tracker = FaultTracker::new(schedule.specs().len());
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let now = shared.now();
+        if let Some(obs) = &obs {
+            tracker.advance(obs, &schedule, now);
+        }
+        let down = schedule.is_down(replica, now);
+        let was = shared.refusing.swap(down, Ordering::SeqCst);
+        if down && !was {
+            drop_connections(&shared);
+        }
+        let Some(next) = schedule.next_transition_after(now) else {
+            return; // schedule exhausted; a saturated window never clears
+        };
+        // Sleep toward the next edge in short slices so a crash() still
+        // joins promptly.
+        let wait = std::time::Duration::from(next.saturating_duration_since(now))
+            + StdDuration::from_millis(1);
+        let deadline = StdInstant::now() + wait;
+        while StdInstant::now() < deadline {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let left = deadline.saturating_duration_since(StdInstant::now());
+            std::thread::sleep(left.min(StdDuration::from_millis(20)));
+        }
+    }
+}
+
+fn reader_loop(
+    mut stream: TcpStream,
+    peer: SocketAddr,
+    shared: Arc<Shared>,
+    job_tx: Sender<ServiceMsg>,
+) {
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
@@ -256,7 +378,7 @@ fn reader_loop(mut stream: TcpStream, peer: SocketAddr, shared: Arc<Shared>, job
                     payload,
                     enqueued: StdInstant::now(),
                 };
-                if job_tx.send(job).is_err() {
+                if job_tx.send(ServiceMsg::Job(job)).is_err() {
                     return;
                 }
             }
@@ -273,26 +395,45 @@ fn reader_loop(mut stream: TcpStream, peer: SocketAddr, shared: Arc<Shared>, job
 #[allow(clippy::too_many_arguments)]
 fn service_loop(
     shared: Arc<Shared>,
-    job_rx: Receiver<Job>,
+    job_rx: Receiver<ServiceMsg>,
     replica: ReplicaId,
     service: ServiceTimeModel,
     seed: u64,
     crash_after: Option<u64>,
     metrics: Option<ServerMetrics>,
+    faults: FaultSchedule,
 ) {
     let mut rng = SmallRng::seed_from_u64(seed);
     loop {
+        // Blocking receive: the sole wakeups are jobs, the crash sentinel,
+        // and channel teardown — no polling.
+        let job = match job_rx.recv() {
+            Ok(ServiceMsg::Job(job)) => job,
+            Ok(ServiceMsg::Shutdown) | Err(_) => return,
+        };
         if shared.shutdown.load(Ordering::SeqCst) {
+            // Crashed while this job sat in the queue: discard it.
             return;
         }
-        let job = match job_rx.recv_timeout(StdDuration::from_millis(20)) {
-            Ok(job) => job,
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
-        };
+        let now = shared.now();
+        if faults.is_down(replica, now) {
+            // A scheduled down window swallows queued work silently, like
+            // a crashed process losing its queue.
+            continue;
+        }
+        if let Some(until) = faults.paused_until(replica, now) {
+            // Pause/stall: the service thread wedges but queued work
+            // survives and is serviced after the resume.
+            let stall = std::time::Duration::from(until.saturating_duration_since(now));
+            std::thread::sleep(stall);
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+        }
         // t3: dequeue; tq = t3 − t2.
         let queue_ns = job.enqueued.elapsed().as_nanos() as u64;
-        let target: std::time::Duration = service.sample(&mut rng).into();
+        let factor = faults.service_factor(replica, shared.now());
+        let target: std::time::Duration = service.sample(&mut rng).mul_f64(factor).into();
         let service_started = StdInstant::now();
         if !target.is_zero() {
             std::thread::sleep(target);
@@ -315,8 +456,17 @@ fn service_loop(
             method: job.method,
             payload: job.payload,
         };
+        let reply_at = shared.now();
+        let spike = faults.reply_delay(replica, reply_at);
+        if !spike.is_zero() {
+            // Network delay spike on the reply path.
+            std::thread::sleep(spike.into());
+        }
         let mut writer = job.writer;
-        if reply.write_to(&mut writer).is_err() {
+        if faults.should_drop(Some(replica), None, reply_at) {
+            // The reply message is lost; the client's redundancy or retry
+            // has to mask it.
+        } else if reply.write_to(&mut writer).is_err() {
             shared.subscribers.lock().retain(|(p, _)| *p != job.peer);
         }
 

@@ -123,13 +123,13 @@ impl SelectionStrategy for ModelBased {
         let started = std::time::Instant::now();
         let deadline = self.overhead.adjusted_deadline(input.qos.deadline());
         let mut candidates = Vec::with_capacity(input.repository.len());
-        for (id, stats) in input.repository.iter() {
+        for (id, stats) in input.repository.selectable() {
             match self.model.probability_by_for(stats, deadline, input.method) {
                 Some(p) => candidates.push(Candidate::new(id, p)),
                 None => match self.cold_start {
                     ColdStartPolicy::SelectAll => {
                         self.overhead.record(Duration::from(started.elapsed()));
-                        return input.repository.replica_ids().collect();
+                        return input.repository.selectable_ids().collect();
                     }
                     ColdStartPolicy::Optimistic(p) => {
                         candidates.push(Candidate::new(id, p.clamp(0.0, 1.0)));
@@ -196,7 +196,7 @@ impl SelectionStrategy for Random {
     }
 
     fn select(&mut self, input: &SelectionInput<'_>) -> Vec<ReplicaId> {
-        let mut ids: Vec<ReplicaId> = input.repository.replica_ids().collect();
+        let mut ids: Vec<ReplicaId> = input.repository.selectable_ids().collect();
         ids.shuffle(&mut self.rng);
         take_k(ids, self.k)
     }
@@ -217,7 +217,7 @@ impl SelectionStrategy for FastestMean {
     }
 
     fn select(&mut self, input: &SelectionInput<'_>) -> Vec<ReplicaId> {
-        let mut ids: Vec<ReplicaId> = input.repository.replica_ids().collect();
+        let mut ids: Vec<ReplicaId> = input.repository.selectable_ids().collect();
         ids.sort_by_key(|id| {
             mean_response_estimate(input.repository, *id, input.method)
                 .map_or(Duration::ZERO, |d| d)
@@ -241,7 +241,7 @@ impl SelectionStrategy for LeastLoaded {
     }
 
     fn select(&mut self, input: &SelectionInput<'_>) -> Vec<ReplicaId> {
-        let mut ids: Vec<ReplicaId> = input.repository.replica_ids().collect();
+        let mut ids: Vec<ReplicaId> = input.repository.selectable_ids().collect();
         ids.sort_by_key(|id| {
             let outstanding = input.repository.stats(*id).map_or(0, |s| s.outstanding());
             let mean = mean_response_estimate(input.repository, *id, input.method)
@@ -266,7 +266,7 @@ impl SelectionStrategy for Nearest {
     }
 
     fn select(&mut self, input: &SelectionInput<'_>) -> Vec<ReplicaId> {
-        let mut ids: Vec<ReplicaId> = input.repository.replica_ids().collect();
+        let mut ids: Vec<ReplicaId> = input.repository.selectable_ids().collect();
         ids.sort_by_key(|id| {
             input
                 .repository
@@ -299,7 +299,7 @@ impl SelectionStrategy for RoundRobin {
     }
 
     fn select(&mut self, input: &SelectionInput<'_>) -> Vec<ReplicaId> {
-        let ids: Vec<ReplicaId> = input.repository.replica_ids().collect();
+        let ids: Vec<ReplicaId> = input.repository.selectable_ids().collect();
         if ids.is_empty() {
             return Vec::new();
         }
@@ -328,7 +328,7 @@ impl SelectionStrategy for StaticK {
     }
 
     fn select(&mut self, input: &SelectionInput<'_>) -> Vec<ReplicaId> {
-        take_k(input.repository.replica_ids().collect(), self.k)
+        take_k(input.repository.selectable_ids().collect(), self.k)
     }
 }
 
@@ -343,7 +343,7 @@ impl SelectionStrategy for AllReplicas {
     }
 
     fn select(&mut self, input: &SelectionInput<'_>) -> Vec<ReplicaId> {
-        input.repository.replica_ids().collect()
+        input.repository.selectable_ids().collect()
     }
 }
 
@@ -411,6 +411,27 @@ mod tests {
         let mut strat = ModelBased::default();
         let sel = strat.select(&input(&repo, &qos));
         assert_eq!(sel.len(), 5, "cold start multicasts to everyone");
+    }
+
+    #[test]
+    fn probation_replicas_are_not_trusted_candidates() {
+        let mut repo = repo();
+        let qos = QosSpec::new(ms(150), 0.9).unwrap();
+        // r0 is the best candidate; once it lands on probation every
+        // strategy must pick from the remaining trusted replicas only.
+        repo.set_probation(ReplicaId::new(0), 5);
+        let sel = ModelBased::default().select(&input(&repo, &qos));
+        assert!(!sel.is_empty() && !sel.contains(&ReplicaId::new(0)));
+        let sel = FastestMean { k: 2 }.select(&input(&repo, &qos));
+        assert_eq!(idx(&sel), vec![3, 2]);
+        let sel = AllReplicas.select(&input(&repo, &qos));
+        assert!(!sel.contains(&ReplicaId::new(0)));
+        // A probation-only repository yields an empty trusted selection;
+        // the handler falls back to shadow-multicast over probation members.
+        for i in 1..4 {
+            repo.set_probation(ReplicaId::new(i), 5);
+        }
+        assert!(ModelBased::default().select(&input(&repo, &qos)).is_empty());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use aqua_core::model::ModelConfig;
 use aqua_core::qos::QosSpec;
 use aqua_core::time::Duration;
+use aqua_faults::FaultPlan;
 use aqua_replica::{CrashPlan, LoadModel, ServiceTimeModel};
 use lan_sim::{CongestedLan, NetworkModel, UniformLan};
 
@@ -189,6 +190,10 @@ pub struct ClientSpec {
     pub methods: Vec<aqua_core::repository::MethodId>,
     /// Probe replicas whose performance data is older than this (§8 ext. 3).
     pub probe_stale_after: Option<Duration>,
+    /// Re-run selection over the remaining replicas when no reply has
+    /// arrived after this long (`None` = wait for the give-up timeout, the
+    /// paper's behaviour).
+    pub retry_after: Option<Duration>,
 }
 
 impl ClientSpec {
@@ -205,6 +210,7 @@ impl ClientSpec {
             renegotiate_to: None,
             methods: vec![aqua_core::repository::MethodId::DEFAULT],
             probe_stale_after: None,
+            retry_after: None,
         }
     }
 }
@@ -234,6 +240,9 @@ pub struct ExperimentConfig {
     pub manager: Option<ManagerSpec>,
     /// Clients, one host each.
     pub clients: Vec<ClientSpec>,
+    /// Fault plan injected over the run (crashes, pauses, degradation,
+    /// network trouble); instantiated with [`ExperimentConfig::seed`].
+    pub faults: FaultPlan,
     /// Virtual-time budget; the run also stops when all clients finish.
     pub max_virtual_time: Duration,
 }
@@ -255,6 +264,7 @@ impl ExperimentConfig {
                 ClientSpec::paper(background),
                 ClientSpec::paper(second_client),
             ],
+            faults: FaultPlan::new(),
             max_virtual_time: Duration::from_secs(300),
         }
     }

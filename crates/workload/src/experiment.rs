@@ -2,6 +2,7 @@
 
 use aqua_core::qos::ReplicaId;
 use aqua_core::time::{Duration, Instant};
+use aqua_faults::FaultSchedule;
 use aqua_gateway::{
     AquaMsg, ClientConfig, ClientGateway, HandlerStats, RequestRecord, ServerConfig, ServerGateway,
     Wire,
@@ -134,11 +135,19 @@ pub fn run_experiment_observed(
     config: &ExperimentConfig,
     obs: Option<&aqua_obs::Obs>,
 ) -> ExperimentReport {
+    let schedule = config.faults.instantiate(config.seed);
     let mut sim: Simulation<Wire> = {
         let network = config.network.build();
         // Simulation::with_network takes the model by value; box-dyn via a
-        // small adapter below.
-        Simulation::with_network(config.seed, BoxedNetwork(network))
+        // small adapter below. Network-scoped faults (delay spikes, drops,
+        // partitions) wrap the model; replica-scoped faults are applied by
+        // each server gateway from its own copy of the schedule.
+        let faulty = FaultyNetwork {
+            inner: BoxedNetwork(network),
+            schedule: schedule.clone(),
+            replica_nodes: config.servers.len() + config.standby_servers.len(),
+        };
+        Simulation::with_network(config.seed, faulty)
     };
     if obs.is_some() {
         sim.enable_trace(4096);
@@ -160,6 +169,7 @@ pub fn run_experiment_observed(
             recover_after: server.recover_after,
             standby,
             reply_size: 8,
+            faults: (!schedule.is_empty()).then(|| schedule.clone()),
         };
     for (i, server) in config.servers.iter().enumerate() {
         let cfg = server_config(i, server, false);
@@ -199,6 +209,7 @@ pub fn run_experiment_observed(
             methods: client.methods.clone(),
             probe_stale_after: client.probe_stale_after,
             renegotiate_to: client.renegotiate_to,
+            retry_after: client.retry_after,
         };
         let strategy = client.strategy.build(config.seed.wrapping_add(i as u64));
         let mut gateway = ClientGateway::new(cfg, strategy);
@@ -231,6 +242,9 @@ pub fn run_experiment_observed(
             }
         }
         sim.export_obs(obs);
+        // The schedule is a pure function of time, so the whole fault
+        // timeline up to the end of the run can be journalled in one pass.
+        aqua_faults::emit_fault_events(obs, &schedule, sim.now());
     }
 
     let clients = client_nodes
@@ -284,6 +298,55 @@ impl lan_sim::NetworkModel for BoxedNetwork {
     }
 }
 
+/// A delay that outlives any experiment's virtual-time budget: how the
+/// simulator realizes a dropped or partitioned-away message, since the
+/// network contract is "every message eventually arrives".
+const DROPPED: Duration = Duration::from_secs(86_400);
+
+/// Network model wrapper applying the fault schedule's network-scoped
+/// faults: delay spikes scale and pad the base delay, and drop/one-way
+/// partition faults turn the message into a [`DROPPED`] straggler.
+struct FaultyNetwork {
+    inner: BoxedNetwork,
+    schedule: FaultSchedule,
+    /// Number of replica-hosting nodes. Node 0 is the group coordinator and
+    /// nodes `1..=replica_nodes` host replica `node - 1` (servers then
+    /// standbys, in [`run_experiment`]'s add order); later nodes are clients.
+    replica_nodes: usize,
+}
+
+impl FaultyNetwork {
+    fn replica_of(&self, node: NodeId) -> Option<ReplicaId> {
+        let idx = node.index() as usize;
+        (1..=self.replica_nodes)
+            .contains(&idx)
+            .then(|| ReplicaId::new(idx as u64 - 1))
+    }
+}
+
+impl lan_sim::NetworkModel for FaultyNetwork {
+    fn delay(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        size: usize,
+        fanout: usize,
+        now: Instant,
+        rng: &mut rand::rngs::SmallRng,
+    ) -> Duration {
+        let base = self.inner.delay(from, to, size, fanout, now, rng);
+        if self.schedule.is_empty() {
+            return base;
+        }
+        let (from, to) = (self.replica_of(from), self.replica_of(to));
+        if self.schedule.should_drop(from, to, now) {
+            return DROPPED;
+        }
+        let (factor, pad) = self.schedule.delay_mod(from, to, now);
+        base.mul_f64(factor).saturating_add(pad)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +374,7 @@ mod tests {
             standby_servers: Vec::new(),
             manager: None,
             clients: vec![client],
+            faults: aqua_faults::FaultPlan::new(),
             max_virtual_time: Duration::from_secs(120),
         }
     }

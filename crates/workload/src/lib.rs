@@ -19,6 +19,7 @@ mod experiment;
 mod report;
 mod summary;
 
+pub use aqua_faults::{FaultKind, FaultPlan};
 pub use config::{
     ClientSpec, ExperimentConfig, ManagerSpec, NetworkSpec, ServerSpec, StrategySpec,
 };

@@ -46,6 +46,7 @@ fn scenario(managed: bool) -> ExperimentConfig {
             check_interval: ms(200),
         }),
         clients: vec![client],
+        faults: aqua::workload::FaultPlan::new(),
         max_virtual_time: Duration::from_secs(120),
     }
 }

@@ -54,6 +54,7 @@ fn scenario(strategy: StrategySpec, seed: u64) -> ExperimentConfig {
         standby_servers: Vec::new(),
         manager: None,
         clients: vec![tracker],
+        faults: aqua::workload::FaultPlan::new(),
         max_virtual_time: Duration::from_secs(180),
     }
 }

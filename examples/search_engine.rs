@@ -36,6 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             service,
             seed: 100 + i,
             crash_after: None,
+            faults: None,
             obs: None,
         })?);
     }

@@ -18,6 +18,7 @@
 //! | [`gateway`] | `aqua-gateway` | the timing fault handler + client/server gateway nodes |
 //! | [`strategies`] | `aqua-strategies` | the paper's strategy and classic baselines |
 //! | [`workload`] | `aqua-workload` | experiment configs, runner, figure formatting |
+//! | [`faults`] | `aqua-faults` | composable seeded fault plans shared by both runtimes |
 //! | [`runtime`] | `aqua-runtime` | the handler over real TCP sockets |
 //!
 //! ## Where to start
@@ -38,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub use aqua_core as core;
+pub use aqua_faults as faults;
 pub use aqua_gateway as gateway;
 pub use aqua_group as group;
 pub use aqua_replica as replica;

@@ -33,6 +33,7 @@ fn base_config(seed: u64) -> ExperimentConfig {
         standby_servers: Vec::new(),
         manager: None,
         clients: vec![client],
+        faults: aqua::faults::FaultPlan::new(),
         max_virtual_time: Duration::from_secs(120),
     }
 }

@@ -52,6 +52,7 @@ fn managed_config(
             check_interval: ms(200),
         }),
         clients: vec![client],
+        faults: aqua::workload::FaultPlan::new(),
         max_virtual_time: Duration::from_secs(120),
     }
 }

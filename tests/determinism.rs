@@ -45,6 +45,7 @@ fn chaotic_config(seed: u64) -> ExperimentConfig {
         standby_servers: Vec::new(),
         manager: None,
         clients: vec![c1, c2],
+        faults: aqua::workload::FaultPlan::new(),
         max_virtual_time: Duration::from_secs(60),
     }
 }

@@ -46,6 +46,7 @@ fn bursty_scenario(strategy: StrategySpec, seed: u64, deadline_ms: u64) -> Exper
         standby_servers: Vec::new(),
         manager: None,
         clients: vec![client],
+        faults: aqua::workload::FaultPlan::new(),
         max_virtual_time: Duration::from_secs(120),
     }
 }
