@@ -2,7 +2,7 @@
 //! frequency estimation, convolution (the ~90% of Figure 3's overhead),
 //! and CDF evaluation.
 
-use aqua_core::pmf::Pmf;
+use aqua_core::pmf::{ConvScratch, Pmf};
 use aqua_core::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
@@ -52,5 +52,56 @@ fn bench_cdf(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_from_samples, bench_convolve, bench_cdf);
+/// The cache's steady-state lookup: a prefix-sum table built once, then
+/// O(1) point lookups — versus the per-query prefix sum of `Pmf::cdf`.
+fn bench_cached_cdf(c: &mut Criterion) {
+    let pmf = Pmf::from_samples(samples(20, 300, 4), Duration::from_millis(1)).unwrap();
+    let table = pmf.cumulative();
+    c.bench_function("pmf_cached_cdf_lookup", |b| {
+        b.iter(|| std::hint::black_box(table.value_at(Duration::from_millis(180))));
+    });
+    c.bench_function("pmf_cumulative_build", |b| {
+        b.iter(|| std::hint::black_box(pmf.cumulative()));
+    });
+}
+
+/// The q-fold QueueScaled convolution: exponentiation-by-squaring with
+/// reused scratch versus the sequential fold it replaced.
+fn bench_q_fold_convolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pmf_q_fold");
+    let service = Pmf::from_samples(samples(20, 100, 5), Duration::from_millis(1)).unwrap();
+    for q in [4u32, 16, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("self_convolve", q),
+            &service,
+            |bench, service| {
+                let mut scratch = ConvScratch::new();
+                bench.iter(|| service.self_convolve(q, 1e-12, &mut scratch));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sequential", q),
+            &service,
+            |bench, service| {
+                bench.iter(|| {
+                    let mut wait = Pmf::point(Duration::ZERO, Duration::from_millis(1)).unwrap();
+                    for _ in 0..q {
+                        wait = wait.convolve(service).unwrap();
+                    }
+                    wait
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_from_samples,
+    bench_convolve,
+    bench_cdf,
+    bench_cached_cdf,
+    bench_q_fold_convolution
+);
 criterion_main!(benches);

@@ -83,7 +83,8 @@ pub mod window;
 pub mod prelude {
     pub use crate::failure::{TimingFailureDetector, TimingVerdict};
     pub use crate::model::{
-        DelayEstimator, MethodScope, ModelConfig, QueueEstimator, ResponseTimeModel,
+        DelayEstimator, MethodScope, ModelCache, ModelCacheStats, ModelConfig, QueueEstimator,
+        ResponseTimeModel,
     };
     pub use crate::overhead::OverheadTracker;
     pub use crate::pmf::Pmf;
@@ -96,5 +97,5 @@ pub mod prelude {
         combined_probability, select_replicas, select_replicas_tolerating, Candidate, Selection,
     };
     pub use crate::time::{Duration, Instant};
-    pub use crate::window::SlidingWindow;
+    pub use crate::window::{BucketedWindow, SlidingWindow};
 }

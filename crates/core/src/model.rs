@@ -12,9 +12,13 @@
 //! delay (`T_i`). The resulting distribution function `F_Ri(t)` is the
 //! per-replica input to the selection algorithm.
 
-use crate::pmf::Pmf;
+use std::collections::HashMap;
+
+use crate::pmf::{CdfTable, ConvScratch, Pmf};
+use crate::qos::ReplicaId;
 use crate::repository::{MethodId, ReplicaStats};
 use crate::time::Duration;
+use crate::window::BucketedWindow;
 
 /// How the gateway-to-gateway delay term `T_i` is estimated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -76,6 +80,11 @@ pub struct ModelConfig {
     pub queue_estimator: QueueEstimator,
     /// How per-method histories combine.
     pub method_scope: MethodScope,
+    /// Tail mass pruned (then renormalized) from intermediate convolution
+    /// products, bounding support growth in the q-fold `QueueScaled`
+    /// convolution. `0.0` disables pruning. See [`Pmf::prune_tails`] for
+    /// why values ≤ 1e-12 cannot affect replica ranking.
+    pub prune_epsilon: f64,
 }
 
 impl Default for ModelConfig {
@@ -85,6 +94,7 @@ impl Default for ModelConfig {
             delay_estimator: DelayEstimator::LastValue,
             queue_estimator: QueueEstimator::History,
             method_scope: MethodScope::PerMethod,
+            prune_epsilon: 1e-12,
         }
     }
 }
@@ -144,14 +154,37 @@ impl ResponseTimeModel {
     /// method's history when `method` is `Some` and the scope is
     /// [`MethodScope::PerMethod`].
     pub fn response_pmf_for(&self, stats: &ReplicaStats, method: Option<MethodId>) -> Option<Pmf> {
-        let bucket = self.config.bucket;
+        let mut scratch = ConvScratch::new();
+        self.response_pmf_with(stats, method, &mut scratch)
+    }
+
+    /// Builds a window's relative-frequency pmf: straight from the
+    /// incremental bucket counts when the window is counted at the model's
+    /// bucket width, falling back to rescanning the raw samples otherwise
+    /// (e.g. a bucket-width ablation running against a 1 ms repository).
+    fn window_pmf(&self, window: &BucketedWindow) -> Option<Pmf> {
+        if window.bucket_width() == self.config.bucket {
+            Pmf::from_bucket_counts(window.bucket_counts(), self.config.bucket).ok()
+        } else {
+            Pmf::from_samples(window.samples().iter().copied(), self.config.bucket).ok()
+        }
+    }
+
+    /// The full model pipeline with caller-provided convolution scratch
+    /// buffers — the allocation-lean variant behind both
+    /// [`ResponseTimeModel::response_pmf_for`] and the cached path (which
+    /// must agree bit-for-bit, so there is exactly one pipeline).
+    pub fn response_pmf_with(
+        &self,
+        stats: &ReplicaStats,
+        method: Option<MethodId>,
+        scratch: &mut ConvScratch,
+    ) -> Option<Pmf> {
         let (service, queuing) = match (self.config.method_scope, method) {
             (MethodScope::PerMethod, m) => {
                 let history = stats.history(m.unwrap_or_default())?;
-                let service =
-                    Pmf::from_samples(history.service_times().iter().copied(), bucket).ok()?;
-                let queuing =
-                    Pmf::from_samples(history.queuing_delays().iter().copied(), bucket).ok()?;
+                let service = self.window_pmf(history.service_window())?;
+                let queuing = self.window_pmf(history.queuing_window())?;
                 (service, queuing)
             }
             (MethodScope::Aggregate, _) => {
@@ -162,14 +195,10 @@ impl ResponseTimeModel {
                         continue;
                     }
                     let weight = history.len() as f64;
-                    if let Ok(pmf) =
-                        Pmf::from_samples(history.service_times().iter().copied(), bucket)
-                    {
+                    if let Some(pmf) = self.window_pmf(history.service_window()) {
                         service_parts.push((weight, pmf));
                     }
-                    if let Ok(pmf) =
-                        Pmf::from_samples(history.queuing_delays().iter().copied(), bucket)
-                    {
+                    if let Some(pmf) = self.window_pmf(history.queuing_window()) {
                         queue_parts.push((weight, pmf));
                     }
                 }
@@ -191,14 +220,7 @@ impl ResponseTimeModel {
             QueueEstimator::History => queuing,
             QueueEstimator::QueueScaled => {
                 let depth = stats.outstanding().min(MAX_QUEUE_CONVOLUTIONS);
-                let mut wait = Pmf::point(Duration::ZERO, bucket)
-                    .expect("bucket width validated by the service pmf");
-                for _ in 0..depth {
-                    wait = wait
-                        .convolve(&service)
-                        .expect("wait and service pmfs share the bucket width");
-                }
-                wait
+                service.self_convolve(depth, self.config.prune_epsilon, scratch)
             }
         };
 
@@ -212,8 +234,7 @@ impl ResponseTimeModel {
                 Some(combined.shift_by(delay))
             }
             DelayEstimator::WindowPmf => {
-                let delays =
-                    Pmf::from_samples(stats.gateway_delays().iter().copied(), bucket).ok()?;
+                let delays = self.window_pmf(stats.gateway_delay_window())?;
                 Some(
                     combined
                         .convolve(&delays)
@@ -238,6 +259,160 @@ impl ResponseTimeModel {
     ) -> Option<f64> {
         self.response_pmf_for(stats, method)
             .map(|pmf| pmf.cdf(deadline))
+    }
+
+    /// Cached variant of [`ResponseTimeModel::probability_by_for`]: memoizes
+    /// the fully-convolved response distribution (as a cumulative table) per
+    /// `(replica, method)` and answers repeat queries with a single CDF
+    /// lookup — no window rescans, no convolutions, no allocations.
+    ///
+    /// Freshness is decided purely by generation counters ([`GenKey`]): the
+    /// cached entry is reused if and only if the replica epoch, the relevant
+    /// perf generation, the gateway-delay generation, and the outstanding
+    /// count all match the values captured when the entry was built. Any
+    /// `record_perf`, `record_gateway_delay`, probation transition, or
+    /// remove/re-insert moves one of those counters and falls through to a
+    /// full recompute via [`ResponseTimeModel::response_pmf_with`] — the
+    /// *same* pipeline as the uncached path, so cached and from-scratch
+    /// answers are bit-identical.
+    pub fn probability_by_cached(
+        &self,
+        cache: &mut ModelCache,
+        id: ReplicaId,
+        stats: &ReplicaStats,
+        deadline: Duration,
+        method: Option<MethodId>,
+    ) -> Option<f64> {
+        let (slot, perf_generation) = match self.config.method_scope {
+            MethodScope::PerMethod => {
+                let m = method.unwrap_or_default();
+                let Some(history) = stats.history(m) else {
+                    // The uncached path returns None too; any entry under
+                    // this slot is from a previous incarnation of the id
+                    // and can never hit again — shed it now.
+                    let slot = u64::from(m.index());
+                    if cache.entries.remove(&(id, slot)).is_some() {
+                        cache.stats.invalidations += 1;
+                    }
+                    return None;
+                };
+                (u64::from(m.index()), history.generation())
+            }
+            MethodScope::Aggregate => (u64::MAX, stats.perf_generation()),
+        };
+        let key = GenKey {
+            epoch: stats.epoch(),
+            perf: perf_generation,
+            delay: stats.delay_generation(),
+            outstanding: stats.outstanding(),
+        };
+        if let Some(entry) = cache.entries.get(&(id, slot)) {
+            if entry.key == key {
+                cache.stats.hits += 1;
+                return Some(entry.cdf.value_at(deadline));
+            }
+        }
+        match self.response_pmf_with(stats, method, &mut cache.scratch) {
+            Some(pmf) => {
+                cache.stats.misses += 1;
+                let cdf = pmf.cumulative();
+                let value = cdf.value_at(deadline);
+                if cache
+                    .entries
+                    .insert((id, slot), CacheEntry { key, cdf })
+                    .is_some()
+                {
+                    cache.stats.invalidations += 1;
+                }
+                Some(value)
+            }
+            None => {
+                if cache.entries.remove(&(id, slot)).is_some() {
+                    cache.stats.invalidations += 1;
+                }
+                None
+            }
+        }
+    }
+}
+
+/// Counters describing how a [`ModelCache`] has behaved so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelCacheStats {
+    /// Queries answered from a memoized cumulative table.
+    pub hits: u64,
+    /// Queries that had to run the full convolution pipeline.
+    pub misses: u64,
+    /// Entries displaced because their generation key went stale (or their
+    /// replica disappeared / stopped having enough data).
+    pub invalidations: u64,
+}
+
+/// The complete freshness fingerprint of one cached response distribution.
+///
+/// `epoch` guards against ABA on remove/re-insert of a replica id; `perf` is
+/// the per-method history generation (PerMethod scope) or the replica-wide
+/// perf generation (Aggregate scope — also bumped by probation transitions);
+/// `delay` is the gateway-delay window generation; `outstanding` captures the
+/// queue depth the QueueScaled estimator convolved with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GenKey {
+    epoch: u64,
+    perf: u64,
+    delay: u64,
+    outstanding: u32,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    key: GenKey,
+    cdf: CdfTable,
+}
+
+/// Memoized response distributions keyed by `(replica, method slot)`, plus
+/// the reusable convolution scratch used on misses. See
+/// [`ResponseTimeModel::probability_by_cached`].
+#[derive(Debug, Default)]
+pub struct ModelCache {
+    entries: HashMap<(ReplicaId, u64), CacheEntry>,
+    scratch: ConvScratch,
+    stats: ModelCacheStats,
+}
+
+impl ModelCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lifetime hit/miss/invalidation counters.
+    pub fn stats(&self) -> ModelCacheStats {
+        self.stats
+    }
+
+    /// Number of memoized `(replica, method)` distributions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every entry (counters are preserved).
+    pub fn clear(&mut self) {
+        let dropped = self.entries.len() as u64;
+        self.entries.clear();
+        self.stats.invalidations += dropped;
+    }
+
+    /// Drops entries for replicas not accepted by `keep` — used to shed
+    /// state for removed replicas without waiting for epoch mismatches.
+    pub fn retain_replicas(&mut self, mut keep: impl FnMut(ReplicaId) -> bool) {
+        let before = self.entries.len();
+        self.entries.retain(|(id, _), _| keep(*id));
+        self.stats.invalidations += (before - self.entries.len()) as u64;
     }
 }
 
@@ -453,5 +628,145 @@ mod tests {
             assert!(p >= last - 1e-12, "cdf decreased at {t}");
             last = p;
         }
+    }
+
+    #[test]
+    fn cache_hits_on_unchanged_windows_and_matches_uncached() {
+        let repo = warm_repo(&[80, 100, 120, 140], &[0, 5, 10, 20], 3);
+        let model = ResponseTimeModel::default();
+        let r = ReplicaId::new(0);
+        let stats = repo.stats(r).unwrap();
+        let mut cache = ModelCache::new();
+        for t in (60..200).step_by(5) {
+            let cached = model.probability_by_cached(&mut cache, r, stats, ms(t), None);
+            let fresh = model.probability_by(stats, ms(t));
+            assert_eq!(cached, fresh, "cached and uncached disagree at {t}");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "one build, then pure lookups");
+        assert_eq!(stats.hits, 27);
+        assert_eq!(stats.invalidations, 0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_invalidates_on_each_generation_source() {
+        let mut repo = warm_repo(&[100, 100], &[10, 10], 5);
+        let r = ReplicaId::new(0);
+        // Aggregate scope keys on the replica-wide perf generation, which is
+        // the counter probation transitions move (per-method history
+        // generations only move with their own samples — probation cannot
+        // change a per-method distribution, so no invalidation is needed
+        // there).
+        let model = ResponseTimeModel::new(ModelConfig {
+            method_scope: MethodScope::Aggregate,
+            queue_estimator: QueueEstimator::QueueScaled,
+            ..ModelConfig::default()
+        });
+        let mut cache = ModelCache::new();
+        let mut misses = 0;
+        let query = |cache: &mut ModelCache, repo: &InfoRepository| {
+            let stats = repo.stats(r).unwrap();
+            let cached = model.probability_by_cached(cache, r, stats, ms(300), None);
+            assert_eq!(cached, model.probability_by(stats, ms(300)));
+        };
+
+        query(&mut cache, &repo);
+        misses += 1;
+        assert_eq!(cache.stats().misses, misses);
+
+        // Unchanged → hit.
+        query(&mut cache, &repo);
+        assert_eq!(cache.stats().misses, misses);
+        assert_eq!(cache.stats().hits, 1);
+
+        // New perf sample (also changes outstanding) → rebuild.
+        repo.record_perf(r, PerfReport::new(ms(120), ms(0), 2), Instant::EPOCH);
+        query(&mut cache, &repo);
+        misses += 1;
+        assert_eq!(cache.stats().misses, misses);
+
+        // New gateway delay → rebuild.
+        repo.record_gateway_delay(r, ms(7), Instant::EPOCH);
+        query(&mut cache, &repo);
+        misses += 1;
+        assert_eq!(cache.stats().misses, misses);
+
+        // Probation transition → rebuild (perf generation moves).
+        repo.set_probation(r, 1);
+        query(&mut cache, &repo);
+        misses += 1;
+        assert_eq!(cache.stats().misses, misses);
+
+        // Every rebuild displaced the previous entry.
+        assert_eq!(cache.stats().invalidations, misses - 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_epoch_guards_against_replica_reinsertion() {
+        let mut repo = warm_repo(&[100], &[0], 0);
+        let r = ReplicaId::new(0);
+        let model = ResponseTimeModel::default();
+        let mut cache = ModelCache::new();
+        assert!(model
+            .probability_by_cached(&mut cache, r, repo.stats(r).unwrap(), ms(90), None)
+            .is_some());
+
+        // Remove and re-insert the same id, replaying the *same number* of
+        // updates so the per-replica generations coincide; only the epoch
+        // distinguishes the incarnations.
+        repo.remove_replica(r);
+        repo.insert_replica(r);
+        repo.record_perf(r, PerfReport::new(ms(500), ms(0), 0), Instant::EPOCH);
+        repo.record_gateway_delay(r, ms(0), Instant::EPOCH);
+        let p = model
+            .probability_by_cached(&mut cache, r, repo.stats(r).unwrap(), ms(90), None)
+            .unwrap();
+        assert_eq!(
+            p, 0.0,
+            "stale 100 ms entry must not answer for the 500 ms incarnation"
+        );
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn cache_drops_entry_when_data_becomes_insufficient() {
+        let mut repo = warm_repo(&[100], &[0], 0);
+        let r = ReplicaId::new(0);
+        let model = ResponseTimeModel::default();
+        let mut cache = ModelCache::new();
+        assert!(model
+            .probability_by_cached(&mut cache, r, repo.stats(r).unwrap(), ms(90), None)
+            .is_some());
+        assert_eq!(cache.len(), 1);
+
+        repo.remove_replica(r);
+        repo.insert_replica(r);
+        assert!(model
+            .probability_by_cached(&mut cache, r, repo.stats(r).unwrap(), ms(90), None)
+            .is_none());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn retain_replicas_sheds_removed_ids() {
+        let model = ResponseTimeModel::default();
+        let mut repo = InfoRepository::new(2);
+        let mut cache = ModelCache::new();
+        for raw in 0..3u64 {
+            let id = ReplicaId::new(raw);
+            repo.insert_replica(id);
+            repo.record_perf(id, PerfReport::new(ms(10), ms(0), 0), Instant::EPOCH);
+            repo.record_gateway_delay(id, ms(1), Instant::EPOCH);
+            assert!(model
+                .probability_by_cached(&mut cache, id, repo.stats(id).unwrap(), ms(90), None)
+                .is_some());
+        }
+        assert_eq!(cache.len(), 3);
+        cache.retain_replicas(|id| id != ReplicaId::new(1));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().invalidations, 1);
     }
 }

@@ -31,6 +31,24 @@ use core::fmt;
 
 use crate::time::Duration;
 
+/// How far the total probability mass of a [`Pmf`] may drift from 1 due to
+/// floating-point rounding before it is considered a bug.
+///
+/// Every pmf is built normalized, but repeated convolutions (up to the
+/// 32-fold queue convolution of the `QueueScaled` estimator), rebucketing
+/// round-trips, and tail pruning each add rounding error on the order of
+/// `len · f64::EPSILON` per pass. Empirically the deepest pipeline the model
+/// runs (window 100, 32-fold convolution, 1 ms buckets) stays within ~1e-13;
+/// `1e-9` leaves three orders of magnitude of headroom while still being far
+/// below anything that could reorder replicas (the selection compares
+/// probabilities that differ by ≥ 1/l ≥ 0.01).
+///
+/// Shared by [`Pmf::cdf`] (which clamps its prefix sum to 1.0 — sound only
+/// while the excess is below this bound, enforced by a debug assertion),
+/// [`Pmf::quantile`] (as the acceptance slack so `quantile(cdf(t)) == t`
+/// despite rounding), and the mass-drift regression tests.
+pub const MASS_TOLERANCE: f64 = 1e-9;
+
 /// Errors from constructing or combining [`Pmf`]s.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -198,6 +216,44 @@ impl Pmf {
         })
     }
 
+    /// Builds a relative-frequency pmf directly from `(bucket index, count)`
+    /// pairs, e.g. the incrementally maintained counts of a
+    /// [`crate::window::BucketedWindow`].
+    ///
+    /// Semantically equivalent to [`Pmf::from_samples`] over the underlying
+    /// samples, but O(distinct buckets) instead of O(samples): the window
+    /// already paid the bucketing cost, one sample at a time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmfError::EmptySamples`] when every count is zero and
+    /// [`PmfError::ZeroBucketWidth`] for a zero bucket width.
+    pub fn from_bucket_counts<I>(counts: I, bucket: Duration) -> Result<Pmf, PmfError>
+    where
+        I: IntoIterator<Item = (u64, u32)>,
+    {
+        if bucket.is_zero() {
+            return Err(PmfError::ZeroBucketWidth);
+        }
+        let entries: Vec<(u64, u32)> = counts.into_iter().filter(|(_, c)| *c > 0).collect();
+        if entries.is_empty() {
+            return Err(PmfError::EmptySamples);
+        }
+        let lo = entries.iter().map(|(i, _)| *i).min().expect("non-empty");
+        let hi = entries.iter().map(|(i, _)| *i).max().expect("non-empty");
+        let span = usize::try_from(hi - lo + 1).expect("bucket span fits in memory");
+        let total: u64 = entries.iter().map(|(_, c)| u64::from(*c)).sum();
+        let mut probs = vec![0.0; span];
+        for (idx, count) in entries {
+            probs[(idx - lo) as usize] += f64::from(count) / total as f64;
+        }
+        Ok(Pmf {
+            bucket,
+            offset: lo,
+            probs,
+        })
+    }
+
     /// The bucket width this pmf is quantized to.
     #[inline]
     pub fn bucket_width(&self) -> Duration {
@@ -243,7 +299,34 @@ impl Pmf {
             return 0.0;
         }
         let upto = (t_idx - self.offset).min(self.probs.len() as u64 - 1) as usize;
-        self.probs[..=upto].iter().sum::<f64>().min(1.0)
+        let sum = self.probs[..=upto].iter().sum::<f64>();
+        // The prefix sum can exceed 1 only by accumulated rounding error,
+        // which MASS_TOLERANCE bounds; the clamp keeps F(t) a probability.
+        debug_assert!(
+            sum <= 1.0 + MASS_TOLERANCE,
+            "pmf mass drifted beyond MASS_TOLERANCE: {sum}"
+        );
+        sum.min(1.0)
+    }
+
+    /// Precomputes the cumulative prefix sums for repeated CDF lookups.
+    ///
+    /// [`CdfTable::value_at`] returns exactly what [`Pmf::cdf`] would (the
+    /// prefix sums are accumulated in the same left-to-right order, so the
+    /// rounding is bit-identical), but each lookup is O(1) instead of O(n).
+    /// This is the view the model cache stores per replica.
+    pub fn cumulative(&self) -> CdfTable {
+        let mut cum = Vec::with_capacity(self.probs.len());
+        let mut acc = 0.0;
+        for &p in &self.probs {
+            acc += p;
+            cum.push(acc);
+        }
+        CdfTable {
+            bucket: self.bucket,
+            offset: self.offset,
+            cum,
+        }
     }
 
     /// The survival function `P(X > t) = 1 − F(t)`.
@@ -291,7 +374,7 @@ impl Pmf {
         let mut acc = 0.0;
         for (i, prob) in self.probs.iter().enumerate() {
             acc += prob;
-            if acc + 1e-12 >= p {
+            if acc + MASS_TOLERANCE >= p {
                 return Duration::from_nanos((self.offset + i as u64) * self.bucket.as_nanos());
             }
         }
@@ -327,23 +410,91 @@ impl Pmf {
                 right: other.bucket,
             });
         }
-        let mut probs = vec![0.0; self.probs.len() + other.probs.len() - 1];
-        for (i, &p) in self.probs.iter().enumerate() {
-            if p == 0.0 {
-                continue;
-            }
-            for (j, &q) in other.probs.iter().enumerate() {
-                if q == 0.0 {
-                    continue;
-                }
-                probs[i + j] += p * q;
-            }
-        }
+        let mut probs = Vec::new();
+        convolve_into(&self.probs, &other.probs, &mut probs);
         Ok(Pmf {
             bucket: self.bucket,
             offset: self.offset + other.offset,
             probs,
         })
+    }
+
+    /// The distribution of the sum of `n` independent copies of this
+    /// variable: the `q`-fold self-convolution of the `QueueScaled` wait
+    /// estimate (`W ≈ S^{*q}`).
+    ///
+    /// Uses exponentiation by squaring — ⌊log₂ n⌋ squarings plus
+    /// `popcount(n) − 1` accumulating convolutions (5 for `n = 32`, ≤ 8 for
+    /// any `n ≤ 32`, versus `n` sequential convolutions) — and reuses
+    /// `scratch`'s buffers across calls so the hot path allocates only the
+    /// result vector.
+    ///
+    /// Intermediate products are tail-pruned with `epsilon` (see
+    /// [`Pmf::prune_tails`]; `0.0` disables pruning), bounding the support
+    /// growth that makes deep convolutions quadratic. `n = 0` yields the
+    /// point mass at zero.
+    pub fn self_convolve(&self, n: u32, epsilon: f64, scratch: &mut ConvScratch) -> Pmf {
+        if n == 0 {
+            return Pmf {
+                bucket: self.bucket,
+                offset: 0,
+                probs: vec![1.0],
+            };
+        }
+        let mut base = std::mem::take(&mut scratch.base);
+        base.clear();
+        base.extend_from_slice(&self.probs);
+        let mut base_offset = self.offset;
+        let mut acc = std::mem::take(&mut scratch.acc);
+        acc.clear();
+        let mut acc_offset = 0u64;
+        let mut have_acc = false;
+        let mut tmp = std::mem::take(&mut scratch.tmp);
+        let mut k = n;
+        loop {
+            if k & 1 == 1 {
+                if have_acc {
+                    convolve_into(&acc, &base, &mut tmp);
+                    std::mem::swap(&mut acc, &mut tmp);
+                    acc_offset += base_offset;
+                    prune_in_place(&mut acc, &mut acc_offset, epsilon);
+                } else {
+                    acc.extend_from_slice(&base);
+                    acc_offset = base_offset;
+                    have_acc = true;
+                }
+            }
+            k >>= 1;
+            if k == 0 {
+                break;
+            }
+            convolve_into(&base, &base, &mut tmp);
+            std::mem::swap(&mut base, &mut tmp);
+            base_offset *= 2;
+            prune_in_place(&mut base, &mut base_offset, epsilon);
+        }
+        scratch.base = base;
+        scratch.tmp = tmp;
+        // `acc` moves into the result; the scratch slot refills next call.
+        Pmf {
+            bucket: self.bucket,
+            offset: acc_offset,
+            probs: acc,
+        }
+    }
+
+    /// Drops up to `epsilon` of total probability mass from the two tails
+    /// (at most `epsilon / 2` per tail) and renormalizes so the remaining
+    /// mass equals the original.
+    ///
+    /// Bounds the support growth of repeated convolutions: far tails carry
+    /// vanishing mass but widen every subsequent convolution quadratically.
+    /// With `epsilon ≤ 1e-12` the CDF at any deadline moves by less than
+    /// the pruned mass — orders of magnitude below the ≥ 1/l resolution of
+    /// the window estimator — so replica *ranking* is unaffected.
+    /// `epsilon ≤ 0` is a no-op.
+    pub fn prune_tails(&mut self, epsilon: f64) {
+        prune_in_place(&mut self.probs, &mut self.offset, epsilon);
     }
 
     /// Shifts the distribution right by a constant delay (adding a
@@ -454,6 +605,123 @@ impl Pmf {
             offset: lo,
             probs,
         })
+    }
+}
+
+/// Dense discrete convolution of two probability vectors into `out`.
+///
+/// Identical accumulation order to the historical `Pmf::convolve` loop, so
+/// results are bit-for-bit stable across the refactor.
+fn convolve_into(a: &[f64], b: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    out.resize(a.len() + b.len() - 1, 0.0);
+    for (i, &p) in a.iter().enumerate() {
+        if p == 0.0 {
+            continue;
+        }
+        for (j, &q) in b.iter().enumerate() {
+            if q == 0.0 {
+                continue;
+            }
+            out[i + j] += p * q;
+        }
+    }
+}
+
+/// Trims ≤ `epsilon / 2` of mass from each tail of `probs` (never below one
+/// bucket) and rescales the survivors so total mass is unchanged.
+fn prune_in_place(probs: &mut Vec<f64>, offset: &mut u64, epsilon: f64) {
+    if epsilon <= 0.0 || probs.len() <= 1 {
+        return;
+    }
+    let total: f64 = probs.iter().sum();
+    let budget = epsilon * total * 0.5;
+    let mut start = 0usize;
+    let mut cut_front = 0.0;
+    while start + 1 < probs.len() && cut_front + probs[start] <= budget {
+        cut_front += probs[start];
+        start += 1;
+    }
+    let mut end = probs.len();
+    let mut cut_back = 0.0;
+    while end > start + 1 && cut_back + probs[end - 1] <= budget {
+        cut_back += probs[end - 1];
+        end -= 1;
+    }
+    if start == 0 && end == probs.len() {
+        return;
+    }
+    probs.truncate(end);
+    probs.drain(..start);
+    *offset += start as u64;
+    let removed = cut_front + cut_back;
+    if removed > 0.0 {
+        let scale = total / (total - removed);
+        for p in probs.iter_mut() {
+            *p *= scale;
+        }
+    }
+}
+
+/// The cumulative prefix sums of a [`Pmf`]: an O(1)-per-query view of
+/// `F(t)`, built once by [`Pmf::cumulative`] and memoized by the model
+/// cache while a replica's windows are unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdfTable {
+    bucket: Duration,
+    offset: u64,
+    /// `cum[i] = Σ probs[..=i]`, accumulated left-to-right exactly like
+    /// [`Pmf::cdf`] does.
+    cum: Vec<f64>,
+}
+
+impl CdfTable {
+    /// `F(t) = P(X ≤ t)` — identical to [`Pmf::cdf`] on the source pmf,
+    /// including the rounding of the prefix sum, but without re-summing.
+    pub fn value_at(&self, t: Duration) -> f64 {
+        let t_idx = t.as_nanos() / self.bucket.as_nanos();
+        if t_idx < self.offset {
+            return 0.0;
+        }
+        let upto = (t_idx - self.offset).min(self.cum.len() as u64 - 1) as usize;
+        self.cum[upto].min(1.0)
+    }
+
+    /// The bucket width of the source pmf.
+    #[inline]
+    pub fn bucket_width(&self) -> Duration {
+        self.bucket
+    }
+
+    /// Number of buckets covered (same as the source pmf's `len`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Always `false`; mirrors [`Pmf::is_empty`].
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Reusable buffers for [`Pmf::self_convolve`].
+///
+/// Holding one of these per model cache keeps the q-fold convolution free
+/// of steady-state allocations: the squaring chain ping-pongs between the
+/// `base` and `tmp` buffers, and `acc` seeds the result vector.
+#[derive(Debug, Default)]
+pub struct ConvScratch {
+    base: Vec<f64>,
+    acc: Vec<f64>,
+    tmp: Vec<f64>,
+}
+
+impl ConvScratch {
+    /// Creates an empty scratch space (buffers grow on first use).
+    pub fn new() -> Self {
+        ConvScratch::default()
     }
 }
 
@@ -684,5 +952,139 @@ mod tests {
         let s = format!("{pmf:?}");
         assert!(s.contains("Pmf"), "{s}");
         assert!(s.contains("mean"), "{s}");
+    }
+
+    #[test]
+    fn from_bucket_counts_matches_samples() {
+        let samples = [ms(10), ms(10), ms(20), ms(30), ms(30), ms(30)];
+        let by_samples = Pmf::from_samples(samples, ms(1)).unwrap();
+        let by_counts = Pmf::from_bucket_counts([(10, 2), (20, 1), (30, 3)], ms(1)).unwrap();
+        assert_eq!(by_counts.support_min(), by_samples.support_min());
+        assert_eq!(by_counts.support_max(), by_samples.support_max());
+        for t in 0..40 {
+            assert!((by_counts.cdf(ms(t)) - by_samples.cdf(ms(t))).abs() < 1e-12);
+        }
+        assert!((by_counts.mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_bucket_counts_rejects_empty_and_zero_bucket() {
+        assert_eq!(
+            Pmf::from_bucket_counts([(3, 0)], ms(1)).unwrap_err(),
+            PmfError::EmptySamples
+        );
+        assert_eq!(
+            Pmf::from_bucket_counts([(3, 1)], Duration::ZERO).unwrap_err(),
+            PmfError::ZeroBucketWidth
+        );
+    }
+
+    #[test]
+    fn cumulative_table_matches_cdf_exactly() {
+        let pmf = Pmf::from_samples(
+            (0..50).map(|i| ms(100 + (i * i) % 37)).collect::<Vec<_>>(),
+            ms(1),
+        )
+        .unwrap();
+        let table = pmf.cumulative();
+        for t in 90..150 {
+            assert_eq!(
+                table.value_at(ms(t)),
+                pmf.cdf(ms(t)),
+                "cached cdf diverged at t = {t} ms"
+            );
+        }
+        assert_eq!(table.value_at(Duration::ZERO), 0.0);
+        assert_eq!(table.len(), pmf.len());
+        assert_eq!(table.bucket_width(), pmf.bucket_width());
+    }
+
+    #[test]
+    fn self_convolve_matches_sequential() {
+        let pmf = Pmf::from_samples([ms(3), ms(5), ms(5), ms(9)], ms(1)).unwrap();
+        let mut scratch = ConvScratch::new();
+        for n in 0..=9u32 {
+            let fast = pmf.self_convolve(n, 0.0, &mut scratch);
+            let mut slow = Pmf::point(Duration::ZERO, ms(1)).unwrap();
+            for _ in 0..n {
+                slow = slow.convolve(&pmf).unwrap();
+            }
+            assert_eq!(fast.support_min(), slow.support_min(), "n = {n}");
+            assert_eq!(fast.support_max(), slow.support_max(), "n = {n}");
+            for t in 0..100 {
+                assert!(
+                    (fast.cdf(ms(t)) - slow.cdf(ms(t))).abs() < 1e-12,
+                    "n = {n}, t = {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_convolve_pruning_preserves_mass_and_cdf() {
+        let pmf = Pmf::from_weighted([(ms(1), 1.0), (ms(2), 1e6), (ms(40), 1.0)], ms(1)).unwrap();
+        let mut scratch = ConvScratch::new();
+        let exact = pmf.self_convolve(8, 0.0, &mut scratch);
+        let pruned = pmf.self_convolve(8, 1e-12, &mut scratch);
+        assert!(pruned.len() <= exact.len(), "pruning never grows support");
+        assert!((pruned.mass() - exact.mass()).abs() < MASS_TOLERANCE);
+        for t in (0..400).step_by(7) {
+            assert!(
+                (pruned.cdf(ms(t)) - exact.cdf(ms(t))).abs() < 1e-9,
+                "t = {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn prune_tails_drops_negligible_tails_only() {
+        let mut pmf = Pmf::from_weighted(
+            [
+                (ms(1), 1e-15),
+                (ms(10), 1.0),
+                (ms(11), 1.0),
+                (ms(90), 1e-15),
+            ],
+            ms(1),
+        )
+        .unwrap();
+        let before = pmf.mass();
+        pmf.prune_tails(1e-12);
+        assert_eq!(pmf.support_min(), ms(10));
+        assert_eq!(pmf.support_max(), ms(11));
+        assert!((pmf.mass() - before).abs() < 1e-15, "mass renormalized");
+        // A zero epsilon is a no-op.
+        let copy = pmf.clone();
+        pmf.prune_tails(0.0);
+        assert_eq!(pmf, copy);
+    }
+
+    #[test]
+    fn mass_drift_bounded_after_repeated_convolve_rebucket_round_trips() {
+        // Regression for the MASS_TOLERANCE contract: a deep pipeline of
+        // convolutions, rebucket round-trips, and pruning must keep the
+        // total mass within the documented bound, or the cdf clamp and the
+        // quantile slack stop being sound.
+        let samples: Vec<Duration> = (0..100).map(|i| ms(50 + (i * 13) % 97)).collect();
+        let base = Pmf::from_samples(samples, ms(1)).unwrap();
+        let mut scratch = ConvScratch::new();
+        let mut acc = base.self_convolve(32, 1e-12, &mut scratch);
+        for _ in 0..8 {
+            acc = acc.rebucket(ms(5)).unwrap().rebucket(ms(1)).unwrap();
+            acc = acc.convolve(&base).unwrap();
+            acc.prune_tails(1e-12);
+        }
+        let drift = (acc.mass() - 1.0).abs();
+        assert!(
+            drift < MASS_TOLERANCE,
+            "mass drifted by {drift:e} — exceeds MASS_TOLERANCE"
+        );
+        // quantile/cdf still agree at the drifted mass: the p = 1.0 quantile
+        // may land before the last bucket (the slack forgives a sub-tolerance
+        // tail), but its cdf must be 1.0 up to the documented bound.
+        let q = acc.quantile(1.0);
+        assert!(q <= acc.support_max());
+        assert!(acc.cdf(q) >= 1.0 - MASS_TOLERANCE);
+        assert_eq!(acc.cdf(acc.support_max()), 1.0, "clamped at full mass");
     }
 }

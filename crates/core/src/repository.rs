@@ -18,7 +18,12 @@ use std::fmt;
 
 use crate::qos::ReplicaId;
 use crate::time::{Duration, Instant};
-use crate::window::SlidingWindow;
+use crate::window::{BucketedWindow, SlidingWindow};
+
+/// Default bucket width for the incrementally maintained window counts:
+/// matches `ModelConfig::default().bucket` (1 ms, ≤ 1% of the deadlines
+/// studied), so the default model builds its pmfs straight from the counts.
+pub const DEFAULT_BUCKET: Duration = Duration::from_millis(1);
 
 /// Identifier of a service method, for the multi-interface extension
 /// (paper §8, extension 1).
@@ -100,30 +105,58 @@ impl PerfReport {
 }
 
 /// Per-method measurement history: the service time and queuing delay
-/// vectors of §5.2.
+/// vectors of §5.2, kept with incrementally maintained bucket counts so the
+/// model can rebuild its pmfs in O(distinct buckets) instead of O(l).
 #[derive(Debug, Clone)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MethodHistory {
-    service_times: SlidingWindow<Duration>,
-    queuing_delays: SlidingWindow<Duration>,
+    service_times: BucketedWindow,
+    queuing_delays: BucketedWindow,
+    /// Bumped on every recorded report; the model cache's per-method
+    /// invalidation key.
+    generation: u64,
 }
 
 impl MethodHistory {
-    fn new(window: usize) -> Self {
+    fn new(window: usize, bucket: Duration) -> Self {
         MethodHistory {
-            service_times: SlidingWindow::new(window),
-            queuing_delays: SlidingWindow::new(window),
+            service_times: BucketedWindow::new(window, bucket),
+            queuing_delays: BucketedWindow::new(window, bucket),
+            generation: 0,
         }
+    }
+
+    fn record(&mut self, service_time: Duration, queuing_delay: Duration) {
+        self.generation += 1;
+        self.service_times.push(service_time);
+        self.queuing_delays.push(queuing_delay);
     }
 
     /// The recorded service times, oldest first.
     pub fn service_times(&self) -> &SlidingWindow<Duration> {
-        &self.service_times
+        self.service_times.samples()
     }
 
     /// The recorded queuing delays, oldest first.
     pub fn queuing_delays(&self) -> &SlidingWindow<Duration> {
+        self.queuing_delays.samples()
+    }
+
+    /// The service-time window with its incremental bucket counts.
+    pub fn service_window(&self) -> &BucketedWindow {
+        &self.service_times
+    }
+
+    /// The queuing-delay window with its incremental bucket counts.
+    pub fn queuing_window(&self) -> &BucketedWindow {
         &self.queuing_delays
+    }
+
+    /// Monotone counter bumped on every report recorded for this method.
+    /// While it is unchanged, pmfs derived from this history are still
+    /// valid (the cache-invalidation contract).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of requests recorded (capped at the window size).
@@ -142,22 +175,36 @@ impl MethodHistory {
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ReplicaStats {
     histories: BTreeMap<MethodId, MethodHistory>,
-    gateway_delays: SlidingWindow<Duration>,
+    gateway_delays: BucketedWindow,
     outstanding: u32,
     last_update: Option<Instant>,
     window: usize,
+    bucket: Duration,
     probation: u32,
+    /// Repository-global insertion stamp: a replica that is removed and
+    /// later re-inserted gets a **different** epoch, so cache entries keyed
+    /// on `(epoch, generation)` can never confuse the fresh entry's
+    /// restarted generations with the old entry's (the ABA hazard).
+    epoch: u64,
+    /// Bumped on every perf report for *any* method and on probation
+    /// transitions: the aggregate-scope invalidation key (and the carrier
+    /// of `outstanding`/probation changes that per-method generations
+    /// don't see).
+    perf_generation: u64,
 }
 
 impl ReplicaStats {
-    fn new(window: usize) -> Self {
+    fn new(window: usize, bucket: Duration, epoch: u64) -> Self {
         ReplicaStats {
             histories: BTreeMap::new(),
-            gateway_delays: SlidingWindow::new(window),
+            gateway_delays: BucketedWindow::new(window, bucket),
             outstanding: 0,
             last_update: None,
             window,
+            bucket,
             probation: 0,
+            epoch,
+            perf_generation: 0,
         }
     }
 
@@ -173,13 +220,36 @@ impl ReplicaStats {
 
     /// The most recently measured two-way gateway-to-gateway delay `td`.
     pub fn last_gateway_delay(&self) -> Option<Duration> {
-        self.gateway_delays.latest().copied()
+        self.gateway_delays.latest()
     }
 
     /// The recent history of gateway delays (extension A4; the paper keeps
     /// only the last value but notes the windowed variant is "simple").
     pub fn gateway_delays(&self) -> &SlidingWindow<Duration> {
+        self.gateway_delays.samples()
+    }
+
+    /// The gateway-delay window with its incremental bucket counts.
+    pub fn gateway_delay_window(&self) -> &BucketedWindow {
         &self.gateway_delays
+    }
+
+    /// Monotone counter for the gateway-delay slot: moves exactly when a
+    /// delay measurement is recorded.
+    pub fn delay_generation(&self) -> u64 {
+        self.gateway_delays.generation()
+    }
+
+    /// Monotone counter bumped by every perf report (any method) and every
+    /// probation transition — see the field docs.
+    pub fn perf_generation(&self) -> u64 {
+        self.perf_generation
+    }
+
+    /// The repository-global insertion stamp of this entry (ABA guard for
+    /// generation-keyed caches).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The replica's current number of outstanding queued requests.
@@ -214,13 +284,14 @@ impl ReplicaStats {
 
     fn record_perf(&mut self, report: PerfReport, now: Instant) {
         let window = self.window;
+        let bucket = self.bucket;
+        self.perf_generation += 1;
         self.probation = self.probation.saturating_sub(1);
         let history = self
             .histories
             .entry(report.method)
-            .or_insert_with(|| MethodHistory::new(window));
-        history.service_times.push(report.service_time);
-        history.queuing_delays.push(report.queuing_delay);
+            .or_insert_with(|| MethodHistory::new(window, bucket));
+        history.record(report.service_time, report.queuing_delay);
         self.outstanding = report.queue_len;
         self.last_update = Some(now);
     }
@@ -228,6 +299,11 @@ impl ReplicaStats {
     fn record_gateway_delay(&mut self, delay: Duration, now: Instant) {
         self.gateway_delays.push(delay);
         self.last_update = Some(now);
+    }
+
+    fn put_on_probation(&mut self, samples: u32) {
+        self.perf_generation += 1;
+        self.probation = samples;
     }
 }
 
@@ -257,20 +333,41 @@ impl ReplicaStats {
 pub struct InfoRepository {
     replicas: BTreeMap<ReplicaId, ReplicaStats>,
     window: usize,
+    bucket: Duration,
+    /// Monotone insertion counter: every entry creation takes the next
+    /// value as its [`ReplicaStats::epoch`], so a removed-then-re-added
+    /// replica is distinguishable from the entry it replaced.
+    next_epoch: u64,
 }
 
 impl InfoRepository {
     /// Creates an empty repository whose sliding windows hold `window`
-    /// samples (`l` in the paper; the experiments use 5).
+    /// samples (`l` in the paper; the experiments use 5), counting samples
+    /// at the [`DEFAULT_BUCKET`] (1 ms) granularity.
     ///
     /// # Panics
     ///
     /// Panics if `window` is zero.
     pub fn new(window: usize) -> Self {
+        InfoRepository::with_bucket(window, DEFAULT_BUCKET)
+    }
+
+    /// Like [`InfoRepository::new`] with an explicit count-bucket width.
+    /// Pick the model's `ModelConfig::bucket` so pmfs build straight from
+    /// the incremental counts (a mismatched model falls back to rescanning
+    /// the raw samples — correct, just slower).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `bucket` is zero.
+    pub fn with_bucket(window: usize, bucket: Duration) -> Self {
         assert!(window > 0, "repository window must be positive");
+        assert!(!bucket.is_zero(), "repository bucket must be positive");
         InfoRepository {
             replicas: BTreeMap::new(),
             window,
+            bucket,
+            next_epoch: 0,
         }
     }
 
@@ -279,16 +376,24 @@ impl InfoRepository {
         self.window
     }
 
+    /// The count-bucket width of the replica windows.
+    pub fn bucket(&self) -> Duration {
+        self.bucket
+    }
+
     /// Registers a replica (on service discovery or a join view change).
     ///
     /// Returns `true` if the replica was not already present. Existing
     /// history is preserved when re-inserting a known replica.
     pub fn insert_replica(&mut self, id: ReplicaId) -> bool {
         let window = self.window;
+        let bucket = self.bucket;
+        let next_epoch = &mut self.next_epoch;
         let mut inserted = false;
         self.replicas.entry(id).or_insert_with(|| {
             inserted = true;
-            ReplicaStats::new(window)
+            *next_epoch += 1;
+            ReplicaStats::new(window, bucket, *next_epoch)
         });
         inserted
     }
@@ -303,11 +408,13 @@ impl InfoRepository {
     /// the probation actually arrive.
     pub fn set_probation(&mut self, id: ReplicaId, samples: u32) {
         let window = self.window;
-        let stats = self
-            .replicas
-            .entry(id)
-            .or_insert_with(|| ReplicaStats::new(window));
-        stats.probation = samples;
+        let bucket = self.bucket;
+        let next_epoch = &mut self.next_epoch;
+        let stats = self.replicas.entry(id).or_insert_with(|| {
+            *next_epoch += 1;
+            ReplicaStats::new(window, bucket, *next_epoch)
+        });
+        stats.put_on_probation(samples);
     }
 
     /// Removes a replica (on a crash view change, §5.4): it "will therefore
@@ -587,6 +694,90 @@ mod tests {
         // …but a repository with only probation entries is not warm.
         repo.remove_replica(a);
         assert!(!repo.all_warm());
+    }
+
+    #[test]
+    fn generations_move_exactly_with_their_slot() {
+        let mut repo = InfoRepository::new(3);
+        let r = ReplicaId::new(0);
+        repo.insert_replica(r);
+        let (g_perf0, g_delay0) = {
+            let s = repo.stats(r).unwrap();
+            (s.perf_generation(), s.delay_generation())
+        };
+        repo.record_perf(r, report(10, 1, 0), Instant::EPOCH);
+        {
+            let s = repo.stats(r).unwrap();
+            assert!(s.perf_generation() > g_perf0, "perf bumps perf slot");
+            assert_eq!(s.delay_generation(), g_delay0, "perf leaves delay slot");
+            assert_eq!(s.history(MethodId::DEFAULT).unwrap().generation(), 1);
+        }
+        let g_perf1 = repo.stats(r).unwrap().perf_generation();
+        repo.record_gateway_delay(r, ms(2), Instant::EPOCH);
+        {
+            let s = repo.stats(r).unwrap();
+            assert!(s.delay_generation() > g_delay0, "delay bumps delay slot");
+            assert_eq!(s.perf_generation(), g_perf1, "delay leaves perf slot");
+        }
+        // A report for another method moves the per-replica perf slot but
+        // not the first method's history generation.
+        repo.record_perf(
+            r,
+            report(10, 1, 2).with_method(MethodId::new(7)),
+            Instant::EPOCH,
+        );
+        let s = repo.stats(r).unwrap();
+        assert!(s.perf_generation() > g_perf1);
+        assert_eq!(s.history(MethodId::DEFAULT).unwrap().generation(), 1);
+    }
+
+    #[test]
+    fn probation_transitions_bump_perf_generation() {
+        let mut repo = InfoRepository::new(2);
+        let r = ReplicaId::new(0);
+        repo.insert_replica(r);
+        let g0 = repo.stats(r).unwrap().perf_generation();
+        repo.set_probation(r, 2);
+        assert!(repo.stats(r).unwrap().perf_generation() > g0);
+    }
+
+    #[test]
+    fn epoch_distinguishes_reinserted_replicas() {
+        let mut repo = InfoRepository::new(2);
+        let r = ReplicaId::new(3);
+        repo.insert_replica(r);
+        let first_epoch = repo.stats(r).unwrap().epoch();
+        repo.remove_replica(r);
+        repo.insert_replica(r);
+        let second_epoch = repo.stats(r).unwrap().epoch();
+        assert_ne!(
+            first_epoch, second_epoch,
+            "a re-added replica must not look like the entry it replaced"
+        );
+        // Probation-driven insertion of an unknown replica stamps one too.
+        let p = ReplicaId::new(9);
+        repo.set_probation(p, 1);
+        assert!(repo.stats(p).unwrap().epoch() > second_epoch);
+    }
+
+    #[test]
+    fn method_windows_expose_consistent_counts() {
+        let mut repo = InfoRepository::new(4);
+        let r = ReplicaId::new(0);
+        repo.insert_replica(r);
+        for ts in [10u64, 10, 20, 30, 30] {
+            repo.record_perf(r, report(ts, 1, 0), Instant::EPOCH);
+        }
+        let hist = repo.stats(r).unwrap().history(MethodId::DEFAULT).unwrap();
+        // Window of 4 keeps 10, 20, 30, 30; 1 ms buckets.
+        assert_eq!(
+            hist.service_window().bucket_counts().collect::<Vec<_>>(),
+            vec![(10, 1), (20, 1), (30, 2)]
+        );
+        assert_eq!(
+            hist.queuing_window().bucket_counts().collect::<Vec<_>>(),
+            vec![(1, 4)]
+        );
     }
 
     #[test]

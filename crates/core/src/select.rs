@@ -182,19 +182,31 @@ pub fn select_replicas_tolerating(
     min_probability: f64,
     crashes: usize,
 ) -> Selection {
-    let mut sorted: Vec<Candidate> = candidates
+    // The model hands us probabilities that are already in [0, 1] in the
+    // overwhelmingly common case; sanitize lazily so the hot path is a plain
+    // copy + sort with no per-element branching.
+    let needs_clamp = candidates
         .iter()
-        .map(|c| Candidate {
-            id: c.id,
-            probability: if c.probability.is_nan() {
-                0.0
-            } else {
-                c.probability.clamp(0.0, 1.0)
-            },
-        })
-        .collect();
-    // Decreasing probability, ties broken by ascending id for determinism.
-    sorted.sort_by(|a, b| {
+        .any(|c| !(c.probability >= 0.0 && c.probability <= 1.0));
+    let mut sorted: Vec<Candidate> = if needs_clamp {
+        candidates
+            .iter()
+            .map(|c| Candidate {
+                id: c.id,
+                probability: if c.probability.is_nan() {
+                    0.0
+                } else {
+                    c.probability.clamp(0.0, 1.0)
+                },
+            })
+            .collect()
+    } else {
+        candidates.to_vec()
+    };
+    // Decreasing probability, ties broken by ascending id for determinism —
+    // the tie-break makes the comparator a total order, so an unstable sort
+    // yields the same permutation as a stable one.
+    sorted.sort_unstable_by(|a, b| {
         b.probability
             .partial_cmp(&a.probability)
             .expect("probabilities are non-NaN after clamping")

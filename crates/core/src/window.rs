@@ -8,6 +8,9 @@
 //! end-to-end runs.
 
 use core::fmt;
+use std::collections::BTreeMap;
+
+use crate::time::Duration;
 
 /// A bounded ring buffer that keeps only the most recent `capacity` samples.
 ///
@@ -86,12 +89,22 @@ impl<T> SlidingWindow<T> {
 
     /// Records a new sample, evicting the oldest if the window is full.
     pub fn push(&mut self, sample: T) {
+        let _ = self.push_evicting(sample);
+    }
+
+    /// Like [`SlidingWindow::push`], but hands back the evicted sample so
+    /// callers maintaining derived state (e.g. the bucket counts of a
+    /// [`BucketedWindow`]) can retire its contribution in O(1) instead of
+    /// rescanning the window.
+    pub fn push_evicting(&mut self, sample: T) -> Option<T> {
         self.pushed += 1;
         if self.samples.len() < self.capacity {
             self.samples.push(sample);
+            None
         } else {
-            self.samples[self.head] = sample;
+            let evicted = core::mem::replace(&mut self.samples[self.head], sample);
             self.head = (self.head + 1) % self.capacity;
+            Some(evicted)
         }
     }
 
@@ -219,6 +232,167 @@ impl<'a, T> Iterator for Iter<'a, T> {
 
 impl<T> ExactSizeIterator for Iter<'_, T> {}
 
+/// A sliding window over durations that maintains its per-bucket sample
+/// counts **incrementally**: each push updates exactly two counters (the
+/// new sample's bucket and, once the window is full, the evicted sample's),
+/// so building the relative-frequency pmf of §5.3.1 no longer rescans the
+/// `l` retained samples.
+///
+/// The window also carries a monotonically increasing **generation**,
+/// bumped by every mutation. A consumer that memoizes anything derived
+/// from the window (the model cache) stores the generation it computed
+/// from and recomputes only when the generation moved.
+///
+/// # Examples
+///
+/// ```
+/// use aqua_core::time::Duration;
+/// use aqua_core::window::BucketedWindow;
+///
+/// let ms = Duration::from_millis;
+/// let mut w = BucketedWindow::new(3, ms(1));
+/// let g0 = w.generation();
+/// for d in [ms(5), ms(5), ms(7), ms(9)] {
+///     w.push(d); // capacity 3: the first 5 ms sample is evicted
+/// }
+/// assert_eq!(w.bucket_counts().collect::<Vec<_>>(), vec![(5, 1), (7, 1), (9, 1)]);
+/// assert!(w.generation() > g0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BucketedWindow {
+    samples: SlidingWindow<Duration>,
+    bucket: Duration,
+    /// `counts[i]` = number of retained samples in bucket `i` (lower edge
+    /// `i · bucket`). Invariant: values are ≥ 1 and sum to `samples.len()`.
+    counts: BTreeMap<u64, u32>,
+    /// Bumped on every mutation; never reset (not even by `clear`).
+    generation: u64,
+}
+
+impl BucketedWindow {
+    /// Creates an empty window of `capacity` samples counted at `bucket`
+    /// granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (see [`SlidingWindow::new`]) or the
+    /// bucket width is zero.
+    pub fn new(capacity: usize, bucket: Duration) -> Self {
+        assert!(!bucket.is_zero(), "bucketed window bucket must be positive");
+        BucketedWindow {
+            samples: SlidingWindow::new(capacity),
+            bucket,
+            counts: BTreeMap::new(),
+            generation: 0,
+        }
+    }
+
+    /// The underlying samples, oldest first.
+    #[inline]
+    pub fn samples(&self) -> &SlidingWindow<Duration> {
+        &self.samples
+    }
+
+    /// The bucket width the counts are quantized to.
+    #[inline]
+    pub fn bucket_width(&self) -> Duration {
+        self.bucket
+    }
+
+    /// The per-bucket counts as `(bucket index, count)` pairs in ascending
+    /// bucket order — the exact input shape of
+    /// [`crate::pmf::Pmf::from_bucket_counts`].
+    pub fn bucket_counts(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.counts.iter().map(|(i, c)| (*i, *c))
+    }
+
+    /// The mutation generation: strictly increases on every `push`,
+    /// `clear`, or `set_capacity`.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Maximum number of retained samples (`l`).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.samples.capacity()
+    }
+
+    /// Number of samples currently held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples have been recorded yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Returns `true` once the window holds `capacity` samples.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.samples.is_full()
+    }
+
+    /// The most recently pushed sample, if any.
+    pub fn latest(&self) -> Option<Duration> {
+        self.samples.latest().copied()
+    }
+
+    /// Total samples ever pushed, including evicted ones.
+    #[inline]
+    pub fn total_pushed(&self) -> u64 {
+        self.samples.total_pushed()
+    }
+
+    /// Records a sample: O(log buckets) to adjust the two affected counts,
+    /// O(1) amortized in the window size.
+    pub fn push(&mut self, sample: Duration) {
+        self.generation += 1;
+        let idx = sample.as_nanos() / self.bucket.as_nanos();
+        if let Some(evicted) = self.samples.push_evicting(sample) {
+            let old_idx = evicted.as_nanos() / self.bucket.as_nanos();
+            if let Some(count) = self.counts.get_mut(&old_idx) {
+                *count -= 1;
+                if *count == 0 {
+                    self.counts.remove(&old_idx);
+                }
+            }
+        }
+        *self.counts.entry(idx).or_insert(0) += 1;
+    }
+
+    /// Removes all samples, keeping capacity and bucket width.
+    pub fn clear(&mut self) {
+        self.generation += 1;
+        self.samples.clear();
+        self.counts.clear();
+    }
+
+    /// Grows or shrinks the capacity, keeping the newest samples and
+    /// rebuilding the counts to match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.generation += 1;
+        self.samples.set_capacity(capacity);
+        self.counts.clear();
+        let bucket_ns = self.bucket.as_nanos();
+        for sample in self.samples.iter() {
+            *self
+                .counts
+                .entry(sample.as_nanos() / bucket_ns)
+                .or_insert(0) += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,5 +486,103 @@ mod tests {
         w.extend([1, 2, 3]);
         let dbg = format!("{w:?}");
         assert!(dbg.contains("[2, 3]"), "unexpected debug output: {dbg}");
+    }
+
+    #[test]
+    fn push_evicting_returns_displaced_sample() {
+        let mut w = SlidingWindow::new(2);
+        assert_eq!(w.push_evicting(1), None);
+        assert_eq!(w.push_evicting(2), None);
+        assert_eq!(w.push_evicting(3), Some(1));
+        assert_eq!(w.push_evicting(4), Some(2));
+        assert_eq!(w.iter().copied().collect::<Vec<_>>(), vec![3, 4]);
+        assert_eq!(w.total_pushed(), 4);
+    }
+
+    mod bucketed {
+        use super::*;
+
+        fn ms(v: u64) -> Duration {
+            Duration::from_millis(v)
+        }
+
+        /// The counts invariant, checked against a full rescan.
+        fn assert_counts_consistent(w: &BucketedWindow) {
+            let mut expected: BTreeMap<u64, u32> = BTreeMap::new();
+            for s in w.samples().iter() {
+                *expected
+                    .entry(s.as_nanos() / w.bucket_width().as_nanos())
+                    .or_insert(0) += 1;
+            }
+            let actual: BTreeMap<u64, u32> = w.bucket_counts().collect();
+            assert_eq!(actual, expected);
+        }
+
+        #[test]
+        #[should_panic(expected = "bucket must be positive")]
+        fn zero_bucket_rejected() {
+            let _ = BucketedWindow::new(3, Duration::ZERO);
+        }
+
+        #[test]
+        fn counts_track_pushes_and_evictions() {
+            let mut w = BucketedWindow::new(3, ms(1));
+            for d in [ms(5), ms(5), ms(7), ms(5), ms(9), ms(9)] {
+                w.push(d);
+                assert_counts_consistent(&w);
+            }
+            assert_eq!(
+                w.bucket_counts().collect::<Vec<_>>(),
+                vec![(5, 1), (9, 2)],
+                "retained samples are 5, 9, 9"
+            );
+            assert_eq!(w.len(), 3);
+            assert_eq!(w.latest(), Some(ms(9)));
+        }
+
+        #[test]
+        fn generation_moves_on_every_mutation() {
+            let mut w = BucketedWindow::new(2, ms(1));
+            let g0 = w.generation();
+            w.push(ms(1));
+            let g1 = w.generation();
+            assert!(g1 > g0);
+            w.clear();
+            let g2 = w.generation();
+            assert!(g2 > g1);
+            w.set_capacity(4);
+            assert!(w.generation() > g2);
+        }
+
+        #[test]
+        fn clear_and_set_capacity_keep_counts_consistent() {
+            let mut w = BucketedWindow::new(4, ms(2));
+            for d in [ms(1), ms(2), ms(3), ms(8), ms(9)] {
+                w.push(d);
+            }
+            assert_counts_consistent(&w);
+            w.set_capacity(2);
+            assert_counts_consistent(&w);
+            assert_eq!(w.len(), 2, "newest two survive the shrink");
+            w.clear();
+            assert!(w.is_empty());
+            assert_eq!(w.bucket_counts().count(), 0);
+            w.push(ms(5));
+            assert_counts_consistent(&w);
+        }
+
+        #[test]
+        fn counts_feed_pmf_identically_to_samples() {
+            use crate::pmf::Pmf;
+            let mut w = BucketedWindow::new(10, ms(1));
+            for i in 0..25u64 {
+                w.push(ms(10 + (i * 7) % 13));
+            }
+            let from_counts = Pmf::from_bucket_counts(w.bucket_counts(), ms(1)).unwrap();
+            let from_samples = Pmf::from_samples(w.samples().iter().copied(), ms(1)).unwrap();
+            for t in 0..40 {
+                assert!((from_counts.cdf(ms(t)) - from_samples.cdf(ms(t))).abs() < 1e-12);
+            }
+        }
     }
 }

@@ -55,6 +55,9 @@ pub struct HandlerObserver {
     abandoned: Arc<Counter>,
     probation_started: Arc<Counter>,
     probation_cleared: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_invalidations: Arc<Counter>,
     overhead: Arc<Histogram>,
     response: Arc<Histogram>,
     selection_sizes: HashMap<usize, Arc<Counter>>,
@@ -92,6 +95,9 @@ impl HandlerObserver {
                 .counter("aqua_probation_transitions_total", &[("phase", "started")]),
             probation_cleared: registry
                 .counter("aqua_probation_transitions_total", &[("phase", "cleared")]),
+            cache_hits: registry.counter("aqua_model_cache_hits_total", &labels),
+            cache_misses: registry.counter("aqua_model_cache_misses_total", &labels),
+            cache_invalidations: registry.counter("aqua_model_cache_invalidations_total", &labels),
             overhead: registry.histogram("aqua_selection_overhead_ns", &labels),
             response: registry.histogram("aqua_response_time_ns", &labels),
             selection_sizes: HashMap::new(),
@@ -289,6 +295,20 @@ impl HandlerObserver {
                 span.end_nanos = Some(at_nanos);
             }
             self.obs.journal().emit_span(&span);
+        }
+    }
+
+    /// Accumulates one plan's model-cache activity (deltas, not lifetime
+    /// totals — the handler subtracts the previous snapshot).
+    pub(crate) fn on_model_cache(&mut self, hits: u64, misses: u64, invalidations: u64) {
+        if hits > 0 {
+            self.cache_hits.add(hits);
+        }
+        if misses > 0 {
+            self.cache_misses.add(misses);
+        }
+        if invalidations > 0 {
+            self.cache_invalidations.add(invalidations);
         }
     }
 

@@ -15,8 +15,10 @@
 //!    [`TimingFaultHandler::on_view`] — keep the repository current.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use aqua_core::failure::{TimingFailureDetector, TimingVerdict};
+use aqua_core::model::ModelCacheStats;
 use aqua_core::qos::{QosSpec, ReplicaId};
 use aqua_core::repository::{InfoRepository, MethodId, PerfReport};
 use aqua_core::time::{Duration, Instant};
@@ -31,8 +33,9 @@ pub struct PendingRequest {
     pub intercepted_at: Instant,
     /// When the request was transmitted to the replicas (`t1`).
     pub sent_at: Instant,
-    /// The selected replica subset.
-    pub selected: Vec<ReplicaId>,
+    /// The selected replica subset, shared with the plan handed to the
+    /// caller (one allocation per plan, not two).
+    pub selected: Arc<[ReplicaId]>,
     /// Whether the first reply has been delivered to the client.
     pub answered: bool,
     /// Probes refresh the repository but are invisible to the client:
@@ -47,8 +50,9 @@ pub struct RequestPlan {
     /// Client-local sequence number identifying the request.
     pub seq: u64,
     /// Replicas to multicast to (empty when none are known — the caller
-    /// should fail the request immediately).
-    pub replicas: Vec<ReplicaId>,
+    /// should fail the request immediately). Shared with the handler's
+    /// pending-request entry.
+    pub replicas: Arc<[ReplicaId]>,
 }
 
 /// What [`TimingFaultHandler::on_reply`] decided about a reply.
@@ -115,6 +119,9 @@ pub struct TimingFaultHandler {
     stats: HandlerStats,
     observer: Option<HandlerObserver>,
     client_id: Option<u64>,
+    /// Strategy cache counters as of the last plan, so each plan reports
+    /// only its own delta to the observer.
+    cache_seen: ModelCacheStats,
     /// Every replica ever observed in a view or join: a member that shows
     /// up again after leaving is a *rejoin* and starts on probation,
     /// whereas a first-time member is warmed by the cold-start multicast.
@@ -150,6 +157,7 @@ impl TimingFaultHandler {
             stats: HandlerStats::default(),
             observer: None,
             client_id: None,
+            cache_seen: ModelCacheStats::default(),
             seen: BTreeSet::new(),
         }
     }
@@ -257,30 +265,18 @@ impl TimingFaultHandler {
         exclude: &[ReplicaId],
     ) -> Option<RequestPlan> {
         // δ (§5.3.3): the wall-clock cost of evaluating the model and
-        // running the selection, fed to the overhead histogram.
+        // running the selection, fed to the overhead histogram. On a retry,
+        // Algorithm 1 runs over the *remaining* replicas: the exclusion set
+        // travels inside the input so the excluded members are invisible to
+        // the model itself — not merely filtered out of its answer.
         let select_started = std::time::Instant::now();
-        let mut replicas = if exclude.is_empty() {
-            self.strategy.select(&SelectionInput {
-                repository: &self.repository,
-                qos: &self.qos,
-                method,
-                now,
-            })
-        } else {
-            // Retry: Algorithm 1 runs over the *remaining* replicas, so
-            // the excluded ones must be invisible to the model — not
-            // merely filtered out of its answer.
-            let mut remaining = self.repository.clone();
-            for r in exclude {
-                remaining.remove_replica(*r);
-            }
-            self.strategy.select(&SelectionInput {
-                repository: &remaining,
-                qos: &self.qos,
-                method,
-                now,
-            })
-        };
+        let mut replicas = self.strategy.select(&SelectionInput {
+            repository: &self.repository,
+            qos: &self.qos,
+            method,
+            now,
+            exclude,
+        });
         if retry_of.is_some() && replicas.is_empty() {
             // A retry with nobody left to ask is pointless; the original
             // attempt (or the give-up timer) resolves the request.
@@ -299,6 +295,7 @@ impl TimingFaultHandler {
             .collect();
         replicas.extend(shadows);
         let overhead_nanos = select_started.elapsed().as_nanos() as u64;
+        let replicas: Arc<[ReplicaId]> = replicas.into();
         let seq = self.next_seq;
         self.next_seq += 1;
         if retry_of.is_none() {
@@ -319,13 +316,21 @@ impl TimingFaultHandler {
                 Some(overhead_nanos),
                 retry_of,
             );
+            if let Some(totals) = self.strategy.cache_stats() {
+                observer.on_model_cache(
+                    totals.hits - self.cache_seen.hits,
+                    totals.misses - self.cache_seen.misses,
+                    totals.invalidations - self.cache_seen.invalidations,
+                );
+                self.cache_seen = totals;
+            }
         }
         self.pending.insert(
             seq,
             PendingRequest {
                 intercepted_at: t0,
                 sent_at: now,
-                selected: replicas.clone(),
+                selected: Arc::clone(&replicas),
                 answered: false,
                 probe: false,
             },
@@ -340,6 +345,7 @@ impl TimingFaultHandler {
     /// gateway delay, which needs the recorded `t1`) but is never delivered
     /// and never counts toward the timing-failure statistics.
     pub fn plan_probe(&mut self, now: Instant, replica: ReplicaId) -> RequestPlan {
+        let replicas: Arc<[ReplicaId]> = Arc::from([replica]);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.stats.probes += 1;
@@ -361,15 +367,12 @@ impl TimingFaultHandler {
             PendingRequest {
                 intercepted_at: now,
                 sent_at: now,
-                selected: vec![replica],
+                selected: Arc::clone(&replicas),
                 answered: false,
                 probe: true,
             },
         );
-        RequestPlan {
-            seq,
-            replicas: vec![replica],
-        }
+        RequestPlan { seq, replicas }
     }
 
     /// Replicas whose repository entry is older than `staleness` at `now`
@@ -809,7 +812,7 @@ mod tests {
         let r = ReplicaId::new(0);
         let t0 = Instant::from_secs(1);
         let plan = h.plan_probe(t0, r);
-        assert_eq!(plan.replicas, vec![r]);
+        assert_eq!(&plan.replicas[..], &[r]);
         assert_eq!(h.stats().probes, 1);
         assert_eq!(h.stats().requests, 0, "probes are not client requests");
 
@@ -918,7 +921,7 @@ mod tests {
             )
             .expect("others remain");
         assert!(!retry.replicas.is_empty());
-        for r in &retry.replicas {
+        for r in retry.replicas.iter() {
             assert!(
                 !first.replicas.contains(r),
                 "retry must use the remaining replicas only"
@@ -949,6 +952,22 @@ mod tests {
             "every replica is already serving the first attempt"
         );
         assert_eq!(h.stats().retries, 0);
+    }
+
+    #[test]
+    fn plan_and_pending_share_one_replica_list() {
+        let mut h = handler(0.0);
+        warm(&mut h, &[0, 1], 100);
+        let plan = h.plan_request(Instant::EPOCH);
+        assert!(
+            Arc::ptr_eq(&plan.replicas, &h.pending(plan.seq).unwrap().selected),
+            "the plan and the pending entry must share one allocation"
+        );
+        let probe = h.plan_probe(Instant::from_millis(1), ReplicaId::new(0));
+        assert!(Arc::ptr_eq(
+            &probe.replicas,
+            &h.pending(probe.seq).unwrap().selected
+        ));
     }
 
     #[test]

@@ -86,10 +86,10 @@ proptest! {
                         "never selects more than the pool"
                     );
                     // Selected replicas are all known.
-                    for r in &plan.replicas {
+                    for r in plan.replicas.iter() {
                         prop_assert!(handler.repository().contains(*r));
                     }
-                    plans.push((plan.seq, plan.replicas, now));
+                    plans.push((plan.seq, plan.replicas.to_vec(), now));
                 }
                 Action::Reply { nth, k, latency_ms, service_ms, queue_ms } => {
                     let Some((seq, replicas, sent_at)) =

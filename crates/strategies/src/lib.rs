@@ -25,10 +25,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use aqua_core::model::{ModelConfig, ResponseTimeModel};
+use aqua_core::model::{ModelCache, ModelCacheStats, ModelConfig, ResponseTimeModel};
 use aqua_core::overhead::OverheadTracker;
 use aqua_core::qos::{QosSpec, ReplicaId};
-use aqua_core::repository::{InfoRepository, MethodId};
+use aqua_core::repository::{InfoRepository, MethodId, ReplicaStats};
 use aqua_core::scheduler::ColdStartPolicy;
 use aqua_core::select::{select_replicas_tolerating, Candidate};
 use aqua_core::time::{Duration, Instant};
@@ -47,6 +47,29 @@ pub struct SelectionInput<'a> {
     pub method: Option<MethodId>,
     /// Current (virtual or wall) time.
     pub now: Instant,
+    /// Replicas the handler has ruled out for this particular selection —
+    /// typically the members already tried by a timed-out request being
+    /// retried. They must be invisible to the strategy (as if absent from
+    /// the repository), not merely filtered from its answer: a strategy
+    /// that reasons about the candidate set as a whole (Algorithm 1's
+    /// acceptance test, round-robin rotation, …) would otherwise still
+    /// account for them.
+    pub exclude: &'a [ReplicaId],
+}
+
+impl<'a> SelectionInput<'a> {
+    /// `(replica, stats)` pairs eligible for this selection: not on
+    /// probation and not excluded.
+    pub fn candidates(&self) -> impl Iterator<Item = (ReplicaId, &'a ReplicaStats)> + '_ {
+        self.repository
+            .selectable()
+            .filter(|(id, _)| !self.exclude.contains(id))
+    }
+
+    /// The ids eligible for this selection, in ascending order.
+    pub fn candidate_ids(&self) -> impl Iterator<Item = ReplicaId> + '_ {
+        self.candidates().map(|(id, _)| id)
+    }
 }
 
 /// A replica-selection policy.
@@ -59,6 +82,12 @@ pub trait SelectionStrategy: Send {
     /// An empty result means "no replicas known"; the handler treats it as
     /// an immediately failed request.
     fn select(&mut self, input: &SelectionInput<'_>) -> Vec<ReplicaId>;
+
+    /// Lifetime counters of the strategy's internal model cache, if it has
+    /// one. Baselines return `None`.
+    fn cache_stats(&self) -> Option<ModelCacheStats> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -70,6 +99,7 @@ pub trait SelectionStrategy: Send {
 #[derive(Debug)]
 pub struct ModelBased {
     model: ResponseTimeModel,
+    cache: ModelCache,
     overhead: OverheadTracker,
     cold_start: ColdStartPolicy,
     crashes: usize,
@@ -81,6 +111,7 @@ impl ModelBased {
     pub fn new(model: ModelConfig) -> Self {
         ModelBased {
             model: ResponseTimeModel::new(model),
+            cache: ModelCache::new(),
             overhead: OverheadTracker::new(),
             cold_start: ColdStartPolicy::SelectAll,
             crashes: 1,
@@ -122,14 +153,28 @@ impl SelectionStrategy for ModelBased {
     fn select(&mut self, input: &SelectionInput<'_>) -> Vec<ReplicaId> {
         let started = std::time::Instant::now();
         let deadline = self.overhead.adjusted_deadline(input.qos.deadline());
+        if self.cache.len() > input.repository.len() {
+            // Cheap steady-state bound: entries can only outnumber replicas
+            // after removals, so shed the leftovers in one pass.
+            let repository = input.repository;
+            self.cache
+                .retain_replicas(|id| repository.stats(id).is_some());
+        }
         let mut candidates = Vec::with_capacity(input.repository.len());
-        for (id, stats) in input.repository.selectable() {
-            match self.model.probability_by_for(stats, deadline, input.method) {
+        for (id, stats) in input.candidates() {
+            let p = self.model.probability_by_cached(
+                &mut self.cache,
+                id,
+                stats,
+                deadline,
+                input.method,
+            );
+            match p {
                 Some(p) => candidates.push(Candidate::new(id, p)),
                 None => match self.cold_start {
                     ColdStartPolicy::SelectAll => {
                         self.overhead.record(Duration::from(started.elapsed()));
-                        return input.repository.selectable_ids().collect();
+                        return input.candidate_ids().collect();
                     }
                     ColdStartPolicy::Optimistic(p) => {
                         candidates.push(Candidate::new(id, p.clamp(0.0, 1.0)));
@@ -141,6 +186,10 @@ impl SelectionStrategy for ModelBased {
             select_replicas_tolerating(&candidates, input.qos.min_probability(), self.crashes);
         self.overhead.record(Duration::from(started.elapsed()));
         selection.into_replicas()
+    }
+
+    fn cache_stats(&self) -> Option<ModelCacheStats> {
+        Some(self.cache.stats())
     }
 }
 
@@ -196,7 +245,7 @@ impl SelectionStrategy for Random {
     }
 
     fn select(&mut self, input: &SelectionInput<'_>) -> Vec<ReplicaId> {
-        let mut ids: Vec<ReplicaId> = input.repository.selectable_ids().collect();
+        let mut ids: Vec<ReplicaId> = input.candidate_ids().collect();
         ids.shuffle(&mut self.rng);
         take_k(ids, self.k)
     }
@@ -217,7 +266,7 @@ impl SelectionStrategy for FastestMean {
     }
 
     fn select(&mut self, input: &SelectionInput<'_>) -> Vec<ReplicaId> {
-        let mut ids: Vec<ReplicaId> = input.repository.selectable_ids().collect();
+        let mut ids: Vec<ReplicaId> = input.candidate_ids().collect();
         ids.sort_by_key(|id| {
             mean_response_estimate(input.repository, *id, input.method)
                 .map_or(Duration::ZERO, |d| d)
@@ -241,7 +290,7 @@ impl SelectionStrategy for LeastLoaded {
     }
 
     fn select(&mut self, input: &SelectionInput<'_>) -> Vec<ReplicaId> {
-        let mut ids: Vec<ReplicaId> = input.repository.selectable_ids().collect();
+        let mut ids: Vec<ReplicaId> = input.candidate_ids().collect();
         ids.sort_by_key(|id| {
             let outstanding = input.repository.stats(*id).map_or(0, |s| s.outstanding());
             let mean = mean_response_estimate(input.repository, *id, input.method)
@@ -266,7 +315,7 @@ impl SelectionStrategy for Nearest {
     }
 
     fn select(&mut self, input: &SelectionInput<'_>) -> Vec<ReplicaId> {
-        let mut ids: Vec<ReplicaId> = input.repository.selectable_ids().collect();
+        let mut ids: Vec<ReplicaId> = input.candidate_ids().collect();
         ids.sort_by_key(|id| {
             input
                 .repository
@@ -299,7 +348,7 @@ impl SelectionStrategy for RoundRobin {
     }
 
     fn select(&mut self, input: &SelectionInput<'_>) -> Vec<ReplicaId> {
-        let ids: Vec<ReplicaId> = input.repository.selectable_ids().collect();
+        let ids: Vec<ReplicaId> = input.candidate_ids().collect();
         if ids.is_empty() {
             return Vec::new();
         }
@@ -328,7 +377,7 @@ impl SelectionStrategy for StaticK {
     }
 
     fn select(&mut self, input: &SelectionInput<'_>) -> Vec<ReplicaId> {
-        take_k(input.repository.selectable_ids().collect(), self.k)
+        take_k(input.candidate_ids().collect(), self.k)
     }
 }
 
@@ -343,7 +392,7 @@ impl SelectionStrategy for AllReplicas {
     }
 
     fn select(&mut self, input: &SelectionInput<'_>) -> Vec<ReplicaId> {
-        input.repository.selectable_ids().collect()
+        input.candidate_ids().collect()
     }
 }
 
@@ -384,6 +433,7 @@ mod tests {
             qos,
             method: None,
             now: Instant::EPOCH,
+            exclude: &[],
         }
     }
 
@@ -521,6 +571,78 @@ mod tests {
                 s.name()
             );
         }
+    }
+
+    #[test]
+    fn excluded_replicas_are_invisible_to_every_strategy() {
+        let repo = repo();
+        let qos = QosSpec::new(ms(150), 0.9).unwrap();
+        let exclude = [ReplicaId::new(0)];
+        let strategies: Vec<Box<dyn SelectionStrategy>> = vec![
+            Box::new(ModelBased::default()),
+            Box::new(Random::new(2, 1)),
+            Box::new(FastestMean { k: 2 }),
+            Box::new(LeastLoaded { k: 2 }),
+            Box::new(Nearest { k: 2 }),
+            Box::new(RoundRobin::new(2)),
+            Box::new(StaticK { k: 2 }),
+            Box::new(AllReplicas),
+        ];
+        for mut s in strategies {
+            let sel = s.select(&SelectionInput {
+                exclude: &exclude,
+                ..input(&repo, &qos)
+            });
+            assert!(!sel.is_empty(), "{} went empty under exclusion", s.name());
+            assert!(
+                !sel.contains(&ReplicaId::new(0)),
+                "{} selected an excluded replica",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn exclusion_changes_the_acceptance_test_not_just_the_answer() {
+        // With r0 (the best replica) excluded, Algorithm 1 must rebuild K
+        // from the remaining candidates — the reserved slot moves to r3 and
+        // extra members are taken until Pc holds again, exactly as if r0
+        // had been removed from the repository.
+        let repo = repo();
+        let qos = QosSpec::new(ms(150), 0.9).unwrap();
+        let mut strat = ModelBased::default();
+        let baseline = strat.select(&input(&repo, &qos));
+        assert_eq!(idx(&baseline), vec![0, 3]);
+
+        let mut pruned = repo.clone();
+        pruned.remove_replica(ReplicaId::new(0));
+        let as_if_removed = ModelBased::default().select(&input(&pruned, &qos));
+
+        let excluded = strat.select(&SelectionInput {
+            exclude: &[ReplicaId::new(0)],
+            ..input(&repo, &qos)
+        });
+        assert_eq!(excluded, as_if_removed);
+        assert!(!excluded.contains(&ReplicaId::new(0)));
+    }
+
+    #[test]
+    fn model_based_cache_serves_repeat_selections() {
+        let repo = repo();
+        let qos = QosSpec::new(ms(150), 0.9).unwrap();
+        let mut strat = ModelBased::default();
+        let first = strat.select(&input(&repo, &qos));
+        let stats = strat.cache_stats().unwrap();
+        assert_eq!(stats.misses, 4, "one build per warm replica");
+        assert_eq!(stats.hits, 0);
+
+        let second = strat.select(&input(&repo, &qos));
+        assert_eq!(first, second);
+        let stats = strat.cache_stats().unwrap();
+        assert_eq!(stats.misses, 4, "unchanged windows rebuild nothing");
+        assert_eq!(stats.hits, 4);
+
+        assert!(Random::new(1, 1).cache_stats().is_none());
     }
 
     #[test]
