@@ -67,6 +67,23 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+/// Marker attributes, re-exported so call sites read `#[aqua::hot_path]`.
+///
+/// The attributes are no-ops at runtime; `aqua-lint` keys its
+/// `no-alloc-in-select` rule on them (allocation is forbidden inside
+/// marked functions). Import the module, not the attribute:
+///
+/// ```
+/// use aqua_core::aqua;
+///
+/// #[aqua::hot_path]
+/// fn tight_loop() {}
+/// # tight_loop();
+/// ```
+pub mod aqua {
+    pub use aqua_macros::hot_path;
+}
+
 pub mod analytic;
 pub mod failure;
 pub mod model;

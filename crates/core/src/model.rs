@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 
+use crate::aqua;
 use crate::pmf::{CdfTable, ConvScratch, Pmf};
 use crate::qos::ReplicaId;
 use crate::repository::{MethodId, ReplicaStats};
@@ -224,9 +225,9 @@ impl ResponseTimeModel {
             }
         };
 
-        let combined = service
-            .convolve(&queuing)
-            .expect("service and queuing pmfs share the configured bucket width");
+        // Both terms were quantized to `config.bucket` above, so a bucket
+        // mismatch is impossible; `.ok()` keeps that invariant panic-free.
+        let combined = service.convolve(&queuing).ok()?;
 
         match self.config.delay_estimator {
             DelayEstimator::LastValue => {
@@ -235,11 +236,7 @@ impl ResponseTimeModel {
             }
             DelayEstimator::WindowPmf => {
                 let delays = self.window_pmf(stats.gateway_delay_window())?;
-                Some(
-                    combined
-                        .convolve(&delays)
-                        .expect("delay pmf shares the configured bucket width"),
-                )
+                Some(combined.convolve(&delays).ok()?)
             }
         }
     }
@@ -275,6 +272,7 @@ impl ResponseTimeModel {
     /// full recompute via [`ResponseTimeModel::response_pmf_with`] — the
     /// *same* pipeline as the uncached path, so cached and from-scratch
     /// answers are bit-identical.
+    #[aqua::hot_path]
     pub fn probability_by_cached(
         &self,
         cache: &mut ModelCache,

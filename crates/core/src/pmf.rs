@@ -142,13 +142,11 @@ impl Pmf {
         if indices.is_empty() {
             return Err(PmfError::EmptySamples);
         }
-        let lo = *indices.iter().min().expect("non-empty");
-        let hi = *indices.iter().max().expect("non-empty");
-        let span = usize::try_from(hi - lo + 1).expect("bucket span fits in memory");
-        let mut probs = vec![0.0; span];
+        let (lo, hi) = index_bounds(indices.iter().copied());
+        let mut probs = vec![0.0; span(lo, hi)];
         let weight = 1.0 / indices.len() as f64;
         for idx in indices {
-            probs[(idx - lo) as usize] += weight;
+            accumulate(&mut probs, (idx - lo) as usize, weight);
         }
         Ok(Pmf {
             bucket,
@@ -201,13 +199,11 @@ impl Pmf {
         if entries.is_empty() {
             return Err(PmfError::EmptySamples);
         }
-        let lo = entries.iter().map(|(i, _)| *i).min().expect("non-empty");
-        let hi = entries.iter().map(|(i, _)| *i).max().expect("non-empty");
-        let span = usize::try_from(hi - lo + 1).expect("bucket span fits in memory");
-        let mut probs = vec![0.0; span];
+        let (lo, hi) = index_bounds(entries.iter().map(|(i, _)| *i));
+        let mut probs = vec![0.0; span(lo, hi)];
         let total: f64 = entries.iter().map(|(_, w)| *w).sum();
         for (idx, w) in entries {
-            probs[(idx - lo) as usize] += w / total;
+            accumulate(&mut probs, (idx - lo) as usize, w / total);
         }
         Ok(Pmf {
             bucket,
@@ -239,13 +235,15 @@ impl Pmf {
         if entries.is_empty() {
             return Err(PmfError::EmptySamples);
         }
-        let lo = entries.iter().map(|(i, _)| *i).min().expect("non-empty");
-        let hi = entries.iter().map(|(i, _)| *i).max().expect("non-empty");
-        let span = usize::try_from(hi - lo + 1).expect("bucket span fits in memory");
+        let (lo, hi) = index_bounds(entries.iter().map(|(i, _)| *i));
         let total: u64 = entries.iter().map(|(_, c)| u64::from(*c)).sum();
-        let mut probs = vec![0.0; span];
+        let mut probs = vec![0.0; span(lo, hi)];
         for (idx, count) in entries {
-            probs[(idx - lo) as usize] += f64::from(count) / total as f64;
+            accumulate(
+                &mut probs,
+                (idx - lo) as usize,
+                f64::from(count) / total as f64,
+            );
         }
         Ok(Pmf {
             bucket,
@@ -299,7 +297,7 @@ impl Pmf {
             return 0.0;
         }
         let upto = (t_idx - self.offset).min(self.probs.len() as u64 - 1) as usize;
-        let sum = self.probs[..=upto].iter().sum::<f64>();
+        let sum = self.probs.iter().take(upto + 1).sum::<f64>();
         // The prefix sum can exceed 1 only by accumulated rounding error,
         // which MASS_TOLERANCE bounds; the clamp keeps F(t) a probability.
         debug_assert!(
@@ -412,6 +410,13 @@ impl Pmf {
         }
         let mut probs = Vec::new();
         convolve_into(&self.probs, &other.probs, &mut probs);
+        // Convolution is a sum of all pairwise products, so the output mass
+        // must equal the product of the input masses up to rounding — the
+        // same invariant MASS_TOLERANCE bounds for the cdf clamp.
+        debug_assert!(
+            (probs.iter().sum::<f64>() - self.mass() * other.mass()).abs() <= MASS_TOLERANCE,
+            "convolution drifted probability mass beyond MASS_TOLERANCE"
+        );
         Ok(Pmf {
             bucket: self.bucket,
             offset: self.offset + other.offset,
@@ -475,6 +480,12 @@ impl Pmf {
         }
         scratch.base = base;
         scratch.tmp = tmp;
+        // Pruning renormalizes, so the n-fold sum must keep the n-th power
+        // of the input mass up to the shared MASS_TOLERANCE bound.
+        debug_assert!(
+            (acc.iter().sum::<f64>() - self.mass().powi(n as i32)).abs() <= MASS_TOLERANCE,
+            "self-convolution drifted probability mass beyond MASS_TOLERANCE"
+        );
         // `acc` moves into the result; the scratch slot refills next call.
         Pmf {
             bucket: self.bucket,
@@ -534,19 +545,10 @@ impl Pmf {
             .filter(|(_, p)| **p > 0.0)
             .map(|(i, p)| ((self.offset + i as u64) * old_ns / new_ns, *p));
         let entries: Vec<(u64, f64)> = entries.collect();
-        let lo = entries
-            .iter()
-            .map(|(i, _)| *i)
-            .min()
-            .expect("non-empty pmf");
-        let hi = entries
-            .iter()
-            .map(|(i, _)| *i)
-            .max()
-            .expect("non-empty pmf");
-        let mut probs = vec![0.0; usize::try_from(hi - lo + 1).expect("span fits")];
+        let (lo, hi) = index_bounds(entries.iter().map(|(i, _)| *i));
+        let mut probs = vec![0.0; span(lo, hi)];
         for (idx, p) in entries {
-            probs[(idx - lo) as usize] += p;
+            accumulate(&mut probs, (idx - lo) as usize, p);
         }
         Ok(Pmf {
             bucket,
@@ -573,7 +575,10 @@ impl Pmf {
         if active.is_empty() {
             return Err(PmfError::EmptySamples);
         }
-        let bucket = active[0].1.bucket;
+        let bucket = active
+            .first()
+            .map(|(_, p)| p.bucket)
+            .ok_or(PmfError::EmptySamples)?;
         for (_, pmf) in &active {
             if pmf.bucket != bucket {
                 return Err(PmfError::BucketMismatch {
@@ -583,21 +588,18 @@ impl Pmf {
             }
         }
         let total_w: f64 = active.iter().map(|(w, _)| *w).sum();
-        let lo = active
-            .iter()
-            .map(|(_, p)| p.offset)
-            .min()
-            .expect("non-empty");
-        let hi = active
-            .iter()
-            .map(|(_, p)| p.offset + p.probs.len() as u64 - 1)
-            .max()
-            .expect("non-empty");
-        let mut probs = vec![0.0; usize::try_from(hi - lo + 1).expect("span fits")];
+        let lo = index_bounds(active.iter().map(|(_, p)| p.offset)).0;
+        let hi = index_bounds(
+            active
+                .iter()
+                .map(|(_, p)| p.offset + p.probs.len() as u64 - 1),
+        )
+        .1;
+        let mut probs = vec![0.0; span(lo, hi)];
         for (w, pmf) in &active {
             let scale = w / total_w;
             for (i, &p) in pmf.probs.iter().enumerate() {
-                probs[(pmf.offset - lo) as usize + i] += p * scale;
+                accumulate(&mut probs, (pmf.offset - lo) as usize + i, p * scale);
             }
         }
         Ok(Pmf {
@@ -619,12 +621,43 @@ fn convolve_into(a: &[f64], b: &[f64], out: &mut Vec<f64>) {
         if p == 0.0 {
             continue;
         }
-        for (j, &q) in b.iter().enumerate() {
+        // `out[i + j] = out[i..i + b.len()][j]` is in range by the resize
+        // above; the skip-based view says so without indexed access.
+        for (slot, &q) in out.iter_mut().skip(i).zip(b.iter()) {
             if q == 0.0 {
                 continue;
             }
-            out[i + j] += p * q;
+            *slot += p * q;
         }
+    }
+}
+
+/// Smallest and largest index produced by `indices`.
+///
+/// Callers guarantee a non-empty iterator (they return
+/// [`PmfError::EmptySamples`] first); on an empty one the bounds come back
+/// inverted (`u64::MAX`, `0`) and [`span`] reports the violation.
+fn index_bounds<I: Iterator<Item = u64>>(indices: I) -> (u64, u64) {
+    indices.fold((u64::MAX, 0), |(lo, hi), i| (lo.min(i), hi.max(i)))
+}
+
+/// Bucket count of the inclusive index range `[lo, hi]`.
+fn span(lo: u64, hi: u64) -> usize {
+    debug_assert!(lo <= hi, "pmf index bounds inverted: [{lo}, {hi}]");
+    // aqua-lint: allow(no-panic-in-hot-path) a span beyond usize::MAX cannot be allocated anyway; failing loudly beats truncating
+    usize::try_from(hi.saturating_sub(lo) + 1).expect("bucket span fits in usize")
+}
+
+/// Adds `w` of probability mass to `probs[idx]`.
+///
+/// Every caller derives `idx` from the same bounds that sized `probs`
+/// (`idx = bucket - lo ≤ hi - lo < probs.len()`), so the slot always
+/// exists; a debug assertion guards the invariant instead of a panic.
+fn accumulate(probs: &mut [f64], idx: usize, w: f64) {
+    if let Some(slot) = probs.get_mut(idx) {
+        *slot += w;
+    } else {
+        debug_assert!(false, "pmf bucket index {idx} outside allocated span");
     }
 }
 
@@ -638,14 +671,20 @@ fn prune_in_place(probs: &mut Vec<f64>, offset: &mut u64, epsilon: f64) {
     let budget = epsilon * total * 0.5;
     let mut start = 0usize;
     let mut cut_front = 0.0;
-    while start + 1 < probs.len() && cut_front + probs[start] <= budget {
-        cut_front += probs[start];
+    for &p in probs.iter().take(probs.len() - 1) {
+        if cut_front + p > budget {
+            break;
+        }
+        cut_front += p;
         start += 1;
     }
     let mut end = probs.len();
     let mut cut_back = 0.0;
-    while end > start + 1 && cut_back + probs[end - 1] <= budget {
-        cut_back += probs[end - 1];
+    for &p in probs.iter().skip(start + 1).rev() {
+        if cut_back + p > budget {
+            break;
+        }
+        cut_back += p;
         end -= 1;
     }
     if start == 0 && end == probs.len() {
@@ -684,7 +723,7 @@ impl CdfTable {
             return 0.0;
         }
         let upto = (t_idx - self.offset).min(self.cum.len() as u64 - 1) as usize;
-        self.cum[upto].min(1.0)
+        self.cum.get(upto).copied().unwrap_or(1.0).min(1.0)
     }
 
     /// The bucket width of the source pmf.

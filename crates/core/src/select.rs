@@ -18,6 +18,7 @@
 
 use core::fmt;
 
+use crate::aqua;
 use crate::qos::ReplicaId;
 
 /// A replica together with its predicted probability `F_Ri(t)` of answering
@@ -177,6 +178,7 @@ pub fn select_replicas(candidates: &[Candidate], min_probability: f64) -> Select
 /// let double = select_replicas_tolerating(&candidates, 0.8, 2);
 /// assert!(double.redundancy() > single.redundancy());
 /// ```
+#[aqua::hot_path]
 pub fn select_replicas_tolerating(
     candidates: &[Candidate],
     min_probability: f64,
@@ -201,15 +203,17 @@ pub fn select_replicas_tolerating(
             })
             .collect()
     } else {
+        // aqua-lint: allow(no-alloc-in-select) the selected set is the return value; one copy of the candidate list is the function's contract
         candidates.to_vec()
     };
     // Decreasing probability, ties broken by ascending id for determinism —
     // the tie-break makes the comparator a total order, so an unstable sort
-    // yields the same permutation as a stable one.
+    // yields the same permutation as a stable one. `total_cmp` agrees with
+    // `partial_cmp` on the sanitized (non-NaN) probabilities and cannot
+    // panic even if an unsanitized NaN slipped through.
     sorted.sort_unstable_by(|a, b| {
         b.probability
-            .partial_cmp(&a.probability)
-            .expect("probabilities are non-NaN after clamping")
+            .total_cmp(&a.probability)
             .then_with(|| a.id.cmp(&b.id))
     });
 
@@ -229,8 +233,8 @@ pub fn select_replicas_tolerating(
         };
     }
 
-    let reserved = &sorted[..crashes];
-    let rest = &sorted[crashes..];
+    // In range: the early return above guarantees `crashes < sorted.len()`.
+    let (reserved, rest) = sorted.split_at(crashes);
 
     // Lines 6–14: grow X until 1 − Π(1 − F_Ri) ≥ Pc.
     let mut prod = 1.0f64;
@@ -240,7 +244,7 @@ pub fn select_replicas_tolerating(
             let replicas: Vec<ReplicaId> = reserved
                 .iter()
                 .map(|c| c.id)
-                .chain(rest[..=taken].iter().map(|c| c.id))
+                .chain(rest.iter().take(taken + 1).map(|c| c.id))
                 .collect();
             let reserved_prod: f64 = reserved.iter().map(|c| 1.0 - c.probability).product();
             return Selection {

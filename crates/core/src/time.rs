@@ -227,6 +227,7 @@ impl Add for Duration {
     type Output = Duration;
     #[inline]
     fn add(self, rhs: Duration) -> Duration {
+        // aqua-lint: allow(no-panic-in-hot-path) overflow on Duration arithmetic is a bug, not a recoverable condition; std Durations panic the same way
         Duration(self.0.checked_add(rhs.0).expect("duration overflow"))
     }
 }
@@ -242,6 +243,7 @@ impl Sub for Duration {
     type Output = Duration;
     #[inline]
     fn sub(self, rhs: Duration) -> Duration {
+        // aqua-lint: allow(no-panic-in-hot-path) underflow on Duration arithmetic is a bug, not a recoverable condition; std Durations panic the same way
         Duration(self.0.checked_sub(rhs.0).expect("duration underflow"))
     }
 }
@@ -257,6 +259,7 @@ impl Mul<u64> for Duration {
     type Output = Duration;
     #[inline]
     fn mul(self, rhs: u64) -> Duration {
+        // aqua-lint: allow(no-panic-in-hot-path) overflow on Duration scaling is a bug, not a recoverable condition; std Durations panic the same way
         Duration(self.0.checked_mul(rhs).expect("duration overflow"))
     }
 }
@@ -368,6 +371,7 @@ impl Instant {
         Duration(
             self.0
                 .checked_sub(earlier.0)
+                // aqua-lint: allow(no-panic-in-hot-path) the panic is this method's documented contract; saturating_duration_since is the non-panicking variant
                 .expect("`earlier` is later than `self`"),
         )
     }
@@ -403,6 +407,7 @@ impl Add<Duration> for Instant {
     type Output = Instant;
     #[inline]
     fn add(self, rhs: Duration) -> Instant {
+        // aqua-lint: allow(no-panic-in-hot-path) overflow on Instant arithmetic is a bug, not a recoverable condition; std Instants panic the same way
         Instant(self.0.checked_add(rhs.0).expect("instant overflow"))
     }
 }
@@ -418,6 +423,7 @@ impl Sub<Duration> for Instant {
     type Output = Instant;
     #[inline]
     fn sub(self, rhs: Duration) -> Instant {
+        // aqua-lint: allow(no-panic-in-hot-path) underflow on Instant arithmetic is a bug, not a recoverable condition; std Instants panic the same way
         Instant(self.0.checked_sub(rhs.0).expect("instant underflow"))
     }
 }

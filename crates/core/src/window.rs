@@ -10,6 +10,7 @@
 use core::fmt;
 use std::collections::BTreeMap;
 
+use crate::aqua;
 use crate::time::Duration;
 
 /// A bounded ring buffer that keeps only the most recent `capacity` samples.
@@ -96,12 +97,14 @@ impl<T> SlidingWindow<T> {
     /// callers maintaining derived state (e.g. the bucket counts of a
     /// [`BucketedWindow`]) can retire its contribution in O(1) instead of
     /// rescanning the window.
+    #[aqua::hot_path]
     pub fn push_evicting(&mut self, sample: T) -> Option<T> {
         self.pushed += 1;
         if self.samples.len() < self.capacity {
             self.samples.push(sample);
             None
         } else {
+            // aqua-lint: allow(no-panic-in-hot-path) head < capacity == len whenever the window is full
             let evicted = core::mem::replace(&mut self.samples[self.head], sample);
             self.head = (self.head + 1) % self.capacity;
             Some(evicted)
@@ -116,7 +119,7 @@ impl<T> SlidingWindow<T> {
             self.samples.last()
         } else {
             let idx = (self.head + self.capacity - 1) % self.capacity;
-            Some(&self.samples[idx])
+            self.samples.get(idx)
         }
     }
 
@@ -127,7 +130,7 @@ impl<T> SlidingWindow<T> {
         } else if self.samples.len() < self.capacity {
             self.samples.first()
         } else {
-            Some(&self.samples[self.head])
+            self.samples.get(self.head)
         }
     }
 
@@ -164,8 +167,11 @@ impl<T> SlidingWindow<T> {
                 } else {
                     i
                 };
-                ordered.push(tmp[idx].take().expect("each slot drained once"));
+                if let Some(sample) = tmp.get_mut(idx).and_then(Option::take) {
+                    ordered.push(sample);
+                }
             }
+            debug_assert_eq!(ordered.len(), len, "each slot drained exactly once");
             let skip = ordered.len().saturating_sub(capacity);
             ordered.drain(..skip);
             ordered
@@ -221,7 +227,7 @@ impl<'a, T> Iterator for Iter<'a, T> {
             self.pos
         };
         self.pos += 1;
-        Some(&self.window.samples[idx])
+        self.window.samples.get(idx)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -351,6 +357,7 @@ impl BucketedWindow {
 
     /// Records a sample: O(log buckets) to adjust the two affected counts,
     /// O(1) amortized in the window size.
+    #[aqua::hot_path]
     pub fn push(&mut self, sample: Duration) {
         self.generation += 1;
         let idx = sample.as_nanos() / self.bucket.as_nanos();

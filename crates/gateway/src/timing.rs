@@ -236,6 +236,7 @@ impl TimingFaultHandler {
     /// per-method performance classification (§8 ext. 1).
     pub fn plan_request_for(&mut self, now: Instant, method: Option<MethodId>) -> RequestPlan {
         self.plan_with(now, method, now, None, &[])
+            // aqua-lint: allow(no-panic-in-hot-path) plan_with returns None only when every replica is excluded; the initial call excludes none
             .expect("initial selections always produce a plan")
     }
 

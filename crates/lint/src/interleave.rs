@@ -1,0 +1,558 @@
+//! Bounded exhaustive interleaving checker (loom-style, but tiny).
+//!
+//! A [`Model`] is a fixed set of threads, each a straight-line sequence of
+//! [`Step`]s over a `Clone`-able shadow state (built from the
+//! [`shadow`] crate's [`ShadowLock`]/[`ShadowAtomicU64`] primitives). The
+//! explorer enumerates **every** interleaving by depth-first search,
+//! cloning the state at each branch point, and checks the model invariant
+//! after every step. All-threads-blocked with work remaining is reported
+//! as a deadlock.
+//!
+//! Two models port real synchronization hot spots from the workspace:
+//!
+//! * [`registry_scrape_model`] — `aqua-obs` metric registration racing a
+//!   scrape: registration writes two parallel vectors under the registry
+//!   mutex, and histogram recording bumps `count` before the bucket. A
+//!   scrape must never observe torn vectors, and must read buckets before
+//!   the count so the documented `count >= sum(buckets)` quantile fallback
+//!   holds.
+//! * [`repository_epoch_model`] — `aqua-core` repository `record_perf`
+//!   racing a remove/re-insert: model-cache keys carry the replica
+//!   `epoch`, so a generation counter that restarts after re-insert can
+//!   never alias a stale cache entry (the ABA hazard the epoch exists
+//!   for). [`repository_no_epoch_model`] is the deliberately buggy
+//!   variant; tests use it to prove the checker actually catches the bug.
+
+use shadow::{ShadowAtomicU64, ShadowLock};
+
+/// One atomic action a thread can take.
+pub struct Step<S> {
+    /// Display name used in violation traces.
+    pub name: &'static str,
+    /// Whether the step can run in `state` (lock acquisition gates here).
+    pub enabled: fn(&S, usize) -> bool,
+    /// Execute the step.
+    pub run: fn(&mut S, usize),
+}
+
+/// A complete model: initial state, per-thread step sequences, invariant.
+pub struct Model<S> {
+    /// Model name for reporting.
+    pub name: &'static str,
+    /// Build the initial state.
+    pub init: fn() -> S,
+    /// One straight-line step sequence per thread.
+    pub threads: Vec<Vec<Step<S>>>,
+    /// Checked after every step and at the end of every schedule.
+    pub invariant: fn(&S) -> Result<(), String>,
+}
+
+/// Outcome of exhaustively exploring a model.
+#[derive(Debug, Default)]
+pub struct Exploration {
+    /// Complete interleavings explored (leaves of the schedule tree).
+    pub schedules: u64,
+    /// Schedules that wedged with runnable work remaining.
+    pub deadlocks: u64,
+    /// Invariant violations: (trace of step names, message).
+    pub violations: Vec<(Vec<String>, String)>,
+}
+
+impl Exploration {
+    /// True when every schedule completed and the invariant always held.
+    pub fn passed(&self) -> bool {
+        self.deadlocks == 0 && self.violations.is_empty()
+    }
+}
+
+/// Upper bound on recorded violations; exploration keeps counting past it.
+const MAX_VIOLATIONS: usize = 16;
+
+/// Exhaustively explore every interleaving of `model`'s threads.
+pub fn explore<S: Clone>(model: &Model<S>) -> Exploration {
+    let mut out = Exploration::default();
+    let state = (model.init)();
+    let pcs = vec![0usize; model.threads.len()];
+    let mut trace = Vec::new();
+    dfs(model, state, pcs, &mut trace, &mut out);
+    out
+}
+
+fn dfs<S: Clone>(
+    model: &Model<S>,
+    state: S,
+    pcs: Vec<usize>,
+    trace: &mut Vec<String>,
+    out: &mut Exploration,
+) {
+    let mut ran_any = false;
+    let mut all_done = true;
+    for tid in 0..model.threads.len() {
+        let pc = pcs[tid];
+        if pc >= model.threads[tid].len() {
+            continue;
+        }
+        all_done = false;
+        let step = &model.threads[tid][pc];
+        if !(step.enabled)(&state, tid) {
+            continue;
+        }
+        ran_any = true;
+        let mut next = state.clone();
+        (step.run)(&mut next, tid);
+        trace.push(format!("t{tid}:{}", step.name));
+        if let Err(msg) = (model.invariant)(&next) {
+            if out.violations.len() < MAX_VIOLATIONS {
+                out.violations.push((trace.clone(), msg));
+            }
+        }
+        let mut next_pcs = pcs.clone();
+        next_pcs[tid] += 1;
+        dfs(model, next, next_pcs, trace, out);
+        trace.pop();
+    }
+    if all_done {
+        out.schedules += 1;
+    } else if !ran_any {
+        out.deadlocks += 1;
+        if out.violations.len() < MAX_VIOLATIONS {
+            out.violations
+                .push((trace.clone(), "deadlock: all threads blocked".to_string()));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model 1: obs registry — register vs scrape.
+// ---------------------------------------------------------------------------
+
+/// Shadow of the `aqua-obs` registry hot spot.
+#[derive(Clone)]
+pub struct RegistryState {
+    /// The registry mutex serializing registration against scrapes.
+    lock: ShadowLock,
+    /// `RegistryInner::names.len()` — first half of a registration.
+    names: ShadowAtomicU64,
+    /// `RegistryInner::values.len()` — second half of a registration.
+    values: ShadowAtomicU64,
+    /// Histogram observation count (bumped before the bucket, lock-free).
+    hist_count: ShadowAtomicU64,
+    /// Histogram bucket total (bumped after the count, lock-free).
+    hist_bucket: ShadowAtomicU64,
+    /// Scrape-side snapshots (`None` until read).
+    snap_names: Option<u64>,
+    snap_values: Option<u64>,
+    snap_bucket: Option<u64>,
+    snap_count: Option<u64>,
+}
+
+/// Register-vs-scrape model. Thread 0 registers a metric (two vector
+/// pushes under the lock) then records two histogram samples (count, then
+/// bucket, each time). Thread 1 scrapes: vector lengths under the lock,
+/// then two read rounds of buckets-before-count. Invariants: the scrape
+/// never sees torn vectors, and every observed `(bucket, count)` pair
+/// satisfies `bucket <= count` so the quantile fallback holds.
+pub fn registry_scrape_model() -> Model<RegistryState> {
+    fn init() -> RegistryState {
+        RegistryState {
+            lock: ShadowLock::new(),
+            names: ShadowAtomicU64::new(0),
+            values: ShadowAtomicU64::new(0),
+            hist_count: ShadowAtomicU64::new(0),
+            hist_bucket: ShadowAtomicU64::new(0),
+            snap_names: None,
+            snap_values: None,
+            snap_bucket: None,
+            snap_count: None,
+        }
+    }
+    fn can_lock(s: &RegistryState, tid: usize) -> bool {
+        s.lock.can_acquire(tid)
+    }
+    fn always(_: &RegistryState, _: usize) -> bool {
+        true
+    }
+    fn invariant(s: &RegistryState) -> Result<(), String> {
+        if let (Some(n), Some(v)) = (s.snap_names, s.snap_values) {
+            if n != v {
+                return Err(format!("torn registration observed: names={n} values={v}"));
+            }
+        }
+        if let (Some(b), Some(c)) = (s.snap_bucket, s.snap_count) {
+            if b > c {
+                return Err(format!(
+                    "bucket sum {b} exceeds count {c}; quantile fallback breaks"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    let register: Vec<Step<RegistryState>> = vec![
+        Step {
+            name: "reg.lock",
+            enabled: can_lock,
+            run: |s, tid| s.lock.acquire(tid),
+        },
+        Step {
+            name: "reg.push_name",
+            enabled: always,
+            run: |s, _| {
+                s.names.fetch_add(1);
+            },
+        },
+        Step {
+            name: "reg.push_value",
+            enabled: always,
+            run: |s, _| {
+                s.values.fetch_add(1);
+            },
+        },
+        Step {
+            name: "reg.unlock",
+            enabled: always,
+            run: |s, tid| s.lock.release(tid),
+        },
+        Step {
+            name: "hist.count+=1",
+            enabled: always,
+            run: |s, _| {
+                s.hist_count.fetch_add(1);
+            },
+        },
+        Step {
+            name: "hist.bucket+=1",
+            enabled: always,
+            run: |s, _| {
+                s.hist_bucket.fetch_add(1);
+            },
+        },
+        Step {
+            name: "hist.count+=1 (2)",
+            enabled: always,
+            run: |s, _| {
+                s.hist_count.fetch_add(1);
+            },
+        },
+        Step {
+            name: "hist.bucket+=1 (2)",
+            enabled: always,
+            run: |s, _| {
+                s.hist_bucket.fetch_add(1);
+            },
+        },
+    ];
+    let scrape: Vec<Step<RegistryState>> = vec![
+        Step {
+            name: "scrape.lock",
+            enabled: can_lock,
+            run: |s, tid| s.lock.acquire(tid),
+        },
+        Step {
+            name: "scrape.read_names",
+            enabled: always,
+            run: |s, _| s.snap_names = Some(s.names.load()),
+        },
+        Step {
+            name: "scrape.read_values",
+            enabled: always,
+            run: |s, _| s.snap_values = Some(s.values.load()),
+        },
+        Step {
+            name: "scrape.unlock",
+            enabled: always,
+            run: |s, tid| s.lock.release(tid),
+        },
+        Step {
+            name: "scrape.read_bucket",
+            enabled: always,
+            run: |s, _| s.snap_bucket = Some(s.hist_bucket.load()),
+        },
+        Step {
+            name: "scrape.read_count",
+            enabled: always,
+            run: |s, _| s.snap_count = Some(s.hist_count.load()),
+        },
+        Step {
+            name: "scrape.read_bucket (2)",
+            enabled: always,
+            run: |s, _| {
+                // A new read round: the round-1 count snapshot must not be
+                // compared against a round-2 bucket read.
+                s.snap_count = None;
+                s.snap_bucket = Some(s.hist_bucket.load());
+            },
+        },
+        Step {
+            name: "scrape.read_count (2)",
+            enabled: always,
+            run: |s, _| s.snap_count = Some(s.hist_count.load()),
+        },
+        Step {
+            name: "scrape.render",
+            enabled: always,
+            run: |_, _| {},
+        },
+    ];
+
+    Model {
+        name: "obs-registry-register-vs-scrape",
+        init,
+        threads: vec![register, scrape],
+        invariant,
+    }
+}
+
+/// Buggy registry variant: the scrape reads `count` *before* `bucket`,
+/// so a concurrent record can land between the two reads and the scrape
+/// observes `bucket > count`. Exists to prove the checker catches it.
+pub fn registry_scrape_buggy_model() -> Model<RegistryState> {
+    let mut model = registry_scrape_model();
+    model.name = "obs-registry-buggy-read-order";
+    // Swap the two lock-free reads in the scrape thread.
+    model.threads[1].swap(4, 5);
+    model
+}
+
+// ---------------------------------------------------------------------------
+// Model 2: repository — record vs remove/re-insert (ABA epoch).
+// ---------------------------------------------------------------------------
+
+/// Shadow of the repository entry a model-cache key is derived from.
+#[derive(Clone)]
+pub struct RepoState {
+    /// Bumped on every (re-)insert; part of the cache key.
+    epoch: ShadowAtomicU64,
+    /// Per-entry update generation; restarts at 0 on re-insert.
+    generation: ShadowAtomicU64,
+    /// Which incarnation of the replica the stats describe.
+    incarnation: ShadowAtomicU64,
+    /// Whether the cache key includes the epoch (the fix under test).
+    key_includes_epoch: bool,
+    /// Cached `(epoch, generation, incarnation)` from the reader side.
+    cached: Option<(u64, u64, u64)>,
+    /// First invariant violation observed by a lookup step.
+    violation: Option<String>,
+}
+
+fn repo_lookup(s: &mut RepoState) {
+    let Some((e, g, inc)) = s.cached else { return };
+    let key_matches = if s.key_includes_epoch {
+        e == s.epoch.load() && g == s.generation.load()
+    } else {
+        g == s.generation.load()
+    };
+    if key_matches && inc != s.incarnation.load() {
+        s.violation = Some(format!(
+            "stale cache hit: key matched but data is from incarnation {inc}, repo at {}",
+            s.incarnation.load()
+        ));
+    }
+}
+
+fn repo_model(key_includes_epoch: bool, name: &'static str) -> Model<RepoState> {
+    fn always(_: &RepoState, _: usize) -> bool {
+        true
+    }
+    fn invariant(s: &RepoState) -> Result<(), String> {
+        match &s.violation {
+            Some(msg) => Err(msg.clone()),
+            None => Ok(()),
+        }
+    }
+    fn lookup_step(s: &mut RepoState, _: usize) {
+        repo_lookup(s);
+    }
+
+    // Thread 0 — the gateway's model cache: snapshot a key, then keep
+    // validating cached data against the live entry (probability_by_cached).
+    let cache: Vec<Step<RepoState>> = vec![
+        Step {
+            name: "cache.build",
+            enabled: always,
+            run: |s, _| {
+                s.cached = Some((s.epoch.load(), s.generation.load(), s.incarnation.load()));
+            },
+        },
+        Step {
+            name: "cache.lookup1",
+            enabled: always,
+            run: lookup_step,
+        },
+        Step {
+            name: "cache.lookup2",
+            enabled: always,
+            run: lookup_step,
+        },
+        Step {
+            name: "cache.lookup3",
+            enabled: always,
+            run: lookup_step,
+        },
+        Step {
+            name: "cache.lookup4",
+            enabled: always,
+            run: lookup_step,
+        },
+        Step {
+            name: "cache.lookup5",
+            enabled: always,
+            run: lookup_step,
+        },
+        Step {
+            name: "cache.lookup6",
+            enabled: always,
+            run: lookup_step,
+        },
+    ];
+
+    // Thread 1 — membership + measurement pipeline: two perf records, a
+    // crash-driven remove, a re-insert (new incarnation, generation reset),
+    // then two records for the *new* incarnation. The final generation
+    // equals the cached one, which is exactly the ABA collision.
+    let membership: Vec<Step<RepoState>> = vec![
+        Step {
+            name: "repo.record1",
+            enabled: always,
+            run: |s, _| {
+                s.generation.fetch_add(1);
+            },
+        },
+        Step {
+            name: "repo.record2",
+            enabled: always,
+            run: |s, _| {
+                s.generation.fetch_add(1);
+            },
+        },
+        Step {
+            name: "repo.remove",
+            enabled: always,
+            run: |s, _| s.generation.store(0),
+        },
+        Step {
+            name: "repo.reinsert",
+            enabled: always,
+            run: |s, _| {
+                s.epoch.fetch_add(1);
+                s.incarnation.fetch_add(1);
+            },
+        },
+        Step {
+            name: "repo.record3",
+            enabled: always,
+            run: |s, _| {
+                s.generation.fetch_add(1);
+            },
+        },
+        Step {
+            name: "repo.record4",
+            enabled: always,
+            run: |s, _| {
+                s.generation.fetch_add(1);
+            },
+        },
+    ];
+
+    Model {
+        name,
+        init: if key_includes_epoch {
+            || RepoState {
+                epoch: ShadowAtomicU64::new(7),
+                generation: ShadowAtomicU64::new(0),
+                incarnation: ShadowAtomicU64::new(0),
+                key_includes_epoch: true,
+                cached: None,
+                violation: None,
+            }
+        } else {
+            || RepoState {
+                epoch: ShadowAtomicU64::new(7),
+                generation: ShadowAtomicU64::new(0),
+                incarnation: ShadowAtomicU64::new(0),
+                key_includes_epoch: false,
+                cached: None,
+                violation: None,
+            }
+        },
+        threads: vec![cache, membership],
+        invariant,
+    }
+}
+
+/// Epoch-keyed repository cache model (the shipped design). Must pass.
+pub fn repository_epoch_model() -> Model<RepoState> {
+    repo_model(true, "repository-record-vs-remove-epoch")
+}
+
+/// Generation-only cache key (no epoch): the ABA bug the epoch prevents.
+/// Exists to prove the checker catches it.
+pub fn repository_no_epoch_model() -> Model<RepoState> {
+    repo_model(false, "repository-no-epoch-aba")
+}
+
+/// Run both shipped models; returns `(name, exploration)` pairs.
+pub fn run_all() -> Vec<(&'static str, Exploration)> {
+    vec![
+        (
+            "obs-registry-register-vs-scrape",
+            explore(&registry_scrape_model()),
+        ),
+        (
+            "repository-record-vs-remove-epoch",
+            explore(&repository_epoch_model()),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_model_passes_exhaustively() {
+        let e = explore(&registry_scrape_model());
+        assert!(e.passed(), "violations: {:?}", e.violations);
+        // 8 + 9 steps across two threads, 4 of each serialized by the
+        // registry lock: 2002 feasible interleavings.
+        assert_eq!(e.schedules, 2002);
+        assert!(e.schedules >= 1000);
+    }
+
+    #[test]
+    fn buggy_registry_read_order_is_caught() {
+        let e = explore(&registry_scrape_buggy_model());
+        assert!(
+            !e.violations.is_empty(),
+            "flipped read order must surface bucket > count"
+        );
+        assert!(e.violations[0].1.contains("bucket"));
+    }
+
+    #[test]
+    fn repository_epoch_model_passes_exhaustively() {
+        let e = explore(&repository_epoch_model());
+        assert!(e.passed(), "violations: {:?}", e.violations);
+        // 7 + 6 steps: C(13, 6) = 1716 interleavings.
+        assert_eq!(e.schedules, 1716);
+        assert!(e.schedules >= 1000);
+    }
+
+    #[test]
+    fn generation_only_key_hits_the_aba_bug() {
+        let e = explore(&repository_no_epoch_model());
+        assert!(
+            !e.violations.is_empty(),
+            "dropping the epoch from the key must reintroduce the ABA race"
+        );
+        assert!(e.violations[0].1.contains("stale cache hit"));
+    }
+
+    #[test]
+    fn lock_steps_gate_on_the_holder() {
+        // A model where both threads only lock/unlock can never deadlock
+        // and never runs a critical section concurrently.
+        let e = explore(&registry_scrape_model());
+        assert_eq!(e.deadlocks, 0);
+    }
+}

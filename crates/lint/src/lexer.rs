@@ -1,0 +1,409 @@
+//! A hand-rolled Rust lexer, just deep enough for project lints.
+//!
+//! The lexer does **not** try to be a full Rust tokenizer. It needs to get
+//! exactly four things right so the rules never fire inside non-code text:
+//!
+//! * line (`//`) and block (`/* */`, nested) comments are stripped into a
+//!   side channel (the allowlist lives in comments);
+//! * string literals — plain, raw (`r#"…"#` with any `#` count), byte, and
+//!   char literals — become opaque [`TokenKind::Str`]/[`TokenKind::Char`]
+//!   tokens, so `".unwrap()"` inside a string is never a finding;
+//! * lifetimes (`'a`) are distinguished from char literals (`'a'`);
+//! * every remaining token carries its 1-based source line for reporting.
+//!
+//! Everything else (numbers, identifiers, punctuation) is tokenized in the
+//! most straightforward way possible.
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// Numeric literal.
+    Number,
+    /// String literal of any flavor (plain, raw, byte).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`) — including the quote-less label form.
+    Lifetime,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token text. For [`TokenKind::Str`] the quotes/prefix are kept.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// True if this token is an identifier with exactly the given text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True if this token is the given punctuation character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// A comment captured out-of-band (allow annotations live here).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Comment text including the `//` / `/*` introducer.
+    pub text: String,
+}
+
+/// Result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// Comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize `source`, splitting code tokens from comments.
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let ch = self.peek(0)?;
+        self.pos += 1;
+        if ch == '\n' {
+            self.line += 1;
+        }
+        Some(ch)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: usize) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(ch) = self.peek(0) {
+            let line = self.line;
+            match ch {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(String::new(), line),
+                '\'' => self.char_or_lifetime(line),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed(line),
+                c if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    let c = self.bump().unwrap_or_default();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self, line: usize) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth = depth.saturating_sub(1);
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    /// Plain or byte string body, after any prefix. `text` holds the prefix.
+    fn string(&mut self, mut text: String, line: usize) {
+        text.push('"');
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Raw string body after the `r`/`br` prefix: `#…#"…"#…#`.
+    fn raw_string(&mut self, mut text: String, line: usize) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push('#');
+            self.bump();
+        }
+        text.push('"');
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' {
+                let mut seen = 0usize;
+                while seen < hashes && self.peek(0) == Some('#') {
+                    seen += 1;
+                    text.push('#');
+                    self.bump();
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    fn char_or_lifetime(&mut self, line: usize) {
+        // Lifetime: `'ident` not followed by a closing quote.
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime =
+            matches!(next, Some(c) if c == '_' || c.is_alphabetic()) && after != Some('\'');
+        if is_lifetime {
+            let mut text = String::from('\'');
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime, text, line);
+            return;
+        }
+        // Char literal: consume to the unescaped closing quote.
+        let mut text = String::from('\'');
+        self.bump();
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Char, text, line);
+    }
+
+    fn ident_or_prefixed(&mut self, line: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // String/char prefixes: r"…", r#"…"#, b"…", b'…', br#"…"#, r#ident.
+        match text.as_str() {
+            "r" | "br" | "rb" => match self.peek(0) {
+                Some('"') => return self.raw_string(text, line),
+                Some('#') => {
+                    // `r#ident` (raw identifier) vs `r#"…"#` (raw string).
+                    let mut ahead = 0usize;
+                    while self.peek(ahead) == Some('#') {
+                        ahead += 1;
+                    }
+                    if self.peek(ahead) == Some('"') {
+                        return self.raw_string(text, line);
+                    }
+                    if text == "r" && ahead == 1 {
+                        self.bump(); // the `#`
+                        let mut raw = String::from("r#");
+                        while let Some(c) = self.peek(0) {
+                            if c == '_' || c.is_alphanumeric() {
+                                raw.push(c);
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                        return self.push(TokenKind::Ident, raw, line);
+                    }
+                }
+                _ => {}
+            },
+            "b" => match self.peek(0) {
+                Some('"') => return self.string(text, line),
+                Some('\'') => {
+                    // Byte char: b'x' — reuse char lexing, keep the prefix.
+                    let start = self.out.tokens.len();
+                    self.char_or_lifetime(line);
+                    if let Some(tok) = self.out.tokens.get_mut(start) {
+                        tok.text.insert(0, 'b');
+                        tok.kind = TokenKind::Char;
+                    }
+                    return;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                // `1.5` continues the number; `0..n` does not.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let lexed = lex(r#"let x = "call .unwrap() here"; x.len()"#);
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokenKind::Str));
+        assert!(!idents(r#"let x = "call .unwrap() here";"#).contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let lexed = lex(r##"let x = r#"embedded "quote" and .unwrap()"# ;"##);
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("unwrap"));
+        assert!(!idents(r##"r#"x .unwrap()"# "##).contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn comments_are_out_of_band() {
+        let lexed = lex("// calls .unwrap() on purpose\nlet y = 1; /* .expect( */");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(!lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "unwrap"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str, c: char) { let y = 'b'; }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text == "'b'"));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<_> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn float_vs_range() {
+        let lexed = lex("let a = 1.5; for i in 0..10 {}");
+        assert!(lexed.tokens.iter().any(|t| t.text == "1.5"));
+        assert!(lexed.tokens.iter().any(|t| t.text == "0"));
+        assert!(lexed.tokens.iter().any(|t| t.text == "10"));
+    }
+}

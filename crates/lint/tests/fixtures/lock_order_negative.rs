@@ -1,0 +1,51 @@
+// Negative fixture for lock-order: consistent ordering and guard-free
+// sends produce no findings and no cycle.
+
+pub fn consistent_order_one(s: &Shared) {
+    let alpha = s.alpha.lock();
+    let beta = s.beta.lock();
+    drop(beta);
+    drop(alpha);
+}
+
+pub fn consistent_order_two(s: &Shared) {
+    let alpha = s.alpha.lock();
+    let beta = s.beta.lock();
+    beta.touch();
+    drop(beta);
+    drop(alpha);
+}
+
+pub fn send_after_drop(s: &Shared) {
+    let queue = s.queue.lock();
+    let len = queue.len();
+    drop(queue);
+    let _ = s.tx.send(len);
+}
+
+pub fn send_after_temporary(s: &Shared) {
+    // The guard is a temporary: it dies at the semicolon, before the send.
+    let len = s.queue.lock().len();
+    let _ = s.tx.send(len);
+}
+
+pub fn send_after_projection(s: &Shared) {
+    // `.take()` projects out of the guard; the guard dies at the `;`.
+    let tx = s.notify.lock().take();
+    if let Some(tx) = tx {
+        let _ = tx.send(0);
+    }
+}
+
+pub fn justified_nesting(s: &Shared) {
+    let beta = s.beta.lock();
+    // aqua-lint: allow(lock-order) fixture shows a sanctioned edge being dropped from the graph
+    let alpha = s.alpha.lock();
+    drop(alpha);
+    drop(beta);
+}
+
+pub fn io_read_is_not_a_lock(stream: &mut TcpStream, buf: &mut [u8]) {
+    // `Read::read` takes arguments; only zero-arg `.read()` acquires.
+    let _ = stream.read(buf);
+}

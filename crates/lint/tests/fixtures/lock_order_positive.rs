@@ -1,0 +1,29 @@
+// Positive fixture for lock-order: an A->B / B->A cycle across two
+// functions, a guard held across a blocking send, and a re-entrant
+// acquisition.
+
+pub fn takes_alpha_then_beta(s: &Shared) {
+    let alpha = s.alpha.lock();
+    let beta = s.beta.lock();
+    drop(beta);
+    drop(alpha);
+}
+
+pub fn takes_beta_then_alpha(s: &Shared) {
+    let beta = s.beta.lock();
+    let alpha = s.alpha.lock();
+    drop(alpha);
+    drop(beta);
+}
+
+pub fn sends_under_guard(s: &Shared) {
+    let queue = s.queue.lock();
+    let _ = s.tx.send(queue.len());
+}
+
+pub fn reentrant_lock(s: &Shared) {
+    let first = s.gamma.lock();
+    let second = s.gamma.lock();
+    drop(second);
+    drop(first);
+}

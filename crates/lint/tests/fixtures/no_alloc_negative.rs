@@ -1,0 +1,39 @@
+// Negative fixture for no-alloc-in-select: no findings expected.
+
+// Unmarked functions may allocate freely.
+pub fn unmarked_allocates(xs: &[u64]) -> Vec<u64> {
+    let mut out = xs.to_vec();
+    out.push(0);
+    out
+}
+
+#[aqua::hot_path]
+pub fn clean_hot_path(xs: &[u64]) -> u64 {
+    // Iteration, arithmetic, and stack values are all fine.
+    let mut acc = 0u64;
+    for x in xs {
+        acc = acc.wrapping_add(*x);
+    }
+    acc
+}
+
+#[aqua::hot_path]
+pub fn justified_alloc(xs: &[u64]) -> Vec<u64> {
+    // aqua-lint: allow(no-alloc-in-select) the return value is the function's contract
+    xs.to_vec()
+}
+
+#[aqua::hot_path]
+pub fn hot_path_with_test_helper(x: u64) -> u64 {
+    x.rotate_left(1)
+}
+
+#[cfg(test)]
+mod tests {
+    // Allocation inside test code is never a finding, marker or not.
+    #[test]
+    fn helper() {
+        let v = vec![1, 2, 3];
+        assert_eq!(super::clean_hot_path(&v), 6);
+    }
+}

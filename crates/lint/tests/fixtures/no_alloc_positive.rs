@@ -1,0 +1,13 @@
+// Positive fixture for no-alloc-in-select: the marked function allocates
+// six different ways; each must produce one finding.
+
+#[aqua::hot_path]
+pub fn allocating_hot_path(xs: &[u64], name: &str) -> u64 {
+    let a: Vec<u64> = Vec::new();
+    let b = vec![1u64, 2, 3];
+    let c = xs.to_vec();
+    let d = c.clone();
+    let e = String::from(name);
+    let f = format!("{name}!");
+    a.len() as u64 + b.len() as u64 + d.len() as u64 + e.len() as u64 + f.len() as u64
+}

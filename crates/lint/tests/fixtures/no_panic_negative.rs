@@ -1,0 +1,58 @@
+// Negative fixture for no-panic-in-hot-path: nothing here may produce a
+// finding, even though the file is linted as a hot-path crate file.
+
+/// Doc comments may talk about `.unwrap()` and `panic!` freely.
+pub fn strings_and_comments() -> &'static str {
+    // A comment calling .unwrap() is not code.
+    /* Nor is a block comment with xs[0] and .expect("x"). */
+    let s = "call .unwrap() or panic!(\"no\") inside a string";
+    let r = r#"raw string with .expect("msg") and xs[0]"#;
+    if s.len() > r.len() {
+        s
+    } else {
+        r
+    }
+}
+
+pub fn unwrap_lookalikes(x: Option<u32>) -> u32 {
+    // `unwrap_or` family methods do not panic.
+    x.unwrap_or(0).max(x.unwrap_or_default()).max(x.unwrap_or_else(|| 7))
+}
+
+pub fn slice_types_and_literals(xs: &mut [f64]) -> f64 {
+    // `[f64]` in types, array literals, and `vec![…]` are not indexing.
+    let ys = [1.0, 2.0, 3.0];
+    let zs = vec![0.0; 4];
+    xs.first().copied().unwrap_or(0.0) + ys.iter().sum::<f64>() + zs.iter().sum::<f64>()
+}
+
+pub fn justified_unwrap(x: Option<u32>) -> u32 {
+    // aqua-lint: allow(no-panic-in-hot-path) fixture demonstrates a justified suppression
+    x.unwrap()
+}
+
+pub fn trailing_annotation(x: Option<u32>) -> u32 {
+    x.unwrap() // aqua-lint: allow(no-panic-in-hot-path) same-line form works too
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        let xs = vec![1, 2, 3];
+        assert_eq!(xs[0], 1);
+        let v: Option<u32> = Some(5);
+        assert_eq!(v.unwrap(), 5);
+        if xs.len() > 3 {
+            panic!("impossible");
+        }
+    }
+
+    mod nested {
+        #[test]
+        fn nested_test_modules_are_also_excluded() {
+            let v: Option<u32> = Some(5);
+            assert_eq!(v.expect("present"), 5);
+        }
+    }
+}

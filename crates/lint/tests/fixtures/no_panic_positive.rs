@@ -1,0 +1,36 @@
+// Positive fixture for no-panic-in-hot-path: every construct below must
+// produce exactly one finding when linted as a hot-path crate file.
+
+pub fn uses_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn uses_expect(x: Option<u32>) -> u32 {
+    x.expect("always present")
+}
+
+pub fn uses_panic(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+
+pub fn uses_unreachable(n: u32) -> u32 {
+    match n {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+pub fn uses_indexing(xs: &[u32]) -> u32 {
+    xs[0]
+}
+
+pub fn chained_indexing(grid: &[Vec<u32>]) -> u32 {
+    grid[0][1]
+}
+
+pub fn annotation_without_justification(x: Option<u32>) -> u32 {
+    // aqua-lint: allow(no-panic-in-hot-path)
+    x.unwrap()
+}

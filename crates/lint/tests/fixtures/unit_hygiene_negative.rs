@@ -1,0 +1,35 @@
+// Negative fixture for unit-hygiene: no findings expected.
+
+pub fn same_unit_is_fine(a: Duration, b: Duration) -> u64 {
+    // Same accessor on both sides: the unit is preserved.
+    a.as_millis() + b.as_millis()
+}
+
+pub fn scaling_is_fine(a: Duration, n: u64) -> u64 {
+    // `*`/`/` scale a value without changing what unit it is in.
+    a.as_nanos() / n * 2
+}
+
+pub fn duration_arithmetic_is_the_goal(a: Duration, b: Duration) -> u64 {
+    // Arithmetic on Duration itself, converting once at the end.
+    (a + b).as_millis()
+}
+
+pub fn lone_accessors(a: Duration) -> (u64, u64) {
+    (a.as_millis(), a.as_nanos())
+}
+
+pub fn justified_mixing(a: Duration, raw_ns: u64) -> u64 {
+    // aqua-lint: allow(unit-hygiene) fixture demonstrates a justified wire-format conversion
+    a.as_nanos() + raw_ns
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_mix_freely() {
+        let a = Duration::from_millis(5);
+        let b = Duration::from_nanos(7);
+        assert!(a.as_millis() + b.as_nanos() > 0);
+    }
+}

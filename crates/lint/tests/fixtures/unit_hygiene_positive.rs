@@ -1,0 +1,18 @@
+// Positive fixture for unit-hygiene: raw accessor arithmetic that mixes
+// units or drops them entirely.
+
+pub fn mixes_units(a: Duration, b: Duration) -> u64 {
+    a.as_millis() + b.as_nanos()
+}
+
+pub fn subtracts_mixed(a: Duration, b: Duration) -> u64 {
+    a.as_secs() - b.as_millis()
+}
+
+pub fn adds_unitless(a: Duration, slack: u64) -> u64 {
+    a.as_millis() + slack
+}
+
+pub fn literal_offset(a: Duration) -> u64 {
+    a.as_nanos() - 1
+}

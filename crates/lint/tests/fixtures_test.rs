@@ -1,0 +1,249 @@
+//! Fixture-driven rule tests: every rule has a positive fixture (each
+//! construct fires with the right rule id) and a negative fixture (tricky
+//! non-violations stay silent), plus a self-check that the workspace
+//! itself lints clean.
+
+use aqua_lint::rules::{
+    analyze_file, audit_manifest, detect_cycles, Finding, LOCK_ORDER, NO_ALLOC, NO_PANIC,
+    UNIT_HYGIENE, VENDOR_AUDIT,
+};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lint a fixture as if it lived at `virtual_path` inside the workspace.
+fn lint_as(virtual_path: &str, name: &str) -> Vec<Finding> {
+    analyze_file(virtual_path, &fixture(name)).findings
+}
+
+#[test]
+fn no_panic_positive_fires_per_construct() {
+    let findings = lint_as("crates/core/src/fixture.rs", "no_panic_positive.rs");
+    assert!(findings.iter().all(|f| f.rule == NO_PANIC), "{findings:?}");
+    let of = |needle: &str| {
+        findings
+            .iter()
+            .filter(|f| f.message.contains(needle))
+            .count()
+    };
+    assert_eq!(of(".unwrap()"), 2, "plain + unjustified-annotation unwrap");
+    assert_eq!(of(".expect()"), 1);
+    assert_eq!(of("`panic!`"), 1);
+    assert_eq!(of("`unreachable!`"), 1);
+    assert_eq!(of("indexing"), 3, "xs[0] + grid[0][1] twice");
+    assert_eq!(findings.len(), 8);
+}
+
+#[test]
+fn no_panic_negative_is_silent() {
+    let findings = lint_as("crates/core/src/fixture.rs", "no_panic_negative.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn no_panic_scope_is_path_based() {
+    // The same panicking source is fine outside the hot-path crates.
+    let findings = lint_as("crates/bench/src/fixture.rs", "no_panic_positive.rs");
+    assert!(findings.iter().all(|f| f.rule != NO_PANIC), "{findings:?}");
+}
+
+#[test]
+fn no_alloc_positive_fires_per_construct() {
+    let findings = lint_as("crates/runtime/src/fixture.rs", "no_alloc_positive.rs");
+    assert!(findings.iter().all(|f| f.rule == NO_ALLOC), "{findings:?}");
+    for needle in [
+        "Vec::new",
+        "vec!",
+        ".to_vec()",
+        ".clone()",
+        "String::from",
+        "format!",
+    ] {
+        assert_eq!(
+            findings
+                .iter()
+                .filter(|f| f.message.contains(needle))
+                .count(),
+            1,
+            "expected exactly one finding for `{needle}`: {findings:?}"
+        );
+    }
+    assert_eq!(findings.len(), 6);
+    assert!(findings
+        .iter()
+        .all(|f| f.message.contains("allocating_hot_path")));
+}
+
+#[test]
+fn no_alloc_negative_is_silent() {
+    let findings = lint_as("crates/runtime/src/fixture.rs", "no_alloc_negative.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn lock_order_positive_fires() {
+    let analysis = analyze_file(
+        "crates/runtime/src/fixture.rs",
+        &fixture("lock_order_positive.rs"),
+    );
+    // Guard across send + re-entrant acquisition are local findings.
+    assert!(analysis
+        .findings
+        .iter()
+        .any(|f| f.rule == LOCK_ORDER && f.message.contains("blocking `.send()`")));
+    assert!(analysis
+        .findings
+        .iter()
+        .any(|f| f.rule == LOCK_ORDER && f.message.contains("re-acquired")));
+    // The alpha->beta / beta->alpha cycle comes from the global graph.
+    let cycles = detect_cycles(&analysis.lock_edges);
+    assert_eq!(cycles.len(), 1, "{cycles:?}");
+    assert!(cycles[0].message.contains("alpha"));
+    assert!(cycles[0].message.contains("beta"));
+}
+
+#[test]
+fn lock_order_negative_is_silent() {
+    let analysis = analyze_file(
+        "crates/runtime/src/fixture.rs",
+        &fixture("lock_order_negative.rs"),
+    );
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+    // Consistent ordering leaves edges but no cycle; the annotated reverse
+    // edge was dropped from the graph.
+    let cycles = detect_cycles(&analysis.lock_edges);
+    assert!(cycles.is_empty(), "{cycles:?}");
+}
+
+#[test]
+fn lock_order_scope_is_path_based() {
+    let findings = lint_as("crates/core/src/fixture.rs", "lock_order_positive.rs");
+    assert!(
+        findings.iter().all(|f| f.rule != LOCK_ORDER),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn unit_hygiene_positive_fires_per_construct() {
+    let findings = lint_as("crates/sim/src/fixture.rs", "unit_hygiene_positive.rs");
+    assert!(
+        findings.iter().all(|f| f.rule == UNIT_HYGIENE),
+        "{findings:?}"
+    );
+    assert_eq!(findings.len(), 4, "{findings:?}");
+    let mixed = findings
+        .iter()
+        .filter(|f| f.message.contains("mixing"))
+        .count();
+    let unitless = findings
+        .iter()
+        .filter(|f| f.message.contains("unitless"))
+        .count();
+    assert_eq!(mixed, 2);
+    assert_eq!(unitless, 2);
+}
+
+#[test]
+fn unit_hygiene_negative_is_silent() {
+    let findings = lint_as("crates/sim/src/fixture.rs", "unit_hygiene_negative.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn vendor_audit_flags_external_deps() {
+    let findings = audit_manifest(
+        "crates/fixture/Cargo.toml",
+        &fixture("vendor_audit_bad.toml"),
+    );
+    assert!(
+        findings.iter().all(|f| f.rule == VENDOR_AUDIT),
+        "{findings:?}"
+    );
+    let flagged: Vec<&str> = ["serde", "rand", "tokio", "criterion"]
+        .into_iter()
+        .filter(|dep| {
+            findings
+                .iter()
+                .any(|f| f.message.contains(&format!("`{dep}`")))
+        })
+        .collect();
+    assert_eq!(flagged.len(), 4, "{findings:?}");
+    assert_eq!(findings.len(), 4, "aqua-core path dep must not be flagged");
+}
+
+#[test]
+fn vendor_audit_accepts_workspace_and_vendor_paths() {
+    let findings = audit_manifest(
+        "crates/fixture/Cargo.toml",
+        &fixture("vendor_audit_good.toml"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn allow_annotation_does_not_leak_to_other_lines() {
+    // The annotation covers its own line and the next one — not line 3.
+    let src = "\
+// aqua-lint: allow(no-panic-in-hot-path) only covers the next line
+pub fn a(x: Option<u32>) -> u32 { x.unwrap() }
+pub fn b(x: Option<u32>) -> u32 { x.unwrap() }
+";
+    let findings = analyze_file("crates/core/src/fixture.rs", src).findings;
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].line, 3);
+}
+
+#[test]
+fn allow_annotation_for_wrong_rule_does_not_suppress() {
+    let src = "\
+// aqua-lint: allow(unit-hygiene) wrong rule id
+pub fn a(x: Option<u32>) -> u32 { x.unwrap() }
+";
+    let findings = analyze_file("crates/core/src/fixture.rs", src).findings;
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, NO_PANIC);
+}
+
+#[test]
+fn workspace_lints_clean() {
+    // The tree this crate ships in must itself be finding-free: the CI
+    // `--check` gate relies on it.
+    let root = aqua_lint::find_workspace_root(&Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."))
+        .expect("workspace root");
+    let report = aqua_lint::run_workspace(&root).expect("lint run");
+    assert!(
+        report.findings.is_empty(),
+        "workspace must lint clean:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.files_scanned > 50,
+        "scanned {}",
+        report.files_scanned
+    );
+    assert!(report.manifests_audited > 10);
+}
+
+#[test]
+fn json_report_shape() {
+    let root = aqua_lint::find_workspace_root(&Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."))
+        .expect("workspace root");
+    let report = aqua_lint::run_workspace(&root).expect("lint run");
+    let json = report.to_json();
+    for rule in aqua_lint::rules::ALL_RULES {
+        assert!(json.contains(&format!("\"{rule}\"")), "{json}");
+    }
+    assert!(json.contains("\"findings\""));
+    assert!(json.contains("\"total\""));
+}

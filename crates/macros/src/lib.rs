@@ -1,0 +1,29 @@
+//! Marker attributes for the AQuA workspace.
+//!
+//! The attributes expand to nothing: they exist so humans and tools
+//! (`aqua-lint` in particular) can see which functions sit on latency-
+//! critical paths. Apply them through the `aqua` re-export module of
+//! `aqua-core` so call sites read `#[aqua::hot_path]`:
+//!
+//! ```ignore
+//! use aqua_core::aqua;
+//!
+//! #[aqua::hot_path]
+//! fn select(...) { ... }
+//! ```
+//!
+//! `aqua-lint`'s `no-alloc-in-select` rule forbids allocating calls
+//! (`Vec::new`, `vec!`, `to_vec`, `clone()`, `String::from`, `format!`)
+//! inside any function carrying the marker, unless the line carries an
+//! `// aqua-lint: allow(no-alloc-in-select) <justification>` annotation.
+
+use proc_macro::TokenStream;
+
+/// Marks a function as part of the selection hot path (§5.3.3: the
+/// selection overhead δ must stay small and bounded).
+///
+/// Expands to the unmodified item — the marker has no runtime effect.
+#[proc_macro_attribute]
+pub fn hot_path(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}

@@ -243,6 +243,11 @@ impl Inner {
     /// resolved through their waiter channel.
     fn apply_event(self: &Arc<Self>, event: NetEvent) {
         let mut state = self.state.lock();
+        // Waiter notifications go out after the guard is released: a
+        // channel send under the state lock would stall every other
+        // connection thread behind a slow waiter (lock-order rule).
+        let mut deferred: Vec<(Sender<WaitMsg>, WaitMsg)> = Vec::new();
+        let mut lost: Option<ReplicaId> = None;
         match event {
             NetEvent::Frame(id, frame) => {
                 if let Some(wire) = &self.wire {
@@ -285,14 +290,15 @@ impl Inner {
                                         state.handler.on_abandon(now, *sibling);
                                     }
                                 }
-                                let _ = waiter.tx.send(WaitMsg::Outcome(CallOutcome {
+                                let outcome = CallOutcome {
                                     response_time,
                                     timely: verdict.is_timely(),
                                     callback: verdict.should_notify(),
                                     redundancy: waiter.redundancy,
                                     replica,
                                     payload,
-                                }));
+                                };
+                                deferred.push((waiter.tx, WaitMsg::Outcome(outcome)));
                             }
                         }
                     }
@@ -348,12 +354,18 @@ impl Inner {
                             }
                         }
                         state.handler.on_give_up(last);
-                        let _ = waiter.tx.send(WaitMsg::NoReplicas);
+                        deferred.push((waiter.tx, WaitMsg::NoReplicas));
                     }
                 }
-                drop(state);
-                self.spawn_reconnect(id);
+                lost = Some(id);
             }
+        }
+        drop(state);
+        for (tx, msg) in deferred {
+            let _ = tx.send(msg);
+        }
+        if let Some(id) = lost {
+            self.spawn_reconnect(id);
         }
     }
 

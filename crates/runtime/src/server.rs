@@ -256,7 +256,11 @@ fn crash(shared: &Shared) {
     // Wake the service thread out of its blocking recv; the sentinel rides
     // behind any queued jobs, but the shutdown flag makes the loop discard
     // those on sight.
-    if let Some(tx) = shared.notify.lock().take() {
+    // Take the sender out in its own statement: an `if let` scrutinee
+    // keeps the temporary lock guard alive across the body, which would
+    // hold `notify` across the send.
+    let tx = shared.notify.lock().take();
+    if let Some(tx) = tx {
         let _ = tx.send(ServiceMsg::Shutdown);
     }
     for conn in shared.connections.lock().drain(..) {

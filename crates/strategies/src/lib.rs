@@ -353,10 +353,15 @@ impl SelectionStrategy for RoundRobin {
             return Vec::new();
         }
         let k = self.k.max(1).min(ids.len());
-        let mut out = Vec::with_capacity(k);
-        for i in 0..k {
-            out.push(ids[(self.next + i) % ids.len()]);
-        }
+        // Positions `next..next + k` on the infinite cycle of `ids`;
+        // equivalent to `ids[(next + i) % len]` but cannot panic.
+        let out: Vec<ReplicaId> = ids
+            .iter()
+            .cycle()
+            .skip(self.next % ids.len())
+            .take(k)
+            .copied()
+            .collect();
         self.next = (self.next + k) % ids.len();
         out
     }

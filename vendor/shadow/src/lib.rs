@@ -1,0 +1,175 @@
+//! Deterministic single-threaded stand-ins for the concurrency primitives
+//! used by the AQuA runtime, in the spirit of `loom`'s shadow types.
+//!
+//! The build environment is air-gapped, so instead of the real `loom` the
+//! workspace ships this minimal shim. A model under test replaces its
+//! `AtomicU64`s with [`ShadowAtomicU64`] and its `Mutex`es with
+//! [`ShadowLock`]; the interleaving explorer in `aqua-lint` then runs every
+//! schedule of the model's per-thread step sequences in a single real
+//! thread, cloning the whole shadow state at each branch point.
+//!
+//! Because everything executes on one thread, the shim does not need (and
+//! deliberately does not use) any real synchronisation: `Clone` + plain
+//! field access is enough, and every schedule is exactly reproducible.
+//!
+//! What the shim checks for the explorer:
+//!
+//! * [`ShadowLock::acquire`] panics on re-entrant acquisition by the same
+//!   thread (a guaranteed self-deadlock in the real program). Cross-thread
+//!   contention is modelled by [`ShadowLock::is_free`]: the explorer must
+//!   only schedule a lock-acquiring step when the lock is free, so an
+//!   all-threads-blocked state surfaces as a deadlock in the explorer.
+//! * [`ShadowAtomicU64`] mirrors the `fetch_add`/`load`/`store` subset the
+//!   obs metrics registry uses. Each operation is one indivisible model
+//!   step, exactly like a relaxed atomic RMW.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Shadow stand-in for `std::sync::atomic::AtomicU64` (relaxed ordering).
+///
+/// One `load`/`store`/`fetch_add` call corresponds to one indivisible step
+/// of the modelled thread.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShadowAtomicU64 {
+    value: u64,
+}
+
+impl ShadowAtomicU64 {
+    /// Creates an atomic with the given initial value.
+    pub fn new(value: u64) -> Self {
+        ShadowAtomicU64 { value }
+    }
+
+    /// Atomically loads the value.
+    pub fn load(&self) -> u64 {
+        self.value
+    }
+
+    /// Atomically stores `value`.
+    pub fn store(&mut self, value: u64) {
+        self.value = value;
+    }
+
+    /// Atomically adds `delta`, returning the previous value.
+    pub fn fetch_add(&mut self, delta: u64) -> u64 {
+        let prev = self.value;
+        self.value = self.value.wrapping_add(delta);
+        prev
+    }
+}
+
+/// Shadow stand-in for a mutex, tracking which model thread holds it.
+///
+/// The explorer consults [`ShadowLock::is_free`] (or
+/// [`ShadowLock::can_acquire`]) before scheduling an acquiring step, so a
+/// blocked thread is simply never scheduled; if no thread can run, the
+/// explorer reports a deadlock.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShadowLock {
+    holder: Option<usize>,
+}
+
+impl ShadowLock {
+    /// Creates an unlocked lock.
+    pub fn new() -> Self {
+        ShadowLock { holder: None }
+    }
+
+    /// `true` if no thread holds the lock.
+    pub fn is_free(&self) -> bool {
+        self.holder.is_none()
+    }
+
+    /// `true` if model thread `tid` could acquire the lock right now
+    /// (it is free — re-entrant acquisition is never allowed).
+    pub fn can_acquire(&self, tid: usize) -> bool {
+        match self.holder {
+            None => true,
+            Some(holder) => {
+                // Re-entrant acquisition would self-deadlock in the real
+                // program; report it as un-runnable rather than panicking
+                // here so the explorer flags the schedule as deadlocked.
+                debug_assert_ne!(holder, tid, "re-entrant shadow lock acquisition");
+                false
+            }
+        }
+    }
+
+    /// Acquires the lock for model thread `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is already held (the explorer must gate on
+    /// [`ShadowLock::can_acquire`] first).
+    pub fn acquire(&mut self, tid: usize) {
+        assert!(
+            self.holder.is_none(),
+            "shadow lock acquired while held by thread {:?}",
+            self.holder
+        );
+        self.holder = Some(tid);
+    }
+
+    /// Releases the lock held by model thread `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` does not hold the lock.
+    pub fn release(&mut self, tid: usize) {
+        assert_eq!(
+            self.holder,
+            Some(tid),
+            "shadow lock released by a thread that does not hold it"
+        );
+        self.holder = None;
+    }
+
+    /// The model thread currently holding the lock, if any.
+    pub fn holder(&self) -> Option<usize> {
+        self.holder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_ops() {
+        let mut a = ShadowAtomicU64::new(1);
+        assert_eq!(a.load(), 1);
+        assert_eq!(a.fetch_add(2), 1);
+        assert_eq!(a.load(), 3);
+        a.store(7);
+        assert_eq!(a.load(), 7);
+    }
+
+    #[test]
+    fn lock_tracks_holder() {
+        let mut l = ShadowLock::new();
+        assert!(l.is_free());
+        assert!(l.can_acquire(0));
+        l.acquire(0);
+        assert_eq!(l.holder(), Some(0));
+        assert!(!l.can_acquire(1));
+        l.release(0);
+        assert!(l.is_free());
+    }
+
+    #[test]
+    #[should_panic(expected = "acquired while held")]
+    fn double_acquire_panics() {
+        let mut l = ShadowLock::new();
+        l.acquire(0);
+        l.acquire(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold it")]
+    fn foreign_release_panics() {
+        let mut l = ShadowLock::new();
+        l.acquire(0);
+        l.release(1);
+    }
+}
