@@ -1,0 +1,652 @@
+//! Multi-threaded throughput A/B of the gateway hot path: the concurrent
+//! snapshot/shard architecture ([`ConcurrentHandler`] / [`AquaClient`])
+//! against the retained single-lock baseline ([`TimingFaultHandler`]
+//! behind one mutex / [`SerializedClient`]), on identical workloads.
+//!
+//! Two workload modes, both closed-loop with N caller threads:
+//!
+//! * **`gateway` mode (the headline and the `--check` gate)** drives the
+//!   two handler architectures directly, with M in-process replicas that
+//!   reply as soon as the request is planned. The old architecture is
+//!   reproduced faithfully from the serialized client's data flow: one
+//!   mutex over handler + pending waiters, callers plan and multicast
+//!   under the lock, and every reply hops through a single dispatcher
+//!   thread that re-takes the lock to classify it. The new architecture
+//!   plans lock-free on the caller's thread and applies replies on
+//!   whatever thread holds them (in the socket runtime that is the
+//!   per-replica reader; here it is the caller). This isolates exactly
+//!   what the refactor changed — planning, reply classification, pending
+//!   bookkeeping — from loopback-TCP costs that both paths share.
+//!   With the PR 3 model cache making warm plans sub-microsecond, the
+//!   serialization points (lock + dispatcher hop) dominate this path.
+//!
+//! * **`socket` mode (supplementary)** drives the full TCP runtime —
+//!   [`SerializedClient`] vs [`AquaClient`] against real replica servers
+//!   on loopback. Reported in the JSON for end-to-end context, but not
+//!   gated: on loopback both paths spend most of each call in kernel
+//!   round trips they share, so the curve compresses toward 1× on small
+//!   machines regardless of how the client is architected.
+//!
+//! The timed cells carry no observability (neither path pays span
+//! bookkeeping); one extra instrumented cell per path harvests the
+//! `aqua_lock_wait_ns_total` counters that show where the serialized
+//! path burns its time.
+//!
+//! Usage: `throughput_bench [--check] [--out PATH] [--duration-ms D]
+//!         [--threads N,N,...] [--no-socket]`
+//!
+//! `--check` exits non-zero unless gateway mode clears the CI perf-smoke
+//! gate: >= 3x the serialized throughput at N = 8, and N = 1 p99 latency
+//! no worse than the baseline's (within a noise allowance).
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration as StdDuration, Instant as StdInstant};
+
+use aqua_core::qos::{QosSpec, ReplicaId};
+use aqua_core::repository::{MethodId, PerfReport};
+use aqua_core::time::{Duration, Instant};
+use aqua_gateway::{ConcurrentHandler, ReplyOutcome, TimingFaultHandler};
+use aqua_obs::contention::LockContention;
+use aqua_obs::json::JsonValue;
+use aqua_runtime::{
+    AquaClient, AquaClientConfig, CallError, CallOutcome, ReplicaServer, ReplicaServerConfig,
+    SerializedClient,
+};
+use aqua_strategies::ModelBased;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+
+/// The throughput multiple the CI perf-smoke gate demands at the checked N.
+const CHECK_MIN_SPEEDUP: f64 = 3.0;
+const CHECK_N: usize = 8;
+/// Noise allowance on the single-thread p99 comparison: tail latency
+/// jitters run-to-run, so "no worse" means within this factor.
+const CHECK_P99_TOLERANCE: f64 = 1.25;
+
+const REPLICAS: u64 = 3;
+/// Sliding-window size `l` (paper default, same as `AquaClientConfig`).
+const WINDOW: usize = 5;
+
+fn qos() -> QosSpec {
+    QosSpec::new(Duration::from_millis(200), 0.9).unwrap()
+}
+
+/// One measured cell: N closed-loop threads on one shared gateway path.
+struct Cell {
+    mode: &'static str,
+    path: &'static str,
+    threads: usize,
+    calls: u64,
+    req_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Drives `threads` closed-loop callers through `call` for `duration`,
+/// after a warm-up that takes the planner out of cold start.
+fn drive<F>(
+    mode: &'static str,
+    path: &'static str,
+    threads: usize,
+    duration: StdDuration,
+    call: F,
+) -> Cell
+where
+    F: Fn(&[u8]) + Sync,
+{
+    for _ in 0..20 {
+        call(b"warm");
+    }
+    let stop = AtomicBool::new(false);
+    let started = StdInstant::now();
+    let mut per_thread: Vec<Vec<u64>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let stop = &stop;
+            let call = &call;
+            handles.push(scope.spawn(move || {
+                let mut lat: Vec<u64> = Vec::with_capacity(4096);
+                while !stop.load(Ordering::Relaxed) {
+                    let t = StdInstant::now();
+                    call(b"bench");
+                    lat.push(t.elapsed().as_nanos() as u64);
+                }
+                lat
+            }));
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            per_thread.push(h.join().expect("caller thread"));
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let mut lat: Vec<u64> = per_thread.into_iter().flatten().collect();
+    lat.sort_unstable();
+    Cell {
+        mode,
+        path,
+        threads,
+        calls: lat.len() as u64,
+        req_per_sec: lat.len() as f64 / elapsed,
+        p50_ns: percentile(&lat, 0.50),
+        p99_ns: percentile(&lat, 0.99),
+        p999_ns: percentile(&lat, 0.999),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gateway mode: the two handler architectures with in-process replicas.
+// ---------------------------------------------------------------------------
+
+/// Synthesizes the per-reply performance report a replica would piggyback.
+/// Varies service time by sequence number so the sliding-window model sees
+/// a spread of samples, like a real replica under jitter.
+fn perf_for(seq: u64) -> PerfReport {
+    PerfReport {
+        service_time: Duration::from_nanos(100_000 + (seq.wrapping_mul(37) % 900_000)),
+        queuing_delay: Duration::from_nanos(0),
+        queue_len: 0,
+        method: MethodId::DEFAULT,
+    }
+}
+
+/// A reply in flight from an in-process replica to the dispatcher.
+struct GwEvent {
+    seq: u64,
+    replica: ReplicaId,
+    perf: PerfReport,
+}
+
+struct GwState {
+    handler: TimingFaultHandler,
+    /// seq → channel delivering the first reply back to the caller.
+    waiters: HashMap<u64, Sender<CallOutcome>>,
+}
+
+/// The old architecture, reproduced from the serialized client's data
+/// flow: one mutex over handler + pending table, and a single dispatcher
+/// thread that is the only place replies may touch the handler.
+struct SerializedGateway {
+    state: Arc<Mutex<GwState>>,
+    contention: Arc<LockContention>,
+    event_tx: Sender<GwEvent>,
+    epoch: StdInstant,
+}
+
+impl SerializedGateway {
+    fn new(obs: Option<&aqua_obs::Obs>) -> SerializedGateway {
+        let mut handler = TimingFaultHandler::new(qos(), WINDOW, Box::new(ModelBased::default()));
+        if let Some(obs) = obs {
+            handler.attach_obs(obs, Some(0));
+        }
+        for i in 0..REPLICAS {
+            handler.repository_mut().insert_replica(ReplicaId::new(i));
+        }
+        let contention = Arc::new(match obs {
+            Some(obs) => LockContention::new(obs.registry(), "client-state"),
+            None => LockContention::detached(),
+        });
+        let state = Arc::new(Mutex::new(GwState {
+            handler,
+            waiters: HashMap::new(),
+        }));
+        let (event_tx, event_rx): (Sender<GwEvent>, Receiver<GwEvent>) = unbounded();
+        let epoch = StdInstant::now();
+        {
+            let state = Arc::clone(&state);
+            let contention = Arc::clone(&contention);
+            std::thread::spawn(move || {
+                // The dispatcher: sole reply path, re-taking the global
+                // lock for every classification, exactly as the old
+                // client's dispatcher_loop did.
+                while let Ok(ev) = event_rx.recv() {
+                    let now = Instant::from_nanos(epoch.elapsed().as_nanos() as u64);
+                    let mut state =
+                        contention.acquire(|| state.lock().unwrap_or_else(|p| p.into_inner()));
+                    let outcome = state.handler.on_reply(now, ev.seq, ev.replica, ev.perf);
+                    if let ReplyOutcome::Deliver {
+                        response_time,
+                        verdict,
+                    } = outcome
+                    {
+                        if let Some(tx) = state.waiters.remove(&ev.seq) {
+                            let _ = tx.send(CallOutcome {
+                                response_time,
+                                timely: verdict.is_timely(),
+                                callback: verdict.should_notify(),
+                                redundancy: 0,
+                                replica: ev.replica,
+                                payload: bytes::Bytes::new(),
+                            });
+                        }
+                    }
+                }
+            });
+        }
+        SerializedGateway {
+            state,
+            contention,
+            event_tx,
+            epoch,
+        }
+    }
+
+    fn now(&self) -> Instant {
+        Instant::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn call(&self) -> CallOutcome {
+        let (tx, rx) = bounded(2);
+        {
+            // Plan + multicast + waiter registration all under the one
+            // lock, as in the old client's call().
+            let mut state = self
+                .contention
+                .acquire(|| self.state.lock().unwrap_or_else(|p| p.into_inner()));
+            let plan = state.handler.plan_request_for(self.now(), None);
+            state.waiters.insert(plan.seq, tx);
+            for id in plan.replicas.iter() {
+                // The in-process replica answers immediately; its reply
+                // still must travel through the dispatcher.
+                self.event_tx
+                    .send(GwEvent {
+                        seq: plan.seq,
+                        replica: *id,
+                        perf: perf_for(plan.seq),
+                    })
+                    .expect("dispatcher alive");
+            }
+        }
+        rx.recv().expect("first reply delivered")
+    }
+}
+
+/// The new architecture: lock-free planning on the caller's thread,
+/// replies applied by whatever thread holds them — here the caller, in
+/// the socket runtime the per-replica reader. No dispatcher, no global
+/// lock.
+struct ConcurrentGateway {
+    handler: ConcurrentHandler,
+    epoch: StdInstant,
+}
+
+impl ConcurrentGateway {
+    fn new(obs: Option<&aqua_obs::Obs>) -> ConcurrentGateway {
+        let mut handler = ConcurrentHandler::new(qos(), WINDOW, Box::new(ModelBased::default()));
+        if let Some(obs) = obs {
+            handler.attach_obs(obs, Some(0));
+        }
+        let epoch = StdInstant::now();
+        for i in 0..REPLICAS {
+            handler.insert_replica(Instant::from_nanos(0), ReplicaId::new(i));
+        }
+        ConcurrentGateway { handler, epoch }
+    }
+
+    fn now(&self) -> Instant {
+        Instant::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn call(&self) -> CallOutcome {
+        let plan = self.handler.plan_request_for(self.now(), None);
+        let mut delivered: Option<CallOutcome> = None;
+        for id in plan.replicas.iter() {
+            let outcome = self
+                .handler
+                .on_reply(self.now(), plan.seq, *id, perf_for(plan.seq));
+            if let ReplyOutcome::Deliver {
+                response_time,
+                verdict,
+            } = outcome
+            {
+                delivered = Some(CallOutcome {
+                    response_time,
+                    timely: verdict.is_timely(),
+                    callback: verdict.should_notify(),
+                    redundancy: plan.replicas.len(),
+                    replica: *id,
+                    payload: bytes::Bytes::new(),
+                });
+            }
+        }
+        delivered.expect("first reply delivered")
+    }
+}
+
+fn run_gateway_serialized(threads: usize, duration: StdDuration) -> Cell {
+    let gw = SerializedGateway::new(None);
+    drive("gateway", "serialized", threads, duration, |_| {
+        gw.call();
+    })
+}
+
+fn run_gateway_concurrent(threads: usize, duration: StdDuration) -> Cell {
+    let gw = ConcurrentGateway::new(None);
+    drive("gateway", "concurrent", threads, duration, |_| {
+        gw.call();
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Socket mode: the full TCP runtime against real replica servers.
+// ---------------------------------------------------------------------------
+
+fn spawn_servers() -> Vec<ReplicaServer> {
+    (0..REPLICAS)
+        .map(|i| {
+            ReplicaServer::spawn(ReplicaServerConfig::quick(ReplicaId::new(i), 0)).expect("spawn")
+        })
+        .collect()
+}
+
+fn replicas_of(servers: &[ReplicaServer]) -> Vec<(ReplicaId, SocketAddr)> {
+    servers.iter().map(|s| (s.replica(), s.addr())).collect()
+}
+
+fn client_config(obs: Option<aqua_obs::Obs>) -> AquaClientConfig {
+    let mut config = AquaClientConfig::new(qos());
+    config.give_up_after = Duration::from_secs(5);
+    config.obs = obs;
+    config
+}
+
+fn expect_call(r: Result<CallOutcome, CallError>) {
+    r.expect("bench call");
+}
+
+fn run_socket_serialized(threads: usize, duration: StdDuration) -> Cell {
+    let servers = spawn_servers();
+    let client = SerializedClient::connect(
+        &replicas_of(&servers),
+        client_config(None),
+        Box::new(ModelBased::default()),
+    )
+    .expect("connect serialized");
+    drive("socket", "serialized", threads, duration, |p| {
+        expect_call(client.call(MethodId::DEFAULT, p));
+    })
+}
+
+fn run_socket_concurrent(threads: usize, duration: StdDuration) -> Cell {
+    let servers = spawn_servers();
+    let client = AquaClient::connect(
+        &replicas_of(&servers),
+        client_config(None),
+        Box::new(ModelBased::default()),
+    )
+    .expect("connect concurrent");
+    drive("socket", "concurrent", threads, duration, |p| {
+        expect_call(client.call(MethodId::DEFAULT, p));
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Lock-wait probe: short instrumented gateway cells harvesting the
+// `aqua_lock_wait_ns_total` counters.
+// ---------------------------------------------------------------------------
+
+fn lock_waits(obs: &aqua_obs::Obs, locks: &[&str]) -> JsonValue {
+    let mut b = JsonValue::object();
+    for lock in locks {
+        let wait = obs
+            .registry()
+            .counter("aqua_lock_wait_ns_total", &[("lock", lock)])
+            .get();
+        b = b.field(*lock, wait);
+    }
+    b.build()
+}
+
+fn contention_probe(threads: usize, duration: StdDuration) -> (JsonValue, JsonValue) {
+    let obs_s = aqua_obs::Obs::metrics_only();
+    let calls_s = {
+        let gw = SerializedGateway::new(Some(&obs_s));
+        drive("gateway", "serialized+obs", threads, duration, |_| {
+            gw.call();
+        })
+        .calls
+    };
+    let obs_c = aqua_obs::Obs::metrics_only();
+    let calls_c = {
+        let gw = ConcurrentGateway::new(Some(&obs_c));
+        drive("gateway", "concurrent+obs", threads, duration, |_| {
+            gw.call();
+        })
+        .calls
+    };
+    (
+        JsonValue::object()
+            .field("calls", calls_s)
+            .field("waits", lock_waits(&obs_s, &["client-state"]))
+            .build(),
+        JsonValue::object()
+            .field("calls", calls_c)
+            .field(
+                "waits",
+                lock_waits(&obs_c, &["pending-shard", "ingest-shard", "publish"]),
+            )
+            .build(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------------
+
+fn print_cell(c: &Cell) {
+    println!(
+        "{:>8} {:>11} {:>3} {:>9} {:>10.0} {:>9.1} {:>9.1} {:>9.1}",
+        c.mode,
+        c.path,
+        c.threads,
+        c.calls,
+        c.req_per_sec,
+        c.p50_ns as f64 / 1_000.0,
+        c.p99_ns as f64 / 1_000.0,
+        c.p999_ns as f64 / 1_000.0,
+    );
+}
+
+fn cell_json(c: &Cell) -> JsonValue {
+    JsonValue::object()
+        .field("path", c.path)
+        .field("threads", c.threads)
+        .field("calls", c.calls)
+        .field("req_per_sec", c.req_per_sec)
+        .field("p50_ns", c.p50_ns)
+        .field("p99_ns", c.p99_ns)
+        .field("p999_ns", c.p999_ns)
+        .build()
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("{problem}");
+    eprintln!(
+        "usage: throughput_bench [--check] [--no-socket] [--out PATH] \
+         [--duration-ms MS] [--threads N,N,...]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut check = false;
+    let mut out = String::from("BENCH_THROUGHPUT.json");
+    let mut duration = StdDuration::from_millis(500);
+    let mut grid: Vec<usize> = vec![1, 2, 4, 8, 16];
+    let mut socket = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--no-socket" => socket = false,
+            "--out" => out = args.next().unwrap_or_else(|| usage("--out needs a path")),
+            "--duration-ms" => {
+                let ms: u64 = args
+                    .next()
+                    .unwrap_or_else(|| usage("--duration-ms needs a value"))
+                    .parse()
+                    .unwrap_or_else(|_| usage("--duration-ms must be an integer"));
+                duration = StdDuration::from_millis(ms);
+            }
+            "--threads" => {
+                grid = args
+                    .next()
+                    .unwrap_or_else(|| usage("--threads needs a list"))
+                    .split(',')
+                    .map(|t| {
+                        t.parse()
+                            .unwrap_or_else(|_| usage("--threads must be integers"))
+                    })
+                    .collect();
+            }
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    if check && !grid.contains(&CHECK_N) {
+        grid.push(CHECK_N);
+    }
+    if check && !grid.contains(&1) {
+        grid.insert(0, 1);
+    }
+
+    println!(
+        "{:>8} {:>11} {:>3} {:>9} {:>10} {:>9} {:>9} {:>9}",
+        "mode", "path", "N", "calls", "req/s", "p50 (us)", "p99 (us)", "p999 (us)"
+    );
+    let mut gateway_cells: Vec<Cell> = Vec::new();
+    for &n in &grid {
+        for run in [run_gateway_serialized, run_gateway_concurrent] {
+            let cell = run(n, duration);
+            print_cell(&cell);
+            gateway_cells.push(cell);
+        }
+    }
+    let mut socket_cells: Vec<Cell> = Vec::new();
+    if socket {
+        // End-to-end context only: a reduced grid keeps the run short.
+        for n in [1usize, CHECK_N] {
+            for run in [run_socket_serialized, run_socket_concurrent] {
+                let cell = run(n, duration);
+                print_cell(&cell);
+                socket_cells.push(cell);
+            }
+        }
+    }
+
+    let probe_n = CHECK_N.min(*grid.iter().max().unwrap_or(&CHECK_N));
+    let (ser_locks, conc_locks) =
+        contention_probe(probe_n, duration.min(StdDuration::from_millis(300)));
+
+    let gw = |path: &str, n: usize| -> (f64, u64) {
+        let c = gateway_cells
+            .iter()
+            .find(|c| c.path == path && c.threads == n)
+            .expect("gateway cell measured");
+        (c.req_per_sec, c.p99_ns)
+    };
+    let speedups: Vec<JsonValue> = grid
+        .iter()
+        .map(|&n| {
+            let (s, _) = gw("serialized", n);
+            let (c, _) = gw("concurrent", n);
+            JsonValue::object()
+                .field("threads", n)
+                .field("throughput_ratio", c / s)
+                .build()
+        })
+        .collect();
+    let report = JsonValue::object()
+        .field("bench", "throughput_bench")
+        .field("replicas", REPLICAS)
+        .field("duration_ms_per_cell", duration.as_millis() as u64)
+        .field(
+            "check_criterion",
+            format!(
+                "gateway mode: concurrent >= {CHECK_MIN_SPEEDUP}x serialized req/s at \
+                 N={CHECK_N}; concurrent p99 <= {CHECK_P99_TOLERANCE}x serialized p99 at N=1"
+            ),
+        )
+        .field(
+            "gateway_hot_path",
+            JsonValue::object()
+                .field(
+                    "description",
+                    "planning + reply classification + pending bookkeeping with in-process \
+                     replicas; the paths differ only in the concurrency architecture",
+                )
+                .field(
+                    "curve",
+                    JsonValue::Array(gateway_cells.iter().map(cell_json).collect()),
+                )
+                .field("speedup", JsonValue::Array(speedups))
+                .build(),
+        )
+        .field(
+            "socket_end_to_end",
+            JsonValue::object()
+                .field(
+                    "description",
+                    "full TCP runtime on loopback; both paths share the kernel round \
+                     trips, so this curve compresses toward 1x on small machines",
+                )
+                .field(
+                    "curve",
+                    JsonValue::Array(socket_cells.iter().map(cell_json).collect()),
+                )
+                .build(),
+        )
+        .field(
+            "lock_wait_ns",
+            JsonValue::object()
+                .field("probe_threads", probe_n)
+                .field("serialized", ser_locks)
+                .field("concurrent", conc_locks)
+                .build(),
+        )
+        .build();
+    std::fs::write(&out, report.render_pretty() + "\n").expect("write BENCH_THROUGHPUT.json");
+    println!("\nwrote {out}");
+
+    if check {
+        let (ser8, _) = gw("serialized", CHECK_N);
+        let (conc8, _) = gw("concurrent", CHECK_N);
+        let speedup = conc8 / ser8;
+        let (_, ser1_p99) = gw("serialized", 1);
+        let (_, conc1_p99) = gw("concurrent", 1);
+        let p99_ratio = conc1_p99 as f64 / ser1_p99.max(1) as f64;
+        let mut failed = false;
+        if speedup < CHECK_MIN_SPEEDUP {
+            eprintln!(
+                "FAIL: concurrent gateway path is only {speedup:.2}x the serialized \
+                 throughput at N={CHECK_N} (need >= {CHECK_MIN_SPEEDUP}x)"
+            );
+            failed = true;
+        }
+        if p99_ratio > CHECK_P99_TOLERANCE {
+            eprintln!(
+                "FAIL: concurrent gateway p99 at N=1 is {p99_ratio:.2}x the serialized \
+                 baseline (allowed <= {CHECK_P99_TOLERANCE}x)"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "check passed: {speedup:.1}x throughput at N={CHECK_N}, p99 ratio {p99_ratio:.2} at N=1"
+        );
+    }
+}

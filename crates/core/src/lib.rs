@@ -25,6 +25,8 @@
 //! * [`failure`] — timing failure detection and QoS callbacks (§5.4.2).
 //! * [`overhead`] — δ accounting for deadline adjustment (§5.3.3).
 //! * [`scheduler`] — the per-client scheduling agent tying it all together.
+//! * [`snapshot`] — immutable, epoch-published planning views for
+//!   lock-free concurrent planning.
 //!
 //! ## Quick start
 //!
@@ -93,6 +95,7 @@ pub mod qos;
 pub mod repository;
 pub mod scheduler;
 pub mod select;
+pub mod snapshot;
 pub mod time;
 pub mod window;
 
@@ -113,6 +116,7 @@ pub mod prelude {
     pub use crate::select::{
         combined_probability, select_replicas, select_replicas_tolerating, Candidate, Selection,
     };
+    pub use crate::snapshot::{PlanningView, ReplicaSnapshot, SnapshotCell};
     pub use crate::time::{Duration, Instant};
     pub use crate::window::{BucketedWindow, SlidingWindow};
 }

@@ -425,6 +425,18 @@ impl InfoRepository {
         self.replicas.remove(&id)
     }
 
+    /// Installs a fully-built stats entry for `id`, replacing any existing
+    /// one. This is the merge primitive for sharded ingestion: per-replica
+    /// shards record into their own repositories, and a publisher copies
+    /// the refreshed entries into the merged view it is about to publish.
+    ///
+    /// The insertion counter is advanced past the entry's epoch so a later
+    /// [`InfoRepository::insert_replica`] can never mint a duplicate epoch.
+    pub fn insert_stats(&mut self, id: ReplicaId, stats: ReplicaStats) {
+        self.next_epoch = self.next_epoch.max(stats.epoch());
+        self.replicas.insert(id, stats);
+    }
+
     /// Replaces the membership with `view`, dropping state for departed
     /// replicas and creating blank entries for new ones.
     pub fn apply_view<I>(&mut self, view: I)

@@ -6,7 +6,11 @@
 //!
 //! * [`TimingFaultHandler`] — the paper's handler as transport-agnostic
 //!   state (selection, repository updates, `td` measurement, timing-failure
-//!   detection). Reused verbatim by the socket runtime.
+//!   detection). Reused verbatim by the simulator.
+//! * [`ConcurrentHandler`] — the same responsibilities restructured for
+//!   multi-threaded callers: lock-free snapshot planning plus sharded
+//!   reply ingestion and pending-request tracking. Used by the socket
+//!   runtime's hot path.
 //! * [`ClientGateway`] — a simulated client gateway node wrapping the
 //!   handler plus the paper's closed-loop request generator.
 //! * [`ServerGateway`] — a simulated replica host: FIFO queue, service-time
@@ -18,6 +22,7 @@
 #![warn(missing_docs)]
 
 mod client;
+mod concurrent;
 mod handlers;
 mod manager;
 pub mod obs;
@@ -27,6 +32,7 @@ mod server;
 mod timing;
 
 pub use client::{ArrivalModel, ClientConfig, ClientGateway, RequestRecord};
+pub use concurrent::ConcurrentHandler;
 pub use handlers::{active_strategy, FailoverAction, PassiveHandler, PassivePending};
 pub use manager::{DependabilityManager, ManagerConfig};
 pub use obs::HandlerObserver;

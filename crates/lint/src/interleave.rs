@@ -8,7 +8,7 @@
 //! after every step. All-threads-blocked with work remaining is reported
 //! as a deadlock.
 //!
-//! Two models port real synchronization hot spots from the workspace:
+//! Four models port real synchronization hot spots from the workspace:
 //!
 //! * [`registry_scrape_model`] — `aqua-obs` metric registration racing a
 //!   scrape: registration writes two parallel vectors under the registry
@@ -22,6 +22,18 @@
 //!   never alias a stale cache entry (the ABA hazard the epoch exists
 //!   for). [`repository_no_epoch_model`] is the deliberately buggy
 //!   variant; tests use it to prove the checker actually catches the bug.
+//! * [`snapshot_publish_model`] — the concurrent gateway's snapshot
+//!   pipeline: sharded ingestion marks a dirty flag, publishers rebuild
+//!   under a publish mutex and install through a version-guarded cell,
+//!   planners read lock-free. [`snapshot_publish_racy_model`] drops both
+//!   the mutex and the guard to exhibit the lost-update/stale-snapshot
+//!   ABA the protocol prevents.
+//! * [`pending_retry_model`] — the sharded pending-request table: a first
+//!   reply CASes the shared `answered` flag and retires sibling attempts
+//!   while the retry path inserts its entry; the retry's post-insert
+//!   re-check closes the lost-entry window.
+//!   [`pending_retry_no_recheck_model`] and [`pending_retry_toctou_model`]
+//!   are the buggy variants (leaked pending entry, double delivery).
 
 use shadow::{ShadowAtomicU64, ShadowLock};
 
@@ -491,7 +503,460 @@ pub fn repository_no_epoch_model() -> Model<RepoState> {
     repo_model(false, "repository-no-epoch-aba")
 }
 
-/// Run both shipped models; returns `(name, exploration)` pairs.
+// ---------------------------------------------------------------------------
+// Model 3: concurrent gateway — snapshot publish vs lock-free plan.
+// ---------------------------------------------------------------------------
+
+/// Shadow of the `ConcurrentHandler` snapshot pipeline: sharded ingestion
+/// marks a dirty flag, publishers rebuild the planning snapshot under a
+/// publish mutex and install it through a version-guarded cell, and the
+/// planner reads the published pointer without any lock.
+#[derive(Clone)]
+pub struct SnapshotState {
+    /// Per-shard ingested sample counts (two ingestion shards).
+    shard: [ShadowAtomicU64; 2],
+    /// The "snapshot is stale" flag (`ConcurrentHandler::dirty`).
+    dirty: ShadowAtomicU64,
+    /// Serializes rebuild+install (`ConcurrentHandler::publish`).
+    publish_lock: ShadowLock,
+    /// Published snapshot: version and content (samples included).
+    snap_version: ShadowAtomicU64,
+    snap_content: ShadowAtomicU64,
+    /// Whether install refuses `version <= current` (`SnapshotCell::publish`).
+    version_guard: bool,
+    /// Whether rebuild+install run under the publish mutex.
+    use_mutex: bool,
+    /// Per-ingester scratch: the snapshot each built `(version, content)`;
+    /// `None` when the dirty check said someone else already published.
+    built: [Option<(u64, u64)>; 2],
+    /// Per-ingester "finished the whole publish path" flags.
+    done: [bool; 2],
+    /// Planner scratch: last `(version, content)` loaded.
+    planned: Option<(u64, u64)>,
+    /// First violation observed by a planner or final-state check.
+    violation: Option<String>,
+}
+
+fn snapshot_model_with(
+    use_mutex: bool,
+    version_guard: bool,
+    name: &'static str,
+) -> Model<SnapshotState> {
+    fn init_guarded() -> SnapshotState {
+        snapshot_init(true, true)
+    }
+    fn init_racy() -> SnapshotState {
+        snapshot_init(false, false)
+    }
+    fn snapshot_init(use_mutex: bool, version_guard: bool) -> SnapshotState {
+        SnapshotState {
+            shard: [ShadowAtomicU64::new(0), ShadowAtomicU64::new(0)],
+            dirty: ShadowAtomicU64::new(0),
+            publish_lock: ShadowLock::new(),
+            snap_version: ShadowAtomicU64::new(0),
+            snap_content: ShadowAtomicU64::new(0),
+            version_guard,
+            use_mutex,
+            built: [None, None],
+            done: [false, false],
+            planned: None,
+            violation: None,
+        }
+    }
+    fn lock_gate(s: &SnapshotState, tid: usize) -> bool {
+        !s.use_mutex || s.publish_lock.can_acquire(tid)
+    }
+    fn always(_: &SnapshotState, _: usize) -> bool {
+        true
+    }
+    fn invariant(s: &SnapshotState) -> Result<(), String> {
+        if let Some(msg) = &s.violation {
+            return Err(msg.clone());
+        }
+        if s.done[0] && s.done[1] && s.dirty.load() == 0 {
+            let total = s.shard[0].load() + s.shard[1].load();
+            let content = s.snap_content.load();
+            if content != total {
+                return Err(format!(
+                    "published snapshot lost samples: contains {content}, shards hold {total}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    // Each ingester mirrors `ingest` + `maybe_publish`: write its shard
+    // and mark dirty (one step — the shard mutex covers both), take the
+    // publish mutex, harvest (re-check dirty, clear it, rebuild from ALL
+    // shards at version current+1), install, release.
+    fn ingester() -> Vec<Step<SnapshotState>> {
+        let steps: [Step<SnapshotState>; 5] = [
+            Step {
+                name: "ingest.write+dirty",
+                enabled: always,
+                run: |s, tid| {
+                    s.shard[tid].fetch_add(1);
+                    s.dirty.store(1);
+                },
+            },
+            Step {
+                name: "publish.lock",
+                enabled: lock_gate,
+                run: |s, tid| {
+                    if s.use_mutex {
+                        s.publish_lock.acquire(tid);
+                    }
+                },
+            },
+            Step {
+                name: "publish.harvest",
+                enabled: always,
+                run: |s, tid| {
+                    if s.dirty.load() == 0 {
+                        s.built[tid] = None; // someone newer already published
+                    } else {
+                        s.dirty.store(0);
+                        let content = s.shard[0].load() + s.shard[1].load();
+                        s.built[tid] = Some((s.snap_version.load() + 1, content));
+                    }
+                },
+            },
+            Step {
+                name: "publish.install",
+                enabled: always,
+                run: |s, tid| {
+                    if let Some((version, content)) = s.built[tid] {
+                        if !s.version_guard || version > s.snap_version.load() {
+                            s.snap_version.store(version);
+                            s.snap_content.store(content);
+                        }
+                    }
+                },
+            },
+            Step {
+                name: "publish.unlock",
+                enabled: always,
+                run: |s, tid| {
+                    if s.use_mutex {
+                        s.publish_lock.release(tid);
+                    }
+                    s.done[tid] = true;
+                },
+            },
+        ];
+        steps.into()
+    }
+
+    // The planner loads the published pointer twice, lock-free, exactly
+    // like `plan_from_snapshot`. Versions must never regress, and one
+    // version must never expose two different contents (stale-snapshot
+    // ABA).
+    fn plan_load(s: &mut SnapshotState) {
+        let seen = (s.snap_version.load(), s.snap_content.load());
+        if let Some((pv, pc)) = s.planned {
+            if seen.0 < pv {
+                s.violation = Some(format!(
+                    "snapshot version regressed: planner saw v{pv} then v{}",
+                    seen.0
+                ));
+            } else if seen.0 == pv && seen.1 != pc {
+                s.violation = Some(format!(
+                    "stale-snapshot ABA: v{pv} observed with content {pc} and then {}",
+                    seen.1
+                ));
+            }
+        }
+        s.planned = Some(seen);
+    }
+    let planner: Vec<Step<SnapshotState>> = vec![
+        Step {
+            name: "plan.load1",
+            enabled: always,
+            run: |s, _| plan_load(s),
+        },
+        Step {
+            name: "plan.load2",
+            enabled: always,
+            run: |s, _| plan_load(s),
+        },
+        Step {
+            name: "plan.load3",
+            enabled: always,
+            run: |s, _| plan_load(s),
+        },
+    ];
+
+    Model {
+        name,
+        init: if use_mutex && version_guard {
+            init_guarded
+        } else {
+            init_racy
+        },
+        threads: vec![ingester(), ingester(), planner],
+        invariant,
+    }
+}
+
+/// Snapshot publish-vs-plan model as shipped: rebuilds serialized by the
+/// publish mutex, installs guarded by the version check. Must pass.
+pub fn snapshot_publish_model() -> Model<SnapshotState> {
+    snapshot_model_with(true, true, "gateway-snapshot-publish-vs-plan")
+}
+
+/// Deliberately broken publish path: no publish mutex and an unguarded
+/// install, so a rebuild computed before a peer's sample can overwrite
+/// the newer snapshot (lost update + same-version ABA). Exists to prove
+/// the checker catches it.
+pub fn snapshot_publish_racy_model() -> Model<SnapshotState> {
+    snapshot_model_with(false, false, "gateway-snapshot-unserialized-publish")
+}
+
+// ---------------------------------------------------------------------------
+// Model 4: concurrent gateway — first reply vs retry re-plan.
+// ---------------------------------------------------------------------------
+
+/// Shadow of the sharded pending-request table: an original attempt and a
+/// retry attempt share an `answered` flag and a sibling group; replies
+/// race the retry's insertion.
+#[derive(Clone)]
+pub struct PendingState {
+    /// The shared `answered` CAS flag (0 = open, 1 = resolved).
+    answered: ShadowAtomicU64,
+    /// Pending-table entries: `[original, retry]`, 1 = present.
+    pending: [ShadowAtomicU64; 2],
+    /// Sibling group length: 1 until the retry registers itself.
+    group_len: ShadowAtomicU64,
+    /// First-reply deliveries to the caller.
+    deliveries: ShadowAtomicU64,
+    /// Whether the retry re-checks `answered` after inserting its entry.
+    retry_rechecks: bool,
+    /// Per-reply-thread scratch: whether this reply won the CAS.
+    won: [bool; 2],
+    /// Completion flags: `[reply0, retry, reply1]`.
+    done: [bool; 3],
+}
+
+fn pending_model_with(
+    retry_rechecks: bool,
+    atomic_cas: bool,
+    name: &'static str,
+) -> Model<PendingState> {
+    fn init_shipped() -> PendingState {
+        pending_init(true)
+    }
+    fn init_no_recheck() -> PendingState {
+        pending_init(false)
+    }
+    fn pending_init(retry_rechecks: bool) -> PendingState {
+        PendingState {
+            answered: ShadowAtomicU64::new(0),
+            // The original attempt is already in flight; the retry entry
+            // does not exist until the retry thread inserts it.
+            pending: [ShadowAtomicU64::new(1), ShadowAtomicU64::new(0)],
+            group_len: ShadowAtomicU64::new(1),
+            deliveries: ShadowAtomicU64::new(0),
+            retry_rechecks,
+            won: [false, false],
+            done: [false, false, false],
+        }
+    }
+    fn always(_: &PendingState, _: usize) -> bool {
+        true
+    }
+    fn invariant(s: &PendingState) -> Result<(), String> {
+        if s.deliveries.load() > 1 {
+            return Err("duplicate first-reply delivery".to_string());
+        }
+        if s.done[0] && s.done[1] && s.done[2] && s.answered.load() == 1 {
+            if s.pending[0].load() != 0 || s.pending[1].load() != 0 {
+                return Err(format!(
+                    "lost pending entry: request resolved but table holds [{}, {}]",
+                    s.pending[0].load(),
+                    s.pending[1].load()
+                ));
+            }
+            if s.deliveries.load() != 1 {
+                return Err("resolved request was never delivered".to_string());
+            }
+        }
+        Ok(())
+    }
+
+    /// The signature every pending-model step action shares.
+    type PendingAction = fn(&mut PendingState, usize);
+
+    /// A reply to attempt `attempt`, raced by everything else. With
+    /// `atomic_cas` the claim is one indivisible compare-and-swap (the
+    /// shipped `AtomicBool` CAS); without it the check and the mark are
+    /// two separate steps — the classic TOCTOU bug.
+    fn reply_thread(attempt: usize, atomic_cas: bool) -> Vec<Step<PendingState>> {
+        let mut steps: Vec<Step<PendingState>> = Vec::new();
+        let (claim, retire, finish): (PendingAction, PendingAction, PendingAction) = if attempt == 0
+        {
+            (
+                |s, _| {
+                    // Unknown seqs (entry absent) only mine perf data.
+                    if s.pending[0].load() == 1 && s.answered.load() == 0 {
+                        s.answered.store(1);
+                        s.won[0] = true;
+                    }
+                },
+                |s, _| {
+                    if s.won[0] {
+                        s.pending[0].store(0);
+                        s.deliveries.fetch_add(1);
+                    }
+                },
+                |s, _| {
+                    if s.won[0] && s.group_len.load() == 2 {
+                        s.pending[1].store(0);
+                    }
+                    s.done[0] = true;
+                },
+            )
+        } else {
+            (
+                |s, _| {
+                    if s.pending[1].load() == 1 && s.answered.load() == 0 {
+                        s.answered.store(1);
+                        s.won[1] = true;
+                    }
+                },
+                |s, _| {
+                    if s.won[1] {
+                        s.pending[1].store(0);
+                        s.deliveries.fetch_add(1);
+                    }
+                },
+                |s, _| {
+                    if s.won[1] {
+                        s.pending[0].store(0);
+                    }
+                    s.done[2] = true;
+                },
+            )
+        };
+        if atomic_cas {
+            steps.push(Step {
+                name: "reply.cas",
+                enabled: always,
+                run: claim,
+            });
+        } else {
+            // TOCTOU split: observe `answered`, then mark it, with a
+            // window in between for the sibling reply to do the same.
+            let (check, mark): (PendingAction, PendingAction) = if attempt == 0 {
+                (
+                    |s, _| {
+                        s.won[0] = s.pending[0].load() == 1 && s.answered.load() == 0;
+                    },
+                    |s, _| {
+                        if s.won[0] {
+                            s.answered.store(1);
+                        }
+                    },
+                )
+            } else {
+                (
+                    |s, _| {
+                        s.won[1] = s.pending[1].load() == 1 && s.answered.load() == 0;
+                    },
+                    |s, _| {
+                        if s.won[1] {
+                            s.answered.store(1);
+                        }
+                    },
+                )
+            };
+            steps.push(Step {
+                name: "reply.check",
+                enabled: always,
+                run: check,
+            });
+            steps.push(Step {
+                name: "reply.mark",
+                enabled: always,
+                run: mark,
+            });
+        }
+        steps.push(Step {
+            name: "reply.deliver",
+            enabled: always,
+            run: retire,
+        });
+        steps.push(Step {
+            name: "reply.retire_siblings",
+            enabled: always,
+            run: finish,
+        });
+        steps
+    }
+
+    // The client's timeout path: register the retry in the sibling group
+    // *before* inserting its pending entry, then re-check `answered` so an
+    // in-between first reply (whose retire-siblings pass ran too early to
+    // see the new entry) cannot leak it.
+    let retry: Vec<Step<PendingState>> = vec![
+        Step {
+            name: "retry.join_group",
+            enabled: always,
+            run: |s, _| s.group_len.store(2),
+        },
+        Step {
+            name: "retry.insert",
+            enabled: always,
+            run: |s, _| s.pending[1].store(1),
+        },
+        Step {
+            name: "retry.recheck",
+            enabled: always,
+            run: |s, _| {
+                if s.retry_rechecks && s.answered.load() == 1 {
+                    s.pending[1].store(0); // self-retire: lost the race
+                }
+                s.done[1] = true;
+            },
+        },
+    ];
+
+    Model {
+        name,
+        init: if retry_rechecks {
+            init_shipped
+        } else {
+            init_no_recheck
+        },
+        threads: vec![
+            reply_thread(0, atomic_cas),
+            retry,
+            reply_thread(1, atomic_cas),
+        ],
+        invariant,
+    }
+}
+
+/// Reply-vs-retry model as shipped: atomic CAS claim plus the retry's
+/// post-insert re-check. Must pass.
+pub fn pending_retry_model() -> Model<PendingState> {
+    pending_model_with(true, true, "gateway-reply-vs-retry")
+}
+
+/// Deliberately broken retry: no post-insert re-check, so a first reply
+/// that retired siblings before the insert leaks the retry's pending
+/// entry forever. Exists to prove the checker catches it.
+pub fn pending_retry_no_recheck_model() -> Model<PendingState> {
+    pending_model_with(false, true, "gateway-retry-missing-recheck")
+}
+
+/// Deliberately broken reply claim: check-then-mark instead of one CAS,
+/// so two replies can both think they are first and deliver twice.
+/// Exists to prove the checker catches it.
+pub fn pending_retry_toctou_model() -> Model<PendingState> {
+    pending_model_with(true, false, "gateway-reply-toctou-claim")
+}
+
+/// Run the shipped models; returns `(name, exploration)` pairs.
 pub fn run_all() -> Vec<(&'static str, Exploration)> {
     vec![
         (
@@ -502,6 +967,11 @@ pub fn run_all() -> Vec<(&'static str, Exploration)> {
             "repository-record-vs-remove-epoch",
             explore(&repository_epoch_model()),
         ),
+        (
+            "gateway-snapshot-publish-vs-plan",
+            explore(&snapshot_publish_model()),
+        ),
+        ("gateway-reply-vs-retry", explore(&pending_retry_model())),
     ]
 }
 
@@ -546,6 +1016,81 @@ mod tests {
             "dropping the epoch from the key must reintroduce the ABA race"
         );
         assert!(e.violations[0].1.contains("stale cache hit"));
+    }
+
+    #[test]
+    fn snapshot_publish_model_passes_exhaustively() {
+        let e = explore(&snapshot_publish_model());
+        assert!(e.passed(), "violations: {:?}", e.violations);
+        // 5 + 5 + 3 steps with the publish mutex serializing the two
+        // rebuild/install windows: 3432 feasible interleavings.
+        assert_eq!(e.schedules, 3432);
+    }
+
+    #[test]
+    fn unserialized_publish_loses_an_update() {
+        let e = explore(&snapshot_publish_racy_model());
+        assert!(
+            !e.violations.is_empty(),
+            "dropping the publish mutex and version guard must lose a sample"
+        );
+        assert!(
+            e.violations
+                .iter()
+                .any(|(_, msg)| msg.contains("lost samples")
+                    || msg.contains("ABA")
+                    || msg.contains("regressed")),
+            "violations: {:?}",
+            e.violations
+        );
+    }
+
+    #[test]
+    fn pending_retry_model_passes_exhaustively() {
+        let e = explore(&pending_retry_model());
+        assert!(e.passed(), "violations: {:?}", e.violations);
+        assert!(e.schedules >= 1000, "schedules: {}", e.schedules);
+    }
+
+    #[test]
+    fn missing_retry_recheck_leaks_a_pending_entry() {
+        let e = explore(&pending_retry_no_recheck_model());
+        assert!(
+            !e.violations.is_empty(),
+            "dropping the post-insert re-check must leak the retry's entry"
+        );
+        assert!(
+            e.violations
+                .iter()
+                .any(|(_, msg)| msg.contains("lost pending entry")),
+            "violations: {:?}",
+            e.violations
+        );
+    }
+
+    #[test]
+    fn toctou_reply_claim_delivers_twice() {
+        let e = explore(&pending_retry_toctou_model());
+        assert!(
+            !e.violations.is_empty(),
+            "splitting the CAS into check+mark must double-deliver"
+        );
+        assert!(
+            e.violations
+                .iter()
+                .any(|(_, msg)| msg.contains("duplicate first-reply delivery")),
+            "violations: {:?}",
+            e.violations
+        );
+    }
+
+    #[test]
+    fn run_all_covers_the_shipped_models() {
+        let results = run_all();
+        assert_eq!(results.len(), 4);
+        for (name, e) in &results {
+            assert!(e.passed(), "{name} failed: {:?}", e.violations);
+        }
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Lock-contention accounting for the concurrent hot path.
+//!
+//! The throughput work of the runtime removed the global client lock; what
+//! remains are short, named critical sections (pending-table shards,
+//! ingestion shards, the snapshot publish lock). This module gives each of
+//! them a pair of cached counters so a benchmark can read *how long callers
+//! waited* to enter a section without any per-acquisition registry lookup:
+//!
+//! * `aqua_lock_wait_ns_total{lock="…"}` — cumulative nanoseconds spent
+//!   blocked in `lock()` calls;
+//! * `aqua_lock_acquisitions_total{lock="…"}` — number of acquisitions.
+//!
+//! The quotient is the mean lock-wait per acquisition — the direct measure
+//! of how serialized a path still is (zero on an uncontended shard).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::metrics::{Counter, Registry};
+
+/// Metric name for cumulative nanoseconds spent waiting on a lock.
+pub const LOCK_WAIT_NS_TOTAL: &str = "aqua_lock_wait_ns_total";
+/// Metric name for the number of lock acquisitions.
+pub const LOCK_ACQUISITIONS_TOTAL: &str = "aqua_lock_acquisitions_total";
+
+/// Cached wait-time counters for one named lock (or family of shards that
+/// should be accounted together).
+///
+/// Cloning shares the underlying counters, so a handle can be distributed
+/// to every thread touching the section.
+#[derive(Debug, Clone)]
+pub struct LockContention {
+    wait_ns: Arc<Counter>,
+    acquisitions: Arc<Counter>,
+}
+
+impl LockContention {
+    /// Counters registered under the given lock name.
+    pub fn new(registry: &Registry, lock: &str) -> Self {
+        LockContention {
+            wait_ns: registry.counter(LOCK_WAIT_NS_TOTAL, &[("lock", lock)]),
+            acquisitions: registry.counter(LOCK_ACQUISITIONS_TOTAL, &[("lock", lock)]),
+        }
+    }
+
+    /// Unregistered counters: still count (cheap atomics) but are visible
+    /// only through this handle. The configuration for handlers that have
+    /// no [`crate::Obs`] attached.
+    pub fn detached() -> Self {
+        LockContention {
+            wait_ns: Arc::new(Counter::new()),
+            acquisitions: Arc::new(Counter::new()),
+        }
+    }
+
+    /// Records one acquisition that waited `waited` to enter the section.
+    #[inline]
+    pub fn record(&self, waited: Duration) {
+        self.wait_ns.add(waited.as_nanos() as u64);
+        self.acquisitions.inc();
+    }
+
+    /// Times `acquire` (a closure performing the blocking `lock()` call)
+    /// and records the wait, returning the guard.
+    #[inline]
+    pub fn acquire<G>(&self, acquire: impl FnOnce() -> G) -> G {
+        let started = Instant::now();
+        let guard = acquire();
+        self.record(started.elapsed());
+        guard
+    }
+
+    /// Cumulative nanoseconds callers spent blocked.
+    pub fn wait_ns(&self) -> u64 {
+        self.wait_ns.get()
+    }
+
+    /// Number of acquisitions recorded.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detached_counters_accumulate() {
+        let c = LockContention::detached();
+        c.record(Duration::from_nanos(120));
+        c.record(Duration::from_nanos(30));
+        assert_eq!(c.wait_ns(), 150);
+        assert_eq!(c.acquisitions(), 2);
+    }
+
+    #[test]
+    fn registered_counters_share_the_registry_entry() {
+        let registry = Registry::new();
+        let a = LockContention::new(&registry, "pending-shard");
+        let b = LockContention::new(&registry, "pending-shard");
+        a.record(Duration::from_nanos(40));
+        b.record(Duration::from_nanos(2));
+        assert_eq!(a.wait_ns(), 42);
+        assert_eq!(
+            registry
+                .counter(LOCK_WAIT_NS_TOTAL, &[("lock", "pending-shard")])
+                .get(),
+            42
+        );
+        assert_eq!(
+            registry
+                .counter(LOCK_ACQUISITIONS_TOTAL, &[("lock", "pending-shard")])
+                .get(),
+            2
+        );
+    }
+
+    #[test]
+    fn acquire_times_the_closure() {
+        let c = LockContention::detached();
+        let m = std::sync::Mutex::new(7u32);
+        let guard = c.acquire(|| m.lock().unwrap());
+        assert_eq!(*guard, 7);
+        assert_eq!(c.acquisitions(), 1);
+    }
+}

@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod contention;
 pub mod export;
 pub mod journal;
 pub mod json;

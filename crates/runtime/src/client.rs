@@ -1,5 +1,5 @@
-//! The socket client gateway: the same [`TimingFaultHandler`] as the
-//! simulation, driven by real TCP connections and the wall clock.
+//! The socket client gateway: the concurrent timing fault handler driven
+//! by real TCP connections and the wall clock.
 //!
 //! One [`AquaClient`] holds a connection to every replica of a service,
 //! subscribes to their performance updates, and exposes a synchronous
@@ -7,27 +7,37 @@
 //! request, and delivers the earliest reply — measuring everything exactly
 //! as §5.4.1 prescribes.
 //!
-//! Concurrency: a dispatcher thread drains the network events (replies,
-//! perf updates, disconnects) into the handler; callers only hold the
-//! handler lock while planning, so multiple threads can have calls in
-//! flight simultaneously and requests genuinely queue at the replicas.
+//! Concurrency: there is **no global client lock**. Planning runs
+//! lock-free on the caller's thread against the handler's published
+//! snapshot ([`ConcurrentHandler`]); each replica connection has a
+//! dedicated writer thread that batch-drains its frame channel into a
+//! reusable buffer and flushes the batch with one write; reader threads
+//! apply replies and performance updates straight into the handler's
+//! sharded write path — no dispatcher hop, no cross-request contention.
+//! In-flight calls wait on a sharded waiter table keyed by sequence
+//! number. The previous single-lock implementation is preserved as
+//! [`crate::serialized::SerializedClient`] (feature `serialized-baseline`)
+//! so the throughput benchmark can A/B the two paths.
 
-use std::collections::HashMap;
-use std::io;
+use std::collections::{HashMap, HashSet};
+use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, Weak};
 use std::time::Instant as StdInstant;
 
 use aqua_core::qos::{QosSpec, ReplicaId};
 use aqua_core::repository::{MethodId, PerfReport};
 use aqua_core::time::{Duration, Instant};
-use aqua_gateway::{ReplyOutcome, TimingFaultHandler};
+use aqua_gateway::{ConcurrentHandler, ReplyOutcome};
 use aqua_strategies::SelectionStrategy;
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
 use crate::wire::Frame;
+
+/// Number of waiter-table shards (sequence numbers hash across them).
+const WAITER_SHARDS: usize = 16;
 
 /// Configuration of a socket client.
 #[derive(Debug, Clone)]
@@ -157,23 +167,19 @@ impl From<io::Error> for CallError {
     }
 }
 
-enum NetEvent {
-    Frame(ReplicaId, Frame),
-    Disconnected(ReplicaId),
-}
-
 /// Cached wire-level counters (frames/bytes in each direction), so the
 /// hot path never touches the registry lock.
-struct WireMetrics {
-    frames_sent: Arc<aqua_obs::metrics::Counter>,
-    bytes_sent: Arc<aqua_obs::metrics::Counter>,
-    frames_received: Arc<aqua_obs::metrics::Counter>,
-    bytes_received: Arc<aqua_obs::metrics::Counter>,
-    reconnects: Arc<aqua_obs::metrics::Counter>,
+#[derive(Clone)]
+pub(crate) struct WireMetrics {
+    pub(crate) frames_sent: Arc<aqua_obs::metrics::Counter>,
+    pub(crate) bytes_sent: Arc<aqua_obs::metrics::Counter>,
+    pub(crate) frames_received: Arc<aqua_obs::metrics::Counter>,
+    pub(crate) bytes_received: Arc<aqua_obs::metrics::Counter>,
+    pub(crate) reconnects: Arc<aqua_obs::metrics::Counter>,
 }
 
 impl WireMetrics {
-    fn new(obs: &aqua_obs::Obs, client: u64) -> Self {
+    pub(crate) fn new(obs: &aqua_obs::Obs, client: u64) -> Self {
         let client = client.to_string();
         let labels = [("client", client.as_str())];
         let registry = obs.registry();
@@ -186,12 +192,12 @@ impl WireMetrics {
         }
     }
 
-    fn on_sent(&self, frame: &Frame) {
+    pub(crate) fn on_sent(&self, frame: &Frame) {
         self.frames_sent.inc();
         self.bytes_sent.add(frame.encoded_len() as u64);
     }
 
-    fn on_received(&self, frame: &Frame) {
+    pub(crate) fn on_received(&self, frame: &Frame) {
         self.frames_received.inc();
         self.bytes_received.add(frame.encoded_len() as u64);
     }
@@ -214,20 +220,16 @@ struct Waiter {
     group: Vec<u64>,
 }
 
-struct State {
-    handler: TimingFaultHandler,
-    writers: HashMap<ReplicaId, TcpStream>,
-    /// In-flight call attempts: seq → waiter.
-    waiters: HashMap<u64, Waiter>,
-    /// Last known address of every replica, for reconnects.
-    addrs: HashMap<ReplicaId, SocketAddr>,
-    /// Consecutive reconnect attempts per replica since its last frame.
-    backoff: HashMap<ReplicaId, u32>,
-}
-
 struct Inner {
-    state: Mutex<State>,
-    event_tx: Sender<NetEvent>,
+    handler: ConcurrentHandler,
+    /// Per-replica writer channels; the writer threads own the sockets.
+    conns: RwLock<HashMap<ReplicaId, Sender<Frame>>>,
+    /// In-flight call attempts, sharded by seq: shard → seq → waiter.
+    waiters: Vec<Mutex<HashMap<u64, Waiter>>>,
+    /// Last known address of every replica, for reconnects.
+    addrs: Mutex<HashMap<ReplicaId, SocketAddr>>,
+    /// Consecutive reconnect attempts per replica since its last frame.
+    backoff: Mutex<HashMap<ReplicaId, u32>>,
     epoch: StdInstant,
     wire: Option<WireMetrics>,
     reconnect: Option<ReconnectPolicy>,
@@ -239,133 +241,215 @@ impl Inner {
         Instant::from_nanos(self.epoch.elapsed().as_nanos() as u64)
     }
 
-    /// Applies one network event to the handler; completed calls are
-    /// resolved through their waiter channel.
-    fn apply_event(self: &Arc<Self>, event: NetEvent) {
-        let mut state = self.state.lock();
-        // Waiter notifications go out after the guard is released: a
-        // channel send under the state lock would stall every other
-        // connection thread behind a slow waiter (lock-order rule).
-        let mut deferred: Vec<(Sender<WaitMsg>, WaitMsg)> = Vec::new();
-        let mut lost: Option<ReplicaId> = None;
-        match event {
-            NetEvent::Frame(id, frame) => {
-                if let Some(wire) = &self.wire {
-                    wire.on_received(&frame);
-                }
-                // A frame is proof of life: the replica's reconnect
-                // backoff starts over.
-                state.backoff.remove(&id);
-                match frame {
-                    Frame::Reply {
-                        seq,
-                        replica,
-                        service_ns,
-                        queue_ns,
-                        queue_len,
-                        method,
-                        payload,
-                    } => {
-                        let perf = PerfReport {
-                            service_time: Duration::from_nanos(service_ns),
-                            queuing_delay: Duration::from_nanos(queue_ns),
-                            queue_len,
-                            method: MethodId::new(method),
-                        };
-                        let replica = ReplicaId::new(replica);
-                        debug_assert_eq!(replica, id, "replies come from their own connection");
-                        let now = self.now();
-                        let outcome = state.handler.on_reply(now, seq, replica, perf);
-                        if let ReplyOutcome::Deliver {
-                            response_time,
-                            verdict,
-                        } = outcome
-                        {
-                            if let Some(waiter) = state.waiters.remove(&seq) {
-                                // The winning attempt retires its siblings:
-                                // they are neither failures nor deliveries.
-                                for sibling in &waiter.group {
-                                    if *sibling != seq {
-                                        state.waiters.remove(sibling);
-                                        state.handler.on_abandon(now, *sibling);
-                                    }
-                                }
-                                let outcome = CallOutcome {
-                                    response_time,
-                                    timely: verdict.is_timely(),
-                                    callback: verdict.should_notify(),
-                                    redundancy: waiter.redundancy,
-                                    replica,
-                                    payload,
-                                };
-                                deferred.push((waiter.tx, WaitMsg::Outcome(outcome)));
-                            }
-                        }
-                    }
-                    Frame::PerfUpdate {
-                        replica,
-                        service_ns,
-                        queue_ns,
-                        queue_len,
-                        method,
-                    } => {
-                        let perf = PerfReport {
-                            service_time: Duration::from_nanos(service_ns),
-                            queuing_delay: Duration::from_nanos(queue_ns),
-                            queue_len,
-                            method: MethodId::new(method),
-                        };
-                        state
-                            .handler
-                            .on_perf_update(self.now(), ReplicaId::new(replica), perf);
-                    }
-                    _ => {}
-                }
+    fn waiter_shard(&self, seq: u64) -> &Mutex<HashMap<u64, Waiter>> {
+        &self.waiters[(seq as usize) % WAITER_SHARDS]
+    }
+
+    /// The replica's writer channel, cloned out of the connection map so
+    /// no guard is held across the send.
+    fn conn(&self, id: ReplicaId) -> Option<Sender<Frame>> {
+        let conns = self.conns.read().unwrap_or_else(|p| p.into_inner());
+        conns.get(&id).cloned()
+    }
+
+    /// Opens (or re-opens) the connection to one replica: a writer thread
+    /// owning the socket plus a reader thread feeding the handler.
+    fn open_connection(self: &Arc<Self>, id: ReplicaId, addr: SocketAddr) -> io::Result<()> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        let (tx, rx) = unbounded();
+        // The subscription handshake rides the writer channel like any
+        // other frame.
+        let _ = tx.send(Frame::Hello {
+            client: self.client_id,
+        });
+        {
+            let mut conns = self.conns.write().unwrap_or_else(|p| p.into_inner());
+            conns.insert(id, tx);
+        }
+        {
+            let mut addrs = self.addrs.lock();
+            addrs.insert(id, addr);
+        }
+        let wire = self.wire.clone();
+        std::thread::spawn(move || writer_loop(writer, rx, wire));
+        let weak = Arc::downgrade(self);
+        std::thread::spawn(move || reader_loop(weak, stream, id));
+        Ok(())
+    }
+
+    /// Queues `frame_for(seq)` on every listed replica's writer channel;
+    /// returns how many channels accepted it.
+    fn multicast(
+        &self,
+        seq: u64,
+        method: MethodId,
+        payload: &Bytes,
+        replicas: &[ReplicaId],
+    ) -> usize {
+        let mut sent = 0usize;
+        for id in replicas {
+            let Some(tx) = self.conn(*id) else { continue };
+            let frame = Frame::Request {
+                seq,
+                method: method.index(),
+                payload: payload.clone(),
+            };
+            if tx.send(frame).is_ok() {
+                sent += 1;
             }
-            NetEvent::Disconnected(id) => {
-                // TCP teardown is our crash detector: the replica leaves
-                // the "view".
-                state.writers.remove(&id);
+        }
+        sent
+    }
+
+    /// Removes any leftover waiter entries for the given attempts (the
+    /// delivery path retires what it can see; the caller sweeps the rest
+    /// once the call resolves).
+    fn clear_waiters(&self, seqs: &[u64]) {
+        for s in seqs {
+            let mut shard = self.waiter_shard(*s).lock();
+            shard.remove(s);
+        }
+    }
+
+    /// Handles one inbound frame from `id`'s reader thread, applying it
+    /// straight into the handler's sharded write path.
+    fn on_frame(&self, id: ReplicaId, frame: Frame) {
+        if let Some(wire) = &self.wire {
+            wire.on_received(&frame);
+        }
+        // A frame is proof of life: the replica's reconnect backoff
+        // starts over.
+        {
+            let mut backoff = self.backoff.lock();
+            backoff.remove(&id);
+        }
+        match frame {
+            Frame::Reply {
+                seq,
+                replica,
+                service_ns,
+                queue_ns,
+                queue_len,
+                method,
+                payload,
+            } => {
+                let perf = PerfReport {
+                    service_time: Duration::from_nanos(service_ns),
+                    queuing_delay: Duration::from_nanos(queue_ns),
+                    queue_len,
+                    method: MethodId::new(method),
+                };
+                let replica = ReplicaId::new(replica);
+                debug_assert_eq!(replica, id, "replies come from their own connection");
                 let now = self.now();
-                let remaining: Vec<ReplicaId> = state.writers.keys().copied().collect();
-                state.handler.on_view(now, remaining);
-                if state.writers.is_empty() {
-                    // Nobody left who could ever answer: fail every
-                    // in-flight call immediately instead of letting each
-                    // caller ride out its give-up timer.
-                    let seqs: Vec<u64> = state.waiters.keys().copied().collect();
-                    for seq in seqs {
-                        let Some(waiter) = state.waiters.remove(&seq) else {
-                            continue; // retired as a sibling already
-                        };
-                        let mut group = waiter.group.clone();
-                        group.sort_unstable();
-                        let last = *group.last().unwrap_or(&seq);
-                        for s in &group {
-                            if *s != seq {
-                                state.waiters.remove(s);
-                            }
-                        }
-                        // One timing failure per logical request: the
-                        // newest attempt carries it, earlier ones retire.
-                        for s in &group {
-                            if *s != last {
-                                state.handler.on_abandon(now, *s);
-                            }
-                        }
-                        state.handler.on_give_up(last);
-                        deferred.push((waiter.tx, WaitMsg::NoReplicas));
-                    }
+                let outcome = self.handler.on_reply(now, seq, replica, perf);
+                if let ReplyOutcome::Deliver {
+                    response_time,
+                    verdict,
+                } = outcome
+                {
+                    self.deliver(seq, replica, response_time, verdict, payload);
                 }
-                lost = Some(id);
+            }
+            Frame::PerfUpdate {
+                replica,
+                service_ns,
+                queue_ns,
+                queue_len,
+                method,
+            } => {
+                let perf = PerfReport {
+                    service_time: Duration::from_nanos(service_ns),
+                    queuing_delay: Duration::from_nanos(queue_ns),
+                    queue_len,
+                    method: MethodId::new(method),
+                };
+                self.handler
+                    .on_perf_update(self.now(), ReplicaId::new(replica), perf);
+            }
+            _ => {}
+        }
+    }
+
+    /// Resolves the winning attempt's waiter and retires its siblings.
+    /// The handler already classified the reply as first and retired the
+    /// sibling pending entries; this is only waiter-table bookkeeping.
+    fn deliver(
+        &self,
+        seq: u64,
+        replica: ReplicaId,
+        response_time: Duration,
+        verdict: aqua_core::failure::TimingVerdict,
+        payload: Bytes,
+    ) {
+        let waiter = {
+            let mut shard = self.waiter_shard(seq).lock();
+            shard.remove(&seq)
+        };
+        let Some(waiter) = waiter else {
+            return; // resolved concurrently (give-up or disconnect sweep)
+        };
+        for s in &waiter.group {
+            if *s != seq {
+                let mut shard = self.waiter_shard(*s).lock();
+                shard.remove(s);
             }
         }
-        drop(state);
-        for (tx, msg) in deferred {
-            let _ = tx.send(msg);
+        let outcome = CallOutcome {
+            response_time,
+            timely: verdict.is_timely(),
+            callback: verdict.should_notify(),
+            redundancy: waiter.redundancy,
+            replica,
+            payload,
+        };
+        let _ = waiter.tx.send(WaitMsg::Outcome(outcome));
+    }
+
+    /// TCP teardown is our crash detector: the replica leaves the "view".
+    fn on_disconnect(self: &Arc<Self>, id: ReplicaId) {
+        let remaining: Vec<ReplicaId> = {
+            let mut conns = self.conns.write().unwrap_or_else(|p| p.into_inner());
+            conns.remove(&id);
+            conns.keys().copied().collect()
+        };
+        let now = self.now();
+        self.handler.on_view(now, remaining.iter().copied());
+        if remaining.is_empty() {
+            self.fail_all_waiters(now);
         }
-        if let Some(id) = lost {
-            self.spawn_reconnect(id);
+        self.spawn_reconnect(id);
+    }
+
+    /// Nobody left who could ever answer: fail every in-flight call
+    /// immediately instead of letting each caller ride out its give-up
+    /// timer.
+    fn fail_all_waiters(&self, now: Instant) {
+        let mut drained: Vec<(u64, Waiter)> = Vec::new();
+        for shard in &self.waiters {
+            let mut shard = shard.lock();
+            drained.extend(shard.drain());
+        }
+        // One timing failure per logical request: the newest attempt
+        // carries it, earlier ones retire as superseded.
+        let mut handled: HashSet<u64> = HashSet::new();
+        for (seq, waiter) in drained {
+            if handled.contains(&seq) {
+                continue; // a sibling of this group was already processed
+            }
+            let mut group = waiter.group.clone();
+            group.sort_unstable();
+            let last = *group.last().unwrap_or(&seq);
+            for s in &group {
+                handled.insert(*s);
+                if *s != last {
+                    self.handler.on_abandon(now, *s);
+                }
+            }
+            self.handler.on_give_up(last);
+            let _ = waiter.tx.send(WaitMsg::NoReplicas);
         }
     }
 
@@ -379,18 +463,23 @@ impl Inner {
         let weak = Arc::downgrade(self);
         std::thread::spawn(move || loop {
             let Some(inner) = weak.upgrade() else { return };
-            let (addr, attempt) = {
-                let mut state = inner.state.lock();
-                if state.writers.contains_key(&id) {
+            {
+                let conns = inner.conns.read().unwrap_or_else(|p| p.into_inner());
+                if conns.contains_key(&id) {
                     return; // already reconnected elsewhere
                 }
-                let Some(addr) = state.addrs.get(&id).copied() else {
-                    return;
-                };
-                let counter = state.backoff.entry(id).or_insert(0);
+            }
+            let addr = {
+                let addrs = inner.addrs.lock();
+                addrs.get(&id).copied()
+            };
+            let Some(addr) = addr else { return };
+            let attempt = {
+                let mut backoff = inner.backoff.lock();
+                let counter = backoff.entry(id).or_insert(0);
                 let attempt = *counter;
                 *counter += 1;
-                (addr, attempt)
+                attempt
             };
             if attempt >= policy.max_attempts {
                 return;
@@ -401,40 +490,79 @@ impl Inner {
             drop(inner); // don't pin the client alive while sleeping
             std::thread::sleep(delay);
             let Some(inner) = weak.upgrade() else { return };
-            let Ok(stream) = TcpStream::connect(addr) else {
-                continue;
-            };
-            stream.set_nodelay(true).ok();
-            let Ok(mut writer) = stream.try_clone() else {
-                continue;
-            };
-            let hello = Frame::Hello {
-                client: inner.client_id,
-            };
-            if hello.write_to(&mut writer).is_err() {
+            if inner.open_connection(id, addr).is_err() {
                 continue;
             }
             if let Some(wire) = &inner.wire {
-                wire.on_sent(&hello);
                 wire.reconnects.inc();
             }
-            let now = inner.now();
-            {
-                let mut state = inner.state.lock();
-                state.writers.insert(id, writer);
-                state.handler.on_rejoin(now, id);
-            }
-            let tx = inner.event_tx.clone();
-            std::thread::spawn(move || reader_loop(stream, id, tx));
+            inner.handler.on_rejoin(inner.now(), id);
             return;
         });
     }
 }
 
+/// Owns one replica socket's send half: drains the frame channel into a
+/// reusable buffer — batching whatever has queued up — and flushes the
+/// batch with a single write. No per-frame allocation on the send path.
+fn writer_loop(mut stream: TcpStream, rx: Receiver<Frame>, wire: Option<WireMetrics>) {
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut frames: Vec<Frame> = Vec::new();
+    loop {
+        let Ok(first) = rx.recv() else { return };
+        buf.clear();
+        frames.clear();
+        first.encode_into(&mut buf);
+        frames.push(first);
+        while let Ok(next) = rx.try_recv() {
+            next.encode_into(&mut buf);
+            frames.push(next);
+        }
+        if stream.write_all(&buf).is_err() {
+            return; // the reader observes the teardown and handles it
+        }
+        if let Some(wire) = &wire {
+            let mut bytes = 0u64;
+            for frame in &frames {
+                wire.on_sent(frame);
+                bytes += frame.encoded_len() as u64;
+            }
+            debug_assert_eq!(
+                bytes,
+                buf.len() as u64,
+                "batched framing must be byte-identical to per-frame encoding"
+            );
+        }
+    }
+}
+
+fn reader_loop(weak: Weak<Inner>, mut stream: TcpStream, id: ReplicaId) {
+    loop {
+        match Frame::read_from(&mut stream) {
+            Ok(frame) => {
+                let Some(inner) = weak.upgrade() else { return };
+                inner.on_frame(id, frame);
+            }
+            Err(_) => {
+                let Some(inner) = weak.upgrade() else { return };
+                inner.on_disconnect(id);
+                return;
+            }
+        }
+    }
+}
+
+fn resolve(msg: WaitMsg) -> Result<CallOutcome, CallError> {
+    match msg {
+        WaitMsg::Outcome(outcome) => Ok(outcome),
+        WaitMsg::NoReplicas => Err(CallError::NoReplicas),
+    }
+}
+
 /// The socket client gateway. See the module docs.
 ///
-/// Safe to share behind an `Arc`; concurrent [`AquaClient::call`]s proceed
-/// in parallel (their requests genuinely queue at the replicas).
+/// Safe to share behind an `Arc`; concurrent [`AquaClient::call`]s plan,
+/// send, and resolve fully in parallel — there is no global client lock.
 pub struct AquaClient {
     inner: Arc<Inner>,
     give_up_after: Duration,
@@ -443,8 +571,12 @@ pub struct AquaClient {
 
 impl std::fmt::Debug for AquaClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let replicas = {
+            let conns = self.inner.conns.read().unwrap_or_else(|p| p.into_inner());
+            conns.len()
+        };
         f.debug_struct("AquaClient")
-            .field("replicas", &self.inner.state.lock().writers.len())
+            .field("replicas", &replicas)
             .finish()
     }
 }
@@ -461,7 +593,7 @@ impl AquaClient {
         config: AquaClientConfig,
         strategy: Box<dyn SelectionStrategy>,
     ) -> io::Result<AquaClient> {
-        let mut handler = TimingFaultHandler::new(config.qos, config.window, strategy);
+        let mut handler = ConcurrentHandler::new(config.qos, config.window, strategy);
         if let Some(obs) = &config.obs {
             handler.attach_obs(obs, Some(config.id));
         }
@@ -469,42 +601,22 @@ impl AquaClient {
             .obs
             .as_ref()
             .map(|obs| WireMetrics::new(obs, config.id));
-        let (event_tx, event_rx) = unbounded();
-        let mut writers = HashMap::new();
-        let mut addrs = HashMap::new();
-        for (id, addr) in replicas {
-            let stream = TcpStream::connect(addr)?;
-            stream.set_nodelay(true).ok();
-            let mut writer = stream.try_clone()?;
-            let hello = Frame::Hello { client: config.id };
-            hello.write_to(&mut writer)?;
-            if let Some(wire) = &wire {
-                wire.on_sent(&hello);
-            }
-            handler.repository_mut().insert_replica(*id);
-            writers.insert(*id, writer);
-            addrs.insert(*id, *addr);
-            let tx = event_tx.clone();
-            let id = *id;
-            std::thread::spawn(move || reader_loop(stream, id, tx));
-        }
         let inner = Arc::new(Inner {
-            state: Mutex::new(State {
-                handler,
-                writers,
-                waiters: HashMap::new(),
-                addrs,
-                backoff: HashMap::new(),
-            }),
-            event_tx,
+            handler,
+            conns: RwLock::new(HashMap::new()),
+            waiters: (0..WAITER_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            addrs: Mutex::new(HashMap::new()),
+            backoff: Mutex::new(HashMap::new()),
             epoch: StdInstant::now(),
             wire,
             reconnect: config.reconnect.clone(),
             client_id: config.id,
         });
-        {
-            let inner = Arc::clone(&inner);
-            std::thread::spawn(move || dispatcher_loop(inner, event_rx));
+        for (id, addr) in replicas {
+            inner.open_connection(*id, *addr)?;
+            inner.handler.insert_replica(inner.now(), *id);
         }
         Ok(AquaClient {
             inner,
@@ -514,19 +626,21 @@ impl AquaClient {
     }
 
     /// Runs `f` against the handler (repository inspection, stats, …).
-    pub fn with_handler<R>(&self, f: impl FnOnce(&TimingFaultHandler) -> R) -> R {
-        f(&self.inner.state.lock().handler)
+    pub fn with_handler<R>(&self, f: impl FnOnce(&ConcurrentHandler) -> R) -> R {
+        f(&self.inner.handler)
     }
 
     /// Emits any request spans still buffered by the handler's observer
     /// and flushes the journal. Call once at the end of an observed run.
     pub fn finish_observability(&self) {
-        self.inner.state.lock().handler.flush_observability();
+        self.inner.handler.flush_observability();
     }
 
-    /// Renegotiates the QoS specification.
+    /// Renegotiates the QoS spec at runtime (§5.4.2): the failure
+    /// detector restarts under the new deadline and the planning snapshot
+    /// is republished, so subsequent calls plan against the new spec.
     pub fn renegotiate(&self, qos: QosSpec) {
-        self.inner.state.lock().handler.renegotiate(qos);
+        self.inner.handler.renegotiate(self.inner.now(), qos);
     }
 
     /// Connects to an additional replica at runtime (a new member joining
@@ -537,22 +651,8 @@ impl AquaClient {
     ///
     /// Propagates connection errors; the client is unchanged on failure.
     pub fn add_replica(&self, id: ReplicaId, addr: SocketAddr) -> io::Result<()> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        let mut writer = stream.try_clone()?;
-        let hello = Frame::Hello { client: 0 };
-        hello.write_to(&mut writer)?;
-        if let Some(wire) = &self.inner.wire {
-            wire.on_sent(&hello);
-        }
-        {
-            let mut state = self.inner.state.lock();
-            state.handler.repository_mut().insert_replica(id);
-            state.writers.insert(id, writer);
-            state.addrs.insert(id, addr);
-        }
-        let tx = self.inner.event_tx.clone();
-        std::thread::spawn(move || reader_loop(stream, id, tx));
+        self.inner.open_connection(id, addr)?;
+        self.inner.handler.insert_replica(self.inner.now(), id);
         Ok(())
     }
 
@@ -565,39 +665,41 @@ impl AquaClient {
     /// [`CallError::GaveUp`] when no selected replica answered within the
     /// give-up window, [`CallError::Io`] on transport failures during send.
     pub fn call(&self, method: MethodId, payload: &[u8]) -> Result<CallOutcome, CallError> {
-        let t0 = self.inner.now();
+        let inner = &self.inner;
+        let t0 = inner.now();
         let started = StdInstant::now();
         let give_up = std::time::Duration::from(self.give_up_after);
-        let frame_for = |seq: u64| Frame::Request {
-            seq,
-            method: method.index(),
-            payload: Bytes::copy_from_slice(payload),
-        };
+        let payload = Bytes::copy_from_slice(payload);
 
-        let (first_seq, first_selection, mut redundancy, tx, rx) = {
-            let mut state = self.inner.state.lock();
-            let plan = state.handler.plan_request_for(t0, Some(method));
-            if plan.replicas.is_empty() {
-                state.handler.on_give_up(plan.seq);
-                return Err(CallError::NoReplicas);
-            }
-            let sent = self.multicast(&mut state, &frame_for(plan.seq), &plan.replicas);
-            let redundancy = plan.replicas.len();
-            if sent == 0 {
-                state.handler.on_give_up(plan.seq);
-                return Err(CallError::GaveUp { redundancy });
-            }
-            let (tx, rx) = bounded(2);
-            state.waiters.insert(
-                plan.seq,
+        // Plan lock-free against the published snapshot, then register
+        // the waiter *before* multicasting so even a lightning-fast reply
+        // finds it.
+        let plan = inner.handler.plan_request_for(t0, Some(method));
+        if plan.replicas.is_empty() {
+            inner.handler.on_give_up(plan.seq);
+            return Err(CallError::NoReplicas);
+        }
+        let first_seq = plan.seq;
+        let first_selection = plan.replicas;
+        let mut redundancy = first_selection.len();
+        let (tx, rx) = bounded(2);
+        {
+            let mut shard = inner.waiter_shard(first_seq).lock();
+            shard.insert(
+                first_seq,
                 Waiter {
                     tx: tx.clone(),
                     redundancy,
-                    group: vec![plan.seq],
+                    group: vec![first_seq],
                 },
             );
-            (plan.seq, plan.replicas, redundancy, tx, rx)
-        };
+        }
+        let sent = inner.multicast(first_seq, method, &payload, &first_selection);
+        if sent == 0 {
+            inner.clear_waiters(&[first_seq]);
+            inner.handler.on_give_up(first_seq);
+            return Err(CallError::GaveUp { redundancy });
+        }
         let mut seqs = vec![first_seq];
 
         // Stage 1 (optional): wait until the intermediate retry deadline,
@@ -606,45 +708,58 @@ impl AquaClient {
         if let Some(retry_after) = self.retry_after {
             let wait = std::time::Duration::from(retry_after).min(give_up);
             match rx.recv_timeout(wait) {
-                Ok(msg) => return resolve(msg),
+                Ok(msg) => {
+                    inner.clear_waiters(&seqs);
+                    return resolve(msg);
+                }
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
-                    let mut state = self.inner.state.lock();
-                    if let Ok(msg) = rx.try_recv() {
-                        return resolve(msg);
-                    }
-                    if state.waiters.contains_key(&first_seq) {
-                        let now = self.inner.now();
-                        let retry = state.handler.plan_retry(
-                            now,
-                            Some(method),
-                            t0,
-                            first_seq,
-                            &first_selection,
-                        );
-                        if let Some(plan) = retry {
-                            let sent =
-                                self.multicast(&mut state, &frame_for(plan.seq), &plan.replicas);
-                            if sent > 0 {
-                                redundancy += plan.replicas.len();
-                                let group = vec![first_seq, plan.seq];
-                                if let Some(w) = state.waiters.get_mut(&first_seq) {
-                                    w.group.clone_from(&group);
+                    let now = inner.now();
+                    // plan_retry handles the sibling-group protocol and
+                    // returns None if the request resolved meanwhile.
+                    let retry = inner.handler.plan_retry(
+                        now,
+                        Some(method),
+                        t0,
+                        first_seq,
+                        &first_selection,
+                    );
+                    if let Some(plan) = retry {
+                        let added = plan.replicas.len();
+                        let group = vec![first_seq, plan.seq];
+                        {
+                            let mut shard = inner.waiter_shard(first_seq).lock();
+                            if let Some(w) = shard.get_mut(&first_seq) {
+                                w.group.clone_from(&group);
+                                w.redundancy = redundancy + added;
+                            }
+                        }
+                        {
+                            let mut shard = inner.waiter_shard(plan.seq).lock();
+                            shard.insert(
+                                plan.seq,
+                                Waiter {
+                                    tx: tx.clone(),
+                                    redundancy: redundancy + added,
+                                    group,
+                                },
+                            );
+                        }
+                        let sent = inner.multicast(plan.seq, method, &payload, &plan.replicas);
+                        if sent > 0 {
+                            redundancy += added;
+                            seqs.push(plan.seq);
+                        } else {
+                            // Nobody reachable for the retry: retire the
+                            // attempt quietly.
+                            inner.clear_waiters(&[plan.seq]);
+                            {
+                                let mut shard = inner.waiter_shard(first_seq).lock();
+                                if let Some(w) = shard.get_mut(&first_seq) {
+                                    w.group = vec![first_seq];
                                     w.redundancy = redundancy;
                                 }
-                                state.waiters.insert(
-                                    plan.seq,
-                                    Waiter {
-                                        tx: tx.clone(),
-                                        redundancy,
-                                        group,
-                                    },
-                                );
-                                seqs.push(plan.seq);
-                            } else {
-                                // Nobody reachable for the retry: retire
-                                // the attempt quietly.
-                                state.handler.on_abandon(now, plan.seq);
                             }
+                            inner.handler.on_abandon(now, plan.seq);
                         }
                     }
                 }
@@ -654,74 +769,33 @@ impl AquaClient {
         // Stage 2: wait out the rest of the give-up window.
         let remaining = give_up.saturating_sub(started.elapsed());
         match rx.recv_timeout(remaining) {
-            Ok(msg) => resolve(msg),
+            Ok(msg) => {
+                inner.clear_waiters(&seqs);
+                resolve(msg)
+            }
             Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
-                // Race window: the dispatcher may have resolved the call
-                // between the timeout and us taking the lock.
-                let mut state = self.inner.state.lock();
-                if let Ok(msg) = rx.try_recv() {
-                    return resolve(msg);
-                }
+                let now = inner.now();
                 // One timing failure per logical request: the newest
                 // attempt carries the give-up, earlier ones retire.
-                let now = self.inner.now();
-                for s in &seqs {
-                    state.waiters.remove(s);
-                }
                 if let Some((last, earlier)) = seqs.split_last() {
                     for s in earlier {
-                        state.handler.on_abandon(now, *s);
+                        inner.handler.on_abandon(now, *s);
                     }
-                    state.handler.on_give_up(*last);
+                    if !inner.handler.on_give_up(*last) {
+                        // A first reply (or the disconnect sweep) won the
+                        // race against our timer: the resolution is on the
+                        // channel, or arrives momentarily.
+                        let msg = rx.recv_timeout(std::time::Duration::from_secs(1)).ok();
+                        inner.clear_waiters(&seqs);
+                        if let Some(msg) = msg {
+                            return resolve(msg);
+                        }
+                        return Err(CallError::GaveUp { redundancy });
+                    }
                 }
+                inner.clear_waiters(&seqs);
                 drop(tx);
                 Err(CallError::GaveUp { redundancy })
-            }
-        }
-    }
-
-    /// Writes `frame` to every listed replica that still has a live
-    /// connection; returns how many writes succeeded.
-    fn multicast(&self, state: &mut State, frame: &Frame, replicas: &[ReplicaId]) -> usize {
-        let mut sent = 0usize;
-        for id in replicas {
-            if let Some(writer) = state.writers.get_mut(id) {
-                if frame.write_to(writer).is_ok() {
-                    sent += 1;
-                    if let Some(wire) = &self.inner.wire {
-                        wire.on_sent(frame);
-                    }
-                }
-            }
-        }
-        sent
-    }
-}
-
-fn resolve(msg: WaitMsg) -> Result<CallOutcome, CallError> {
-    match msg {
-        WaitMsg::Outcome(outcome) => Ok(outcome),
-        WaitMsg::NoReplicas => Err(CallError::NoReplicas),
-    }
-}
-
-fn dispatcher_loop(inner: Arc<Inner>, events: Receiver<NetEvent>) {
-    while let Ok(ev) = events.recv() {
-        inner.apply_event(ev);
-    }
-}
-
-fn reader_loop(mut stream: TcpStream, id: ReplicaId, tx: Sender<NetEvent>) {
-    loop {
-        match Frame::read_from(&mut stream) {
-            Ok(frame) => {
-                if tx.send(NetEvent::Frame(id, frame)).is_err() {
-                    return;
-                }
-            }
-            Err(_) => {
-                let _ = tx.send(NetEvent::Disconnected(id));
-                return;
             }
         }
     }
@@ -905,6 +979,43 @@ mod tests {
         assert!(prom.contains("aqua_server_service_ns"));
         let delivered = client.with_handler(|h| h.stats().delivered);
         assert_eq!(delivered, 4);
+    }
+
+    #[test]
+    fn wire_byte_counters_match_framing() {
+        // The batching writer must account exactly the framing bytes the
+        // old per-frame path would have: counters equal the sum of
+        // `encoded_len` over everything sent.
+        let (obs, _reader) = aqua_obs::Obs::in_memory();
+        let servers = spawn_servers(&[5]);
+        let replicas: Vec<(ReplicaId, SocketAddr)> =
+            servers.iter().map(|s| (s.replica(), s.addr())).collect();
+        let mut config = AquaClientConfig::new(QosSpec::new(ms(500), 0.9).unwrap());
+        config.obs = Some(obs.clone());
+        let client =
+            AquaClient::connect(&replicas, config, Box::new(ModelBased::default())).unwrap();
+        for _ in 0..3 {
+            client.call(MethodId::DEFAULT, b"frame-check").expect("ok");
+        }
+        // Everything this client sends has a fixed shape: one Hello plus
+        // one Request per call (single replica, no retries).
+        let hello = Frame::Hello { client: 0 }.encoded_len() as u64;
+        let request = Frame::Request {
+            seq: 0,
+            method: 0,
+            payload: Bytes::from_static(b"frame-check"),
+        }
+        .encoded_len() as u64;
+        let frames = obs
+            .registry()
+            .counter("aqua_wire_frames_sent_total", &[("client", "0")])
+            .get();
+        let bytes = obs
+            .registry()
+            .counter("aqua_wire_bytes_sent_total", &[("client", "0")])
+            .get();
+        assert_eq!(frames, 4, "one hello + three requests");
+        assert_eq!(bytes, hello + 3 * request, "framing unchanged");
     }
 
     #[test]

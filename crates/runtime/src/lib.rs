@@ -37,8 +37,12 @@
 #![warn(missing_docs)]
 
 mod client;
+#[cfg(feature = "serialized-baseline")]
+pub mod serialized;
 mod server;
 pub mod wire;
 
 pub use client::{AquaClient, AquaClientConfig, CallError, CallOutcome, ReconnectPolicy};
+#[cfg(feature = "serialized-baseline")]
+pub use serialized::SerializedClient;
 pub use server::{ReplicaServer, ReplicaServerConfig};

@@ -8,7 +8,7 @@
 //! elapsed time is what gets reported, exactly like the instrumented
 //! gateway of the paper.
 
-use std::io;
+use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -408,6 +408,10 @@ fn service_loop(
     faults: FaultSchedule,
 ) {
     let mut rng = SmallRng::seed_from_u64(seed);
+    // Reused frame buffer: replies and perf updates are encoded once per
+    // job into this scratch space instead of allocating per frame (and
+    // per subscriber).
+    let mut frame_buf: Vec<u8> = Vec::with_capacity(256);
     loop {
         // Blocking receive: the sole wakeups are jobs, the crash sentinel,
         // and channel teardown — no polling.
@@ -467,10 +471,12 @@ fn service_loop(
             std::thread::sleep(spike.into());
         }
         let mut writer = job.writer;
+        frame_buf.clear();
+        reply.encode_into(&mut frame_buf);
         if faults.should_drop(Some(replica), None, reply_at) {
             // The reply message is lost; the client's redundancy or retry
             // has to mask it.
-        } else if reply.write_to(&mut writer).is_err() {
+        } else if writer.write_all(&frame_buf).is_err() {
             shared.subscribers.lock().retain(|(p, _)| *p != job.peer);
         }
 
@@ -484,8 +490,11 @@ fn service_loop(
             method: job.method,
         };
         {
+            // One encoding serves every subscriber.
+            frame_buf.clear();
+            update.encode_into(&mut frame_buf);
             let mut subs = shared.subscribers.lock();
-            subs.retain_mut(|(p, w)| *p == job.peer || update.write_to(w).is_ok());
+            subs.retain_mut(|(p, w)| *p == job.peer || w.write_all(&frame_buf).is_ok());
         }
 
         let done = shared.serviced.fetch_add(1, Ordering::Relaxed) + 1;
@@ -499,7 +508,6 @@ fn service_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Write as _;
 
     fn connect(addr: SocketAddr) -> TcpStream {
         let s = TcpStream::connect(addr).expect("connect");

@@ -72,6 +72,26 @@ impl<'a> SelectionInput<'a> {
     }
 }
 
+/// The parameters a lock-free planner needs to reproduce a strategy's
+/// selection from a published planning snapshot instead of a live
+/// repository reference.
+///
+/// A strategy that is a pure function of the per-replica response-time
+/// distributions (the paper's model-based selection) can hand these out;
+/// the concurrent handler then evaluates Algorithm 1 against the
+/// snapshot's memoized CDF tables with no strategy (or repository) lock
+/// at all. Stateful baselines (round-robin rotation, seeded shuffles)
+/// cannot, and keep going through [`SelectionStrategy::select`].
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotPlanSpec {
+    /// The response-time model configuration the snapshots are built with.
+    pub model: ModelConfig,
+    /// Crash tolerance handed to Algorithm 1's generalization (§5.3.2).
+    pub crashes: usize,
+    /// Policy for replicas whose snapshot has no distribution yet.
+    pub cold_start: ColdStartPolicy,
+}
+
 /// A replica-selection policy.
 pub trait SelectionStrategy: Send {
     /// A short stable name for reports and plots.
@@ -86,6 +106,14 @@ pub trait SelectionStrategy: Send {
     /// Lifetime counters of the strategy's internal model cache, if it has
     /// one. Baselines return `None`.
     fn cache_stats(&self) -> Option<ModelCacheStats> {
+        None
+    }
+
+    /// How to reproduce this strategy from an immutable planning snapshot,
+    /// if it is snapshot-plannable. `None` (the default) means the
+    /// strategy is stateful or opaque and callers must serialize calls to
+    /// [`SelectionStrategy::select`] instead.
+    fn snapshot_spec(&self) -> Option<SnapshotPlanSpec> {
         None
     }
 }
@@ -190,6 +218,14 @@ impl SelectionStrategy for ModelBased {
 
     fn cache_stats(&self) -> Option<ModelCacheStats> {
         Some(self.cache.stats())
+    }
+
+    fn snapshot_spec(&self) -> Option<SnapshotPlanSpec> {
+        Some(SnapshotPlanSpec {
+            model: *self.model.config(),
+            crashes: self.crashes,
+            cold_start: self.cold_start,
+        })
     }
 }
 
@@ -456,6 +492,16 @@ mod tests {
         // by the single backup, so K = {best, second-best} = {r0, r3}.
         assert_eq!(idx(&sel), vec![0, 3]);
         assert_eq!(strat.overhead().samples(), 1, "δ recorded");
+    }
+
+    #[test]
+    fn snapshot_spec_only_for_snapshot_plannable_strategies() {
+        let strat = ModelBased::default().with_crash_tolerance(2);
+        let spec = strat.snapshot_spec().expect("model-based is plannable");
+        assert_eq!(spec.crashes, 2);
+        assert_eq!(spec.cold_start, ColdStartPolicy::SelectAll);
+        assert!(FastestMean { k: 1 }.snapshot_spec().is_none());
+        assert!(RoundRobin::new(2).snapshot_spec().is_none());
     }
 
     #[test]

@@ -133,7 +133,8 @@ fn per_method_histories_over_sockets() {
         client.call(slow, b"s").expect("ok");
     }
     client.with_handler(|h| {
-        let (_, stats) = h.repository().iter().next().expect("has replicas");
+        let repo = h.repository();
+        let (_, stats) = repo.iter().next().expect("has replicas");
         assert!(stats.history(fast).is_some(), "method 1 classified");
         assert!(stats.history(slow).is_some(), "method 2 classified");
     });
