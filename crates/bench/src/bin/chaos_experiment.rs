@@ -14,10 +14,13 @@
 //! * `--check` — CI soak mode: exit non-zero unless every scenario
 //!   completes all requests with a bounded failure rate.
 //!
-//! With `AQUA_OBS=dir` the full journal is written out; every injected
-//! fault window appears as `{"type":"fault","phase":"active"|"cleared",...}`
-//! lines that correlate with the request spans around them (see
-//! EXPERIMENTS.md § Chaos).
+//! With `AQUA_OBS=dir` each scenario writes its own journal under
+//! `dir/<scenario-slug>/` (gateway sequence numbers restart per scenario,
+//! so the runs must not share one journal); every injected fault window
+//! appears as `{"type":"fault","phase":"active"|"cleared",...}` lines
+//! that correlate with the request spans around them, and each directory
+//! can be replayed with `aqua_forensics` (see EXPERIMENTS.md § Chaos).
+//! `AQUA_OBS_ROTATE_BYTES` bounds individual journal files.
 
 use aqua_core::qos::QosSpec;
 use aqua_core::time::{Duration, Instant};
@@ -96,7 +99,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(7);
 
-    let obs = aqua_bench::obs_from_env();
+    let obs_dir = aqua_obs::dir_from_env();
     println!("chaos harness: 7 replicas Normal(100 ms, σ50 ms), client");
     println!("(200 ms, Pc = 0.9), 50 requests, retry after 250 ms, seed {seed}.\n");
     println!("| scenario | P(failure) | gave up | retries | mean redundancy |");
@@ -104,6 +107,11 @@ fn main() {
 
     let mut violations = Vec::new();
     for scenario in scenarios() {
+        // One journal per scenario: gateway seqs restart for each run, so
+        // sharing a journal would alias distinct requests during replay.
+        let obs = obs_dir
+            .as_ref()
+            .map(|dir| aqua_bench::obs_into_subdir(dir, scenario.label));
         let report =
             run_experiment_observed(&config(seed, scenario.faults), obs.as_ref().map(|(o, _)| o));
         let c = report.client_under_test();
@@ -128,16 +136,15 @@ fn main() {
                 scenario.label, c.failure_probability, scenario.budget
             ));
         }
+        if let Some((obs, dir)) = obs {
+            aqua_bench::obs_dump(&obs, &dir);
+        }
     }
     println!();
     println!("expected: every fault window is masked — the crash by the");
     println!("redundant selection plus reconnect-with-probation, the pause");
     println!("and the drops by the deadline-driven retry — so no scenario");
     println!("strays far above the fault-free baseline.");
-
-    if let Some((obs, dir)) = obs {
-        aqua_bench::obs_dump(&obs, &dir);
-    }
     if check {
         if violations.is_empty() {
             println!("\ncheck: all scenarios within budget.");

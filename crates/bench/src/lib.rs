@@ -13,12 +13,53 @@ pub mod synthetic;
 
 /// Opens the observability sink requested via the `AQUA_OBS` environment
 /// variable (see [`aqua_obs::dir_from_env`]): returns the handle plus the
-/// output directory, or `None` when observability is off. Exits on I/O
-/// errors — this is binary-startup code.
+/// output directory, or `None` when observability is off. Setting
+/// `AQUA_OBS_ROTATE_BYTES` to a positive value rotates the journal once
+/// the active file passes that size, so long soaks stay bounded. Exits on
+/// I/O errors — this is binary-startup code.
 pub fn obs_from_env() -> Option<(aqua_obs::Obs, String)> {
     let dir = aqua_obs::dir_from_env()?;
-    match aqua_obs::Obs::to_dir(&dir) {
+    let rotate_bytes: u64 = std::env::var("AQUA_OBS_ROTATE_BYTES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let opened = if rotate_bytes > 0 {
+        aqua_obs::Obs::to_dir_rotating(&dir, rotate_bytes)
+    } else {
+        aqua_obs::Obs::to_dir(&dir)
+    };
+    match opened {
         Ok(obs) => Some((obs, dir)),
+        Err(e) => {
+            eprintln!("cannot open observability directory {dir:?}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Opens a rotating observability sink in `base/<slug>` where the slug is
+/// `label` reduced to `[a-z0-9-]`. Used by multi-scenario harnesses that
+/// must keep each run's journal separate (gateway sequence numbers
+/// restart per run, so a shared journal would alias spans during
+/// forensics replay). Honors `AQUA_OBS_ROTATE_BYTES` like
+/// [`obs_from_env`]; exits on I/O errors.
+pub fn obs_into_subdir(base: &str, label: &str) -> (aqua_obs::Obs, String) {
+    let slug: String = label
+        .to_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect::<String>()
+        .split('-')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("-");
+    let dir = format!("{base}/{slug}");
+    let rotate_bytes: u64 = std::env::var("AQUA_OBS_ROTATE_BYTES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    match aqua_obs::Obs::to_dir_rotating(&dir, rotate_bytes) {
+        Ok(obs) => (obs, dir),
         Err(e) => {
             eprintln!("cannot open observability directory {dir:?}: {e}");
             std::process::exit(2);

@@ -35,4 +35,4 @@ mod schedule;
 
 pub use obs::{emit_fault_events, FaultTracker};
 pub use plan::{FaultKind, FaultPlan, FaultSpec};
-pub use schedule::{FaultSchedule, ReplicaHealth};
+pub use schedule::{FaultSchedule, FaultWindow, ReplicaHealth};

@@ -20,11 +20,17 @@ use crate::plan::FaultSpec;
 use crate::schedule::FaultSchedule;
 
 fn emit_edge(obs: &Obs, spec: &FaultSpec, index: usize, phase: &str, at: Instant) {
+    // `window` is the stable id linking this window's `active`/`cleared`
+    // pair to the spans that carry it in `fault_windows`; `fault` is the
+    // same value under the original field name, kept for older readers.
     let mut fields = JsonValue::object()
         .field("phase", phase)
         .field("kind", spec.kind.label())
         .field("fault", index)
-        .field("at_ns", at.as_nanos());
+        .field("window", index)
+        .field("at_ns", at.as_nanos())
+        .field("start_ns", spec.start.as_nanos())
+        .field("end_ns", spec.end().as_nanos());
     fields = match spec.replica {
         Some(r) => fields.field("replica", r.index()),
         None => fields.field("scope", "network"),
@@ -112,6 +118,48 @@ mod tests {
         assert!(lines[1].contains("\"phase\":\"cleared\""));
         assert!(lines[2].contains("\"kind\":\"crash\""));
         assert!(obs.prometheus().contains("aqua_faults_injected_total"));
+    }
+
+    #[test]
+    fn edges_carry_the_stable_window_id() {
+        let schedule = FaultPlan::new()
+            .pause(2, Instant::from_secs(2), Duration::from_millis(500))
+            .degrade(1, Instant::from_secs(1), Duration::from_secs(1), 2.0)
+            .instantiate(7);
+        let (obs, reader) = Obs::in_memory();
+        emit_fault_events(&obs, &schedule, Instant::from_secs(30));
+        // Both edges of the same window share one id, and the id matches
+        // what `FaultSchedule::windows` hands the span instrumentation.
+        let pause_edges = reader.lines_containing("\"kind\":\"pause\"");
+        assert_eq!(pause_edges.len(), 2);
+        for edge in &pause_edges {
+            assert!(edge.contains("\"window\":0"), "got: {edge}");
+        }
+        let degrade_edges = reader.lines_containing("\"kind\":\"degrade\"");
+        assert!(degrade_edges.iter().all(|e| e.contains("\"window\":1")));
+        let windows = schedule.windows();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].id, 0);
+        assert_eq!(windows[0].kind, "pause");
+        assert_eq!(windows[1].id, 1);
+    }
+
+    #[test]
+    fn window_overlap_requires_target_and_time_intersection() {
+        let schedule = FaultPlan::new()
+            .pause(2, Instant::from_secs(2), Duration::from_secs(1))
+            .delay_spike_all(Instant::from_secs(10), Duration::from_secs(1), 4.0)
+            .instantiate(7);
+        let w = schedule.windows();
+        // Replica-targeted window: selected set must contain the target.
+        assert!(w[0].overlaps(&[2, 5], Instant::from_secs(2), Instant::from_secs(3)));
+        assert!(!w[0].overlaps(&[3, 5], Instant::from_secs(2), Instant::from_secs(3)));
+        // Disjoint in time.
+        assert!(!w[0].overlaps(&[2], Instant::from_secs(4), Instant::from_secs(5)));
+        // A span ending exactly at the window's start still touches it.
+        assert!(w[0].overlaps(&[2], Instant::from_secs(1), Instant::from_secs(2)));
+        // Network-wide window touches any selection.
+        assert!(w[1].overlaps(&[0], Instant::from_secs(10), Instant::from_secs(11)));
     }
 
     #[test]

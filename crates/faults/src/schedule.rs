@@ -198,6 +198,55 @@ impl FaultSchedule {
             .enumerate()
             .filter(move |(_, s)| s.active_at(now))
     }
+
+    /// The schedule's windows as joinable values: each carries the stable
+    /// id the journal's `fault` events are tagged with (the plan index),
+    /// so span ↔ fault joins in forensics are exact, not
+    /// timestamp-heuristic.
+    pub fn windows(&self) -> Vec<FaultWindow> {
+        self.specs
+            .iter()
+            .enumerate()
+            .map(|(idx, spec)| FaultWindow {
+                id: idx as u64,
+                replica: spec.replica,
+                kind: spec.kind.label(),
+                start: spec.start,
+                end: spec.end(),
+            })
+            .collect()
+    }
+}
+
+/// One fault window in joinable form: the stable `id` matches the
+/// `"window"` field of the journal's `fault` events for this schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    /// Stable id (the plan index) shared by the window's `active` and
+    /// `cleared` journal events.
+    pub id: u64,
+    /// Target replica; `None` for network-wide windows.
+    pub replica: Option<ReplicaId>,
+    /// The fault kind's stable label.
+    pub kind: &'static str,
+    /// When the window opens.
+    pub start: Instant,
+    /// When the window closes (saturated for permanent faults).
+    pub end: Instant,
+}
+
+impl FaultWindow {
+    /// Whether this window touches a request that was multicast to
+    /// `selected` (replica ids) and lived over `[from, to]`: the window's
+    /// target must be one of the selected replicas (or network-wide) and
+    /// the time intervals must intersect.
+    pub fn overlaps(&self, selected: &[u64], from: Instant, to: Instant) -> bool {
+        let targeted = match self.replica {
+            None => true,
+            Some(r) => selected.contains(&r.index()),
+        };
+        targeted && self.start <= to && self.end > from
+    }
 }
 
 /// Whether a spec's target matches either endpoint of a message (or the spec

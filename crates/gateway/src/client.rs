@@ -161,6 +161,9 @@ pub struct ClientGateway {
     subscribed: Vec<NodeId>,
     finished: bool,
     obs: Option<(aqua_obs::Obs, u64)>,
+    /// The run's fault timeline, installed on the handler's observer at
+    /// start so emitted spans carry stable fault-window ids.
+    fault_windows: Vec<aqua_faults::FaultWindow>,
     /// Root seq → (method, attempt seqs in issue order). Tracked only when
     /// retries are enabled; resolving any attempt retires its siblings.
     retry_state: HashMap<u64, (MethodId, Vec<u64>)>,
@@ -192,6 +195,7 @@ impl ClientGateway {
             subscribed: Vec::new(),
             finished: false,
             obs: None,
+            fault_windows: Vec::new(),
             retry_state: HashMap::new(),
             root_of: HashMap::new(),
         }
@@ -202,6 +206,16 @@ impl ClientGateway {
     #[must_use]
     pub fn with_obs(mut self, obs: &aqua_obs::Obs, client: u64) -> Self {
         self.obs = Some((obs.clone(), client));
+        self
+    }
+
+    /// Installs the run's fault timeline: every journalled span is tagged
+    /// with the stable ids of the fault windows that overlapped it, giving
+    /// the forensics analyzer exact fault joins. No-op without
+    /// [`ClientGateway::with_obs`].
+    #[must_use]
+    pub fn with_fault_windows(mut self, windows: Vec<aqua_faults::FaultWindow>) -> Self {
+        self.fault_windows = windows;
         self
     }
 
@@ -297,7 +311,7 @@ impl ClientGateway {
         if targets.is_empty() {
             // Selection raced a view change; drop the pending entry as an
             // immediate give-up.
-            self.handler_mut().on_give_up(plan.seq);
+            self.handler_mut().on_give_up(now, plan.seq);
             return IssueResult::NoServers;
         }
 
@@ -456,7 +470,7 @@ impl ClientGateway {
             for replica in stale {
                 let plan = self.handler_mut().plan_probe(now, replica);
                 let Some(node) = self.agent.as_ref().and_then(|a| a.view().node_of(replica)) else {
-                    self.handler_mut().on_give_up(plan.seq);
+                    self.handler_mut().on_give_up(now, plan.seq);
                     continue;
                 };
                 ctx.send(
@@ -490,9 +504,9 @@ impl ClientGateway {
                     self.handler_mut().on_abandon(now, *attempt);
                 }
             }
-            self.handler_mut().on_give_up(last)
+            self.handler_mut().on_give_up(now, last)
         } else {
-            self.handler_mut().on_give_up(seq)
+            self.handler_mut().on_give_up(now, seq)
         };
         if resolved {
             if let Some(rec) = self.records.iter_mut().find(|r| r.seq == seq) {
@@ -568,6 +582,9 @@ impl Node<Wire> for ClientGateway {
                     TimingFaultHandler::new(self.config.qos, self.config.window, strategy);
                 if let Some((obs, client)) = self.obs.as_ref() {
                     handler.attach_obs(obs, Some(*client));
+                    if !self.fault_windows.is_empty() {
+                        handler.set_fault_windows(self.fault_windows.clone());
+                    }
                 }
                 self.handler = Some(handler);
                 self.finished = false;

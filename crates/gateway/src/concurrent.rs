@@ -46,7 +46,7 @@ use aqua_obs::contention::LockContention;
 use aqua_strategies::{SelectionInput, SelectionStrategy, SnapshotPlanSpec};
 use parking_lot::Mutex;
 
-use crate::obs::HandlerObserver;
+use crate::obs::{HandlerObserver, PlanObservation};
 use crate::timing::{HandlerStats, ReplyOutcome, RequestPlan};
 
 /// Number of pending-table shards (sequence numbers hash across them).
@@ -319,6 +319,21 @@ impl ConcurrentHandler {
         if let Some(obs) = &self.obs {
             obs.lock().observer.flush();
         }
+    }
+
+    /// Installs the run's fault timeline on the observer so every emitted
+    /// span is tagged with the stable ids of overlapping fault windows.
+    /// No-op without an attached observer.
+    pub fn set_fault_windows(&self, windows: Vec<aqua_faults::FaultWindow>) {
+        if let Some(obs) = &self.obs {
+            obs.lock().observer.set_fault_windows(windows);
+        }
+    }
+
+    /// Runs `f` against the attached observer (watchdog reconfiguration,
+    /// alert hooks). Returns `None` without an attached observer.
+    pub fn with_observer<T>(&self, f: impl FnOnce(&mut HandlerObserver) -> T) -> Option<T> {
+        self.obs.as_ref().map(|obs| f(&mut obs.lock().observer))
     }
 
     // -- membership ---------------------------------------------------------
@@ -608,9 +623,10 @@ impl ConcurrentHandler {
     ) -> Option<(u64, Arc<[ReplicaId]>)> {
         let started = std::time::Instant::now();
         let view = self.snapshot.load();
-        let (mut replicas, cache_totals) = match &self.planner {
+        let (mut replicas, predicted, cache_totals) = match &self.planner {
             PlannerMode::Snapshot { spec, .. } => {
-                (self.plan_from_snapshot(&view, spec, method, exclude), None)
+                let (selected, predicted) = self.plan_from_snapshot(&view, spec, method, exclude);
+                (selected, predicted, None)
             }
             PlannerMode::Strategy(strategy) => {
                 let mut strategy = strategy.lock();
@@ -621,7 +637,15 @@ impl ConcurrentHandler {
                     now,
                     exclude,
                 });
-                (selected, strategy.cache_stats())
+                // Strategies that model per-replica success expose this
+                // plan's predictions; baselines return an empty slice.
+                let predictions = strategy.last_predictions();
+                let predicted: Vec<f64> = selected
+                    .iter()
+                    .map(|r| predictions.iter().find(|(id, _)| id == r).map(|(_, p)| *p))
+                    .collect::<Option<Vec<f64>>>()
+                    .unwrap_or_default();
+                (selected, predicted, strategy.cache_stats())
             }
         };
         if retry_of.is_some() && replicas.is_empty() {
@@ -650,17 +674,20 @@ impl ConcurrentHandler {
             .fetch_add(replicas.len() as u64, Ordering::Relaxed);
         if let Some(obs) = &self.obs {
             let mut obs = obs.lock();
-            obs.observer.on_plan(
+            obs.observer.on_plan(PlanObservation {
                 seq,
-                method.unwrap_or_default().index(),
-                self.client_id,
-                now.as_nanos(),
-                view.qos().deadline().as_nanos(),
-                &replicas,
-                false,
-                Some(overhead_nanos),
+                method: method.unwrap_or_default().index(),
+                client: self.client_id,
+                now_nanos: now.as_nanos(),
+                deadline_nanos: view.qos().deadline().as_nanos(),
+                promised: view.qos().min_probability(),
+                selected: &replicas,
+                predicted: &predicted,
+                view_version: Some(view.version()),
+                probe: false,
+                overhead_nanos: Some(overhead_nanos),
                 retry_of,
-            );
+            });
             if let Some(totals) = cache_totals {
                 let seen = obs.cache_seen;
                 obs.observer.on_model_cache(
@@ -676,7 +703,9 @@ impl ConcurrentHandler {
 
     /// Algorithm 1 over the published snapshot: evaluate `F_Ri(t − δ)`
     /// from the memoized tables, then run the crash-tolerant subset
-    /// selection. Runs entirely on the caller's thread.
+    /// selection. Runs entirely on the caller's thread. Returns the
+    /// selection plus each chosen replica's predicted `P(meet deadline)`
+    /// (empty on a cold-start multicast, which has no model to consult).
     #[aqua::hot_path]
     fn plan_from_snapshot(
         &self,
@@ -684,7 +713,7 @@ impl ConcurrentHandler {
         spec: &SnapshotPlanSpec,
         method: Option<MethodId>,
         exclude: &[ReplicaId],
-    ) -> Vec<ReplicaId> {
+    ) -> (Vec<ReplicaId>, Vec<f64>) {
         let deadline = view.qos().deadline().saturating_sub(Duration::from_nanos(
             self.last_overhead_ns.load(Ordering::Relaxed),
         ));
@@ -702,12 +731,14 @@ impl ConcurrentHandler {
                     ColdStartPolicy::SelectAll => {
                         // Cold start (§5.4.1): multicast to every
                         // selectable member in one round.
-                        return view
+                        let everyone = view
                             .replicas()
                             .iter()
                             .filter(|s| s.is_selectable() && !exclude.contains(&s.id()))
                             .map(|s| s.id())
                             .collect();
+                        // aqua-lint: allow(no-alloc-in-select) Vec::new is allocation-free; a cold-start multicast has no predictions to report
+                        return (everyone, Vec::new());
                     }
                     ColdStartPolicy::Optimistic(p) => {
                         candidates.push(Candidate::new(id, p.clamp(0.0, 1.0)));
@@ -715,8 +746,19 @@ impl ConcurrentHandler {
                 },
             }
         }
-        select_replicas_tolerating(&candidates, view.qos().min_probability(), spec.crashes)
-            .into_replicas()
+        let chosen =
+            select_replicas_tolerating(&candidates, view.qos().min_probability(), spec.crashes)
+                .into_replicas();
+        let predicted = chosen
+            .iter()
+            .map(|id| {
+                candidates
+                    .iter()
+                    .find(|c| c.id == *id)
+                    .map_or(0.0, |c| c.probability)
+            })
+            .collect();
+        (chosen, predicted)
     }
 
     // -- replies ------------------------------------------------------------
@@ -756,7 +798,11 @@ impl ConcurrentHandler {
             .answered
             .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
             .is_ok();
+        // Ingest-shard handling cost, recorded on the span as `ingest_ns`
+        // so forensics can separate wire delay from ingest stalls.
+        let ingest_started = std::time::Instant::now();
         self.ingest(now, replica, Some(perf), Some(td));
+        let ingest_nanos = ingest_started.elapsed().as_nanos() as u64;
 
         if first {
             let response_time = now.saturating_duration_since(entry.intercepted_at);
@@ -768,7 +814,17 @@ impl ConcurrentHandler {
             if verdict.should_notify() {
                 self.stats.callbacks.fetch_add(1, Ordering::Relaxed);
             }
-            self.observe_reply(seq, replica, now, &perf, td, in_flight, true, Some(verdict));
+            self.observe_reply(
+                seq,
+                replica,
+                now,
+                &perf,
+                td,
+                in_flight,
+                ingest_nanos,
+                true,
+                Some(verdict),
+            );
             self.retire_siblings(now, &entry, seq);
             ReplyOutcome::Deliver {
                 response_time,
@@ -776,7 +832,17 @@ impl ConcurrentHandler {
             }
         } else {
             self.stats.redundant.fetch_add(1, Ordering::Relaxed);
-            self.observe_reply(seq, replica, now, &perf, td, in_flight, false, None);
+            self.observe_reply(
+                seq,
+                replica,
+                now,
+                &perf,
+                td,
+                in_flight,
+                ingest_nanos,
+                false,
+                None,
+            );
             self.retire_old_entries(seq);
             ReplyOutcome::Redundant
         }
@@ -846,11 +912,12 @@ impl ConcurrentHandler {
         self.retire_attempt(now, seq)
     }
 
-    /// Finalizes a request that never received any reply. Wins or loses
-    /// the group's answered flag against a concurrent first reply —
-    /// returns `false` when the reply got there first (the caller should
-    /// then drain its delivery channel instead of failing the call).
-    pub fn on_give_up(&self, seq: u64) -> bool {
+    /// Finalizes a request that never received any reply, at `now`. Wins
+    /// or loses the group's answered flag against a concurrent first
+    /// reply — returns `false` when the reply got there first (the caller
+    /// should then drain its delivery channel instead of failing the
+    /// call).
+    pub fn on_give_up(&self, now: Instant, seq: u64) -> bool {
         let entry = {
             let shard = self
                 .pending_contention
@@ -884,11 +951,13 @@ impl ConcurrentHandler {
             self.stats.callbacks.fetch_add(1, Ordering::Relaxed);
         }
         if let Some(obs) = &self.obs {
-            let mut obs = obs.lock();
-            obs.observer.on_give_up(seq, false);
-            if verdict.should_notify() {
-                obs.observer.on_give_up_callback();
-            }
+            obs.lock().observer.on_give_up(
+                seq,
+                false,
+                Some(verdict),
+                verdict.should_notify(),
+                now.as_nanos(),
+            );
         }
         true
     }
@@ -920,6 +989,7 @@ impl ConcurrentHandler {
         perf: &PerfReport,
         td: Duration,
         in_flight: Duration,
+        ingest_nanos: u64,
         first: bool,
         verdict: Option<TimingVerdict>,
     ) {
@@ -932,6 +1002,7 @@ impl ConcurrentHandler {
                 perf.queuing_delay.as_nanos(),
                 td.as_nanos(),
                 in_flight.as_nanos(),
+                Some(ingest_nanos),
                 first,
                 false,
                 verdict,
@@ -1112,8 +1183,11 @@ mod tests {
 
         // Give-up first: the late reply degrades to Unknown.
         let plan = h.plan_request(t0);
-        assert!(h.on_give_up(plan.seq));
-        assert!(!h.on_give_up(plan.seq), "second give-up is a no-op");
+        assert!(h.on_give_up(t0 + ms(300), plan.seq));
+        assert!(
+            !h.on_give_up(t0 + ms(301), plan.seq),
+            "second give-up is a no-op"
+        );
         let late = h.on_reply(
             t0 + ms(400),
             plan.seq,
@@ -1131,7 +1205,10 @@ mod tests {
             PerfReport::new(ms(20), ms(0), 0),
         );
         assert!(matches!(out, ReplyOutcome::Deliver { .. }));
-        assert!(!h.on_give_up(plan2.seq), "delivered request cannot fail");
+        assert!(
+            !h.on_give_up(t0 + ms(900), plan2.seq),
+            "delivered request cannot fail"
+        );
         let stats = h.stats();
         assert_eq!((stats.gave_up, stats.delivered), (1, 1));
         assert_eq!(h.detector().failures(), 1);

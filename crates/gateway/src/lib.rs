@@ -36,6 +36,9 @@ pub use concurrent::ConcurrentHandler;
 pub use handlers::{active_strategy, FailoverAction, PassiveHandler, PassivePending};
 pub use manager::{DependabilityManager, ManagerConfig};
 pub use obs::HandlerObserver;
+// Re-exported so downstream crates can configure the QoS-calibration
+// watchdog without depending on aqua-trace directly.
+pub use aqua_trace::{CalibrationAlert, CalibrationConfig};
 pub use passive_client::{PassiveClientConfig, PassiveClientGateway};
 pub use proto::{AquaMsg, RequestId, Wire};
 pub use server::{ServerConfig, ServerGateway};

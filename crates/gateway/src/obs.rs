@@ -19,9 +19,12 @@ use std::sync::Arc;
 
 use aqua_core::failure::TimingVerdict;
 use aqua_core::qos::ReplicaId;
-use aqua_obs::journal::{ReplyObservation, RequestSpan, SpanOutcome};
+use aqua_core::time::Instant;
+use aqua_faults::FaultWindow;
+use aqua_obs::journal::{Journal, ReplyObservation, RequestSpan, SpanOutcome};
 use aqua_obs::metrics::{Counter, Histogram};
 use aqua_obs::Obs;
+use aqua_trace::{CalibrationConfig, QosWatchdog};
 
 /// Renders a verdict as the journal's stable string form.
 fn verdict_label(verdict: TimingVerdict) -> &'static str {
@@ -38,6 +41,57 @@ struct ReplicaHistograms {
     ts: Arc<Histogram>,
     tq: Arc<Histogram>,
     td: Arc<Histogram>,
+}
+
+/// Everything a handler knows when it plans one attempt, bundled for
+/// [`HandlerObserver::on_plan`].
+pub(crate) struct PlanObservation<'a> {
+    /// Handler-assigned sequence number of this attempt.
+    pub seq: u64,
+    /// Method identifier.
+    pub method: u32,
+    /// Client identity, when known.
+    pub client: Option<u64>,
+    /// Plan time (`t1`), nanoseconds on the run's clock.
+    pub now_nanos: u64,
+    /// QoS deadline, nanoseconds.
+    pub deadline_nanos: u64,
+    /// Promised `Pc` from the QoS spec, audited by the watchdog.
+    pub promised: f64,
+    /// The chosen replica set, trusted members first.
+    pub selected: &'a [ReplicaId],
+    /// Model predictions `P(meet deadline)` aligned with the leading
+    /// entries of `selected`; empty when the planner had none (baseline
+    /// strategy, cold-start multicast). Probation shadows at the tail of
+    /// `selected` carry no prediction.
+    pub predicted: &'a [f64],
+    /// Version of the planning view / model snapshot consulted.
+    pub view_version: Option<u64>,
+    /// Whether this is a measurement probe.
+    pub probe: bool,
+    /// Selection overhead δ for this plan, when measured.
+    pub overhead_nanos: Option<u64>,
+    /// For retries, the seq of the superseded attempt.
+    pub retry_of: Option<u64>,
+}
+
+/// Tags `span` with every fault window that overlapped a selected
+/// replica (or the whole network) during its lifetime, then emits it.
+/// Pending/gave-up spans without an end time use the deadline window as
+/// their exposure interval.
+fn emit_span_tagged(journal: &Journal, windows: &[FaultWindow], mut span: RequestSpan) {
+    let from = Instant::from_nanos(span.t1_nanos);
+    let to = Instant::from_nanos(
+        span.end_nanos
+            .unwrap_or_else(|| span.t1_nanos.saturating_add(span.deadline_nanos)),
+    );
+    for window in windows {
+        if window.overlaps(&span.selected, from, to) && !span.fault_windows.contains(&window.id) {
+            span.fault_windows.push(window.id);
+        }
+    }
+    span.fault_windows.sort_unstable();
+    journal.emit_span(&span);
 }
 
 /// Per-handler observability state. See the module docs.
@@ -63,6 +117,8 @@ pub struct HandlerObserver {
     selection_sizes: HashMap<usize, Arc<Counter>>,
     per_replica: HashMap<ReplicaId, ReplicaHistograms>,
     spans: HashMap<u64, RequestSpan>,
+    fault_windows: Vec<FaultWindow>,
+    watchdog: QosWatchdog,
 }
 
 impl std::fmt::Debug for HandlerObserver {
@@ -103,9 +159,30 @@ impl HandlerObserver {
             selection_sizes: HashMap::new(),
             per_replica: HashMap::new(),
             spans: HashMap::new(),
+            fault_windows: Vec::new(),
+            watchdog: QosWatchdog::new(obs),
             obs: obs.clone(),
             client_label,
         }
+    }
+
+    /// Installs the run's fault timeline so every emitted span is tagged
+    /// with the stable ids of the windows that overlapped it (exact joins
+    /// for the forensics analyzer).
+    pub fn set_fault_windows(&mut self, windows: Vec<FaultWindow>) {
+        self.fault_windows = windows;
+    }
+
+    /// Replaces the QoS-calibration watchdog with one using `config`
+    /// (resets its rolling statistics).
+    pub fn configure_watchdog(&mut self, config: CalibrationConfig) {
+        self.watchdog = QosWatchdog::with_config(&self.obs, config);
+    }
+
+    /// The calibration watchdog, e.g. to register alert hooks for a
+    /// dependability manager.
+    pub fn watchdog_mut(&mut self) -> &mut QosWatchdog {
+        &mut self.watchdog
     }
 
     fn replica_histograms(&mut self, replica: ReplicaId) -> &ReplicaHistograms {
@@ -146,72 +223,71 @@ impl HandlerObserver {
     }
 
     /// Records a planned request (or probe) and opens its span.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn on_plan(
-        &mut self,
-        seq: u64,
-        method: u32,
-        client: Option<u64>,
-        now_nanos: u64,
-        deadline_nanos: u64,
-        selected: &[ReplicaId],
-        probe: bool,
-        overhead_nanos: Option<u64>,
-        retry_of: Option<u64>,
-    ) {
-        if probe {
+    pub(crate) fn on_plan(&mut self, plan: PlanObservation<'_>) {
+        if plan.probe {
             self.probes.inc();
         } else {
-            if retry_of.is_none() {
+            if plan.retry_of.is_none() {
                 // Retries are extra attempts at the same logical request:
                 // they widen the selection-size histogram but must not
                 // inflate the request count.
                 self.requests.inc();
             }
-            self.selection_size_counter(selected.len()).inc();
+            self.selection_size_counter(plan.selected.len()).inc();
+            let predictions: Vec<(u64, f64)> = plan
+                .selected
+                .iter()
+                .zip(plan.predicted.iter())
+                .map(|(r, p)| (r.index(), *p))
+                .collect();
+            self.watchdog
+                .on_plan(plan.seq, plan.method, plan.promised, &predictions);
         }
-        if let Some(delta) = overhead_nanos {
+        if let Some(delta) = plan.overhead_nanos {
             self.overhead.record(delta);
         }
-        if let Some(superseded) = retry_of {
+        if let Some(superseded) = plan.retry_of {
             self.retries.inc();
             self.obs.journal().emit_event(
                 "retry",
                 aqua_obs::json::JsonValue::object()
-                    .field("seq", seq)
+                    .field("seq", plan.seq)
                     .field("retry_of", superseded)
-                    .field("at_ns", now_nanos),
+                    .field("at_ns", plan.now_nanos),
             );
         }
-        let mut span = RequestSpan::begin(seq, method, now_nanos, now_nanos);
-        span.client = client;
-        span.deadline_nanos = deadline_nanos;
-        span.selected = selected.iter().map(|r| r.index()).collect();
-        span.probe = probe;
-        span.retry_of = retry_of;
-        self.spans.insert(seq, span);
+        let mut span = RequestSpan::begin(plan.seq, plan.method, plan.now_nanos, plan.now_nanos);
+        span.client = plan.client;
+        span.deadline_nanos = plan.deadline_nanos;
+        span.selected = plan.selected.iter().map(|r| r.index()).collect();
+        span.predicted = plan.predicted.to_vec();
+        span.view_version = plan.view_version;
+        span.plan_nanos = plan.overhead_nanos;
+        span.probe = plan.probe;
+        span.retry_of = plan.retry_of;
+        self.spans.insert(plan.seq, span);
         // Keep memory bounded on endless runs: spill the oldest finished
         // spans once a generous cap is exceeded.
         if self.spans.len() > 4096 {
-            let cutoff = seq.saturating_sub(4096);
-            let old: Vec<u64> = self
+            let cutoff = plan.seq.saturating_sub(4096);
+            let mut old: Vec<u64> = self
                 .spans
                 .iter()
                 .filter(|(s, span)| **s < cutoff && span.outcome != SpanOutcome::Pending)
                 .map(|(s, _)| *s)
                 .collect();
-            let journal = self.obs.journal();
-            let mut old = old;
             old.sort_unstable();
             for seq in old {
                 if let Some(span) = self.spans.remove(&seq) {
-                    journal.emit_span(&span);
+                    emit_span_tagged(self.obs.journal(), &self.fault_windows, span);
                 }
             }
         }
     }
 
     /// Records one reply's measurements and appends it to its span.
+    /// `ingest_nanos` is the gateway-side handling time for this reply
+    /// (stats application / ingest-shard work), when measured.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_reply(
         &mut self,
@@ -222,6 +298,7 @@ impl HandlerObserver {
         queue_nanos: u64,
         gateway_nanos: u64,
         response_nanos: u64,
+        ingest_nanos: Option<u64>,
         first: bool,
         probe: bool,
         verdict: Option<TimingVerdict>,
@@ -248,6 +325,17 @@ impl HandlerObserver {
                 }
             }
         }
+        let deadline = self.spans.get(&seq).map(|s| s.deadline_nanos);
+        if let Some(deadline) = deadline {
+            if !probe {
+                let met = response_nanos <= deadline;
+                self.watchdog.on_replica_reply(seq, replica.index(), met);
+                if first {
+                    let delivered_in_time = verdict.map_or(met, TimingVerdict::is_timely);
+                    self.watchdog.on_outcome(seq, delivered_in_time, at_nanos);
+                }
+            }
+        }
         if let Some(span) = self.spans.get_mut(&seq) {
             span.replies.push(ReplyObservation {
                 replica: replica.index(),
@@ -256,45 +344,62 @@ impl HandlerObserver {
                 queue_nanos,
                 gateway_nanos,
                 response_nanos,
+                ingest_nanos,
                 first,
                 verdict: verdict.map(|v| verdict_label(v).to_owned()),
             });
             if first {
                 span.outcome = SpanOutcome::Delivered;
                 span.end_nanos = Some(at_nanos);
+                if verdict.is_some_and(TimingVerdict::should_notify) {
+                    span.callback = true;
+                }
             }
         }
     }
 
     /// Records a give-up (no reply before the extended deadline) and emits
-    /// the span. Probe give-ups close the span without counting a failure.
-    pub(crate) fn on_give_up(&mut self, seq: u64, probe: bool) {
+    /// the span. `verdict` is the detector's classification of the
+    /// give-up and `callback` whether the client was notified — both are
+    /// recorded on the span so the no-miss-without-callback invariant is
+    /// auditable from the journal. Probe give-ups close the span without
+    /// counting a failure.
+    pub(crate) fn on_give_up(
+        &mut self,
+        seq: u64,
+        probe: bool,
+        verdict: Option<TimingVerdict>,
+        callback: bool,
+        at_nanos: u64,
+    ) {
         if !probe {
             self.gave_up.inc();
             self.timing_failures.inc();
+            if callback {
+                self.callbacks.inc();
+            }
+            self.watchdog.on_outcome(seq, false, at_nanos);
         }
         if let Some(mut span) = self.spans.remove(&seq) {
             span.outcome = SpanOutcome::GaveUp;
-            self.obs.journal().emit_span(&span);
+            span.end_nanos = Some(at_nanos);
+            span.callback = callback;
+            span.give_up_verdict = verdict.map(|v| verdict_label(v).to_owned());
+            emit_span_tagged(self.obs.journal(), &self.fault_windows, span);
         }
-    }
-
-    /// Records a QoS callback fired by a give-up (reply callbacks are
-    /// counted inside [`HandlerObserver::on_reply`]).
-    pub(crate) fn on_give_up_callback(&mut self) {
-        self.callbacks.inc();
     }
 
     /// Retires an attempt superseded by a retry (or resolved through a
     /// sibling attempt) and emits its span. Not a timing failure.
     pub(crate) fn on_abandon(&mut self, seq: u64, at_nanos: u64) {
         self.abandoned.inc();
+        self.watchdog.on_abandon(seq);
         if let Some(mut span) = self.spans.remove(&seq) {
             if span.outcome == SpanOutcome::Pending {
                 span.outcome = SpanOutcome::Superseded;
                 span.end_nanos = Some(at_nanos);
             }
-            self.obs.journal().emit_span(&span);
+            emit_span_tagged(self.obs.journal(), &self.fault_windows, span);
         }
     }
 
@@ -336,13 +441,12 @@ impl HandlerObserver {
     pub fn flush(&mut self) {
         let mut seqs: Vec<u64> = self.spans.keys().copied().collect();
         seqs.sort_unstable();
-        let journal = self.obs.journal();
         for seq in seqs {
             if let Some(span) = self.spans.remove(&seq) {
-                journal.emit_span(&span);
+                emit_span_tagged(self.obs.journal(), &self.fault_windows, span);
             }
         }
-        journal.flush();
+        self.obs.journal().flush();
     }
 
     /// Number of spans not yet emitted.
@@ -370,22 +474,30 @@ mod tests {
         );
     }
 
+    fn plan(seq: u64, selected: &[ReplicaId], predicted: &[f64]) -> PlanObservation<'static> {
+        // Leak the slices: test-only convenience for a 'static plan.
+        PlanObservation {
+            seq,
+            method: 0,
+            client: Some(3),
+            now_nanos: 100 + seq,
+            deadline_nanos: 200_000_000,
+            promised: 0.9,
+            selected: Box::leak(selected.to_vec().into_boxed_slice()),
+            predicted: Box::leak(predicted.to_vec().into_boxed_slice()),
+            view_version: Some(4),
+            probe: false,
+            overhead_nanos: Some(1_500),
+            retry_of: None,
+        }
+    }
+
     #[test]
     fn plan_reply_give_up_round_trip() {
         let (obs, reader) = Obs::in_memory();
         let mut observer = HandlerObserver::new(&obs, Some(3));
         let r = ReplicaId::new(1);
-        observer.on_plan(
-            0,
-            0,
-            Some(3),
-            100,
-            200_000_000,
-            &[r],
-            false,
-            Some(1_500),
-            None,
-        );
+        observer.on_plan(plan(0, &[r], &[0.97]));
         observer.on_reply(
             0,
             r,
@@ -394,32 +506,40 @@ mod tests {
             5_000_000,
             5_000_000,
             90_000_000,
+            Some(250),
             true,
             false,
             Some(TimingVerdict::Timely),
         );
-        observer.on_plan(
+        observer.on_plan(plan(1, &[r], &[0.97]));
+        observer.on_give_up(
             1,
-            0,
-            Some(3),
-            200,
-            200_000_000,
-            &[r],
             false,
-            Some(1_200),
-            None,
+            Some(TimingVerdict::Failure { qos_violated: true }),
+            true,
+            400_000_000,
         );
-        observer.on_give_up(1, false);
         observer.flush();
 
         let lines = reader.lines();
         assert_eq!(lines.len(), 2, "{lines:?}");
         assert!(lines[0].contains(r#""outcome":"gave_up""#), "{}", lines[0]);
+        assert!(lines[0].contains(r#""callback":true"#), "{}", lines[0]);
+        assert!(
+            lines[0].contains(r#""give_up_verdict":"failure_qos_violated""#),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[0].contains(r#""end_ns":400000000"#), "{}", lines[0]);
         assert!(
             lines[1].contains(r#""outcome":"delivered""#),
             "{}",
             lines[1]
         );
+        assert!(lines[1].contains(r#""predicted":[0.97]"#), "{}", lines[1]);
+        assert!(lines[1].contains(r#""view_version":4"#), "{}", lines[1]);
+        assert!(lines[1].contains(r#""plan_ns":1500"#), "{}", lines[1]);
+        assert!(lines[1].contains(r#""ingest_ns":250"#), "{}", lines[1]);
 
         let prom = obs.prometheus();
         assert!(
@@ -427,7 +547,65 @@ mod tests {
             "{prom}"
         );
         assert!(prom.contains("aqua_timing_failures_total{client=\"3\"} 1"));
+        assert!(prom.contains("aqua_qos_callbacks_total{client=\"3\"} 1"));
         assert!(prom.contains("aqua_selection_overhead_ns"));
         assert!(prom.contains("aqua_reply_ts_ns"));
+        assert!(
+            prom.contains("aqua_qos_calibration_error"),
+            "watchdog fed from the observer: {prom}"
+        );
+    }
+
+    #[test]
+    fn spans_are_tagged_with_overlapping_fault_windows() {
+        use aqua_core::time::Duration;
+        let (obs, reader) = Obs::in_memory();
+        let mut observer = HandlerObserver::new(&obs, None);
+        let schedule = aqua_faults::FaultPlan::new()
+            .pause(
+                1,
+                aqua_core::time::Instant::from_secs(1),
+                Duration::from_secs(2),
+            )
+            .degrade(
+                9,
+                aqua_core::time::Instant::from_secs(100),
+                Duration::from_secs(1),
+                2.0,
+            )
+            .instantiate(7);
+        observer.set_fault_windows(schedule.windows());
+        let r = ReplicaId::new(1);
+        let mut p = plan(0, &[r], &[0.9]);
+        p.now_nanos = 1_500_000_000; // inside the pause window on replica 1
+        observer.on_plan(p);
+        observer.on_give_up(0, false, None, false, 1_900_000_000);
+        observer.flush();
+        let line = &reader.lines_containing("\"type\":\"request\"")[0];
+        assert!(line.contains(r#""fault_windows":[0]"#), "{line}");
+    }
+
+    #[test]
+    fn watchdog_alerts_on_sustained_drift() {
+        let (obs, reader) = Obs::in_memory();
+        let mut observer = HandlerObserver::new(&obs, None);
+        observer.configure_watchdog(CalibrationConfig {
+            min_samples: 10,
+            cooldown: 20,
+            ..CalibrationConfig::default()
+        });
+        let r = ReplicaId::new(1);
+        for seq in 0..40 {
+            observer.on_plan(plan(seq, &[r], &[0.97]));
+            observer.on_give_up(
+                seq,
+                false,
+                Some(TimingVerdict::Failure { qos_violated: true }),
+                true,
+                400_000_000 + seq,
+            );
+        }
+        assert!(observer.watchdog_mut().alerts() >= 1);
+        assert!(!reader.lines_containing("calibration_alert").is_empty());
     }
 }

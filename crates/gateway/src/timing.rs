@@ -24,7 +24,7 @@ use aqua_core::repository::{InfoRepository, MethodId, PerfReport};
 use aqua_core::time::{Duration, Instant};
 use aqua_strategies::{SelectionInput, SelectionStrategy};
 
-use crate::obs::HandlerObserver;
+use crate::obs::{HandlerObserver, PlanObservation};
 
 /// A request the handler has multicast and is awaiting replies for.
 #[derive(Debug, Clone)]
@@ -175,6 +175,21 @@ impl TimingFaultHandler {
         self.observer.as_ref()
     }
 
+    /// Mutable access to the attached observer (fault-window installation,
+    /// watchdog reconfiguration, alert hooks).
+    pub fn observer_mut(&mut self) -> Option<&mut HandlerObserver> {
+        self.observer.as_mut()
+    }
+
+    /// Installs the run's fault timeline on the observer so every emitted
+    /// span is tagged with the stable ids of overlapping fault windows.
+    /// No-op without an attached observer.
+    pub fn set_fault_windows(&mut self, windows: Vec<aqua_faults::FaultWindow>) {
+        if let Some(observer) = self.observer.as_mut() {
+            observer.set_fault_windows(windows);
+        }
+    }
+
     /// Emits every span still held by the observer (delivered requests
     /// keep their span open to absorb late redundant replies) and flushes
     /// the journal. No-op without an attached observer.
@@ -283,6 +298,18 @@ impl TimingFaultHandler {
             // attempt (or the give-up timer) resolves the request.
             return None;
         }
+        // The model's per-replica P(meet deadline) for this very plan,
+        // aligned with the selection (empty for baseline strategies and
+        // cold-start multicasts). Captured before probation shadows are
+        // appended: shadows carry no prediction.
+        let predicted: Vec<f64> = {
+            let predictions = self.strategy.last_predictions();
+            replicas
+                .iter()
+                .map(|r| predictions.iter().find(|(id, _)| id == r).map(|(_, p)| *p))
+                .collect::<Option<Vec<f64>>>()
+                .unwrap_or_default()
+        };
         // Probation members ride along as shadow traffic: never trusted
         // candidates until `l` fresh samples arrive (§5.2), but the extra
         // replies rebuild their sliding window so probation can clear.
@@ -306,17 +333,20 @@ impl TimingFaultHandler {
         }
         self.stats.replicas_selected += replicas.len() as u64;
         if let Some(observer) = self.observer.as_mut() {
-            observer.on_plan(
+            observer.on_plan(PlanObservation {
                 seq,
-                method.unwrap_or_default().index(),
-                self.client_id,
-                now.as_nanos(),
-                self.qos.deadline().as_nanos(),
-                &replicas,
-                false,
-                Some(overhead_nanos),
+                method: method.unwrap_or_default().index(),
+                client: self.client_id,
+                now_nanos: now.as_nanos(),
+                deadline_nanos: self.qos.deadline().as_nanos(),
+                promised: self.qos.min_probability(),
+                selected: &replicas,
+                predicted: &predicted,
+                view_version: None,
+                probe: false,
+                overhead_nanos: Some(overhead_nanos),
                 retry_of,
-            );
+            });
             if let Some(totals) = self.strategy.cache_stats() {
                 observer.on_model_cache(
                     totals.hits - self.cache_seen.hits,
@@ -351,17 +381,20 @@ impl TimingFaultHandler {
         self.next_seq += 1;
         self.stats.probes += 1;
         if let Some(observer) = self.observer.as_mut() {
-            observer.on_plan(
+            observer.on_plan(PlanObservation {
                 seq,
-                MethodId::DEFAULT.index(),
-                self.client_id,
-                now.as_nanos(),
-                self.qos.deadline().as_nanos(),
-                std::slice::from_ref(&replica),
-                true,
-                None,
-                None,
-            );
+                method: MethodId::DEFAULT.index(),
+                client: self.client_id,
+                now_nanos: now.as_nanos(),
+                deadline_nanos: self.qos.deadline().as_nanos(),
+                promised: self.qos.min_probability(),
+                selected: std::slice::from_ref(&replica),
+                predicted: &[],
+                view_version: None,
+                probe: true,
+                overhead_nanos: None,
+                retry_of: None,
+            });
         }
         self.pending.insert(
             seq,
@@ -418,12 +451,28 @@ impl TimingFaultHandler {
             pending.answered = true;
         }
 
+        // The gateway-side handling cost of this reply (repository update
+        // plus delay bookkeeping), recorded on the span as `ingest_ns` so
+        // forensics can separate wire delay from ingest stalls.
+        let ingest_started = std::time::Instant::now();
         self.record_perf_tracked(now, replica, perf);
         self.repository.record_gateway_delay(replica, td, now);
+        let ingest_nanos = ingest_started.elapsed().as_nanos() as u64;
 
         if probe {
             // Probe replies only feed the repository.
-            self.observe_reply(seq, replica, now, &perf, td, in_flight, first, true, None);
+            self.observe_reply(
+                seq,
+                replica,
+                now,
+                &perf,
+                td,
+                in_flight,
+                ingest_nanos,
+                first,
+                true,
+                None,
+            );
             return ReplyOutcome::Redundant;
         }
         if first {
@@ -440,6 +489,7 @@ impl TimingFaultHandler {
                 &perf,
                 td,
                 in_flight,
+                ingest_nanos,
                 true,
                 false,
                 Some(verdict),
@@ -450,7 +500,18 @@ impl TimingFaultHandler {
             }
         } else {
             self.stats.redundant += 1;
-            self.observe_reply(seq, replica, now, &perf, td, in_flight, false, false, None);
+            self.observe_reply(
+                seq,
+                replica,
+                now,
+                &perf,
+                td,
+                in_flight,
+                ingest_nanos,
+                false,
+                false,
+                None,
+            );
             self.retire_old_entries();
             ReplyOutcome::Redundant
         }
@@ -465,6 +526,7 @@ impl TimingFaultHandler {
         perf: &PerfReport,
         td: Duration,
         in_flight: Duration,
+        ingest_nanos: u64,
         first: bool,
         probe: bool,
         verdict: Option<TimingVerdict>,
@@ -478,6 +540,7 @@ impl TimingFaultHandler {
                 perf.queuing_delay.as_nanos(),
                 td.as_nanos(),
                 in_flight.as_nanos(),
+                Some(ingest_nanos),
                 first,
                 probe,
                 verdict,
@@ -589,15 +652,16 @@ impl TimingFaultHandler {
     }
 
     /// Finalizes a request that never received any reply (all selected
-    /// replicas crashed or the caller's give-up timer fired). Counts as a
-    /// timing failure. Returns `true` if the request was still open.
-    pub fn on_give_up(&mut self, seq: u64) -> bool {
+    /// replicas crashed or the caller's give-up timer fired) at `now`.
+    /// Counts as a timing failure. Returns `true` if the request was
+    /// still open.
+    pub fn on_give_up(&mut self, now: Instant, seq: u64) -> bool {
         match self.pending.get(&seq) {
             Some(p) if p.probe => {
                 // An unanswered probe is not a client-visible failure.
                 self.pending.remove(&seq);
                 if let Some(observer) = self.observer.as_mut() {
-                    observer.on_give_up(seq, true);
+                    observer.on_give_up(seq, true, None, false, now.as_nanos());
                 }
                 false
             }
@@ -612,10 +676,13 @@ impl TimingFaultHandler {
                     self.stats.callbacks += 1;
                 }
                 if let Some(observer) = self.observer.as_mut() {
-                    observer.on_give_up(seq, false);
-                    if verdict.should_notify() {
-                        observer.on_give_up_callback();
-                    }
+                    observer.on_give_up(
+                        seq,
+                        false,
+                        Some(verdict),
+                        verdict.should_notify(),
+                        now.as_nanos(),
+                    );
                 }
                 true
             }
@@ -790,8 +857,8 @@ mod tests {
         let mut h = handler(0.0);
         warm(&mut h, &[0, 1], 100);
         let plan = h.plan_request(Instant::EPOCH);
-        assert!(h.on_give_up(plan.seq));
-        assert!(!h.on_give_up(plan.seq), "idempotent");
+        assert!(h.on_give_up(Instant::from_secs(5), plan.seq));
+        assert!(!h.on_give_up(Instant::from_secs(5), plan.seq), "idempotent");
         assert_eq!(h.stats().gave_up, 1);
         assert_eq!(h.detector().failures(), 1);
         // A straggler reply after give-up is Unknown.
@@ -838,7 +905,10 @@ mod tests {
         let mut h = handler(0.9);
         warm(&mut h, &[0, 1], 100);
         let plan = h.plan_probe(Instant::EPOCH, ReplicaId::new(1));
-        assert!(!h.on_give_up(plan.seq), "probe give-up is not a failure");
+        assert!(
+            !h.on_give_up(Instant::from_secs(5), plan.seq),
+            "probe give-up is not a failure"
+        );
         assert_eq!(h.stats().gave_up, 0);
         assert_eq!(h.detector().total(), 0);
     }
@@ -995,7 +1065,10 @@ mod tests {
             PerfReport::new(ms(100), ms(0), 0),
         );
         assert!(matches!(outcome, ReplyOutcome::Unknown));
-        assert!(!h.on_give_up(plan.seq), "nothing left to give up on");
+        assert!(
+            !h.on_give_up(Instant::from_millis(130), plan.seq),
+            "nothing left to give up on"
+        );
     }
 
     #[test]

@@ -116,10 +116,10 @@ proptest! {
                 }
                 Action::GiveUp { nth } => {
                     if let Some((seq, _, _)) = plans.iter().rev().nth(nth).cloned() {
-                        if handler.on_give_up(seq) {
+                        if handler.on_give_up(now, seq) {
                             gave_up += 1;
                             // Idempotent.
-                            prop_assert!(!handler.on_give_up(seq));
+                            prop_assert!(!handler.on_give_up(now, seq));
                         }
                     }
                 }
@@ -187,7 +187,7 @@ proptest! {
                     ),
                     Action::GiveUp { nth } => {
                         if let Some((seq, _)) = plans.iter().rev().nth(*nth) {
-                            let _ = handler.on_give_up(*seq);
+                            let _ = handler.on_give_up(now, *seq);
                         }
                     }
                     Action::View { mask } => handler.on_view(

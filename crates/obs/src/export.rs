@@ -93,15 +93,20 @@ fn series_suffixed(key: &MetricKey, suffix: &str, extra: &[(&str, &str)]) -> Str
             if i > 0 {
                 s.push(',');
             }
-            let _ = write!(
-                s,
-                "{k}=\"{}\"",
-                v.replace('\\', "\\\\").replace('"', "\\\"")
-            );
+            let _ = write!(s, "{k}=\"{}\"", escape_label_value(v));
         }
         s.push('}');
     }
     s
+}
+
+/// Prometheus label *values* may contain any UTF-8, but the text
+/// exposition format requires `\`, `"`, and line feeds escaped —
+/// backslash first so the other escapes aren't double-escaped.
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// Prometheus metric/label names allow `[a-zA-Z0-9_:]`.
@@ -237,5 +242,35 @@ mod tests {
     #[test]
     fn names_are_sanitized() {
         assert_eq!(sanitize("aqua.reply-ts ns"), "aqua_reply_ts_ns");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+        // Backslash escaping runs first, so a literal `\n` sequence stays
+        // distinguishable from a real line feed.
+        assert_eq!(escape_label_value("lit\\nnot"), "lit\\\\nnot");
+    }
+
+    #[test]
+    fn exported_series_with_hostile_label_values_stay_one_line() {
+        let registry = Registry::new();
+        registry
+            .counter(
+                "aqua_requests_total",
+                &[("client", "evil\"} 9\ninjected 1")],
+            )
+            .add(2);
+        let text = to_prometheus(&registry.snapshot());
+        // One TYPE line + one series line: the newline in the label value
+        // must not split the series across lines.
+        assert_eq!(text.lines().count(), 2, "got: {text}");
+        assert!(
+            text.contains(r#"client="evil\"} 9\ninjected 1""#),
+            "got: {text}"
+        );
     }
 }

@@ -36,6 +36,9 @@ pub struct ReplyObservation {
     /// Timing verdict for a delivered reply (`"timely"`, a failure
     /// description, ...); `None` for redundant replies.
     pub verdict: Option<String>,
+    /// Gateway-side handling time for this reply (ingest-shard stats
+    /// application in the concurrent handler), when measured.
+    pub ingest_nanos: Option<u64>,
 }
 
 impl ReplyObservation {
@@ -49,7 +52,27 @@ impl ReplyObservation {
             .field("response_ns", self.response_nanos)
             .field("first", self.first)
             .field("verdict", self.verdict.clone())
+            .field("ingest_ns", self.ingest_nanos)
             .build()
+    }
+
+    /// Rebuilds a reply from a parsed journal object. Returns `None` when
+    /// a required field is missing or mistyped.
+    pub fn from_json(value: &JsonValue) -> Option<Self> {
+        Some(ReplyObservation {
+            replica: value.get("replica")?.as_u64()?,
+            at_nanos: value.get("at_ns")?.as_u64()?,
+            service_nanos: value.get("ts_ns")?.as_u64()?,
+            queue_nanos: value.get("tq_ns")?.as_u64()?,
+            gateway_nanos: value.get("td_ns")?.as_u64()?,
+            response_nanos: value.get("response_ns")?.as_u64()?,
+            first: value.get("first")?.as_bool()?,
+            verdict: value
+                .get("verdict")
+                .and_then(|v| v.as_str())
+                .map(str::to_owned),
+            ingest_nanos: value.get("ingest_ns").and_then(JsonValue::as_u64),
+        })
     }
 }
 
@@ -77,10 +100,21 @@ impl SpanOutcome {
             SpanOutcome::Pending => "pending",
         }
     }
+
+    /// Inverse of [`SpanOutcome::as_str`], for journal replay.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "delivered" => Some(SpanOutcome::Delivered),
+            "gave_up" => Some(SpanOutcome::GaveUp),
+            "superseded" => Some(SpanOutcome::Superseded),
+            "pending" => Some(SpanOutcome::Pending),
+            _ => None,
+        }
+    }
 }
 
 /// The full trace of one request, emitted as a single JSONL line.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RequestSpan {
     /// Handler-assigned sequence number.
     pub seq: u64,
@@ -96,6 +130,17 @@ pub struct RequestSpan {
     pub deadline_nanos: u64,
     /// Replica set chosen by the selection algorithm, in send order.
     pub selected: Vec<u64>,
+    /// Per-replica predicted P(reply before deadline) from the cached
+    /// CDF model at plan time, parallel to `selected`. Empty when the
+    /// planner had no model predictions (cold start, crash fallback).
+    pub predicted: Vec<f64>,
+    /// Version of the planning view / model snapshot the prediction came
+    /// from (the concurrent handler's publish version; strategy planners
+    /// report their own generation), for joining spans to model epochs.
+    pub view_version: Option<u64>,
+    /// Selection overhead `δ` for this plan (nanoseconds): the paper's
+    /// algorithm-execution cost, previously only in a histogram.
+    pub plan_nanos: Option<u64>,
     /// Whether this was a probe (sent to all replicas, not client-paid).
     pub probe: bool,
     /// For a deadline-driven retry attempt, the seq of the attempt it
@@ -107,6 +152,17 @@ pub struct RequestSpan {
     pub outcome: SpanOutcome,
     /// Time the span ended (first delivery or give-up), if it did.
     pub end_nanos: Option<u64>,
+    /// Whether a QoS callback (timing-failure notification) was issued
+    /// for this span — the no-miss-without-callback invariant checks
+    /// this against the delivered verdict.
+    pub callback: bool,
+    /// Detector verdict recorded at give-up (`"failure"` or
+    /// `"failure_qos_violated"`); `None` for spans that did not give up.
+    /// Makes the callback decision auditable from the journal alone.
+    pub give_up_verdict: Option<String>,
+    /// Ids of fault windows (see the faults crate) active on a selected
+    /// replica, or network-wide, at any point between `t1` and span end.
+    pub fault_windows: Vec<u64>,
 }
 
 impl RequestSpan {
@@ -120,11 +176,17 @@ impl RequestSpan {
             t1_nanos,
             deadline_nanos: 0,
             selected: Vec::new(),
+            predicted: Vec::new(),
+            view_version: None,
+            plan_nanos: None,
             probe: false,
             retry_of: None,
             replies: Vec::new(),
             outcome: SpanOutcome::Pending,
             end_nanos: None,
+            callback: false,
+            give_up_verdict: None,
+            fault_windows: Vec::new(),
         }
     }
 
@@ -136,6 +198,17 @@ impl RequestSpan {
     /// Number of redundant (non-first) replies observed.
     pub fn redundant_replies(&self) -> usize {
         self.replies.iter().filter(|r| !r.first).count()
+    }
+
+    /// Combined predicted probability that at least one selected replica
+    /// meets the deadline: `1 - Π(1 - pᵢ)` over the per-replica
+    /// predictions. `None` when no predictions were recorded.
+    pub fn predicted_set_probability(&self) -> Option<f64> {
+        if self.predicted.is_empty() {
+            return None;
+        }
+        let miss_all: f64 = self.predicted.iter().map(|p| 1.0 - p).product();
+        Some(1.0 - miss_all)
     }
 
     /// Renders the span as one JSON object.
@@ -150,6 +223,9 @@ impl RequestSpan {
             .field("deadline_ns", self.deadline_nanos)
             .field("selected", self.selected.clone())
             .field("selection_size", self.selection_size())
+            .field("predicted", self.predicted.clone())
+            .field("view_version", self.view_version)
+            .field("plan_ns", self.plan_nanos)
             .field("probe", self.probe)
             .field("retry_of", self.retry_of)
             .field(
@@ -158,7 +234,76 @@ impl RequestSpan {
             )
             .field("outcome", self.outcome.as_str())
             .field("end_ns", self.end_nanos)
+            .field("callback", self.callback)
+            .field("give_up_verdict", self.give_up_verdict.clone())
+            .field("fault_windows", self.fault_windows.clone())
             .build()
+    }
+
+    /// Rebuilds a span from a parsed `"type":"request"` journal object.
+    /// Returns `None` when a required field is missing or mistyped.
+    /// Optional fields added after the first journal format (predictions,
+    /// plan time, callback, fault windows) default to empty, so older
+    /// journals still replay.
+    pub fn from_json(value: &JsonValue) -> Option<Self> {
+        if value.get("type")?.as_str()? != "request" {
+            return None;
+        }
+        let replies = value
+            .get("replies")?
+            .as_array()?
+            .iter()
+            .map(ReplyObservation::from_json)
+            .collect::<Option<Vec<_>>>()?;
+        Some(RequestSpan {
+            seq: value.get("seq")?.as_u64()?,
+            client: value.get("client").and_then(JsonValue::as_u64),
+            method: u32::try_from(value.get("method")?.as_u64()?).ok()?,
+            t0_nanos: value.get("t0_ns")?.as_u64()?,
+            t1_nanos: value.get("t1_ns")?.as_u64()?,
+            deadline_nanos: value.get("deadline_ns")?.as_u64()?,
+            selected: value
+                .get("selected")?
+                .as_array()?
+                .iter()
+                .map(JsonValue::as_u64)
+                .collect::<Option<Vec<_>>>()?,
+            predicted: value
+                .get("predicted")
+                .and_then(JsonValue::as_array)
+                .map(|items| {
+                    items
+                        .iter()
+                        .map(JsonValue::as_f64)
+                        .collect::<Option<Vec<_>>>()
+                })
+                .unwrap_or(Some(Vec::new()))?,
+            view_version: value.get("view_version").and_then(JsonValue::as_u64),
+            plan_nanos: value.get("plan_ns").and_then(JsonValue::as_u64),
+            probe: value.get("probe")?.as_bool()?,
+            retry_of: value.get("retry_of").and_then(JsonValue::as_u64),
+            replies,
+            outcome: SpanOutcome::parse(value.get("outcome")?.as_str()?)?,
+            end_nanos: value.get("end_ns").and_then(JsonValue::as_u64),
+            callback: value
+                .get("callback")
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(false),
+            give_up_verdict: value
+                .get("give_up_verdict")
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned),
+            fault_windows: value
+                .get("fault_windows")
+                .and_then(JsonValue::as_array)
+                .map(|items| {
+                    items
+                        .iter()
+                        .map(JsonValue::as_u64)
+                        .collect::<Option<Vec<_>>>()
+                })
+                .unwrap_or(Some(Vec::new()))?,
+        })
     }
 }
 
@@ -232,6 +377,100 @@ impl<W: Write + Send> Sink for WriterSink<W> {
 
     fn flush(&mut self) {
         let _ = self.writer.flush();
+    }
+}
+
+impl<W: Write + Send> Drop for WriterSink<W> {
+    fn drop(&mut self) {
+        // A run that never calls `Journal::flush` (panic unwind, early
+        // return) must still leave a readable journal behind.
+        let _ = self.writer.flush();
+    }
+}
+
+/// File sink with size-based rotation: when the active `journal.jsonl`
+/// grows past `max_bytes` it is renamed to `journal.jsonl.N` (N counting
+/// up from 1, oldest first) and a fresh file is started, so unbounded
+/// chaos soaks never produce one unbounded file. A rotation boundary
+/// always falls between lines. The forensics analyzer reads the rotated
+/// parts back in `N` order followed by the active file.
+pub struct RotatingSink {
+    dir: std::path::PathBuf,
+    max_bytes: u64,
+    written: u64,
+    next_index: u32,
+    writer: Option<std::io::BufWriter<std::fs::File>>,
+}
+
+impl RotatingSink {
+    /// File name of the active journal inside the sink's directory.
+    pub const ACTIVE: &'static str = "journal.jsonl";
+
+    /// Creates `dir` if needed and opens a fresh `journal.jsonl` in it.
+    /// `max_bytes` of 0 disables rotation (plain bounded buffering).
+    pub fn create(dir: impl AsRef<std::path::Path>, max_bytes: u64) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let file = std::fs::File::create(dir.join(Self::ACTIVE))?;
+        Ok(RotatingSink {
+            dir,
+            max_bytes,
+            written: 0,
+            next_index: 1,
+            writer: Some(std::io::BufWriter::new(file)),
+        })
+    }
+
+    fn rotate(&mut self) {
+        // Flush and close the active file before renaming it; reopen
+        // best-effort — on failure we keep appending to the old file.
+        if let Some(mut w) = self.writer.take() {
+            let _ = w.flush();
+        }
+        let active = self.dir.join(Self::ACTIVE);
+        let rotated = self
+            .dir
+            .join(format!("{}.{}", Self::ACTIVE, self.next_index));
+        if std::fs::rename(&active, &rotated).is_ok() {
+            self.next_index += 1;
+        }
+        match std::fs::File::create(&active) {
+            Ok(file) => {
+                self.writer = Some(std::io::BufWriter::new(file));
+                self.written = 0;
+            }
+            Err(_) => {
+                // Could not reopen: reattach to the rotated file so lines
+                // keep landing somewhere.
+                if let Ok(file) = std::fs::OpenOptions::new().append(true).open(&rotated) {
+                    self.writer = Some(std::io::BufWriter::new(file));
+                }
+            }
+        }
+    }
+}
+
+impl Sink for RotatingSink {
+    fn emit(&mut self, line: &str) {
+        if self.max_bytes > 0 && self.written >= self.max_bytes {
+            self.rotate();
+        }
+        if let Some(w) = self.writer.as_mut() {
+            let _ = writeln!(w, "{line}");
+            self.written += line.len() as u64 + 1;
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Some(w) = self.writer.as_mut() {
+            let _ = w.flush();
+        }
+    }
+}
+
+impl Drop for RotatingSink {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -317,6 +556,9 @@ mod tests {
         span.client = Some(1);
         span.deadline_nanos = 200_000_000;
         span.selected = vec![2, 5];
+        span.predicted = vec![0.75, 0.9];
+        span.view_version = Some(12);
+        span.plan_nanos = Some(4_200);
         span.replies.push(ReplyObservation {
             replica: 5,
             at_nanos: 90_001_100,
@@ -326,6 +568,7 @@ mod tests {
             response_nanos: 90_000_000,
             first: true,
             verdict: Some("timely".to_owned()),
+            ingest_nanos: Some(350),
         });
         span.replies.push(ReplyObservation {
             replica: 2,
@@ -336,9 +579,12 @@ mod tests {
             response_nanos: 95_000_000,
             first: false,
             verdict: None,
+            ingest_nanos: None,
         });
         span.outcome = SpanOutcome::Delivered;
         span.end_nanos = Some(90_001_100);
+        span.callback = false;
+        span.fault_windows = vec![3];
         span
     }
 
@@ -374,18 +620,107 @@ mod tests {
         assert_eq!(reader.lines_containing("sim_event").len(), 1);
     }
 
+    /// `Write` target observable from outside the sink, so tests can see
+    /// what reached the destination without consuming the sink.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
     #[test]
     fn writer_sink_writes_lines() {
-        let buffer: Vec<u8> = Vec::new();
-        let mut sink = WriterSink::new(buffer);
+        let buffer = SharedBuf::default();
+        let mut sink = WriterSink::new(buffer.clone());
         sink.emit(r#"{"a":1}"#);
         sink.emit(r#"{"b":2}"#);
         sink.flush();
-        let written = sink.writer.into_inner().unwrap();
-        assert_eq!(
-            String::from_utf8(written).unwrap(),
-            "{\"a\":1}\n{\"b\":2}\n"
-        );
+        assert_eq!(buffer.contents(), "{\"a\":1}\n{\"b\":2}\n");
+    }
+
+    #[test]
+    fn writer_sink_flushes_on_drop() {
+        let buffer = SharedBuf::default();
+        {
+            let mut sink = WriterSink::new(buffer.clone());
+            sink.emit(r#"{"a":1}"#);
+            // No explicit flush: the line is still in the BufWriter here.
+        }
+        assert_eq!(buffer.contents(), "{\"a\":1}\n");
+    }
+
+    #[test]
+    fn rotating_sink_rotates_between_lines() {
+        let dir = std::env::temp_dir().join(format!(
+            "aqua-rotate-test-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        {
+            let mut sink = RotatingSink::create(&dir, 16).unwrap();
+            for i in 0..6 {
+                sink.emit(&format!(r#"{{"line":{i}}}"#));
+            }
+            // Dropping flushes every part.
+        }
+        let part1 = std::fs::read_to_string(dir.join("journal.jsonl.1")).unwrap();
+        let part2 = std::fs::read_to_string(dir.join("journal.jsonl.2")).unwrap();
+        let active = std::fs::read_to_string(dir.join("journal.jsonl")).unwrap();
+        let all = format!("{part1}{part2}{active}");
+        // Every line intact and in order across the rotation boundaries.
+        let expected: String = (0..6).map(|i| format!("{{\"line\":{i}}}\n")).collect();
+        assert_eq!(all, expected);
+        assert!(part1.len() >= 16, "rotation happens after the cap");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn span_round_trips_through_parser() {
+        let span = sample_span();
+        let line = span.to_json().render();
+        let parsed = crate::parse::parse(&line).unwrap();
+        assert_eq!(RequestSpan::from_json(&parsed).unwrap(), span);
+    }
+
+    #[test]
+    fn span_without_new_fields_still_parses() {
+        // A journal written before the causal-tracing fields existed.
+        let legacy = r#"{"type":"request","seq":1,"client":null,"method":0,
+            "t0_ns":0,"t1_ns":10,"deadline_ns":1000,"selected":[4],
+            "selection_size":1,"probe":false,"retry_of":null,"replies":[],
+            "outcome":"pending","end_ns":null}"#;
+        let parsed = crate::parse::parse(legacy).unwrap();
+        let span = RequestSpan::from_json(&parsed).unwrap();
+        assert_eq!(span.seq, 1);
+        assert!(span.predicted.is_empty());
+        assert!(span.fault_windows.is_empty());
+        assert!(!span.callback);
+        assert!(span.give_up_verdict.is_none());
+    }
+
+    #[test]
+    fn predicted_set_probability_combines() {
+        let mut span = sample_span();
+        let p = span.predicted_set_probability().unwrap();
+        assert!((p - (1.0 - 0.25 * 0.1)).abs() < 1e-12);
+        span.predicted.clear();
+        assert!(span.predicted_set_probability().is_none());
     }
 
     #[test]

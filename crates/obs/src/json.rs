@@ -2,8 +2,9 @@
 //!
 //! The observability layer emits JSONL journal lines and JSON metric
 //! snapshots; since the build environment has no crates.io access, this
-//! module replaces `serde_json` for the whole workspace. Only output is
-//! supported — nothing here parses JSON.
+//! module replaces `serde_json` for the whole workspace. The read side —
+//! needed by the forensics analyzer to replay journals — lives in
+//! [`crate::parse`].
 
 use std::fmt::Write as _;
 
@@ -34,6 +35,73 @@ impl JsonValue {
         JsonObject {
             entries: Vec::new(),
         }
+    }
+
+    /// Looks up `key` in an object; `None` for other variants or missing
+    /// keys. If a key appears more than once the first entry wins.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is one (non-negative `Int`
+    /// or `UInt`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(i) => u64::try_from(*i).ok(),
+            JsonValue::UInt(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if it fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(i) => Some(*i),
+            JsonValue::UInt(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float; integers widen losslessly where possible.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Float(x) => Some(*x),
+            JsonValue::Int(i) => Some(*i as f64),
+            JsonValue::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value's items, if it is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
     }
 
     /// Renders as a single line (JSONL-friendly).

@@ -15,6 +15,8 @@
 //! * [`export`] — Prometheus text format and JSON snapshot renderers.
 //! * [`json`] — the hand-rolled JSON writer both of the above use (the
 //!   build is air-gapped, so there is no `serde_json`).
+//! * [`parse`] — the matching JSON reader, used by the forensics
+//!   analyzer to replay journals and rebuild span trees.
 //!
 //! The crate is dependency-free and layered below everything else:
 //! gateway, runtime, sim, workload, and bench all feed the same [`Obs`]
@@ -29,8 +31,9 @@ pub mod export;
 pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod parse;
 
-use journal::{Journal, MemoryReader, WriterSink};
+use journal::{Journal, MemoryReader, RotatingSink, WriterSink};
 use metrics::Registry;
 use std::io;
 use std::path::Path;
@@ -77,6 +80,18 @@ impl Obs {
         Ok(Obs {
             registry: Arc::new(Registry::new()),
             journal: Journal::new(WriterSink::new(file)),
+        })
+    }
+
+    /// Observability writing the journal to `dir/journal.jsonl` with
+    /// size-based rotation: once the active file passes `max_bytes` it is
+    /// renamed `journal.jsonl.N` and a fresh file starts, so long chaos
+    /// soaks never grow one unbounded file. `max_bytes` of 0 disables
+    /// rotation. Creates `dir` if needed.
+    pub fn to_dir_rotating(dir: impl AsRef<Path>, max_bytes: u64) -> io::Result<Self> {
+        Ok(Obs {
+            registry: Arc::new(Registry::new()),
+            journal: Journal::new(RotatingSink::create(dir, max_bytes)?),
         })
     }
 

@@ -448,7 +448,7 @@ impl Inner {
                     self.handler.on_abandon(now, *s);
                 }
             }
-            self.handler.on_give_up(last);
+            self.handler.on_give_up(now, last);
             let _ = waiter.tx.send(WaitMsg::NoReplicas);
         }
     }
@@ -636,6 +636,35 @@ impl AquaClient {
         self.inner.handler.flush_observability();
     }
 
+    /// Installs a fault timeline (e.g. from a chaos test's
+    /// [`aqua_faults::FaultSchedule`]): every journalled span is tagged
+    /// with the stable ids of overlapping fault windows so offline
+    /// forensics can join misses to faults exactly. No-op without
+    /// observability configured.
+    pub fn set_fault_windows(&self, windows: Vec<aqua_faults::FaultWindow>) {
+        self.inner.handler.set_fault_windows(windows);
+    }
+
+    /// Replaces the QoS-calibration watchdog configuration (margin,
+    /// window, alert cooldown). No-op without observability configured.
+    pub fn configure_watchdog(&self, config: aqua_gateway::CalibrationConfig) {
+        self.inner
+            .handler
+            .with_observer(|observer| observer.configure_watchdog(config));
+    }
+
+    /// Registers a hook invoked on every QoS-calibration alert (the
+    /// dependability-manager integration point). No-op without
+    /// observability configured.
+    pub fn on_calibration_alert(
+        &self,
+        hook: impl FnMut(&aqua_gateway::CalibrationAlert) + Send + 'static,
+    ) {
+        self.inner
+            .handler
+            .with_observer(|observer| observer.watchdog_mut().add_hook(hook));
+    }
+
     /// Renegotiates the QoS spec at runtime (§5.4.2): the failure
     /// detector restarts under the new deadline and the planning snapshot
     /// is republished, so subsequent calls plan against the new spec.
@@ -676,7 +705,7 @@ impl AquaClient {
         // finds it.
         let plan = inner.handler.plan_request_for(t0, Some(method));
         if plan.replicas.is_empty() {
-            inner.handler.on_give_up(plan.seq);
+            inner.handler.on_give_up(inner.now(), plan.seq);
             return Err(CallError::NoReplicas);
         }
         let first_seq = plan.seq;
@@ -697,7 +726,7 @@ impl AquaClient {
         let sent = inner.multicast(first_seq, method, &payload, &first_selection);
         if sent == 0 {
             inner.clear_waiters(&[first_seq]);
-            inner.handler.on_give_up(first_seq);
+            inner.handler.on_give_up(inner.now(), first_seq);
             return Err(CallError::GaveUp { redundancy });
         }
         let mut seqs = vec![first_seq];
@@ -781,7 +810,7 @@ impl AquaClient {
                     for s in earlier {
                         inner.handler.on_abandon(now, *s);
                     }
-                    if !inner.handler.on_give_up(*last) {
+                    if !inner.handler.on_give_up(now, *last) {
                         // A first reply (or the disconnect sweep) won the
                         // race against our timer: the resolution is on the
                         // channel, or arrives momentarily.

@@ -200,7 +200,7 @@ impl Inner {
                                 state.handler.on_abandon(now, *s);
                             }
                         }
-                        state.handler.on_give_up(last);
+                        state.handler.on_give_up(now, last);
                         deferred.push((waiter.tx, WaitMsg::NoReplicas));
                     }
                 }
@@ -430,13 +430,13 @@ impl SerializedClient {
             let mut state = self.inner.lock_state();
             let plan = state.handler.plan_request_for(t0, Some(method));
             if plan.replicas.is_empty() {
-                state.handler.on_give_up(plan.seq);
+                state.handler.on_give_up(t0, plan.seq);
                 return Err(CallError::NoReplicas);
             }
             let sent = self.multicast(&mut state, &frame_for(plan.seq), &plan.replicas);
             let redundancy = plan.replicas.len();
             if sent == 0 {
-                state.handler.on_give_up(plan.seq);
+                state.handler.on_give_up(t0, plan.seq);
                 return Err(CallError::GaveUp { redundancy });
             }
             let (tx, rx) = bounded(2);
@@ -524,7 +524,7 @@ impl SerializedClient {
                     for s in earlier {
                         state.handler.on_abandon(now, *s);
                     }
-                    state.handler.on_give_up(*last);
+                    state.handler.on_give_up(now, *last);
                 }
                 drop(tx);
                 Err(CallError::GaveUp { redundancy })

@@ -116,6 +116,16 @@ pub trait SelectionStrategy: Send {
     fn snapshot_spec(&self) -> Option<SnapshotPlanSpec> {
         None
     }
+
+    /// Per-replica `P(meet deadline)` behind the most recent
+    /// [`SelectionStrategy::select`] answer, in the same order as that
+    /// answer, for strategies that compute one. Baselines (and model-based
+    /// cold-start multicasts, which select without predictions) return an
+    /// empty slice. The handler copies these into the request span so the
+    /// journal records what the planner *believed* at selection time.
+    fn last_predictions(&self) -> &[(ReplicaId, f64)] {
+        &[]
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -131,6 +141,7 @@ pub struct ModelBased {
     overhead: OverheadTracker,
     cold_start: ColdStartPolicy,
     crashes: usize,
+    last_predictions: Vec<(ReplicaId, f64)>,
 }
 
 impl ModelBased {
@@ -143,6 +154,7 @@ impl ModelBased {
             overhead: OverheadTracker::new(),
             cold_start: ColdStartPolicy::SelectAll,
             crashes: 1,
+            last_predictions: Vec::new(),
         }
     }
 
@@ -202,6 +214,7 @@ impl SelectionStrategy for ModelBased {
                 None => match self.cold_start {
                     ColdStartPolicy::SelectAll => {
                         self.overhead.record(Duration::from(started.elapsed()));
+                        self.last_predictions.clear();
                         return input.candidate_ids().collect();
                     }
                     ColdStartPolicy::Optimistic(p) => {
@@ -213,11 +226,22 @@ impl SelectionStrategy for ModelBased {
         let selection =
             select_replicas_tolerating(&candidates, input.qos.min_probability(), self.crashes);
         self.overhead.record(Duration::from(started.elapsed()));
-        selection.into_replicas()
+        let chosen = selection.into_replicas();
+        self.last_predictions.clear();
+        for id in &chosen {
+            if let Some(c) = candidates.iter().find(|c| c.id == *id) {
+                self.last_predictions.push((*id, c.probability));
+            }
+        }
+        chosen
     }
 
     fn cache_stats(&self) -> Option<ModelCacheStats> {
         Some(self.cache.stats())
+    }
+
+    fn last_predictions(&self) -> &[(ReplicaId, f64)] {
+        &self.last_predictions
     }
 
     fn snapshot_spec(&self) -> Option<SnapshotPlanSpec> {
@@ -675,6 +699,31 @@ mod tests {
         });
         assert_eq!(excluded, as_if_removed);
         assert!(!excluded.contains(&ReplicaId::new(0)));
+    }
+
+    #[test]
+    fn model_based_exposes_last_predictions() {
+        let repo = repo();
+        let qos = QosSpec::new(ms(150), 0.9).unwrap();
+        let mut strat = ModelBased::default();
+        assert!(strat.last_predictions().is_empty(), "nothing planned yet");
+        let sel = strat.select(&input(&repo, &qos));
+        let preds = strat.last_predictions();
+        assert_eq!(preds.len(), sel.len(), "one prediction per chosen replica");
+        for (i, (id, p)) in preds.iter().enumerate() {
+            assert_eq!(*id, sel[i], "aligned with the selection order");
+            assert!((0.0..=1.0).contains(p));
+        }
+        // Baselines expose nothing.
+        let mut rr = RoundRobin::new(2);
+        rr.select(&input(&repo, &qos));
+        assert!(rr.last_predictions().is_empty());
+        // A cold-start multicast selects without predictions.
+        let mut cold = ModelBased::default();
+        let mut warm_plus_cold = repo.clone();
+        warm_plus_cold.insert_replica(ReplicaId::new(9));
+        cold.select(&input(&warm_plus_cold, &qos));
+        assert!(cold.last_predictions().is_empty());
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! `aqua_forensics` — replay a journal, attribute every deadline miss.
+//!
+//! ```text
+//! aqua_forensics <journal.jsonl | obs-dir> [--check] [--max-miss-rate F]
+//!                [--json PATH] [--quiet]
+//! ```
+//!
+//! The positional argument is either one JSONL journal file or an
+//! observability directory (`journal.jsonl` plus rotated
+//! `journal.jsonl.N` segments, as written by `Obs::to_dir_rotating`).
+//!
+//! `--check` turns the analyzer into a CI gate: exit 1 when any journal
+//! invariant is violated (orphan spans, a QoS-violated miss without a
+//! callback), when any line failed to parse, or when `--max-miss-rate`
+//! (a fraction, e.g. `0.5`) is exceeded.
+
+use std::process::ExitCode;
+
+use aqua_trace::forensics::analyze;
+use aqua_trace::replay::read_journal;
+
+struct Args {
+    path: String,
+    check: bool,
+    max_miss_rate: Option<f64>,
+    json_out: Option<String>,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: aqua_forensics <journal.jsonl | obs-dir> [--check] \
+         [--max-miss-rate F] [--json PATH] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        path: String::new(),
+        check: false,
+        max_miss_rate: None,
+        json_out: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => args.check = true,
+            "--quiet" => args.quiet = true,
+            "--max-miss-rate" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                match v.parse::<f64>() {
+                    Ok(rate) if (0.0..=1.0).contains(&rate) => args.max_miss_rate = Some(rate),
+                    _ => usage(),
+                }
+            }
+            "--json" => args.json_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && args.path.is_empty() => {
+                args.path = other.to_owned();
+            }
+            _ => usage(),
+        }
+    }
+    if args.path.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let data = match read_journal(&args.path) {
+        Ok(data) => data,
+        Err(e) => {
+            eprintln!("aqua_forensics: cannot read {}: {e}", args.path);
+            return ExitCode::from(2);
+        }
+    };
+    let report = analyze(&data);
+    if !args.quiet {
+        print!("{}", report.render_terminal());
+    }
+    if let Some(path) = &args.json_out {
+        if let Err(e) = std::fs::write(path, report.to_json().render_pretty()) {
+            eprintln!("aqua_forensics: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if args.check {
+        let mut failures = Vec::new();
+        if !report.invariant_violations.is_empty() {
+            failures.push(format!(
+                "{} invariant violation(s)",
+                report.invariant_violations.len()
+            ));
+        }
+        if report.bad_lines > 0 {
+            failures.push(format!("{} unparseable journal line(s)", report.bad_lines));
+        }
+        if let Some(max) = args.max_miss_rate {
+            if report.miss_rate() > max {
+                failures.push(format!(
+                    "miss rate {:.4} exceeds --max-miss-rate {max}",
+                    report.miss_rate()
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!("aqua_forensics --check FAILED: {}", failures.join("; "));
+            return ExitCode::FAILURE;
+        }
+        if !args.quiet {
+            println!("aqua_forensics --check passed");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,647 @@
+//! Deadline-miss forensics: attribute every miss, audit every promise.
+//!
+//! Given a replayed journal (see [`crate::replay`]), the analyzer:
+//!
+//! 1. rebuilds the span forest and folds retry chains into *logical
+//!    requests*;
+//! 2. classifies each logical request: delivered in time, delivered
+//!    late, or gave up;
+//! 3. attributes every miss to a **dominant stage**:
+//!    * `active_fault` — a fault window (from the journal's `fault`
+//!      events, joined by stable window id and recomputed by overlap)
+//!      covered a selected replica during the span;
+//!    * `queue_spike` — the first reply's queueing delay `tq` dominated
+//!      its latency decomposition;
+//!    * `wire_delay` — the gateway/transmission delay `td` dominated;
+//!    * `selection_underestimate` — the service time dominated, or
+//!      nobody replied at all: the model vouched for replicas that were
+//!      simply slower than predicted;
+//! 4. checks journal invariants:
+//!    * **no-miss-without-callback** — every miss whose recorded verdict
+//!      says the QoS was violated must carry a callback flag somewhere
+//!      in its attempt chain;
+//!    * **no-orphan-span** — every `retry_of` link resolves to a span in
+//!      the journal.
+//!
+//! The result is a [`ForensicsReport`] renderable as JSON or a ranked
+//! terminal table, with a `--check` mode for CI.
+
+use std::collections::BTreeMap;
+
+use aqua_obs::journal::{RequestSpan, SpanOutcome};
+use aqua_obs::json::JsonValue;
+
+use crate::replay::{JournalData, SpanForest};
+
+/// A fault window reconstructed from the journal's `fault` events.
+#[derive(Clone, Debug)]
+pub struct JournalFaultWindow {
+    /// Stable window id (the fault plan index).
+    pub id: u64,
+    /// Fault kind label (`"pause"`, `"degrade"`, …).
+    pub kind: String,
+    /// Targeted replica; `None` for network-wide windows.
+    pub replica: Option<u64>,
+    /// Window start, nanoseconds.
+    pub start_nanos: u64,
+    /// Window end, nanoseconds (`u64::MAX` when it never cleared).
+    pub end_nanos: u64,
+}
+
+impl JournalFaultWindow {
+    fn overlaps(&self, selected: &[u64], from: u64, to: u64) -> bool {
+        let targeted = self.replica.is_none_or(|r| selected.contains(&r));
+        targeted && self.start_nanos <= to && self.end_nanos > from
+    }
+}
+
+/// Extracts fault windows from parsed journal events, merging the
+/// `active`/`cleared` edge pairs by stable window id.
+pub fn fault_windows(events: &[JsonValue]) -> Vec<JournalFaultWindow> {
+    let mut windows: BTreeMap<u64, JournalFaultWindow> = BTreeMap::new();
+    for event in events {
+        let Some("fault") = event.get("type").and_then(JsonValue::as_str) else {
+            continue;
+        };
+        let Some(id) = event.get("window").and_then(JsonValue::as_u64) else {
+            continue;
+        };
+        let at = event.get("at_ns").and_then(JsonValue::as_u64).unwrap_or(0);
+        let phase = event.get("phase").and_then(JsonValue::as_str).unwrap_or("");
+        let entry = windows.entry(id).or_insert_with(|| JournalFaultWindow {
+            id,
+            kind: event
+                .get("kind")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("unknown")
+                .to_owned(),
+            replica: event.get("replica").and_then(JsonValue::as_u64),
+            start_nanos: event
+                .get("start_ns")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(at),
+            end_nanos: event
+                .get("end_ns")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(u64::MAX),
+        });
+        // Older journals without start_ns/end_ns: derive the window from
+        // its two edges.
+        match phase {
+            "active" => entry.start_nanos = entry.start_nanos.min(at),
+            "cleared" if entry.end_nanos == u64::MAX => entry.end_nanos = at,
+            _ => {}
+        }
+    }
+    windows.into_values().collect()
+}
+
+/// The stage a miss is attributed to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MissStage {
+    /// A fault window overlapped the span on a selected replica.
+    ActiveFault,
+    /// Queueing delay dominated the decomposition.
+    QueueSpike,
+    /// Gateway/wire delay dominated the decomposition.
+    WireDelay,
+    /// Service time dominated, or no replica replied at all.
+    SelectionUnderestimate,
+}
+
+impl MissStage {
+    /// Stable label for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MissStage::ActiveFault => "active_fault",
+            MissStage::QueueSpike => "queue_spike",
+            MissStage::WireDelay => "wire_delay",
+            MissStage::SelectionUnderestimate => "selection_underestimate",
+        }
+    }
+}
+
+/// How one logical request missed its deadline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MissKind {
+    /// Every attempt gave up; nothing was delivered.
+    GaveUp,
+    /// A reply was delivered, but after the deadline.
+    Late,
+}
+
+/// One missed logical request.
+#[derive(Clone, Debug)]
+pub struct Miss {
+    /// Seq of the root attempt (the logical request id).
+    pub root_seq: u64,
+    /// Seq of the attempt that resolved the request.
+    pub final_seq: u64,
+    /// Give-up or late delivery.
+    pub kind: MissKind,
+    /// Attributed dominant stage.
+    pub stage: MissStage,
+    /// Fault windows implicated (span tags ∪ recomputed overlaps).
+    pub fault_windows: Vec<u64>,
+    /// The deadline the request carried (nanoseconds).
+    pub deadline_nanos: u64,
+    /// Response time of the delivered reply, for late misses.
+    pub response_nanos: Option<u64>,
+    /// The model's predicted set probability at plan time, if recorded.
+    pub predicted: Option<f64>,
+}
+
+/// The complete analysis of one journal.
+#[derive(Clone, Debug, Default)]
+pub struct ForensicsReport {
+    /// Logical requests (retry chains folded), probes excluded.
+    pub requests: usize,
+    /// Attempts (spans), probes excluded.
+    pub attempts: usize,
+    /// Probe spans skipped.
+    pub probes: usize,
+    /// Requests still pending when the journal was flushed (a truncated
+    /// run, not a miss).
+    pub pending: usize,
+    /// Every missed logical request, attributed.
+    pub misses: Vec<Miss>,
+    /// Invariant violations, human-readable.
+    pub invariant_violations: Vec<String>,
+    /// Journal lines that failed to parse.
+    pub bad_lines: usize,
+    /// `calibration_alert` events observed in the journal.
+    pub calibration_alerts: usize,
+    /// Fault windows reconstructed from the journal.
+    pub fault_window_count: usize,
+}
+
+impl ForensicsReport {
+    /// Misses grouped by stage, descending by count.
+    pub fn ranked_stages(&self) -> Vec<(MissStage, usize)> {
+        let mut counts: BTreeMap<MissStage, usize> = BTreeMap::new();
+        for miss in &self.misses {
+            *counts.entry(miss.stage).or_default() += 1;
+        }
+        let mut ranked: Vec<(MissStage, usize)> = counts.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked
+    }
+
+    /// Miss rate over resolved logical requests.
+    pub fn miss_rate(&self) -> f64 {
+        let resolved = self.requests.saturating_sub(self.pending);
+        if resolved == 0 {
+            0.0
+        } else {
+            self.misses.len() as f64 / resolved as f64
+        }
+    }
+
+    /// Renders the report as a JSON document.
+    pub fn to_json(&self) -> JsonValue {
+        let stages = self
+            .ranked_stages()
+            .into_iter()
+            .fold(JsonValue::object(), |acc, (stage, count)| {
+                acc.field(stage.as_str(), count as u64)
+            });
+        let misses: Vec<JsonValue> = self
+            .misses
+            .iter()
+            .map(|m| {
+                let mut obj = JsonValue::object()
+                    .field("root_seq", m.root_seq)
+                    .field("final_seq", m.final_seq)
+                    .field(
+                        "kind",
+                        match m.kind {
+                            MissKind::GaveUp => "gave_up",
+                            MissKind::Late => "late",
+                        },
+                    )
+                    .field("stage", m.stage.as_str())
+                    .field("fault_windows", m.fault_windows.clone())
+                    .field("deadline_ns", m.deadline_nanos)
+                    .field("response_ns", m.response_nanos);
+                if let Some(p) = m.predicted {
+                    obj = obj.field("predicted", p);
+                }
+                obj.build()
+            })
+            .collect();
+        JsonValue::object()
+            .field("requests", self.requests as u64)
+            .field("attempts", self.attempts as u64)
+            .field("probes", self.probes as u64)
+            .field("pending", self.pending as u64)
+            .field("misses", self.misses.len() as u64)
+            .field("miss_rate", self.miss_rate())
+            .field("stages", stages)
+            .field("miss_details", JsonValue::Array(misses))
+            .field("invariant_violations", self.invariant_violations.clone())
+            .field("bad_lines", self.bad_lines as u64)
+            .field("calibration_alerts", self.calibration_alerts as u64)
+            .field("fault_windows", self.fault_window_count as u64)
+            .build()
+    }
+
+    /// Renders a ranked, human-readable report.
+    pub fn render_terminal(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "deadline-miss forensics");
+        let _ = writeln!(
+            out,
+            "  requests: {} ({} attempts, {} probes, {} pending)",
+            self.requests, self.attempts, self.probes, self.pending
+        );
+        let _ = writeln!(
+            out,
+            "  misses:   {} ({:.2}% of resolved requests)",
+            self.misses.len(),
+            self.miss_rate() * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  journal:  {} fault windows, {} calibration alerts, {} bad lines",
+            self.fault_window_count, self.calibration_alerts, self.bad_lines
+        );
+        if !self.misses.is_empty() {
+            let _ = writeln!(out, "  dominant stages (ranked):");
+            for (stage, count) in self.ranked_stages() {
+                let share = count as f64 / self.misses.len() as f64 * 100.0;
+                let _ = writeln!(
+                    out,
+                    "    {:<24} {:>6}  {:>5.1}%",
+                    stage.as_str(),
+                    count,
+                    share
+                );
+            }
+        }
+        if self.invariant_violations.is_empty() {
+            let _ = writeln!(out, "  invariants: OK");
+        } else {
+            let _ = writeln!(
+                out,
+                "  invariants: {} VIOLATED",
+                self.invariant_violations.len()
+            );
+            for v in &self.invariant_violations {
+                let _ = writeln!(out, "    ! {v}");
+            }
+        }
+        out
+    }
+}
+
+fn dominant_stage(span: &RequestSpan) -> MissStage {
+    // Prefer the reply that resolved the request; a give-up span keeps
+    // whatever late replies trickled in before it retired.
+    let reply = span
+        .replies
+        .iter()
+        .find(|r| r.first)
+        .or_else(|| span.replies.last());
+    match reply {
+        None => MissStage::SelectionUnderestimate,
+        Some(r) => {
+            if r.queue_nanos >= r.service_nanos && r.queue_nanos >= r.gateway_nanos {
+                MissStage::QueueSpike
+            } else if r.gateway_nanos >= r.service_nanos && r.gateway_nanos > r.queue_nanos {
+                MissStage::WireDelay
+            } else {
+                // Service time dominated: the model's per-replica service
+                // distribution was optimistic at selection time.
+                MissStage::SelectionUnderestimate
+            }
+        }
+    }
+}
+
+fn span_fault_overlap(span: &RequestSpan, windows: &[JournalFaultWindow]) -> Vec<u64> {
+    let end = span
+        .end_nanos
+        .unwrap_or_else(|| span.t1_nanos.saturating_add(span.deadline_nanos));
+    let mut ids: Vec<u64> = span.fault_windows.clone();
+    for w in windows {
+        if w.overlaps(&span.selected, span.t1_nanos, end) && !ids.contains(&w.id) {
+            ids.push(w.id);
+        }
+    }
+    ids.sort_unstable();
+    ids
+}
+
+/// Runs the full analysis over a replayed journal.
+pub fn analyze(data: &JournalData) -> ForensicsReport {
+    let forest = SpanForest::build(&data.events);
+    let windows = fault_windows(&data.events);
+    let mut report = ForensicsReport {
+        bad_lines: data.bad_lines,
+        fault_window_count: windows.len(),
+        calibration_alerts: data
+            .events
+            .iter()
+            .filter(|e| e.get("type").and_then(JsonValue::as_str) == Some("calibration_alert"))
+            .count(),
+        ..ForensicsReport::default()
+    };
+
+    for seq in forest.orphans() {
+        report.invariant_violations.push(format!(
+            "no-orphan-span: span {seq} retries a seq absent from the journal"
+        ));
+    }
+
+    for root in forest.roots() {
+        if root.probe {
+            report.probes += 1;
+            continue;
+        }
+        let chain = forest.chain(root.seq);
+        report.requests += 1;
+        report.attempts += chain.len();
+        // The attempt that resolved the request: the delivered one if
+        // any, else the last attempt.
+        let resolved = chain
+            .iter()
+            .find(|s| s.outcome == SpanOutcome::Delivered)
+            .copied()
+            .or_else(|| chain.last().copied());
+        let Some(final_span) = resolved else { continue };
+        let (kind, response) = match final_span.outcome {
+            SpanOutcome::Pending => {
+                report.pending += 1;
+                continue;
+            }
+            SpanOutcome::Superseded => {
+                // A chain that ends superseded lost its retry's span; the
+                // retry-link audit above already flags orphans, so treat
+                // it as pending.
+                report.pending += 1;
+                continue;
+            }
+            SpanOutcome::GaveUp => (MissKind::GaveUp, None),
+            SpanOutcome::Delivered => {
+                let response = final_span
+                    .replies
+                    .iter()
+                    .find(|r| r.first)
+                    .map(|r| r.response_nanos);
+                // Response measured from the *root* submit time: a retry
+                // that delivered within its own deadline can still miss
+                // the logical request's deadline.
+                let logical_response = final_span
+                    .end_nanos
+                    .map(|end| end.saturating_sub(root.t1_nanos));
+                let late = logical_response
+                    .or(response)
+                    .is_some_and(|r| r > root.deadline_nanos);
+                if !late {
+                    continue;
+                }
+                (MissKind::Late, logical_response.or(response))
+            }
+        };
+
+        // Attribution: faults first (joined by window id), then the
+        // latency decomposition of the resolving attempt.
+        let implicated: Vec<u64> = chain
+            .iter()
+            .flat_map(|s| span_fault_overlap(s, &windows))
+            .collect::<std::collections::BTreeSet<u64>>()
+            .into_iter()
+            .collect();
+        let stage = if implicated.is_empty() {
+            dominant_stage(final_span)
+        } else {
+            MissStage::ActiveFault
+        };
+
+        // no-miss-without-callback: a miss whose recorded verdict says
+        // the QoS was violated must have notified the client.
+        let qos_violated = chain.iter().any(|s| {
+            s.give_up_verdict.as_deref() == Some("failure_qos_violated")
+                || s.replies
+                    .iter()
+                    .any(|r| r.verdict.as_deref() == Some("failure_qos_violated"))
+        });
+        let callback = chain.iter().any(|s| s.callback);
+        if qos_violated && !callback {
+            report.invariant_violations.push(format!(
+                "no-miss-without-callback: request {} missed with a QoS-violated verdict but no callback",
+                root.seq
+            ));
+        }
+
+        report.misses.push(Miss {
+            root_seq: root.seq,
+            final_seq: final_span.seq,
+            kind,
+            stage,
+            fault_windows: implicated,
+            deadline_nanos: root.deadline_nanos,
+            response_nanos: response,
+            predicted: final_span.predicted_set_probability(),
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_obs::journal::ReplyObservation;
+
+    fn reply(ts: u64, tq: u64, td: u64, at: u64, verdict: Option<&str>) -> ReplyObservation {
+        ReplyObservation {
+            replica: 1,
+            at_nanos: at,
+            service_nanos: ts,
+            queue_nanos: tq,
+            gateway_nanos: td,
+            response_nanos: ts + tq + td,
+            first: true,
+            verdict: verdict.map(str::to_owned),
+            ingest_nanos: None,
+        }
+    }
+
+    fn span(seq: u64, outcome: SpanOutcome) -> RequestSpan {
+        let mut s = RequestSpan::begin(seq, 0, seq * 1_000, seq * 1_000);
+        s.deadline_nanos = 100;
+        s.selected = vec![1];
+        s.outcome = outcome;
+        s
+    }
+
+    fn data(spans: Vec<RequestSpan>, extra: Vec<JsonValue>) -> JournalData {
+        let mut events: Vec<JsonValue> = spans.iter().map(RequestSpan::to_json).collect();
+        events.extend(extra);
+        JournalData {
+            events,
+            bad_lines: 0,
+            files: Vec::new(),
+        }
+    }
+
+    fn fault_event(window: u64, replica: u64, start: u64, end: u64) -> JsonValue {
+        JsonValue::object()
+            .field("type", "fault")
+            .field("phase", "active")
+            .field("kind", "degrade")
+            .field("window", window)
+            .field("replica", replica)
+            .field("at_ns", start)
+            .field("start_ns", start)
+            .field("end_ns", end)
+            .build()
+    }
+
+    #[test]
+    fn timely_requests_produce_no_misses() {
+        let mut s = span(0, SpanOutcome::Delivered);
+        s.replies.push(reply(40, 10, 10, 60, Some("timely")));
+        s.end_nanos = Some(60);
+        let report = analyze(&data(vec![s], vec![]));
+        assert_eq!(report.requests, 1);
+        assert!(report.misses.is_empty());
+        assert!(report.invariant_violations.is_empty());
+    }
+
+    #[test]
+    fn every_miss_is_attributed() {
+        // Late delivery, queue-dominated.
+        let mut queue = span(0, SpanOutcome::Delivered);
+        queue.replies.push(reply(20, 200, 10, 230, Some("failure")));
+        queue.end_nanos = Some(230);
+        // Late delivery, wire-dominated.
+        let mut wire = span(1, SpanOutcome::Delivered);
+        wire.replies
+            .push(reply(20, 10, 400, 1_430, Some("failure")));
+        wire.end_nanos = Some(1_430);
+        // Late delivery, service-dominated → selection underestimate.
+        let mut service = span(2, SpanOutcome::Delivered);
+        service
+            .replies
+            .push(reply(300, 10, 10, 2_320, Some("failure")));
+        service.end_nanos = Some(2_320);
+        // Give-up with no replies → selection underestimate.
+        let gave_up = span(3, SpanOutcome::GaveUp);
+        let report = analyze(&data(vec![queue, wire, service, gave_up], vec![]));
+        assert_eq!(report.misses.len(), 4, "{report:?}");
+        let stages: Vec<MissStage> = report.misses.iter().map(|m| m.stage).collect();
+        assert_eq!(
+            stages,
+            vec![
+                MissStage::QueueSpike,
+                MissStage::WireDelay,
+                MissStage::SelectionUnderestimate,
+                MissStage::SelectionUnderestimate,
+            ]
+        );
+        assert!(
+            report.misses.iter().all(|m| !m.stage.as_str().is_empty()),
+            "100% attribution"
+        );
+        let ranked = report.ranked_stages();
+        assert_eq!(ranked[0], (MissStage::SelectionUnderestimate, 2));
+    }
+
+    #[test]
+    fn fault_windows_win_attribution_via_id_join() {
+        // The span itself was tagged with window 3 at emit time…
+        let mut tagged = span(0, SpanOutcome::GaveUp);
+        tagged.fault_windows = vec![3];
+        // …and another span overlaps window 7 only by recomputation.
+        let mut untagged = span(10, SpanOutcome::GaveUp);
+        untagged.t1_nanos = 10_000;
+        let events = vec![fault_event(7, 1, 9_000, 11_000)];
+        let report = analyze(&data(vec![tagged, untagged], events));
+        assert_eq!(report.misses.len(), 2);
+        assert!(report
+            .misses
+            .iter()
+            .all(|m| m.stage == MissStage::ActiveFault));
+        assert_eq!(report.misses[0].fault_windows, vec![3]);
+        assert_eq!(report.misses[1].fault_windows, vec![7]);
+        assert_eq!(report.fault_window_count, 1);
+    }
+
+    #[test]
+    fn missing_callback_on_violated_qos_is_flagged() {
+        let mut bad = span(0, SpanOutcome::GaveUp);
+        bad.give_up_verdict = Some("failure_qos_violated".to_owned());
+        bad.callback = false;
+        let mut good = span(1, SpanOutcome::GaveUp);
+        good.give_up_verdict = Some("failure_qos_violated".to_owned());
+        good.callback = true;
+        // A miss while QoS is still within spec needs no callback.
+        let mut tolerated = span(2, SpanOutcome::GaveUp);
+        tolerated.give_up_verdict = Some("failure".to_owned());
+        let report = analyze(&data(vec![bad, good, tolerated], vec![]));
+        assert_eq!(report.misses.len(), 3);
+        assert_eq!(report.invariant_violations.len(), 1);
+        assert!(
+            report.invariant_violations[0].contains("no-miss-without-callback"),
+            "{:?}",
+            report.invariant_violations
+        );
+        assert!(report.invariant_violations[0].contains("request 0"));
+    }
+
+    #[test]
+    fn retry_chains_fold_into_one_logical_request() {
+        // Attempt 0 superseded; retry 1 delivered late relative to the
+        // root's deadline.
+        let mut first = span(0, SpanOutcome::Superseded);
+        first.end_nanos = Some(90);
+        let mut retry = span(5, SpanOutcome::Delivered);
+        retry.retry_of = Some(0);
+        retry.t1_nanos = 100;
+        retry.replies.push(reply(30, 5, 5, 140, Some("failure")));
+        retry.end_nanos = Some(140);
+        let report = analyze(&data(vec![first, retry], vec![]));
+        assert_eq!(report.requests, 1, "chain folds");
+        assert_eq!(report.attempts, 2);
+        assert_eq!(report.misses.len(), 1);
+        let miss = &report.misses[0];
+        assert_eq!(miss.root_seq, 0);
+        assert_eq!(miss.final_seq, 5);
+        assert_eq!(miss.kind, MissKind::Late);
+        // 140 − t1(root=0) = 140 > deadline 100.
+        assert_eq!(miss.response_nanos, Some(140));
+    }
+
+    #[test]
+    fn report_renders_json_and_terminal() {
+        let mut miss = span(0, SpanOutcome::GaveUp);
+        miss.predicted = vec![0.9, 0.8];
+        let report = analyze(&data(vec![miss, span(1, SpanOutcome::Pending)], vec![]));
+        assert_eq!(report.pending, 1);
+        let json = report.to_json().render();
+        for needle in [
+            "\"requests\":2",
+            "\"misses\":1",
+            "\"selection_underestimate\":1",
+            "\"invariant_violations\":[]",
+            "\"predicted\":0.98",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        let text = report.render_terminal();
+        assert!(text.contains("dominant stages"));
+        assert!(text.contains("invariants: OK"));
+    }
+
+    #[test]
+    fn probes_are_excluded() {
+        let mut probe = span(0, SpanOutcome::GaveUp);
+        probe.probe = true;
+        let report = analyze(&data(vec![probe], vec![]));
+        assert_eq!(report.requests, 0);
+        assert_eq!(report.probes, 1);
+        assert!(report.misses.is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! # aqua-trace — causal tracing, QoS auditing, and miss forensics
+//!
+//! The paper's gateway promises a QoS (`deadline`, `Pc`) and plans each
+//! request from a probabilistic response-time model (§5.2–§5.3). This
+//! crate closes the loop between *promise* and *delivery*:
+//!
+//! * [`calib`] — the online **QoS-calibration watchdog**: streaming
+//!   predicted-vs-observed reliability statistics per `(method, replica,
+//!   Pc band)`, Brier scores, rolling calibration error, and journalled
+//!   `calibration_alert` events (plus hooks) whenever the delivered QoS
+//!   drifts below the promise. The gateway's `HandlerObserver` feeds it
+//!   on every plan, reply, and give-up.
+//! * [`replay`] — journal **replay**: reads (possibly rotated) JSONL
+//!   journals back through the `aqua-obs` parser and rebuilds the causal
+//!   span forest, with retry chains linked parent-to-attempt.
+//! * [`forensics`] — the **deadline-miss analyzer** behind the
+//!   `aqua_forensics` binary: attributes every miss to a dominant stage
+//!   (active fault window via stable id join, queue spike, wire delay,
+//!   selection underestimate), audits the no-miss-without-callback and
+//!   no-orphan-span invariants, and renders ranked JSON/terminal
+//!   reports with a `--check` CI gate.
+//!
+//! The crate sits between `aqua-obs` (below) and the gateway (above):
+//! it depends only on `aqua-core` and `aqua-obs`, so the simulator, the
+//! socket runtime, and offline analysis all share one implementation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calib;
+pub mod forensics;
+pub mod replay;
+
+pub use calib::{CalibrationAlert, CalibrationConfig, QosWatchdog};
+pub use forensics::{analyze, ForensicsReport, Miss, MissKind, MissStage};
+pub use replay::{read_journal, JournalData, SpanForest};

@@ -1,0 +1,223 @@
+//! Journal replay: JSONL files → parsed events → a span forest.
+//!
+//! A journal is one `journal.jsonl` (optionally preceded by rotated
+//! segments `journal.jsonl.1`, `.2`, … — see `aqua_obs::journal::
+//! RotatingSink`). Replay reads the segments in rotation order, parses
+//! every line with the `aqua-obs` JSON reader, and rebuilds the causal
+//! structure the gateway recorded:
+//!
+//! * every `"type":"request"` line becomes a [`RequestSpan`];
+//! * `retry_of` links chain deadline-driven retries of one logical
+//!   request into an attempt list, root first;
+//! * everything else (fault edges, probation transitions, calibration
+//!   alerts, …) is kept as raw events for joining.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use aqua_obs::journal::RequestSpan;
+use aqua_obs::json::JsonValue;
+use aqua_obs::parse;
+
+/// The active journal file name (`RotatingSink::ACTIVE`).
+const ACTIVE: &str = "journal.jsonl";
+
+/// Everything read from one journal.
+#[derive(Debug, Default)]
+pub struct JournalData {
+    /// Parsed events, in emission order across rotated segments.
+    pub events: Vec<JsonValue>,
+    /// Lines that failed to parse (corruption, truncated tail).
+    pub bad_lines: usize,
+    /// Files the journal was assembled from, in read order.
+    pub files: Vec<PathBuf>,
+}
+
+/// Reads a journal from `path`: either one JSONL file, or a directory
+/// containing `journal.jsonl` plus rotated `journal.jsonl.N` segments
+/// (read oldest-first so event order is preserved).
+pub fn read_journal(path: impl AsRef<Path>) -> io::Result<JournalData> {
+    let path = path.as_ref();
+    let mut files = Vec::new();
+    if path.is_dir() {
+        let mut rotated: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(path)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(suffix) = name.strip_prefix("journal.jsonl.") {
+                if let Ok(index) = suffix.parse::<u64>() {
+                    rotated.push((index, entry.path()));
+                }
+            }
+        }
+        rotated.sort_unstable_by_key(|(index, _)| *index);
+        files.extend(rotated.into_iter().map(|(_, p)| p));
+        let active = path.join(ACTIVE);
+        if active.is_file() {
+            files.push(active);
+        }
+        if files.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no {ACTIVE} in {}", path.display()),
+            ));
+        }
+    } else {
+        files.push(path.to_path_buf());
+    }
+    let mut data = JournalData::default();
+    for file in &files {
+        let text = std::fs::read_to_string(file)?;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match parse::parse(line) {
+                Ok(value) => data.events.push(value),
+                Err(_) => data.bad_lines += 1,
+            }
+        }
+    }
+    data.files = files;
+    Ok(data)
+}
+
+/// All spans of a journal plus the retry links between them.
+#[derive(Debug, Default)]
+pub struct SpanForest {
+    /// Every attempt, keyed by gateway sequence number.
+    pub spans: BTreeMap<u64, RequestSpan>,
+    /// `parent seq → retry seqs`, in seq order.
+    children: BTreeMap<u64, Vec<u64>>,
+    /// Spans whose `retry_of` target is not in the journal.
+    orphans: Vec<u64>,
+}
+
+impl SpanForest {
+    /// Builds the forest from parsed journal events, ignoring non-span
+    /// lines.
+    pub fn build(events: &[JsonValue]) -> SpanForest {
+        let mut forest = SpanForest::default();
+        for event in events {
+            if let Some(span) = RequestSpan::from_json(event) {
+                forest.spans.insert(span.seq, span);
+            }
+        }
+        for (seq, span) in &forest.spans {
+            if let Some(parent) = span.retry_of {
+                if forest.spans.contains_key(&parent) {
+                    forest.children.entry(parent).or_default().push(*seq);
+                } else {
+                    forest.orphans.push(*seq);
+                }
+            }
+        }
+        forest
+    }
+
+    /// Root attempts (spans that are not themselves retries), in seq
+    /// order. Each corresponds to one logical client request.
+    pub fn roots(&self) -> impl Iterator<Item = &RequestSpan> {
+        self.spans.values().filter(|s| s.retry_of.is_none())
+    }
+
+    /// Direct retries of attempt `seq`.
+    pub fn retries_of(&self, seq: u64) -> &[u64] {
+        self.children.get(&seq).map_or(&[], Vec::as_slice)
+    }
+
+    /// The full attempt chain of the logical request rooted at `root`,
+    /// root first, following retry links depth-first (the gateway only
+    /// ever produces linear chains, but a forest is handled).
+    pub fn chain(&self, root: u64) -> Vec<&RequestSpan> {
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(seq) = stack.pop() {
+            if let Some(span) = self.spans.get(&seq) {
+                out.push(span);
+            }
+            let mut kids: Vec<u64> = self.retries_of(seq).to_vec();
+            kids.reverse();
+            stack.extend(kids);
+        }
+        out
+    }
+
+    /// Spans whose `retry_of` references a seq absent from the journal —
+    /// a broken causal link.
+    pub fn orphans(&self) -> &[u64] {
+        &self.orphans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_obs::journal::SpanOutcome;
+    use aqua_obs::Obs;
+
+    fn span(seq: u64, retry_of: Option<u64>, outcome: SpanOutcome) -> RequestSpan {
+        let mut s = RequestSpan::begin(seq, 0, seq * 100, seq * 100);
+        s.retry_of = retry_of;
+        s.outcome = outcome;
+        s
+    }
+
+    #[test]
+    fn forest_links_retry_chains() {
+        let events: Vec<JsonValue> = [
+            span(0, None, SpanOutcome::Superseded),
+            span(1, Some(0), SpanOutcome::Delivered),
+            span(2, None, SpanOutcome::Delivered),
+        ]
+        .iter()
+        .map(RequestSpan::to_json)
+        .collect();
+        let forest = SpanForest::build(&events);
+        assert_eq!(forest.spans.len(), 3);
+        assert_eq!(forest.roots().count(), 2);
+        let chain: Vec<u64> = forest.chain(0).iter().map(|s| s.seq).collect();
+        assert_eq!(chain, vec![0, 1]);
+        assert!(forest.orphans().is_empty());
+    }
+
+    #[test]
+    fn missing_retry_target_is_an_orphan() {
+        let events = vec![span(5, Some(4), SpanOutcome::Delivered).to_json()];
+        let forest = SpanForest::build(&events);
+        assert_eq!(forest.orphans(), &[5]);
+    }
+
+    #[test]
+    fn read_journal_handles_rotated_directories() {
+        let dir = std::env::temp_dir().join(format!(
+            "aqua-trace-replay-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        // Rotate aggressively so the journal spreads over segments.
+        let obs = Obs::to_dir_rotating(&dir, 64).unwrap();
+        for seq in 0..16 {
+            obs.journal()
+                .emit_span(&span(seq, None, SpanOutcome::Delivered));
+        }
+        obs.journal().flush();
+        drop(obs);
+        let data = read_journal(&dir).unwrap();
+        assert_eq!(data.bad_lines, 0);
+        assert!(data.files.len() > 1, "rotation produced segments");
+        let forest = SpanForest::build(&data.events);
+        assert_eq!(forest.spans.len(), 16, "all segments read, in order");
+        // Garbage lines are counted, not fatal.
+        std::fs::write(dir.join("journal.jsonl"), "{\"type\":\"x\"}\nnot json\n").unwrap();
+        let data = read_journal(&dir).unwrap();
+        assert_eq!(data.bad_lines, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -215,6 +215,12 @@ pub fn run_experiment_observed(
         let mut gateway = ClientGateway::new(cfg, strategy);
         if let Some(obs) = obs {
             gateway = gateway.with_obs(obs, i as u64);
+            if !schedule.is_empty() {
+                // Spans carry the stable ids of overlapping fault windows,
+                // matching the `fault` events journalled at the end of the
+                // run — the forensics analyzer joins on them.
+                gateway = gateway.with_fault_windows(schedule.windows());
+            }
         }
         client_nodes.push(sim.add_node(gateway));
     }

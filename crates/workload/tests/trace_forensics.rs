@@ -1,0 +1,149 @@
+//! End-to-end exercise of the aqua-trace pipeline on the simulated stack:
+//! the QoS-calibration watchdog must fire when an induced fault degrades
+//! every replica past the promised deadline, and the forensics analyzer
+//! must rebuild the span trees from the journal alone and attribute every
+//! deadline miss.
+
+use aqua_core::qos::QosSpec;
+use aqua_core::time::{Duration, Instant};
+use aqua_obs::Obs;
+use aqua_replica::ServiceTimeModel;
+use aqua_trace::{analyze, read_journal, MissStage};
+use aqua_workload::{
+    run_experiment_observed, ClientSpec, ExperimentConfig, FaultPlan, NetworkSpec, ServerSpec,
+};
+
+fn ms(v: u64) -> Duration {
+    Duration::from_millis(v)
+}
+
+/// Three moderately-spread replicas, one client, model-based selection.
+fn config(qos: QosSpec, requests: u64, seed: u64) -> ExperimentConfig {
+    let mut client = ClientSpec::paper(qos);
+    client.num_requests = requests;
+    client.think_time = ms(100);
+    ExperimentConfig {
+        seed,
+        network: NetworkSpec::paper(),
+        servers: (0..3)
+            .map(|i| ServerSpec {
+                service: ServiceTimeModel::Deterministic(ms(20 + 10 * i as u64)),
+                ..ServerSpec::paper()
+            })
+            .collect(),
+        standby_servers: Vec::new(),
+        manager: None,
+        clients: vec![client],
+        faults: FaultPlan::new(),
+        max_virtual_time: Duration::from_secs(300),
+    }
+}
+
+/// A fault plan that slows *every* replica far past the deadline so the
+/// promised probability is unachievable while the windows are active.
+fn degrade_everything() -> FaultPlan {
+    let at = Instant::from_secs(2);
+    let hold = Duration::from_secs(120);
+    FaultPlan::new()
+        .degrade(0, at, hold, 20.0)
+        .degrade(1, at, hold, 20.0)
+        .degrade(2, at, hold, 20.0)
+}
+
+#[test]
+fn watchdog_fires_on_induced_degrade() {
+    let qos = QosSpec::new(ms(200), 0.9).unwrap();
+    let mut cfg = config(qos, 80, 41);
+    cfg.faults = degrade_everything();
+
+    let (obs, reader) = Obs::in_memory();
+    let report = run_experiment_observed(&cfg, Some(&obs));
+    let client = report.client_under_test();
+    assert_eq!(client.records.len(), 80, "the run completed");
+    assert!(
+        client.failure_probability > 0.3,
+        "the degrade window visibly breaks the QoS promise: {}",
+        client.failure_probability
+    );
+
+    // The default watchdog (no special configuration) must notice the
+    // sustained promised-vs-observed gap and journal an alert.
+    let alerts = reader.lines_containing(r#""type":"calibration_alert""#);
+    assert!(
+        !alerts.is_empty(),
+        "sustained degrade produces at least one calibration alert"
+    );
+
+    // Satellite metrics are exported alongside the alert.
+    let prom = obs.prometheus();
+    assert!(
+        prom.contains("aqua_qos_violations_total"),
+        "violations counter exported: {prom}"
+    );
+    assert!(
+        prom.contains("aqua_qos_calibration_error"),
+        "calibration-error gauge exported: {prom}"
+    );
+}
+
+#[test]
+fn forensics_attributes_every_miss_and_joins_fault_windows() {
+    let qos = QosSpec::new(ms(200), 0.9).unwrap();
+    let mut cfg = config(qos, 60, 47);
+    cfg.faults = degrade_everything();
+
+    let dir = std::env::temp_dir().join(format!(
+        "aqua-trace-forensics-{}-{}",
+        std::process::id(),
+        cfg.seed
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let obs = Obs::to_dir_rotating(&dir, 0).expect("journal dir");
+    let report = run_experiment_observed(&cfg, Some(&obs));
+    assert_eq!(report.client_under_test().records.len(), 60);
+    obs.journal().flush();
+
+    let data = read_journal(&dir).expect("journal readable");
+    assert_eq!(data.bad_lines, 0, "every journal line parses");
+    let forensics = analyze(&data);
+
+    assert_eq!(
+        forensics.requests, 60,
+        "one logical request per workload request: {forensics:?}"
+    );
+    assert_eq!(forensics.pending, 0, "nothing left dangling at flush");
+    assert!(
+        forensics.invariant_violations.is_empty(),
+        "span-tree invariants hold: {:?}",
+        forensics.invariant_violations
+    );
+    assert!(
+        !forensics.misses.is_empty(),
+        "the degrade window causes deadline misses"
+    );
+
+    // 100% attribution: every miss carries a stage, and the ranked
+    // histogram accounts for each one exactly once.
+    let ranked_total: usize = forensics.ranked_stages().iter().map(|(_, n)| n).sum();
+    assert_eq!(ranked_total, forensics.misses.len());
+
+    // The fault-plan join works: misses inside the degrade window carry
+    // its window ids and are attributed to the active fault.
+    assert!(forensics.fault_window_count >= 3, "windows journalled");
+    assert!(
+        forensics.misses.iter().any(|m| !m.fault_windows.is_empty()),
+        "at least one miss overlaps a recorded fault window"
+    );
+    assert!(
+        forensics
+            .misses
+            .iter()
+            .any(|m| m.stage == MissStage::ActiveFault),
+        "misses inside the window are attributed to the active fault: {forensics:?}"
+    );
+
+    // The watchdog alert from the same run is visible to the analyzer.
+    assert!(forensics.calibration_alerts >= 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
