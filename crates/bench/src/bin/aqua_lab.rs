@@ -268,6 +268,7 @@ fn build_config(opts: &Options) -> ExperimentConfig {
         manager: (opts.standbys > 0).then_some(aqua_workload::ManagerSpec {
             target_replication: opts.replicas,
             check_interval: ms(200),
+            supervision: None,
         }),
         clients,
         faults: aqua_workload::FaultPlan::new(),

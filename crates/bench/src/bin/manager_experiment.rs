@@ -51,6 +51,7 @@ fn scenario(managed: bool, seed: u64) -> ExperimentConfig {
         manager: managed.then_some(ManagerSpec {
             target_replication: 3,
             check_interval: ms(200),
+            supervision: None,
         }),
         clients: vec![client],
         faults: aqua_workload::FaultPlan::new(),

@@ -54,6 +54,15 @@ pub enum FaultKind {
     /// lost; inbound traffic still arrives. The replica services requests it
     /// can never answer — the purest timing fault in the paper's sense.
     PartitionOneWay,
+    /// Supervised drain + rolling restart: the replica leaves the group
+    /// gracefully at the window's start, finishes its queued work, goes
+    /// dormant, and reactivates at the window's end. Unlike
+    /// [`FaultKind::Crash`] no queued work is lost; unlike a pause the
+    /// replica disappears from the planning view while the window is
+    /// active. This is the schedule-level form of the elastic supervisor's
+    /// rolling restarts, so scripted chaos plans can exercise the same
+    /// path.
+    Drain,
 }
 
 impl FaultKind {
@@ -67,6 +76,7 @@ impl FaultKind {
             FaultKind::DelaySpike { .. } => "delay_spike",
             FaultKind::Drop { .. } => "drop",
             FaultKind::PartitionOneWay => "partition",
+            FaultKind::Drain => "drain",
         }
     }
 }
@@ -268,6 +278,18 @@ impl FaultPlan {
         self.with(FaultSpec {
             replica: Some(r.into()),
             kind: FaultKind::PartitionOneWay,
+            start: at,
+            duration,
+        })
+    }
+
+    /// Replica `r` drains gracefully at `at` (leaves the group, finishes
+    /// queued work, goes dormant) and reactivates after `duration` — a
+    /// scripted rolling restart.
+    pub fn drain(self, r: impl Into<ReplicaId>, at: Instant, duration: Duration) -> Self {
+        self.with(FaultSpec {
+            replica: Some(r.into()),
+            kind: FaultKind::Drain,
             start: at,
             duration,
         })

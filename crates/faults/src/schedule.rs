@@ -98,6 +98,18 @@ impl FaultSchedule {
         }
     }
 
+    /// If `replica` is inside a scheduled drain window at `now`, when the
+    /// window ends (the reactivation instant of the rolling restart).
+    /// Drain is orthogonal to [`FaultSchedule::health`]: a crash window
+    /// overlapping a drain still loses queued work.
+    pub fn draining_until(&self, replica: ReplicaId, now: Instant) -> Option<Instant> {
+        self.specs
+            .iter()
+            .filter(|s| s.kind == FaultKind::Drain && s.targets(replica) && s.active_at(now))
+            .map(FaultSpec::end)
+            .max()
+    }
+
     /// Combined service-time multiplier for `replica` at `now` (product of
     /// all active degrade/overload windows; `1.0` when healthy).
     pub fn service_factor(&self, replica: ReplicaId, now: Instant) -> f64 {
@@ -417,6 +429,31 @@ mod tests {
                 != s.should_drop(Some(rid(2)), Some(rid(9)), now);
         }
         assert!(differs);
+    }
+
+    #[test]
+    fn drain_windows_are_first_class() {
+        let s = FaultPlan::new()
+            .drain(3, at(100), ms(200))
+            .pause(3, at(150), ms(10))
+            .instantiate(1);
+        // The drain window is queryable and scoped to its target.
+        assert_eq!(s.draining_until(rid(3), at(99)), None);
+        assert_eq!(s.draining_until(rid(3), at(100)), Some(at(300)));
+        assert_eq!(s.draining_until(rid(3), at(299)), Some(at(300)));
+        assert_eq!(s.draining_until(rid(3), at(300)), None);
+        assert_eq!(s.draining_until(rid(4), at(150)), None);
+        // Drain does not perturb health (the pause still reports).
+        assert_eq!(
+            s.health(rid(3), at(155)),
+            ReplicaHealth::Paused { until: at(160) }
+        );
+        // The window surfaces in joinable form with the drain label.
+        let windows = s.windows();
+        assert_eq!(windows[0].kind, "drain");
+        assert_eq!(windows[0].id, 0);
+        // And it participates in the transition walk.
+        assert_eq!(s.next_transition_after(at(0)), Some(at(100)));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! [`RequestRecord`] per request for the harness.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use aqua_core::qos::QosSpec;
 use aqua_core::repository::MethodId;
@@ -83,6 +84,16 @@ pub struct ClientConfig {
     /// earliest reply of either wins). Should be shorter than
     /// `give_up_after` to be useful.
     pub retry_after: Option<Duration>,
+    /// The dependability manager's node, when an elastic supervisor runs:
+    /// the client forwards its watchdog's calibration alerts there and
+    /// honors the fleet-level [`AquaMsg::Directive`]s it sends back
+    /// (renegotiate `Pc`, shed load). Requires
+    /// [`ClientGateway::with_obs`] — alerts come from the watchdog.
+    pub manager: Option<NodeId>,
+    /// Watchdog tunables override; supervisor deployments enable
+    /// `replica_alerts` here so the manager sees per-replica drift. The
+    /// default watchdog config applies when `None`.
+    pub calibration: Option<aqua_trace::CalibrationConfig>,
 }
 
 impl ClientConfig {
@@ -103,6 +114,8 @@ impl ClientConfig {
             probe_stale_after: None,
             renegotiate_to: None,
             retry_after: None,
+            manager: None,
+            calibration: None,
         }
     }
 }
@@ -149,6 +162,10 @@ enum TimerKind {
     Retry(u64),
 }
 
+/// One buffered calibration alert: `(replica scope, method, observed,
+/// promised)`, the fields an [`AquaMsg::AlertReport`] carries.
+type BufferedAlert = (Option<u64>, u32, f64, f64);
+
 /// The simulated client gateway node. See the module docs.
 pub struct ClientGateway {
     config: ClientConfig,
@@ -169,6 +186,14 @@ pub struct ClientGateway {
     retry_state: HashMap<u64, (MethodId, Vec<u64>)>,
     /// Sibling attempt seq → root seq.
     root_of: HashMap<u64, u64>,
+    /// Calibration alerts the watchdog hook buffered during the current
+    /// event, drained into [`AquaMsg::AlertReport`]s afterwards (hooks
+    /// run inside handler calls and cannot send messages themselves).
+    alert_buffer: Option<Arc<Mutex<Vec<BufferedAlert>>>>,
+    /// Issue no new requests before this instant (escalation directive).
+    shed_until: Option<Instant>,
+    /// Arrivals suppressed by load shedding so far.
+    shed_requests: u64,
 }
 
 impl std::fmt::Debug for ClientGateway {
@@ -198,6 +223,9 @@ impl ClientGateway {
             fault_windows: Vec::new(),
             retry_state: HashMap::new(),
             root_of: HashMap::new(),
+            alert_buffer: None,
+            shed_until: None,
+            shed_requests: 0,
         }
     }
 
@@ -243,6 +271,11 @@ impl ClientGateway {
         self.finished
     }
 
+    /// Arrivals suppressed by an escalation's load-shed directive.
+    pub fn shed_requests(&self) -> u64 {
+        self.shed_requests
+    }
+
     fn handler_mut(&mut self) -> &mut TimingFaultHandler {
         self.handler.as_mut().expect("started")
     }
@@ -277,6 +310,13 @@ impl ClientGateway {
     fn issue_one(&mut self, ctx: &mut Context<'_, Wire>) -> IssueResult {
         if self.finished {
             return IssueResult::Finished;
+        }
+        // Load shedding (escalation directive): drop the arrival. Pacing
+        // continues — closed-loop retries shortly, open-loop arrivals are
+        // simply lost for the shed window.
+        if self.shed_until.is_some_and(|until| ctx.now() < until) {
+            self.shed_requests += 1;
+            return IssueResult::NoServers;
         }
         if self
             .config
@@ -567,8 +607,64 @@ impl ClientGateway {
                 let now = ctx.now();
                 self.handler_mut().on_perf_update(now, replica, perf);
             }
+            AquaMsg::Directive {
+                renegotiate_pc,
+                shed_for,
+            } => {
+                // A fleet-level escalation from the supervisor: adapt the
+                // promise instead of the fleet. Only honored when a
+                // manager is configured — a stray directive from an
+                // unknown sender must not move our QoS.
+                if self.config.manager.is_none() {
+                    return;
+                }
+                if let Some(pc) = renegotiate_pc {
+                    let current = self.handler_mut().qos();
+                    // Only ever renegotiate the promise downward.
+                    if pc < current.min_probability() {
+                        if let Ok(relaxed) = QosSpec::new(current.deadline(), pc) {
+                            self.handler_mut().renegotiate(relaxed);
+                        }
+                    }
+                }
+                if let Some(shed) = shed_for {
+                    let until = ctx.now().saturating_add(shed);
+                    self.shed_until = Some(match self.shed_until {
+                        Some(existing) => existing.max(until),
+                        None => until,
+                    });
+                }
+            }
             // Requests/subscriptions are not addressed to clients.
             _ => {}
+        }
+    }
+
+    /// Forwards calibration alerts the watchdog hook buffered during this
+    /// event to the dependability manager.
+    fn forward_alerts(&mut self, ctx: &mut Context<'_, Wire>) {
+        let Some(manager) = self.config.manager else {
+            return;
+        };
+        let Some(buffer) = self.alert_buffer.as_ref() else {
+            return;
+        };
+        // The guard lives only for this statement: the buffered alerts
+        // are moved out before any message goes on the wire.
+        let pending: Vec<BufferedAlert> = buffer
+            .lock()
+            .map(|mut pending| pending.drain(..).collect())
+            .unwrap_or_default();
+        for (replica, method, observed, promised) in pending {
+            ctx.send(
+                manager,
+                GroupMsg::App(AquaMsg::AlertReport {
+                    replica,
+                    method,
+                    observed,
+                    promised,
+                }),
+            );
         }
     }
 }
@@ -584,6 +680,28 @@ impl Node<Wire> for ClientGateway {
                     handler.attach_obs(obs, Some(*client));
                     if !self.fault_windows.is_empty() {
                         handler.set_fault_windows(self.fault_windows.clone());
+                    }
+                    if let Some(observer) = handler.observer_mut() {
+                        // Reconfigure before hooking: configure_watchdog
+                        // replaces the watchdog, hooks and all.
+                        if let Some(calibration) = self.config.calibration {
+                            observer.configure_watchdog(calibration);
+                        }
+                        if self.config.manager.is_some() {
+                            let buffer = Arc::new(Mutex::new(Vec::new()));
+                            let sink = Arc::clone(&buffer);
+                            observer.watchdog_mut().add_hook(move |alert| {
+                                if let Ok(mut pending) = sink.lock() {
+                                    pending.push((
+                                        alert.replica,
+                                        alert.method,
+                                        alert.observed,
+                                        alert.promised,
+                                    ));
+                                }
+                            });
+                            self.alert_buffer = Some(buffer);
+                        }
                     }
                 }
                 self.handler = Some(handler);
@@ -631,5 +749,8 @@ impl Node<Wire> for ClientGateway {
                 _ => {}
             },
         }
+        // Alerts the watchdog raised while handling this event go out to
+        // the manager now, from event-loop context.
+        self.forward_alerts(ctx);
     }
 }

@@ -29,12 +29,13 @@ pub mod obs;
 mod passive_client;
 mod proto;
 mod server;
+mod supervisor;
 mod timing;
 
 pub use client::{ArrivalModel, ClientConfig, ClientGateway, RequestRecord};
 pub use concurrent::ConcurrentHandler;
 pub use handlers::{active_strategy, FailoverAction, PassiveHandler, PassivePending};
-pub use manager::{DependabilityManager, ManagerConfig};
+pub use manager::{DependabilityManager, ManagerConfig, SupervisionConfig, DRAIN_WINDOW_BASE};
 pub use obs::HandlerObserver;
 // Re-exported so downstream crates can configure the QoS-calibration
 // watchdog without depending on aqua-trace directly.
@@ -42,6 +43,7 @@ pub use aqua_trace::{CalibrationAlert, CalibrationConfig};
 pub use passive_client::{PassiveClientConfig, PassiveClientGateway};
 pub use proto::{AquaMsg, RequestId, Wire};
 pub use server::{ServerConfig, ServerGateway};
+pub use supervisor::{SupervisorAction, SupervisorConfig, SupervisorPolicy};
 pub use timing::{HandlerStats, PendingRequest, ReplyOutcome, RequestPlan, TimingFaultHandler};
 
 #[cfg(test)]

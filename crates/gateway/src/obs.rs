@@ -329,7 +329,8 @@ impl HandlerObserver {
         if let Some(deadline) = deadline {
             if !probe {
                 let met = response_nanos <= deadline;
-                self.watchdog.on_replica_reply(seq, replica.index(), met);
+                self.watchdog
+                    .on_replica_reply(seq, replica.index(), met, at_nanos);
                 if first {
                     let delivered_in_time = verdict.map_or(met, TimingVerdict::is_timely);
                     self.watchdog.on_outcome(seq, delivered_in_time, at_nanos);

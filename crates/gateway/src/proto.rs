@@ -57,6 +57,34 @@ pub enum AquaMsg {
     /// The dependability manager activates a standby replica (Proteus,
     /// §2): the target joins the service group and starts serving.
     Activate,
+    /// The elastic supervisor drains a replica for a rolling restart:
+    /// the target leaves the group gracefully, finishes its queued work,
+    /// and goes dormant — back in the standby pool until re-activated.
+    Drain,
+    /// A client gateway forwards one QoS-calibration alert from its
+    /// watchdog to the dependability manager — the supervisor's
+    /// observation plane.
+    AlertReport {
+        /// The sick replica for replica-scoped alerts; `None` for
+        /// set-scoped (whole-selection) drift, the overload signal.
+        replica: Option<u64>,
+        /// Method whose calibration degraded.
+        method: u32,
+        /// Rolling observed success rate at alert time.
+        observed: f64,
+        /// Rolling promised (set scope) or predicted (replica scope)
+        /// rate the observation fell short of.
+        promised: f64,
+    },
+    /// A fleet-level escalation directive from the supervisor to every
+    /// client: correlated degradation detected, adapt the promise rather
+    /// than the fleet.
+    Directive {
+        /// Renegotiate to this `Pc` (same deadline) when set.
+        renegotiate_pc: Option<f64>,
+        /// Issue no new requests for this long (shed load), when set.
+        shed_for: Option<aqua_core::time::Duration>,
+    },
 }
 
 impl Payload for AquaMsg {
@@ -67,6 +95,9 @@ impl Payload for AquaMsg {
             AquaMsg::Subscribe { .. } => 24,
             AquaMsg::PerfUpdate { .. } => 56,
             AquaMsg::Activate => 16,
+            AquaMsg::Drain => 16,
+            AquaMsg::AlertReport { .. } => 48,
+            AquaMsg::Directive { .. } => 32,
         }
     }
 }

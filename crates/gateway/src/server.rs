@@ -13,7 +13,7 @@
 
 use aqua_core::qos::ReplicaId;
 use aqua_core::repository::{MethodId, PerfReport};
-use aqua_core::time::Duration;
+use aqua_core::time::{Duration, Instant};
 use aqua_faults::{FaultSchedule, ReplicaHealth};
 use aqua_group::{FailureDetectorConfig, GroupMsg, Member, MembershipAgent};
 use aqua_replica::{CrashPlan, CrashState, LoadModel, LoadProcess, RequestQueue, ServiceTimeModel};
@@ -98,6 +98,14 @@ pub struct ServerGateway {
     crash_timer: Option<TimerToken>,
     /// Standby replica that has not been activated yet (Proteus, §2).
     dormant: bool,
+    /// Graceful drain in progress: we have left the group (no new
+    /// selections reach us after the view change) but keep servicing the
+    /// queue and any stragglers until it empties, then go dormant.
+    draining: bool,
+    /// For scheduled drains, the window end at which the replica
+    /// reactivates on its own; manager-driven drains wait for `Activate`.
+    drain_until: Option<Instant>,
+    reactivate_timer: Option<TimerToken>,
     /// Dead-but-recoverable: events are dropped until the recovery timer.
     dead: bool,
     recovery_timer: Option<TimerToken>,
@@ -132,6 +140,9 @@ impl ServerGateway {
             crash: None,
             crash_timer: None,
             dormant: false,
+            draining: false,
+            drain_until: None,
+            reactivate_timer: None,
             dead: false,
             recovery_timer: None,
             fault_timer: None,
@@ -149,6 +160,63 @@ impl ServerGateway {
     /// Whether this replica is a standby that has not been activated.
     pub fn is_dormant(&self) -> bool {
         self.dormant
+    }
+
+    /// Whether a graceful drain is in progress.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Begins a graceful drain: leave the group (the view change stops
+    /// clients from selecting us), keep servicing queued work and
+    /// stragglers, then go dormant once the queue empties. `until` is the
+    /// self-reactivation instant for scheduled drains; `None` means the
+    /// dependability manager owns reactivation (rolling restart).
+    fn begin_drain(&mut self, ctx: &mut Context<'_, Wire>, until: Option<Instant>) {
+        if self.dormant || self.dead || self.is_crashed() {
+            return;
+        }
+        if self.draining {
+            // Overlapping drain windows extend the dormancy.
+            self.drain_until = match (self.drain_until, until) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None, // a manager drain supersedes: wait for Activate
+            };
+            return;
+        }
+        self.draining = true;
+        self.drain_until = until;
+        if let Some(agent) = self.agent.as_mut() {
+            agent.leave(ctx);
+        }
+        self.maybe_go_dormant(ctx);
+    }
+
+    /// Completes a drain once nothing is queued or in service: drop group
+    /// state and go dormant, arming self-reactivation for scheduled
+    /// drains whose window has not ended yet.
+    fn maybe_go_dormant(&mut self, ctx: &mut Context<'_, Wire>) {
+        if !self.draining || self.in_service.is_some() || !self.queue.is_empty() {
+            return;
+        }
+        self.draining = false;
+        self.dormant = true;
+        self.agent = None;
+        self.subscribers.clear();
+        self.crash = None;
+        self.crash_timer = None;
+        self.fault_timer = None;
+        if let Some(at) = self.drain_until.take() {
+            let now = ctx.now();
+            if at <= now {
+                // The scheduled window already ended while we finished
+                // queued work: rejoin immediately.
+                self.dormant = false;
+                self.go_live(ctx);
+            } else {
+                self.reactivate_timer = Some(ctx.set_timer(at.saturating_duration_since(now)));
+            }
+        }
     }
 
     /// Joins the group and arms the crash schedule (initial start or
@@ -186,9 +254,21 @@ impl ServerGateway {
     fn on_fault_edge(&mut self, ctx: &mut Context<'_, Wire>) {
         self.apply_scheduled_faults(ctx);
         self.schedule_fault_edge(ctx);
-        if !self.dead && !self.is_crashed() {
-            self.start_next_service(ctx);
+        if self.dead || self.is_crashed() {
+            return;
         }
+        // A scheduled drain window opened: leave gracefully, reactivate
+        // at the window's end.
+        let drain = self
+            .config
+            .faults
+            .as_ref()
+            .and_then(|s| s.draining_until(self.config.replica, ctx.now()));
+        if let Some(until) = drain {
+            self.begin_drain(ctx, Some(until));
+        }
+        self.start_next_service(ctx);
+        self.maybe_go_dormant(ctx);
     }
 
     /// Enters a scheduled down window: identical to a crash (queued work
@@ -374,6 +454,7 @@ impl ServerGateway {
             return;
         }
         self.start_next_service(ctx);
+        self.maybe_go_dormant(ctx);
     }
 }
 
@@ -388,6 +469,15 @@ impl Node<Wire> for ServerGateway {
                 }
             }
             Event::Timer { token } => {
+                if self.dormant {
+                    // Scheduled-drain window ended: rejoin the group.
+                    if Some(token) == self.reactivate_timer {
+                        self.reactivate_timer = None;
+                        self.dormant = false;
+                        self.go_live(ctx);
+                    }
+                    return;
+                }
                 if self.dead {
                     if Some(token) == self.recovery_timer {
                         self.recover(ctx);
@@ -419,6 +509,7 @@ impl Node<Wire> for ServerGateway {
                 if self.dormant {
                     if matches!(payload, GroupMsg::App(AquaMsg::Activate)) {
                         self.dormant = false;
+                        self.reactivate_timer = None;
                         self.go_live(ctx);
                     }
                     return;
@@ -443,6 +534,11 @@ impl Node<Wire> for ServerGateway {
                         if !self.subscribers.contains(&client) =>
                     {
                         self.subscribers.push(client);
+                    }
+                    GroupMsg::App(AquaMsg::Drain) => {
+                        // Manager-driven rolling restart: drain and wait
+                        // dormant for a fresh Activate.
+                        self.begin_drain(ctx, None);
                     }
                     GroupMsg::ViewChange(view) => {
                         if let Some(agent) = self.agent.as_mut() {

@@ -59,6 +59,28 @@ fn action() -> impl Strategy<Value = Action> {
     ]
 }
 
+/// An abstract action for the probation-flapping state machine.
+#[derive(Debug, Clone)]
+enum FlapAction {
+    /// Toggle replica `r % pool` out of / back into the view.
+    Flap { r: u64 },
+    /// Socket-reconnect path: `on_rejoin` for replica `r % pool`.
+    Reconnect { r: u64 },
+    /// A perf sample from replica `r % pool`.
+    Perf { r: u64, service_ms: u64 },
+    /// Plan a request (probation members may only shadow).
+    Plan,
+}
+
+fn flap_action() -> impl Strategy<Value = FlapAction> {
+    prop_oneof![
+        3 => (0u64..5).prop_map(|r| FlapAction::Flap { r }),
+        1 => (0u64..5).prop_map(|r| FlapAction::Reconnect { r }),
+        4 => (0u64..5, 1u64..300).prop_map(|(r, service_ms)| FlapAction::Perf { r, service_ms }),
+        2 => Just(FlapAction::Plan),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -147,6 +169,104 @@ proptest! {
             // Rates are probabilities.
             let rate = handler.detector().failure_rate();
             prop_assert!((0.0..=1.0).contains(&rate));
+        }
+    }
+
+    /// Crash-recover flapping can never escape probation early: however a
+    /// replica's leaves and rejoins interleave with perf samples and
+    /// plans, every rejoin re-arms a full `l`-sample probation, exactly
+    /// `l` fresh samples clear it, and while it lasts the replica is
+    /// never a trusted candidate — only a shadow at the tail of a plan.
+    #[test]
+    fn flapping_replicas_never_escape_probation_early(
+        actions in prop::collection::vec(flap_action(), 1..100),
+    ) {
+        let pool = 5u64;
+        let l = 5u32; // repository window == probation length
+        let qos = QosSpec::new(ms(200), 0.9).unwrap();
+        let mut handler = TimingFaultHandler::new(qos, l as usize, Box::new(ModelBased::default()));
+        let mut now = Instant::EPOCH;
+        // Everyone starts in the view, so every later reappearance is a
+        // rejoin (first joins are warmed by cold-start, not probation).
+        handler.on_view(now, (0..pool).map(ReplicaId::new));
+
+        // The shadow model: view membership and probation samples left.
+        let mut in_view = [true; 5];
+        let mut remaining = [0u32; 5];
+
+        for act in actions {
+            now += ms(1);
+            match act {
+                FlapAction::Flap { r } => {
+                    let r = (r % pool) as usize;
+                    in_view[r] = !in_view[r];
+                    if in_view[r] {
+                        remaining[r] = l; // rejoin re-arms a full window
+                    }
+                    let view: Vec<ReplicaId> = (0..pool)
+                        .filter(|i| in_view[*i as usize])
+                        .map(ReplicaId::new)
+                        .collect();
+                    handler.on_view(now, view);
+                }
+                FlapAction::Reconnect { r } => {
+                    let r = r % pool;
+                    handler.on_rejoin(now, ReplicaId::new(r));
+                    // A no-op for present members; a rejoin otherwise.
+                    if !in_view[r as usize] {
+                        in_view[r as usize] = true;
+                        remaining[r as usize] = l;
+                    }
+                }
+                FlapAction::Perf { r, service_ms } => {
+                    let r = r % pool;
+                    handler.on_perf_update(
+                        now,
+                        ReplicaId::new(r),
+                        PerfReport::new(ms(service_ms), ms(0), 0),
+                    );
+                    // Samples for departed replicas are dropped, fresh
+                    // ones pay down the probation debt.
+                    if in_view[r as usize] {
+                        remaining[r as usize] = remaining[r as usize].saturating_sub(1);
+                    }
+                }
+                FlapAction::Plan => {
+                    let plan = handler.plan_request(now);
+                    let mut seen_shadow = false;
+                    for r in plan.replicas.iter() {
+                        let on_probation = handler
+                            .repository()
+                            .stats(*r)
+                            .is_some_and(|s| s.is_on_probation());
+                        if seen_shadow {
+                            prop_assert!(
+                                on_probation,
+                                "trusted member {r:?} after a probation shadow"
+                            );
+                        }
+                        seen_shadow |= on_probation;
+                    }
+                }
+            }
+
+            // The handler must agree with the shadow model exactly.
+            for i in 0..pool as usize {
+                let id = ReplicaId::new(i as u64);
+                let stats = handler.repository().stats(id);
+                prop_assert_eq!(stats.is_some(), in_view[i]);
+                if let Some(stats) = stats {
+                    prop_assert_eq!(
+                        stats.probation_remaining(), remaining[i],
+                        "replica {} probation debt diverged", i
+                    );
+                    prop_assert_eq!(stats.is_on_probation(), remaining[i] > 0);
+                }
+            }
+            // Strategies may only trust replicas that are off probation.
+            for (_, stats) in handler.repository().selectable() {
+                prop_assert!(!stats.is_on_probation());
+            }
         }
     }
 

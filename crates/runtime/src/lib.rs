@@ -40,9 +40,11 @@ mod client;
 #[cfg(feature = "serialized-baseline")]
 pub mod serialized;
 mod server;
+mod supervisor;
 pub mod wire;
 
 pub use client::{AquaClient, AquaClientConfig, CallError, CallOutcome, ReconnectPolicy};
 #[cfg(feature = "serialized-baseline")]
 pub use serialized::SerializedClient;
 pub use server::{ReplicaServer, ReplicaServerConfig};
+pub use supervisor::SupervisorDriver;

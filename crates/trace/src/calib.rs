@@ -58,6 +58,11 @@ pub struct CalibrationConfig {
     /// Minimum samples between consecutive alerts from one band
     /// (default 64).
     pub cooldown: usize,
+    /// Whether the per-(method, replica) windows may raise
+    /// replica-scoped alerts — the elastic supervisor's quarantine
+    /// signal. Off by default so deployments without a supervisor keep
+    /// the set-scoped alert stream unchanged.
+    pub replica_alerts: bool,
 }
 
 impl Default for CalibrationConfig {
@@ -68,6 +73,7 @@ impl Default for CalibrationConfig {
             window: 256,
             band_width: 0.05,
             cooldown: 64,
+            replica_alerts: false,
         }
     }
 }
@@ -77,6 +83,12 @@ impl Default for CalibrationConfig {
 pub struct CalibrationAlert {
     /// Method whose band degraded.
     pub method: u32,
+    /// For replica-scoped alerts, the replica whose calibration stays
+    /// degraded; `None` for set-scoped (whole-selection) alerts. Set
+    /// alerts signal the delivered QoS drifting below the promise —
+    /// overload evidence; replica alerts pinpoint one sick member — the
+    /// supervisor's quarantine signal.
+    pub replica: Option<u64>,
     /// Lower edge of the `Pc` band, rendered with two decimals ("0.90").
     pub band: String,
     /// Rolling mean of the promised `Pc`.
@@ -115,6 +127,7 @@ struct BandStats {
 struct ReplicaStats {
     ring: VecDeque<(f64, bool)>,
     calibration: Arc<Gauge>,
+    since_alert: usize,
 }
 
 struct PendingPlan {
@@ -231,9 +244,10 @@ impl QosWatchdog {
     }
 
     /// Records one replica's reply to attempt `seq`: `met` is whether it
-    /// arrived within the deadline. Replies for unknown or already
-    /// retired attempts are ignored.
-    pub fn on_replica_reply(&mut self, seq: u64, replica: u64, met: bool) {
+    /// arrived within the deadline and `at_nanos` the journal timestamp
+    /// of the reply. Replies for unknown or already retired attempts are
+    /// ignored.
+    pub fn on_replica_reply(&mut self, seq: u64, replica: u64, met: bool, at_nanos: u64) {
         let Some(plan) = self.pending.get_mut(&seq) else {
             return;
         };
@@ -245,7 +259,8 @@ impl QosWatchdog {
             return;
         };
         let (_, p) = plan.replica_predicted.swap_remove(pos);
-        let key = (plan.method, replica);
+        let method = plan.method;
+        let key = (method, replica);
         let window = self.config.window;
         let stats = match self.replicas.get_mut(&key) {
             Some(s) => s,
@@ -263,6 +278,7 @@ impl QosWatchdog {
                 self.replicas.entry(key).or_insert(ReplicaStats {
                     ring: VecDeque::with_capacity(window),
                     calibration: gauge,
+                    since_alert: self.config.cooldown,
                 })
             }
         };
@@ -270,12 +286,37 @@ impl QosWatchdog {
             stats.ring.pop_front();
         }
         stats.ring.push_back((p.clamp(0.0, 1.0), met));
+        stats.since_alert = stats.since_alert.saturating_add(1);
         let n = stats.ring.len() as f64;
         let pred: f64 = stats.ring.iter().map(|(p, _)| p).sum::<f64>() / n;
         let obs_rate = stats.ring.iter().filter(|(_, m)| *m).count() as f64 / n;
         stats
             .calibration
             .set(((pred - obs_rate).abs() * GAUGE_SCALE).round() as i64);
+        // A replica whose delivered rate stays `margin` below what the
+        // model predicts for it is sick in exactly the sense the elastic
+        // supervisor quarantines on: the prediction keeps vouching for it
+        // and reality keeps disagreeing.
+        let violated = self.config.replica_alerts
+            && stats.ring.len() >= self.config.min_samples
+            && pred - obs_rate > self.config.margin;
+        if !violated || stats.since_alert < self.config.cooldown {
+            return;
+        }
+        stats.since_alert = 0;
+        let samples = stats.ring.len();
+        self.raise(CalibrationAlert {
+            method,
+            replica: Some(replica),
+            band: String::new(),
+            promised: pred,
+            observed: obs_rate,
+            predicted: Some(pred),
+            calibration_error: Some((pred - obs_rate).abs()),
+            brier: None,
+            samples,
+            at_nanos,
+        });
     }
 
     /// Retires attempt `seq` with its logical outcome: `met` is whether
@@ -292,7 +333,7 @@ impl QosWatchdog {
             let unanswered = plan.replica_predicted.clone();
             self.pending.insert(seq, plan);
             for (replica, _) in unanswered {
-                self.on_replica_reply(seq, replica, false);
+                self.on_replica_reply(seq, replica, false, at_nanos);
             }
             let plan = self.pending.remove(&seq).expect("reinserted above");
             self.score_set(plan, false, at_nanos);
@@ -377,9 +418,9 @@ impl QosWatchdog {
         }
         stats.since_alert = 0;
         stats.violations.inc();
-        self.alerts += 1;
-        let alert = CalibrationAlert {
+        self.raise(CalibrationAlert {
             method: plan.method,
+            replica: None,
             band: band_label,
             promised,
             observed,
@@ -388,14 +429,30 @@ impl QosWatchdog {
             brier,
             samples: n,
             at_nanos,
-        };
+        });
+    }
+
+    /// Journals `alert` and runs every registered hook.
+    fn raise(&mut self, alert: CalibrationAlert) {
+        self.alerts += 1;
         let mut fields = JsonValue::object()
             .field("method", alert.method)
-            .field("pc_band", alert.band.as_str())
+            .field(
+                "scope",
+                if alert.replica.is_some() {
+                    "replica"
+                } else {
+                    "set"
+                },
+            )
             .field("promised", alert.promised)
             .field("observed", alert.observed)
             .field("samples", alert.samples as u64)
             .field("at_ns", alert.at_nanos);
+        fields = match alert.replica {
+            Some(r) => fields.field("replica", r),
+            None => fields.field("pc_band", alert.band.as_str()),
+        };
         if let Some(p) = alert.predicted {
             fields = fields.field("predicted", p);
         }
@@ -418,7 +475,7 @@ mod tests {
 
     fn feed(watchdog: &mut QosWatchdog, seq: u64, p: f64, met: bool) {
         watchdog.on_plan(seq, 0, 0.9, &[(1, p)]);
-        watchdog.on_replica_reply(seq, 1, met);
+        watchdog.on_replica_reply(seq, 1, met, seq * 1_000);
         watchdog.on_outcome(seq, met, seq * 1_000);
     }
 
@@ -490,8 +547,8 @@ mod tests {
             // Replica 1 predicted 0.9 and always meets; replica 2
             // predicted 0.9 and always misses.
             w.on_plan(seq, 7, 0.9, &[(1, 0.9), (2, 0.9)]);
-            w.on_replica_reply(seq, 1, true);
-            w.on_replica_reply(seq, 2, false);
+            w.on_replica_reply(seq, 1, true, seq);
+            w.on_replica_reply(seq, 2, false, seq);
             w.on_outcome(seq, true, seq);
         }
         let prom = obs.prometheus();
@@ -509,6 +566,65 @@ mod tests {
         // |0.9 − 1.0| = 0.1 → 1000 bps; |0.9 − 0.0| = 0.9 → 9000 bps.
         assert_eq!(value(&line_for("1")), 1000);
         assert_eq!(value(&line_for("2")), 9000);
+    }
+
+    #[test]
+    fn sick_replica_raises_replica_scoped_alerts_when_enabled() {
+        let (obs, reader) = Obs::in_memory();
+        let mut w = QosWatchdog::with_config(
+            &obs,
+            CalibrationConfig {
+                min_samples: 10,
+                cooldown: 50,
+                replica_alerts: true,
+                ..CalibrationConfig::default()
+            },
+        );
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        w.add_hook(move |a| seen2.lock().unwrap().push(a.replica));
+        for seq in 0..40 {
+            // Replica 1 healthy, replica 2 predicted 0.9 but always late.
+            w.on_plan(seq, 0, 0.9, &[(1, 0.9), (2, 0.9)]);
+            w.on_replica_reply(seq, 1, true, seq * 1_000);
+            w.on_replica_reply(seq, 2, false, seq * 1_000);
+            w.on_outcome(seq, true, seq * 1_000);
+        }
+        let replica_alerts: Vec<Option<u64>> = seen
+            .lock()
+            .unwrap()
+            .iter()
+            .copied()
+            .filter(Option::is_some)
+            .collect();
+        assert!(!replica_alerts.is_empty(), "sick replica alerted");
+        assert!(
+            replica_alerts.iter().all(|r| *r == Some(2)),
+            "only the sick replica alerts: {replica_alerts:?}"
+        );
+        let lines = reader.lines_containing("\"scope\":\"replica\"");
+        assert!(!lines.is_empty());
+        assert!(lines[0].contains("\"replica\":2"), "{}", lines[0]);
+        // The healthy fleet raised no set-scoped alert.
+        assert!(reader.lines_containing("\"scope\":\"set\"").is_empty());
+    }
+
+    #[test]
+    fn replica_alerts_are_off_by_default() {
+        let (obs, reader) = Obs::in_memory();
+        let mut w = QosWatchdog::with_config(
+            &obs,
+            CalibrationConfig {
+                min_samples: 10,
+                ..CalibrationConfig::default()
+            },
+        );
+        for seq in 0..80 {
+            w.on_plan(seq, 0, 0.9, &[(2, 0.9)]);
+            w.on_replica_reply(seq, 2, false, seq);
+            w.on_outcome(seq, true, seq);
+        }
+        assert!(reader.lines_containing("\"scope\":\"replica\"").is_empty());
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //!    * `active_fault` — a fault window (from the journal's `fault`
 //!      events, joined by stable window id and recomputed by overlap)
 //!      covered a selected replica during the span;
+//!    * `supervisor_drain` — every implicated window was a `drain`: the
+//!      elastic supervisor was rolling-restarting a selected replica, so
+//!      the miss is charged to the supervisor rather than masquerading
+//!      as an environmental fault or queue spike;
 //!    * `queue_spike` — the first reply's queueing delay `tq` dominated
 //!      its latency decomposition;
 //!    * `wire_delay` — the gateway/transmission delay `td` dominated;
@@ -101,6 +105,12 @@ pub fn fault_windows(events: &[JsonValue]) -> Vec<JournalFaultWindow> {
 pub enum MissStage {
     /// A fault window overlapped the span on a selected replica.
     ActiveFault,
+    /// Every implicated window was a supervisor drain: the miss happened
+    /// while the elastic supervisor was draining a selected replica for a
+    /// rolling restart. Kept distinct from [`MissStage::ActiveFault`] so
+    /// supervisor-induced misses are charged to the supervisor, not
+    /// mistaken for environmental faults or queue spikes.
+    SupervisorDrain,
     /// Queueing delay dominated the decomposition.
     QueueSpike,
     /// Gateway/wire delay dominated the decomposition.
@@ -114,6 +124,7 @@ impl MissStage {
     pub fn as_str(self) -> &'static str {
         match self {
             MissStage::ActiveFault => "active_fault",
+            MissStage::SupervisorDrain => "supervisor_drain",
             MissStage::QueueSpike => "queue_spike",
             MissStage::WireDelay => "wire_delay",
             MissStage::SelectionUnderestimate => "selection_underestimate",
@@ -413,8 +424,17 @@ pub fn analyze(data: &JournalData) -> ForensicsReport {
             .collect::<std::collections::BTreeSet<u64>>()
             .into_iter()
             .collect();
+        // Drain windows only win when nothing environmental is implicated:
+        // a genuine fault overlapping a drain is still an active fault.
         let stage = if implicated.is_empty() {
             dominant_stage(final_span)
+        } else if implicated.iter().all(|id| {
+            windows
+                .iter()
+                .find(|w| w.id == *id)
+                .is_some_and(|w| w.kind == "drain")
+        }) {
+            MissStage::SupervisorDrain
         } else {
             MissStage::ActiveFault
         };
@@ -567,6 +587,43 @@ mod tests {
         assert_eq!(report.misses[0].fault_windows, vec![3]);
         assert_eq!(report.misses[1].fault_windows, vec![7]);
         assert_eq!(report.fault_window_count, 1);
+    }
+
+    fn drain_event(window: u64, replica: u64, start: u64, end: u64) -> JsonValue {
+        JsonValue::object()
+            .field("type", "fault")
+            .field("phase", "active")
+            .field("kind", "drain")
+            .field("window", window)
+            .field("replica", replica)
+            .field("at_ns", start)
+            .field("start_ns", start)
+            .field("end_ns", end)
+            .build()
+    }
+
+    #[test]
+    fn drain_only_misses_are_attributed_to_the_supervisor() {
+        // Miss wholly inside a drain window on the selected replica.
+        let mut drained = span(0, SpanOutcome::GaveUp);
+        drained.t1_nanos = 10_000;
+        // Miss overlapping both a drain and a real fault window.
+        let mut mixed = span(10, SpanOutcome::GaveUp);
+        mixed.t1_nanos = 10_000;
+        mixed.selected = vec![2];
+        let events = vec![
+            drain_event(1_000_000, 1, 9_000, 12_000),
+            drain_event(1_000_001, 2, 9_000, 12_000),
+            fault_event(3, 2, 9_500, 11_000),
+        ];
+        let report = analyze(&data(vec![drained, mixed], events));
+        assert_eq!(report.misses.len(), 2);
+        assert_eq!(report.misses[0].stage, MissStage::SupervisorDrain);
+        assert_eq!(report.misses[0].fault_windows, vec![1_000_000]);
+        // The real fault wins over the concurrent drain.
+        assert_eq!(report.misses[1].stage, MissStage::ActiveFault);
+        let json = report.to_json().render();
+        assert!(json.contains("\"supervisor_drain\":1"), "{json}");
     }
 
     #[test]

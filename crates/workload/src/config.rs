@@ -194,6 +194,10 @@ pub struct ClientSpec {
     /// arrived after this long (`None` = wait for the give-up timeout, the
     /// paper's behaviour).
     pub retry_after: Option<Duration>,
+    /// QoS-calibration watchdog override (supervisor scenarios enable
+    /// `replica_alerts` so the manager sees per-replica drift). Only
+    /// meaningful on observed runs.
+    pub calibration: Option<aqua_gateway::CalibrationConfig>,
 }
 
 impl ClientSpec {
@@ -211,18 +215,24 @@ impl ClientSpec {
             methods: vec![aqua_core::repository::MethodId::DEFAULT],
             probe_stale_after: None,
             retry_after: None,
+            calibration: None,
         }
     }
 }
 
 /// Proteus-style dependability management (§2): keep `target_replication`
-/// replicas alive by activating standbys.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// replicas alive by activating standbys — and, with `supervision` set,
+/// run the elastic supervisor (load-adaptive target, rolling restarts,
+/// correlated-failure escalation) on top.
+#[derive(Debug, Clone, Copy)]
 pub struct ManagerSpec {
-    /// Desired number of live server replicas.
+    /// Desired number of live server replicas (the initial effective
+    /// target under supervision).
     pub target_replication: usize,
     /// Re-check cadence.
     pub check_interval: Duration,
+    /// Elastic supervision tunables; `None` keeps the fixed target.
+    pub supervision: Option<aqua_gateway::SupervisionConfig>,
 }
 
 /// A complete experiment: topology, workload, and run length.

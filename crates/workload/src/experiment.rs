@@ -180,17 +180,21 @@ pub fn run_experiment_observed(
         let cfg = server_config(config.servers.len() + i, server, true);
         standby_nodes.push(sim.add_node(ServerGateway::new(cfg)));
     }
+    let mut manager_node = None;
     if let Some(manager) = &config.manager {
-        sim.add_node(aqua_gateway::DependabilityManager::new(
-            aqua_gateway::ManagerConfig {
-                coordinator,
-                group: FailureDetectorConfig::default(),
-                target_replication: manager.target_replication,
-                standbys: standby_nodes,
-                check_interval: manager.check_interval,
-                startup_grace: Duration::from_secs(1),
-            },
-        ));
+        let mut node = aqua_gateway::DependabilityManager::new(aqua_gateway::ManagerConfig {
+            coordinator,
+            group: FailureDetectorConfig::default(),
+            target_replication: manager.target_replication,
+            standbys: standby_nodes,
+            check_interval: manager.check_interval,
+            startup_grace: Duration::from_secs(1),
+            supervision: manager.supervision,
+        });
+        if let Some(obs) = obs {
+            node = node.with_obs(obs);
+        }
+        manager_node = Some(sim.add_node(node));
     }
 
     let mut client_nodes: Vec<NodeId> = Vec::new();
@@ -210,6 +214,11 @@ pub fn run_experiment_observed(
             probe_stale_after: client.probe_stale_after,
             renegotiate_to: client.renegotiate_to,
             retry_after: client.retry_after,
+            // Clients report to (and take directives from) the manager
+            // only when it actually supervises.
+            manager: manager_node
+                .filter(|_| config.manager.is_some_and(|m| m.supervision.is_some())),
+            calibration: client.calibration,
         };
         let strategy = client.strategy.build(config.seed.wrapping_add(i as u64));
         let mut gateway = ClientGateway::new(cfg, strategy);

@@ -50,6 +50,7 @@ fn managed_config(
         manager: Some(ManagerSpec {
             target_replication: target,
             check_interval: ms(200),
+            supervision: None,
         }),
         clients: vec![client],
         faults: aqua::workload::FaultPlan::new(),
