@@ -32,8 +32,19 @@
 //! `aqua_lock_wait_ns_total` counters that show where the serialized
 //! path burns its time.
 //!
+//! * **`e2e` mode (gated)** A/Bs the two *socket transports* at scale:
+//!   L logical clients against R replicas with a fixed 2-way multicast
+//!   per call. The `threaded` path is the retained thread-per-connection
+//!   client — L independent [`ThreadedClient`]s, so `L x R` sockets and
+//!   `2 x L x R` OS threads, every connection subscribed to the server's
+//!   `PerfUpdate` broadcast. The `mux` path multiplexes the same L
+//!   logical clients as [`MuxHandle`]s over a single [`MuxPool`] — R
+//!   sockets total, one reactor thread, batched vectored writes. This is
+//!   the workload the reactor rework targets: few sockets, many logical
+//!   clients, coalesced syscalls.
+//!
 //! Usage: `throughput_bench [--check] [--out PATH] [--duration-ms D]
-//!         [--threads N,N,...] [--no-socket]`
+//!         [--threads N,N,...] [--no-socket] [--no-e2e]`
 //!
 //! `--check` exits non-zero unless gateway mode clears the CI perf-smoke
 //! gate: >= 3x the serialized throughput at N = 8, and N = 1 p99 latency
@@ -41,7 +52,9 @@
 //! the tracing-overhead probe — the socket runtime with causal spans
 //! journalled to disk vs no observability, on replicas with a realistic
 //! service time — and fails unless the traced path retains >= 90% of the
-//! untraced req/s.
+//! untraced req/s. The e2e gate demands the mux transport reach >= 2x the
+//! threaded baseline's req/s at L = 64 logical clients, with a mean
+//! writev batch above 1.5 frames per syscall.
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -56,10 +69,10 @@ use aqua_gateway::{ConcurrentHandler, ReplyOutcome, TimingFaultHandler};
 use aqua_obs::contention::LockContention;
 use aqua_obs::json::JsonValue;
 use aqua_runtime::{
-    AquaClient, AquaClientConfig, CallError, CallOutcome, ReplicaServer, ReplicaServerConfig,
-    SerializedClient,
+    AquaClient, AquaClientConfig, CallError, CallOutcome, MuxPool, MuxPoolConfig, ReplicaServer,
+    ReplicaServerConfig, SerializedClient, ThreadedClient,
 };
-use aqua_strategies::ModelBased;
+use aqua_strategies::{ModelBased, StaticK};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 
 /// The throughput multiple the CI perf-smoke gate demands at the checked N.
@@ -79,6 +92,22 @@ const TRACE_PROBE_N: usize = 4;
 const REPLICAS: u64 = 3;
 /// Sliding-window size `l` (paper default, same as `AquaClientConfig`).
 const WINDOW: usize = 5;
+
+/// e2e mode: replica count (one socket per replica on the mux path).
+const E2E_REPLICAS: u64 = 4;
+/// e2e mode: fixed multicast fan-out per call (`StaticK`), so both
+/// transports do deterministic 2-way redundancy on every request.
+const E2E_FANOUT: usize = 2;
+/// e2e mode: logical-client grid.
+const E2E_LOGICAL: [usize; 2] = [8, 64];
+/// e2e gate: checked logical-client count.
+const E2E_CHECK_L: usize = 64;
+/// e2e gate: the mux transport must reach this multiple of the threaded
+/// baseline's req/s at [`E2E_CHECK_L`].
+const CHECK_E2E_MIN_SPEEDUP: f64 = 2.0;
+/// e2e gate: mean frames per `writev` on the mux path must exceed this
+/// (proof that multicast batching actually coalesces syscalls).
+const CHECK_E2E_MIN_BATCH: f64 = 1.5;
 
 fn qos() -> QosSpec {
     QosSpec::new(Duration::from_millis(200), 0.9).unwrap()
@@ -410,6 +439,158 @@ fn run_socket_concurrent(threads: usize, duration: StdDuration) -> Cell {
 }
 
 // ---------------------------------------------------------------------------
+// e2e mode: the reactor/mux transport vs the thread-per-connection
+// baseline, L logical clients with fixed 2-way multicast per call.
+// ---------------------------------------------------------------------------
+
+/// An e2e grid cell: the measured throughput plus the transport's
+/// resource footprint and (mux only) the writev batching it achieved.
+struct E2eCell {
+    cell: Cell,
+    connections: usize,
+    os_threads: usize,
+    frames_per_writev: Option<f64>,
+}
+
+/// Like [`drive`], but each caller thread owns its *own* client object —
+/// a `MuxHandle` or a whole `ThreadedClient` — instead of sharing one.
+/// Callers warm up, rendezvous on a barrier, then run closed-loop.
+fn drive_fleet<T, F>(
+    mode: &'static str,
+    path: &'static str,
+    clients: Vec<T>,
+    duration: StdDuration,
+    call: F,
+) -> Cell
+where
+    T: Send,
+    F: Fn(&T, &[u8]) + Sync,
+{
+    let threads = clients.len();
+    let stop = AtomicBool::new(false);
+    let barrier = std::sync::Barrier::new(threads + 1);
+    let mut per_thread: Vec<Vec<u64>> = Vec::new();
+    let mut elapsed = 0.0f64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client in clients {
+            let stop = &stop;
+            let call = &call;
+            let barrier = &barrier;
+            handles.push(scope.spawn(move || {
+                for _ in 0..5 {
+                    call(&client, b"warm");
+                }
+                barrier.wait();
+                let mut lat: Vec<u64> = Vec::with_capacity(4096);
+                while !stop.load(Ordering::Relaxed) {
+                    let t = StdInstant::now();
+                    call(&client, b"bench");
+                    lat.push(t.elapsed().as_nanos() as u64);
+                }
+                lat
+            }));
+        }
+        barrier.wait();
+        let started = StdInstant::now();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        elapsed = started.elapsed().as_secs_f64();
+        for h in handles {
+            per_thread.push(h.join().expect("caller thread"));
+        }
+    });
+    let mut lat: Vec<u64> = per_thread.into_iter().flatten().collect();
+    lat.sort_unstable();
+    Cell {
+        mode,
+        path,
+        threads,
+        calls: lat.len() as u64,
+        req_per_sec: lat.len() as f64 / elapsed.max(1e-9),
+        p50_ns: percentile(&lat, 0.50),
+        p99_ns: percentile(&lat, 0.99),
+        p999_ns: percentile(&lat, 0.999),
+    }
+}
+
+fn e2e_servers() -> Vec<ReplicaServer> {
+    (0..E2E_REPLICAS)
+        .map(|i| {
+            ReplicaServer::spawn(ReplicaServerConfig::quick(ReplicaId::new(i), 0)).expect("spawn")
+        })
+        .collect()
+}
+
+fn run_e2e_threaded(logical: usize, duration: StdDuration) -> E2eCell {
+    let servers = e2e_servers();
+    let replicas = replicas_of(&servers);
+    let clients: Vec<ThreadedClient> = (0..logical)
+        .map(|i| {
+            let mut config = client_config(None);
+            config.id = i as u64;
+            ThreadedClient::connect(&replicas, config, Box::new(StaticK { k: E2E_FANOUT }))
+                .expect("connect threaded")
+        })
+        .collect();
+    let cell = drive_fleet("e2e", "threaded", clients, duration, |c, p| {
+        expect_call(c.call(MethodId::DEFAULT, p));
+    });
+    E2eCell {
+        cell,
+        connections: logical * E2E_REPLICAS as usize,
+        // Writer + reader per connection, plus the callers themselves.
+        os_threads: 2 * logical * E2E_REPLICAS as usize + logical,
+        frames_per_writev: None,
+    }
+}
+
+fn run_e2e_mux(logical: usize, duration: StdDuration) -> E2eCell {
+    let servers = e2e_servers();
+    let obs = aqua_obs::Obs::metrics_only();
+    let mut config = MuxPoolConfig::new(qos());
+    config.give_up_after = Duration::from_secs(5);
+    // Only the mux cell carries obs: the syscall counters it pays for
+    // are what prove the batching claim, and the cost lands on the path
+    // being gated, not the baseline.
+    config.obs = Some(obs.clone());
+    let pool = MuxPool::connect(&replicas_of(&servers), config).expect("connect mux pool");
+    let handles: Vec<_> = (0..logical)
+        .map(|_| pool.handle(Box::new(StaticK { k: E2E_FANOUT })))
+        .collect();
+    let cell = drive_fleet("e2e", "mux", handles, duration, |h, p| {
+        expect_call(h.call(MethodId::DEFAULT, p));
+    });
+    let frames_per_writev = obs
+        .registry()
+        .histogram("aqua_net_writev_batch_frames", &[])
+        .mean();
+    E2eCell {
+        cell,
+        connections: E2E_REPLICAS as usize,
+        // One reactor thread plus the callers.
+        os_threads: logical + 1,
+        frames_per_writev,
+    }
+}
+
+fn e2e_json(c: &E2eCell) -> JsonValue {
+    let mut b = JsonValue::object()
+        .field("path", c.cell.path)
+        .field("logical_clients", c.cell.threads)
+        .field("connections", c.connections)
+        .field("os_threads", c.os_threads)
+        .field("calls", c.cell.calls)
+        .field("req_per_sec", c.cell.req_per_sec)
+        .field("p50_ns", c.cell.p50_ns)
+        .field("p99_ns", c.cell.p99_ns);
+    if let Some(m) = c.frames_per_writev {
+        b = b.field("frames_per_writev", m);
+    }
+    b.build()
+}
+
+// ---------------------------------------------------------------------------
 // Tracing-overhead probe: the full socket runtime A/B'd with causal spans
 // journalled to disk vs no observability at all. The gateway
 // microbenchmark would be the wrong place to measure this — its warm
@@ -534,7 +715,7 @@ fn cell_json(c: &Cell) -> JsonValue {
 fn usage(problem: &str) -> ! {
     eprintln!("{problem}");
     eprintln!(
-        "usage: throughput_bench [--check] [--no-socket] [--out PATH] \
+        "usage: throughput_bench [--check] [--no-socket] [--no-e2e] [--out PATH] \
          [--duration-ms MS] [--threads N,N,...]"
     );
     std::process::exit(2);
@@ -546,11 +727,13 @@ fn main() {
     let mut duration = StdDuration::from_millis(500);
     let mut grid: Vec<usize> = vec![1, 2, 4, 8, 16];
     let mut socket = true;
+    let mut e2e = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => check = true,
             "--no-socket" => socket = false,
+            "--no-e2e" => e2e = false,
             "--out" => out = args.next().unwrap_or_else(|| usage("--out needs a path")),
             "--duration-ms" => {
                 let ms: u64 = args
@@ -580,6 +763,10 @@ fn main() {
     if check && !grid.contains(&1) {
         grid.insert(0, 1);
     }
+    if check {
+        // The e2e transport comparison is part of the gate.
+        e2e = true;
+    }
 
     println!(
         "{:>8} {:>11} {:>3} {:>9} {:>10} {:>9} {:>9} {:>9}",
@@ -601,6 +788,17 @@ fn main() {
                 let cell = run(n, duration);
                 print_cell(&cell);
                 socket_cells.push(cell);
+            }
+        }
+    }
+
+    let mut e2e_cells: Vec<E2eCell> = Vec::new();
+    if e2e {
+        for &l in &E2E_LOGICAL {
+            for run in [run_e2e_threaded, run_e2e_mux] {
+                let c = run(l, duration);
+                print_cell(&c.cell);
+                e2e_cells.push(c);
             }
         }
     }
@@ -642,7 +840,9 @@ fn main() {
             "check_criterion",
             format!(
                 "gateway mode: concurrent >= {CHECK_MIN_SPEEDUP}x serialized req/s at \
-                 N={CHECK_N}; concurrent p99 <= {CHECK_P99_TOLERANCE}x serialized p99 at N=1"
+                 N={CHECK_N}; concurrent p99 <= {CHECK_P99_TOLERANCE}x serialized p99 at N=1; \
+                 e2e mode: mux >= {CHECK_E2E_MIN_SPEEDUP}x threaded req/s at L={E2E_CHECK_L} \
+                 with > {CHECK_E2E_MIN_BATCH} frames per writev"
             ),
         )
         .field(
@@ -671,6 +871,23 @@ fn main() {
                 .field(
                     "curve",
                     JsonValue::Array(socket_cells.iter().map(cell_json).collect()),
+                )
+                .build(),
+        )
+        .field(
+            "end_to_end",
+            JsonValue::object()
+                .field(
+                    "description",
+                    "socket transports A/B'd at L logical clients with fixed 2-way \
+                     multicast: mux = one reactor + R sockets shared by all handles, \
+                     threaded = L independent thread-per-connection clients",
+                )
+                .field("replicas", E2E_REPLICAS)
+                .field("fanout", E2E_FANOUT)
+                .field(
+                    "grid",
+                    JsonValue::Array(e2e_cells.iter().map(e2e_json).collect()),
                 )
                 .build(),
         )
@@ -732,12 +949,37 @@ fn main() {
             );
             failed = true;
         }
+        let e2e_at = |path: &str| -> &E2eCell {
+            e2e_cells
+                .iter()
+                .find(|c| c.cell.path == path && c.cell.threads == E2E_CHECK_L)
+                .expect("e2e cell measured")
+        };
+        let mux = e2e_at("mux");
+        let threaded = e2e_at("threaded");
+        let e2e_speedup = mux.cell.req_per_sec / threaded.cell.req_per_sec.max(1.0);
+        let batch = mux.frames_per_writev.unwrap_or(0.0);
+        if e2e_speedup < CHECK_E2E_MIN_SPEEDUP {
+            eprintln!(
+                "FAIL: mux transport is only {e2e_speedup:.2}x the threaded baseline at \
+                 L={E2E_CHECK_L} logical clients (need >= {CHECK_E2E_MIN_SPEEDUP}x)"
+            );
+            failed = true;
+        }
+        if batch <= CHECK_E2E_MIN_BATCH {
+            eprintln!(
+                "FAIL: mux writev batches average {batch:.2} frames per syscall at \
+                 L={E2E_CHECK_L} (need > {CHECK_E2E_MIN_BATCH})"
+            );
+            failed = true;
+        }
         if failed {
             std::process::exit(1);
         }
         println!(
             "check passed: {speedup:.1}x throughput at N={CHECK_N}, p99 ratio {p99_ratio:.2} \
-             at N=1, tracing retains {:.1}% of untraced req/s",
+             at N=1, tracing retains {:.1}% of untraced req/s, e2e mux {e2e_speedup:.1}x \
+             threaded at L={E2E_CHECK_L} with {batch:.1} frames/writev",
             trace_retention * 100.0
         );
     }

@@ -9,20 +9,26 @@
 //!
 //! Concurrency: there is **no global client lock**. Planning runs
 //! lock-free on the caller's thread against the handler's published
-//! snapshot ([`ConcurrentHandler`]); each replica connection has a
-//! dedicated writer thread that batch-drains its frame channel into a
-//! reusable buffer and flushes the batch with one write; reader threads
-//! apply replies and performance updates straight into the handler's
-//! sharded write path — no dispatcher hop, no cross-request contention.
-//! In-flight calls wait on a sharded waiter table keyed by sequence
-//! number. The previous single-lock implementation is preserved as
-//! [`crate::serialized::SerializedClient`] (feature `serialized-baseline`)
-//! so the throughput benchmark can A/B the two paths.
+//! snapshot ([`ConcurrentHandler`]); all sockets belong to one
+//! [`Reactor`] event-loop thread that owns them in nonblocking mode —
+//! a multicast encodes its request frame once, queues the shared bytes on
+//! each selected replica's outbound ring, and the reactor coalesces every
+//! ring into vectored writes (one syscall per connection per readiness
+//! round). Inbound bytes reassemble per connection and decoded frames are
+//! applied straight into the handler's sharded write path — no reader
+//! threads, no dispatcher hop, no cross-request contention. In-flight
+//! calls wait on a sharded waiter table keyed by sequence number. The
+//! previous implementations are preserved byte-compatibly behind feature
+//! flags as A/B baselines: [`crate::serialized::SerializedClient`]
+//! (feature `serialized-baseline`, single global lock) and
+//! [`crate::threaded::ThreadedClient`] (feature `threaded-baseline`,
+//! thread-per-connection writer/reader pairs).
 
 use std::collections::{HashMap, HashSet};
-use std::io::{self, Write as _};
+use std::io;
 use std::net::{SocketAddr, TcpStream};
-use std::sync::{Arc, RwLock, Weak};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, RwLock, Weak};
+use std::thread::JoinHandle;
 use std::time::Instant as StdInstant;
 
 use aqua_core::qos::{QosSpec, ReplicaId};
@@ -31,9 +37,10 @@ use aqua_core::time::{Duration, Instant};
 use aqua_gateway::{ConcurrentHandler, ReplyOutcome};
 use aqua_strategies::SelectionStrategy;
 use bytes::Bytes;
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
+use crate::reactor::{NetMetrics, Reactor, ReactorSink};
 use crate::wire::Frame;
 
 /// Number of waiter-table shards (sequence numbers hash across them).
@@ -203,6 +210,55 @@ impl WireMetrics {
     }
 }
 
+/// A latch that background reconnect threads wait on instead of plain
+/// sleeping, so teardown can interrupt a backoff wait and join promptly.
+pub(crate) struct StopSignal {
+    state: StdMutex<bool>,
+    cv: Condvar,
+}
+
+impl StopSignal {
+    pub(crate) fn new() -> StopSignal {
+        StopSignal {
+            state: StdMutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Raises the signal and wakes every waiter. Idempotent.
+    pub(crate) fn raise(&self) {
+        {
+            let mut raised = self.state.lock().unwrap_or_else(|p| p.into_inner());
+            *raised = true;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Whether the signal has been raised.
+    pub(crate) fn is_raised(&self) -> bool {
+        *self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Blocks up to `dur`; returns `true` if the signal was raised before
+    /// the timeout elapsed.
+    pub(crate) fn wait(&self, dur: std::time::Duration) -> bool {
+        let deadline = StdInstant::now() + dur;
+        let mut raised = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        while !*raised {
+            let left = deadline.saturating_duration_since(StdInstant::now());
+            if left.is_zero() {
+                return false;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(raised, left)
+                .unwrap_or_else(|p| p.into_inner());
+            raised = guard;
+        }
+        true
+    }
+}
+
 /// One resolved call message on a waiter channel.
 enum WaitMsg {
     Outcome(CallOutcome),
@@ -222,8 +278,8 @@ struct Waiter {
 
 struct Inner {
     handler: ConcurrentHandler,
-    /// Per-replica writer channels; the writer threads own the sockets.
-    conns: RwLock<HashMap<ReplicaId, Sender<Frame>>>,
+    /// Per-replica reactor connection ids; the reactor owns the sockets.
+    conns: RwLock<HashMap<ReplicaId, u64>>,
     /// In-flight call attempts, sharded by seq: shard → seq → waiter.
     waiters: Vec<Mutex<HashMap<u64, Waiter>>>,
     /// Last known address of every replica, for reconnects.
@@ -234,6 +290,25 @@ struct Inner {
     wire: Option<WireMetrics>,
     reconnect: Option<ReconnectPolicy>,
     client_id: u64,
+    /// The event-loop thread owning every socket.
+    reactor: Reactor,
+    /// Self-reference handed to background reconnect threads.
+    weak: Weak<Inner>,
+    /// Interrupts reconnect backoff waits on teardown.
+    stop: Arc<StopSignal>,
+    /// Live reconnect threads, joined on drop (finished handles are
+    /// reaped opportunistically).
+    reconnect_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ReactorSink for Inner {
+    fn on_frame(&self, tag: u64, _conn: u64, frame: Frame) {
+        self.handle_frame(ReplicaId::new(tag), frame);
+    }
+
+    fn on_disconnect(&self, tag: u64, conn: u64) {
+        self.handle_disconnect(ReplicaId::new(tag), conn);
+    }
 }
 
 impl Inner {
@@ -245,42 +320,38 @@ impl Inner {
         &self.waiters[(seq as usize) % WAITER_SHARDS]
     }
 
-    /// The replica's writer channel, cloned out of the connection map so
-    /// no guard is held across the send.
-    fn conn(&self, id: ReplicaId) -> Option<Sender<Frame>> {
-        let conns = self.conns.read().unwrap_or_else(|p| p.into_inner());
-        conns.get(&id).cloned()
-    }
-
-    /// Opens (or re-opens) the connection to one replica: a writer thread
-    /// owning the socket plus a reader thread feeding the handler.
-    fn open_connection(self: &Arc<Self>, id: ReplicaId, addr: SocketAddr) -> io::Result<()> {
+    /// Opens (or re-opens) the connection to one replica: the socket is
+    /// handed to the reactor, which does all I/O from then on.
+    fn open_connection(&self, id: ReplicaId, addr: SocketAddr) -> io::Result<()> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        let writer = stream.try_clone()?;
-        let (tx, rx) = unbounded();
-        // The subscription handshake rides the writer channel like any
-        // other frame.
-        let _ = tx.send(Frame::Hello {
+        let conn = self.reactor.register(stream, id.index())?;
+        // The subscription handshake goes into the outbound ring before
+        // the connection id is published, so it precedes any request.
+        let hello = Frame::Hello {
             client: self.client_id,
-        });
+        };
+        if self.reactor.send(conn, &hello) {
+            if let Some(wire) = &self.wire {
+                wire.on_sent(&hello);
+            }
+        }
         {
             let mut conns = self.conns.write().unwrap_or_else(|p| p.into_inner());
-            conns.insert(id, tx);
+            conns.insert(id, conn);
         }
         {
             let mut addrs = self.addrs.lock();
             addrs.insert(id, addr);
         }
-        let wire = self.wire.clone();
-        std::thread::spawn(move || writer_loop(writer, rx, wire));
-        let weak = Arc::downgrade(self);
-        std::thread::spawn(move || reader_loop(weak, stream, id));
         Ok(())
     }
 
-    /// Queues `frame_for(seq)` on every listed replica's writer channel;
-    /// returns how many channels accepted it.
+    /// Multicasts one request: the frame is encoded once by the reactor
+    /// and its bytes queued on every listed replica's outbound ring;
+    /// returns how many connections accepted it. Wire counters account
+    /// at enqueue time, per accepted connection — byte-for-byte what the
+    /// per-connection flush will put on the wire.
     fn multicast(
         &self,
         seq: u64,
@@ -288,16 +359,27 @@ impl Inner {
         payload: &Bytes,
         replicas: &[ReplicaId],
     ) -> usize {
-        let mut sent = 0usize;
-        for id in replicas {
-            let Some(tx) = self.conn(*id) else { continue };
-            let frame = Frame::Request {
-                seq,
-                method: method.index(),
-                payload: payload.clone(),
-            };
-            if tx.send(frame).is_ok() {
-                sent += 1;
+        let mut targets: Vec<u64> = Vec::with_capacity(replicas.len());
+        {
+            let conns = self.conns.read().unwrap_or_else(|p| p.into_inner());
+            for id in replicas {
+                if let Some(&conn) = conns.get(id) {
+                    targets.push(conn);
+                }
+            }
+        }
+        if targets.is_empty() {
+            return 0;
+        }
+        let frame = Frame::Request {
+            seq,
+            method: method.index(),
+            payload: payload.clone(),
+        };
+        let sent = self.reactor.multicast(&targets, &frame);
+        if let Some(wire) = &self.wire {
+            for _ in 0..sent {
+                wire.on_sent(&frame);
             }
         }
         sent
@@ -313,9 +395,10 @@ impl Inner {
         }
     }
 
-    /// Handles one inbound frame from `id`'s reader thread, applying it
-    /// straight into the handler's sharded write path.
-    fn on_frame(&self, id: ReplicaId, frame: Frame) {
+    /// Handles one inbound frame from `id`'s connection (called on the
+    /// reactor thread), applying it straight into the handler's sharded
+    /// write path.
+    fn handle_frame(&self, id: ReplicaId, frame: Frame) {
         if let Some(wire) = &self.wire {
             wire.on_received(&frame);
         }
@@ -409,11 +492,21 @@ impl Inner {
     }
 
     /// TCP teardown is our crash detector: the replica leaves the "view".
-    fn on_disconnect(self: &Arc<Self>, id: ReplicaId) {
-        let remaining: Vec<ReplicaId> = {
+    /// `conn` guards against stale events — if a reconnect already
+    /// replaced this connection, the old connection's teardown is ignored.
+    fn handle_disconnect(&self, id: ReplicaId, conn: u64) {
+        let remaining: Option<Vec<ReplicaId>> = {
             let mut conns = self.conns.write().unwrap_or_else(|p| p.into_inner());
-            conns.remove(&id);
-            conns.keys().copied().collect()
+            match conns.get(&id) {
+                Some(&current) if current == conn => {
+                    conns.remove(&id);
+                    Some(conns.keys().copied().collect())
+                }
+                _ => None,
+            }
+        };
+        let Some(remaining) = remaining else {
+            return;
         };
         let now = self.now();
         self.handler.on_view(now, remaining.iter().copied());
@@ -455,13 +548,19 @@ impl Inner {
 
     /// Starts the background reconnect loop for a lost replica (if a
     /// policy is configured). On success the replica rejoins the
-    /// connection set and the repository **on probation**.
-    fn spawn_reconnect(self: &Arc<Self>, id: ReplicaId) {
+    /// connection set and the repository **on probation**. The thread's
+    /// handle is tracked so teardown joins it instead of leaking it; its
+    /// backoff waits ride the stop latch, so the join is prompt.
+    fn spawn_reconnect(&self, id: ReplicaId) {
         let Some(policy) = self.reconnect.clone() else {
             return;
         };
-        let weak = Arc::downgrade(self);
-        std::thread::spawn(move || loop {
+        let weak = self.weak.clone();
+        let stop = Arc::clone(&self.stop);
+        let handle = std::thread::spawn(move || loop {
+            if stop.is_raised() {
+                return;
+            }
             let Some(inner) = weak.upgrade() else { return };
             {
                 let conns = inner.conns.read().unwrap_or_else(|p| p.into_inner());
@@ -487,8 +586,10 @@ impl Inner {
             let delay = std::time::Duration::from(policy.initial_backoff)
                 .saturating_mul(1u32 << attempt.min(16))
                 .min(std::time::Duration::from(policy.max_backoff));
-            drop(inner); // don't pin the client alive while sleeping
-            std::thread::sleep(delay);
+            drop(inner); // don't pin the client alive while waiting
+            if stop.wait(delay) {
+                return;
+            }
             let Some(inner) = weak.upgrade() else { return };
             if inner.open_connection(id, addr).is_err() {
                 continue;
@@ -499,56 +600,9 @@ impl Inner {
             inner.handler.on_rejoin(inner.now(), id);
             return;
         });
-    }
-}
-
-/// Owns one replica socket's send half: drains the frame channel into a
-/// reusable buffer — batching whatever has queued up — and flushes the
-/// batch with a single write. No per-frame allocation on the send path.
-fn writer_loop(mut stream: TcpStream, rx: Receiver<Frame>, wire: Option<WireMetrics>) {
-    let mut buf: Vec<u8> = Vec::with_capacity(4096);
-    let mut frames: Vec<Frame> = Vec::new();
-    loop {
-        let Ok(first) = rx.recv() else { return };
-        buf.clear();
-        frames.clear();
-        first.encode_into(&mut buf);
-        frames.push(first);
-        while let Ok(next) = rx.try_recv() {
-            next.encode_into(&mut buf);
-            frames.push(next);
-        }
-        if stream.write_all(&buf).is_err() {
-            return; // the reader observes the teardown and handles it
-        }
-        if let Some(wire) = &wire {
-            let mut bytes = 0u64;
-            for frame in &frames {
-                wire.on_sent(frame);
-                bytes += frame.encoded_len() as u64;
-            }
-            debug_assert_eq!(
-                bytes,
-                buf.len() as u64,
-                "batched framing must be byte-identical to per-frame encoding"
-            );
-        }
-    }
-}
-
-fn reader_loop(weak: Weak<Inner>, mut stream: TcpStream, id: ReplicaId) {
-    loop {
-        match Frame::read_from(&mut stream) {
-            Ok(frame) => {
-                let Some(inner) = weak.upgrade() else { return };
-                inner.on_frame(id, frame);
-            }
-            Err(_) => {
-                let Some(inner) = weak.upgrade() else { return };
-                inner.on_disconnect(id);
-                return;
-            }
-        }
+        let mut threads = self.reconnect_threads.lock();
+        threads.retain(|t| !t.is_finished());
+        threads.push(handle);
     }
 }
 
@@ -567,6 +621,22 @@ pub struct AquaClient {
     inner: Arc<Inner>,
     give_up_after: Duration,
     retry_after: Option<Duration>,
+}
+
+impl Drop for AquaClient {
+    fn drop(&mut self) {
+        // Interrupt backoff waits, join every reconnect thread, then stop
+        // and join the reactor — no thread outlives the client.
+        self.inner.stop.raise();
+        let threads: Vec<JoinHandle<()>> = {
+            let mut threads = self.inner.reconnect_threads.lock();
+            threads.drain(..).collect()
+        };
+        for t in threads {
+            let _ = t.join();
+        }
+        self.inner.reactor.shutdown();
+    }
 }
 
 impl std::fmt::Debug for AquaClient {
@@ -601,7 +671,9 @@ impl AquaClient {
             .obs
             .as_ref()
             .map(|obs| WireMetrics::new(obs, config.id));
-        let inner = Arc::new(Inner {
+        let net = config.obs.as_ref().map(NetMetrics::new);
+        let reactor = Reactor::spawn(net)?;
+        let inner = Arc::new_cyclic(|weak| Inner {
             handler,
             conns: RwLock::new(HashMap::new()),
             waiters: (0..WAITER_SHARDS)
@@ -613,7 +685,14 @@ impl AquaClient {
             wire,
             reconnect: config.reconnect.clone(),
             client_id: config.id,
+            reactor,
+            weak: weak.clone(),
+            stop: Arc::new(StopSignal::new()),
+            reconnect_threads: Mutex::new(Vec::new()),
         });
+        let weak = Arc::downgrade(&inner);
+        let sink: Weak<dyn ReactorSink> = weak;
+        inner.reactor.set_sink(sink);
         for (id, addr) in replicas {
             inner.open_connection(*id, *addr)?;
             inner.handler.insert_replica(inner.now(), *id);

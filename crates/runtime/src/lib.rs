@@ -7,6 +7,12 @@
 //! real queuing, real scheduling jitter, real connection teardown as the
 //! crash detector.
 //!
+//! Since the reactor rework, all client sockets are owned by a single
+//! epoll-driven event-loop thread ([`mod@wire`] frames, vectored batched
+//! writes); [`MuxPool`] multiplexes many logical client handles over that
+//! one socket set, and the old thread-per-connection transport survives
+//! behind the `threaded-baseline` feature as an A/B baseline.
+//!
 //! ```no_run
 //! use aqua_runtime::{AquaClient, AquaClientConfig, ReplicaServer, ReplicaServerConfig};
 //! use aqua_core::qos::{QosSpec, ReplicaId};
@@ -33,18 +39,28 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `sys` is the single module allowed to contain unsafe code (raw epoll
+// syscalls); everything else in the crate stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod client;
+pub mod mux;
+mod reactor;
 #[cfg(feature = "serialized-baseline")]
 pub mod serialized;
 mod server;
 mod supervisor;
+mod sys;
+#[cfg(feature = "threaded-baseline")]
+pub mod threaded;
 pub mod wire;
 
 pub use client::{AquaClient, AquaClientConfig, CallError, CallOutcome, ReconnectPolicy};
+pub use mux::{MuxHandle, MuxPool, MuxPoolConfig};
 #[cfg(feature = "serialized-baseline")]
 pub use serialized::SerializedClient;
 pub use server::{ReplicaServer, ReplicaServerConfig};
 pub use supervisor::SupervisorDriver;
+#[cfg(feature = "threaded-baseline")]
+pub use threaded::ThreadedClient;

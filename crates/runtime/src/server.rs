@@ -279,9 +279,13 @@ fn drop_connections(shared: &Shared) {
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>, job_tx: Sender<ServiceMsg>) {
+    // Reader threads are tracked here and joined when the accept loop
+    // exits; by then shutdown/crash has torn every connection down, so
+    // each reader's blocking read has already failed.
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
-            return;
+            break;
         }
         match listener.accept() {
             Ok((stream, peer)) => {
@@ -298,13 +302,19 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, job_tx: Sender<Servic
                 }
                 let shared = Arc::clone(&shared);
                 let job_tx = job_tx.clone();
-                std::thread::spawn(move || reader_loop(stream, peer, shared, job_tx));
+                readers.retain(|t| !t.is_finished());
+                readers.push(std::thread::spawn(move || {
+                    reader_loop(stream, peer, shared, job_tx)
+                }));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(StdDuration::from_millis(2));
             }
-            Err(_) => return,
+            Err(_) => break,
         }
+    }
+    for t in readers {
+        let _ = t.join();
     }
 }
 
@@ -482,19 +492,23 @@ fn service_loop(
 
         // Publish to every *other* subscriber (the requester already got
         // the data piggybacked on its reply).
-        let update = Frame::PerfUpdate {
-            replica: replica.index(),
-            service_ns,
-            queue_ns,
-            queue_len,
-            method: job.method,
-        };
         {
-            // One encoding serves every subscriber.
-            frame_buf.clear();
-            update.encode_into(&mut frame_buf);
             let mut subs = shared.subscribers.lock();
-            subs.retain_mut(|(p, w)| *p == job.peer || w.write_all(&frame_buf).is_ok());
+            // With no other subscriber — the common single-client and
+            // mux-pool case — skip the encode entirely.
+            if subs.iter().any(|(p, _)| *p != job.peer) {
+                let update = Frame::PerfUpdate {
+                    replica: replica.index(),
+                    service_ns,
+                    queue_ns,
+                    queue_len,
+                    method: job.method,
+                };
+                // One encoding serves every subscriber.
+                frame_buf.clear();
+                update.encode_into(&mut frame_buf);
+                subs.retain_mut(|(p, w)| *p == job.peer || w.write_all(&frame_buf).is_ok());
+            }
         }
 
         let done = shared.serviced.fetch_add(1, Ordering::Relaxed) + 1;

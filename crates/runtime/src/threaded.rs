@@ -1,0 +1,639 @@
+//! The retained thread-per-connection baseline: the writer/reader-thread
+//! socket client that the reactor-based [`crate::AquaClient`] replaced.
+//!
+//! One OS thread pair per replica connection: a writer thread that
+//! batch-drains its frame channel into a reusable buffer and flushes with
+//! one `write`, and a reader thread that blocks on the socket and applies
+//! frames into the handler's sharded write path. Byte-compatible with the
+//! reactor client — identical frames in identical order per connection —
+//! so `throughput_bench` can A/B the two transports on identical
+//! workloads (feature `threaded-baseline`, mirroring `serialized-baseline`
+//! from the concurrent-gateway PR). Unlike its ancestor it tracks every
+//! spawned thread and joins them on drop.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{self, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, RwLock, Weak};
+use std::thread::JoinHandle;
+use std::time::Instant as StdInstant;
+
+use aqua_core::qos::ReplicaId;
+use aqua_core::repository::{MethodId, PerfReport};
+use aqua_core::time::{Duration, Instant};
+use aqua_gateway::{ConcurrentHandler, ReplyOutcome};
+use aqua_strategies::SelectionStrategy;
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::client::{AquaClientConfig, CallError, CallOutcome, StopSignal, WireMetrics};
+use crate::wire::Frame;
+
+/// Number of waiter-table shards (sequence numbers hash across them).
+const WAITER_SHARDS: usize = 16;
+
+/// One resolved call message on a waiter channel.
+enum WaitMsg {
+    Outcome(CallOutcome),
+    NoReplicas,
+}
+
+/// An in-flight call attempt awaiting its first reply.
+struct Waiter {
+    tx: Sender<WaitMsg>,
+    redundancy: usize,
+    group: Vec<u64>,
+}
+
+struct Inner {
+    handler: ConcurrentHandler,
+    /// Per-replica writer channels; the writer threads own the sockets.
+    conns: RwLock<HashMap<ReplicaId, Sender<Frame>>>,
+    waiters: Vec<Mutex<HashMap<u64, Waiter>>>,
+    addrs: Mutex<HashMap<ReplicaId, SocketAddr>>,
+    backoff: Mutex<HashMap<ReplicaId, u32>>,
+    epoch: StdInstant,
+    wire: Option<WireMetrics>,
+    reconnect: Option<crate::ReconnectPolicy>,
+    client_id: u64,
+    /// Raised on teardown: readers skip disconnect handling, reconnect
+    /// waits abort.
+    stop: Arc<StopSignal>,
+    /// Every spawned thread (writers, readers, reconnectors), joined on
+    /// drop.
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Reader-side socket clones, shut down on teardown to unblock reads.
+    sockets: Mutex<Vec<TcpStream>>,
+}
+
+impl Inner {
+    fn now(&self) -> Instant {
+        Instant::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn waiter_shard(&self, seq: u64) -> &Mutex<HashMap<u64, Waiter>> {
+        &self.waiters[(seq as usize) % WAITER_SHARDS]
+    }
+
+    fn conn(&self, id: ReplicaId) -> Option<Sender<Frame>> {
+        let conns = self.conns.read().unwrap_or_else(|p| p.into_inner());
+        conns.get(&id).cloned()
+    }
+
+    fn track(&self, handle: JoinHandle<()>) {
+        let mut threads = self.threads.lock();
+        threads.retain(|t| !t.is_finished());
+        threads.push(handle);
+    }
+
+    fn open_connection(self: &Arc<Self>, id: ReplicaId, addr: SocketAddr) -> io::Result<()> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        if let Ok(clone) = stream.try_clone() {
+            self.sockets.lock().push(clone);
+        }
+        let (tx, rx) = unbounded();
+        let _ = tx.send(Frame::Hello {
+            client: self.client_id,
+        });
+        {
+            let mut conns = self.conns.write().unwrap_or_else(|p| p.into_inner());
+            conns.insert(id, tx);
+        }
+        {
+            let mut addrs = self.addrs.lock();
+            addrs.insert(id, addr);
+        }
+        let wire = self.wire.clone();
+        self.track(std::thread::spawn(move || writer_loop(writer, rx, wire)));
+        let weak = Arc::downgrade(self);
+        self.track(std::thread::spawn(move || reader_loop(weak, stream, id)));
+        Ok(())
+    }
+
+    fn multicast(
+        &self,
+        seq: u64,
+        method: MethodId,
+        payload: &Bytes,
+        replicas: &[ReplicaId],
+    ) -> usize {
+        let mut sent = 0usize;
+        for id in replicas {
+            let Some(tx) = self.conn(*id) else { continue };
+            let frame = Frame::Request {
+                seq,
+                method: method.index(),
+                payload: payload.clone(),
+            };
+            if tx.send(frame).is_ok() {
+                sent += 1;
+            }
+        }
+        sent
+    }
+
+    fn clear_waiters(&self, seqs: &[u64]) {
+        for s in seqs {
+            let mut shard = self.waiter_shard(*s).lock();
+            shard.remove(s);
+        }
+    }
+
+    fn on_frame(&self, id: ReplicaId, frame: Frame) {
+        if let Some(wire) = &self.wire {
+            wire.on_received(&frame);
+        }
+        {
+            let mut backoff = self.backoff.lock();
+            backoff.remove(&id);
+        }
+        match frame {
+            Frame::Reply {
+                seq,
+                replica,
+                service_ns,
+                queue_ns,
+                queue_len,
+                method,
+                payload,
+            } => {
+                let perf = PerfReport {
+                    service_time: Duration::from_nanos(service_ns),
+                    queuing_delay: Duration::from_nanos(queue_ns),
+                    queue_len,
+                    method: MethodId::new(method),
+                };
+                let replica = ReplicaId::new(replica);
+                let now = self.now();
+                let outcome = self.handler.on_reply(now, seq, replica, perf);
+                if let ReplyOutcome::Deliver {
+                    response_time,
+                    verdict,
+                } = outcome
+                {
+                    self.deliver(seq, replica, response_time, verdict, payload);
+                }
+            }
+            Frame::PerfUpdate {
+                replica,
+                service_ns,
+                queue_ns,
+                queue_len,
+                method,
+            } => {
+                let perf = PerfReport {
+                    service_time: Duration::from_nanos(service_ns),
+                    queuing_delay: Duration::from_nanos(queue_ns),
+                    queue_len,
+                    method: MethodId::new(method),
+                };
+                self.handler
+                    .on_perf_update(self.now(), ReplicaId::new(replica), perf);
+            }
+            _ => {}
+        }
+    }
+
+    fn deliver(
+        &self,
+        seq: u64,
+        replica: ReplicaId,
+        response_time: Duration,
+        verdict: aqua_core::failure::TimingVerdict,
+        payload: Bytes,
+    ) {
+        let waiter = {
+            let mut shard = self.waiter_shard(seq).lock();
+            shard.remove(&seq)
+        };
+        let Some(waiter) = waiter else {
+            return;
+        };
+        for s in &waiter.group {
+            if *s != seq {
+                let mut shard = self.waiter_shard(*s).lock();
+                shard.remove(s);
+            }
+        }
+        let outcome = CallOutcome {
+            response_time,
+            timely: verdict.is_timely(),
+            callback: verdict.should_notify(),
+            redundancy: waiter.redundancy,
+            replica,
+            payload,
+        };
+        let _ = waiter.tx.send(WaitMsg::Outcome(outcome));
+    }
+
+    fn on_disconnect(self: &Arc<Self>, id: ReplicaId) {
+        let remaining: Vec<ReplicaId> = {
+            let mut conns = self.conns.write().unwrap_or_else(|p| p.into_inner());
+            conns.remove(&id);
+            conns.keys().copied().collect()
+        };
+        let now = self.now();
+        self.handler.on_view(now, remaining.iter().copied());
+        if remaining.is_empty() {
+            self.fail_all_waiters(now);
+        }
+        self.spawn_reconnect(id);
+    }
+
+    fn fail_all_waiters(&self, now: Instant) {
+        let mut drained: Vec<(u64, Waiter)> = Vec::new();
+        for shard in &self.waiters {
+            let mut shard = shard.lock();
+            drained.extend(shard.drain());
+        }
+        let mut handled: HashSet<u64> = HashSet::new();
+        for (seq, waiter) in drained {
+            if handled.contains(&seq) {
+                continue;
+            }
+            let mut group = waiter.group.clone();
+            group.sort_unstable();
+            let last = *group.last().unwrap_or(&seq);
+            for s in &group {
+                handled.insert(*s);
+                if *s != last {
+                    self.handler.on_abandon(now, *s);
+                }
+            }
+            self.handler.on_give_up(now, last);
+            let _ = waiter.tx.send(WaitMsg::NoReplicas);
+        }
+    }
+
+    fn spawn_reconnect(self: &Arc<Self>, id: ReplicaId) {
+        let Some(policy) = self.reconnect.clone() else {
+            return;
+        };
+        let weak = Arc::downgrade(self);
+        let stop = Arc::clone(&self.stop);
+        let handle = std::thread::spawn(move || loop {
+            if stop.is_raised() {
+                return;
+            }
+            let Some(inner) = weak.upgrade() else { return };
+            {
+                let conns = inner.conns.read().unwrap_or_else(|p| p.into_inner());
+                if conns.contains_key(&id) {
+                    return;
+                }
+            }
+            let addr = {
+                let addrs = inner.addrs.lock();
+                addrs.get(&id).copied()
+            };
+            let Some(addr) = addr else { return };
+            let attempt = {
+                let mut backoff = inner.backoff.lock();
+                let counter = backoff.entry(id).or_insert(0);
+                let attempt = *counter;
+                *counter += 1;
+                attempt
+            };
+            if attempt >= policy.max_attempts {
+                return;
+            }
+            let delay = std::time::Duration::from(policy.initial_backoff)
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(std::time::Duration::from(policy.max_backoff));
+            drop(inner);
+            if stop.wait(delay) {
+                return;
+            }
+            let Some(inner) = weak.upgrade() else { return };
+            if inner.open_connection(id, addr).is_err() {
+                continue;
+            }
+            if let Some(wire) = &inner.wire {
+                wire.reconnects.inc();
+            }
+            inner.handler.on_rejoin(inner.now(), id);
+            return;
+        });
+        self.track(handle);
+    }
+}
+
+/// Owns one replica socket's send half: drains the frame channel into a
+/// reusable buffer — batching whatever has queued up — and flushes the
+/// batch with a single write.
+fn writer_loop(mut stream: TcpStream, rx: Receiver<Frame>, wire: Option<WireMetrics>) {
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut frames: Vec<Frame> = Vec::new();
+    loop {
+        let Ok(first) = rx.recv() else { return };
+        buf.clear();
+        frames.clear();
+        first.encode_into(&mut buf);
+        frames.push(first);
+        while let Ok(next) = rx.try_recv() {
+            next.encode_into(&mut buf);
+            frames.push(next);
+        }
+        if stream.write_all(&buf).is_err() {
+            return; // the reader observes the teardown and handles it
+        }
+        if let Some(wire) = &wire {
+            for frame in &frames {
+                wire.on_sent(frame);
+            }
+        }
+    }
+}
+
+fn reader_loop(weak: Weak<Inner>, mut stream: TcpStream, id: ReplicaId) {
+    loop {
+        match Frame::read_from(&mut stream) {
+            Ok(frame) => {
+                let Some(inner) = weak.upgrade() else { return };
+                inner.on_frame(id, frame);
+            }
+            Err(_) => {
+                let Some(inner) = weak.upgrade() else { return };
+                if inner.stop.is_raised() {
+                    return; // teardown, not a crash
+                }
+                inner.on_disconnect(id);
+                return;
+            }
+        }
+    }
+}
+
+fn resolve(msg: WaitMsg) -> Result<CallOutcome, CallError> {
+    match msg {
+        WaitMsg::Outcome(outcome) => Ok(outcome),
+        WaitMsg::NoReplicas => Err(CallError::NoReplicas),
+    }
+}
+
+/// The thread-per-connection baseline client. See the module docs; the
+/// call protocol is identical to [`crate::AquaClient`], only the
+/// transport differs.
+pub struct ThreadedClient {
+    inner: Arc<Inner>,
+    give_up_after: Duration,
+    retry_after: Option<Duration>,
+}
+
+impl std::fmt::Debug for ThreadedClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let replicas = {
+            let conns = self.inner.conns.read().unwrap_or_else(|p| p.into_inner());
+            conns.len()
+        };
+        f.debug_struct("ThreadedClient")
+            .field("replicas", &replicas)
+            .finish()
+    }
+}
+
+impl Drop for ThreadedClient {
+    fn drop(&mut self) {
+        self.inner.stop.raise();
+        // Dropping the senders stops the writers; shutting the sockets
+        // down unblocks the readers.
+        {
+            let mut conns = self.inner.conns.write().unwrap_or_else(|p| p.into_inner());
+            conns.clear();
+        }
+        for socket in self.inner.sockets.lock().drain(..) {
+            let _ = socket.shutdown(std::net::Shutdown::Both);
+        }
+        let threads: Vec<JoinHandle<()>> = {
+            let mut threads = self.inner.threads.lock();
+            threads.drain(..).collect()
+        };
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl ThreadedClient {
+    /// Connects to every replica, subscribes to performance updates, and
+    /// initializes the handler with the given strategy.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any initial connection cannot be established.
+    pub fn connect(
+        replicas: &[(ReplicaId, SocketAddr)],
+        config: AquaClientConfig,
+        strategy: Box<dyn SelectionStrategy>,
+    ) -> io::Result<ThreadedClient> {
+        let mut handler = ConcurrentHandler::new(config.qos, config.window, strategy);
+        if let Some(obs) = &config.obs {
+            handler.attach_obs(obs, Some(config.id));
+        }
+        let wire = config
+            .obs
+            .as_ref()
+            .map(|obs| WireMetrics::new(obs, config.id));
+        let inner = Arc::new(Inner {
+            handler,
+            conns: RwLock::new(HashMap::new()),
+            waiters: (0..WAITER_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            addrs: Mutex::new(HashMap::new()),
+            backoff: Mutex::new(HashMap::new()),
+            epoch: StdInstant::now(),
+            wire,
+            reconnect: config.reconnect.clone(),
+            client_id: config.id,
+            stop: Arc::new(StopSignal::new()),
+            threads: Mutex::new(Vec::new()),
+            sockets: Mutex::new(Vec::new()),
+        });
+        for (id, addr) in replicas {
+            inner.open_connection(*id, *addr)?;
+            inner.handler.insert_replica(inner.now(), *id);
+        }
+        Ok(ThreadedClient {
+            inner,
+            give_up_after: config.give_up_after,
+            retry_after: config.retry_after,
+        })
+    }
+
+    /// Runs `f` against the handler (repository inspection, stats, …).
+    pub fn with_handler<R>(&self, f: impl FnOnce(&ConcurrentHandler) -> R) -> R {
+        f(&self.inner.handler)
+    }
+
+    /// Emits any request spans still buffered by the handler's observer
+    /// and flushes the journal.
+    pub fn finish_observability(&self) {
+        self.inner.handler.flush_observability();
+    }
+
+    /// Invokes the replicated service: selects replicas per the QoS spec,
+    /// multicasts the request, and returns the earliest reply. Identical
+    /// protocol to [`crate::AquaClient::call`].
+    ///
+    /// # Errors
+    ///
+    /// [`CallError::NoReplicas`] when every replica is gone,
+    /// [`CallError::GaveUp`] when no selected replica answered within the
+    /// give-up window, [`CallError::Io`] on transport failures during send.
+    pub fn call(&self, method: MethodId, payload: &[u8]) -> Result<CallOutcome, CallError> {
+        let inner = &self.inner;
+        let t0 = inner.now();
+        let started = StdInstant::now();
+        let give_up = std::time::Duration::from(self.give_up_after);
+        let payload = Bytes::copy_from_slice(payload);
+
+        let plan = inner.handler.plan_request_for(t0, Some(method));
+        if plan.replicas.is_empty() {
+            inner.handler.on_give_up(inner.now(), plan.seq);
+            return Err(CallError::NoReplicas);
+        }
+        let first_seq = plan.seq;
+        let first_selection = plan.replicas;
+        let mut redundancy = first_selection.len();
+        let (tx, rx) = bounded(2);
+        {
+            let mut shard = inner.waiter_shard(first_seq).lock();
+            shard.insert(
+                first_seq,
+                Waiter {
+                    tx: tx.clone(),
+                    redundancy,
+                    group: vec![first_seq],
+                },
+            );
+        }
+        let sent = inner.multicast(first_seq, method, &payload, &first_selection);
+        if sent == 0 {
+            inner.clear_waiters(&[first_seq]);
+            inner.handler.on_give_up(inner.now(), first_seq);
+            return Err(CallError::GaveUp { redundancy });
+        }
+        let mut seqs = vec![first_seq];
+
+        if let Some(retry_after) = self.retry_after {
+            let wait = std::time::Duration::from(retry_after).min(give_up);
+            match rx.recv_timeout(wait) {
+                Ok(msg) => {
+                    inner.clear_waiters(&seqs);
+                    return resolve(msg);
+                }
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    let now = inner.now();
+                    let retry = inner.handler.plan_retry(
+                        now,
+                        Some(method),
+                        t0,
+                        first_seq,
+                        &first_selection,
+                    );
+                    if let Some(plan) = retry {
+                        let added = plan.replicas.len();
+                        let group = vec![first_seq, plan.seq];
+                        {
+                            let mut shard = inner.waiter_shard(first_seq).lock();
+                            if let Some(w) = shard.get_mut(&first_seq) {
+                                w.group.clone_from(&group);
+                                w.redundancy = redundancy + added;
+                            }
+                        }
+                        {
+                            let mut shard = inner.waiter_shard(plan.seq).lock();
+                            shard.insert(
+                                plan.seq,
+                                Waiter {
+                                    tx: tx.clone(),
+                                    redundancy: redundancy + added,
+                                    group,
+                                },
+                            );
+                        }
+                        let sent = inner.multicast(plan.seq, method, &payload, &plan.replicas);
+                        if sent > 0 {
+                            redundancy += added;
+                            seqs.push(plan.seq);
+                        } else {
+                            inner.clear_waiters(&[plan.seq]);
+                            {
+                                let mut shard = inner.waiter_shard(first_seq).lock();
+                                if let Some(w) = shard.get_mut(&first_seq) {
+                                    w.group = vec![first_seq];
+                                    w.redundancy = redundancy;
+                                }
+                            }
+                            inner.handler.on_abandon(now, plan.seq);
+                        }
+                    }
+                }
+            }
+        }
+
+        let remaining = give_up.saturating_sub(started.elapsed());
+        match rx.recv_timeout(remaining) {
+            Ok(msg) => {
+                inner.clear_waiters(&seqs);
+                resolve(msg)
+            }
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                let now = inner.now();
+                if let Some((last, earlier)) = seqs.split_last() {
+                    for s in earlier {
+                        inner.handler.on_abandon(now, *s);
+                    }
+                    if !inner.handler.on_give_up(now, *last) {
+                        let msg = rx.recv_timeout(std::time::Duration::from_secs(1)).ok();
+                        inner.clear_waiters(&seqs);
+                        if let Some(msg) = msg {
+                            return resolve(msg);
+                        }
+                        return Err(CallError::GaveUp { redundancy });
+                    }
+                }
+                inner.clear_waiters(&seqs);
+                drop(tx);
+                Err(CallError::GaveUp { redundancy })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ReplicaServer, ReplicaServerConfig};
+    use aqua_core::qos::QosSpec;
+    use aqua_strategies::ModelBased;
+
+    #[test]
+    fn threaded_baseline_calls_and_joins_on_drop() {
+        let servers: Vec<ReplicaServer> = (0..2)
+            .map(|i| {
+                ReplicaServer::spawn(ReplicaServerConfig::quick(ReplicaId::new(i), 2)).unwrap()
+            })
+            .collect();
+        let replicas: Vec<(ReplicaId, SocketAddr)> =
+            servers.iter().map(|s| (s.replica(), s.addr())).collect();
+        let qos = QosSpec::new(Duration::from_millis(500), 0.9).unwrap();
+        let client = ThreadedClient::connect(
+            &replicas,
+            AquaClientConfig::new(qos),
+            Box::new(ModelBased::default()),
+        )
+        .expect("connect");
+        for _ in 0..4 {
+            let out = client.call(MethodId::DEFAULT, b"ab").expect("call");
+            assert_eq!(out.payload, Bytes::from_static(b"ab"));
+        }
+        client.with_handler(|h| assert_eq!(h.stats().delivered, 4));
+        // Drop must return promptly with no leaked threads blocking it.
+        drop(client);
+    }
+}

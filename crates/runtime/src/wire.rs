@@ -6,6 +6,7 @@
 
 use std::io::{self, Read, Write};
 
+use aqua_core::aqua;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Maximum accepted frame body size (1 MiB) — defends against corrupt
@@ -275,6 +276,88 @@ impl Frame {
         }
     }
 
+    /// Decodes a frame body (without the length prefix) from a borrowed
+    /// slice. Only the payload bytes are copied (straight into their
+    /// `Bytes`); headers are parsed in place. This is the reactor's
+    /// zero-intermediate-copy decode: the reassembly buffer is read
+    /// directly, with no per-frame `Vec` in between.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidData`] on unknown tags or truncated
+    /// bodies, exactly like [`Frame::decode`].
+    pub fn decode_body(body: &[u8]) -> io::Result<Frame> {
+        fn truncated() -> io::Error {
+            io::Error::new(io::ErrorKind::InvalidData, "truncated frame body")
+        }
+        fn take<'a>(body: &'a [u8], pos: &mut usize, n: usize) -> io::Result<&'a [u8]> {
+            let end = pos.checked_add(n).ok_or_else(truncated)?;
+            let s = body.get(*pos..end).ok_or_else(truncated)?;
+            *pos = end;
+            Ok(s)
+        }
+        fn get_u8(body: &[u8], pos: &mut usize) -> io::Result<u8> {
+            Ok(take(body, pos, 1)?[0])
+        }
+        fn get_u32(body: &[u8], pos: &mut usize) -> io::Result<u32> {
+            let s = take(body, pos, 4)?;
+            Ok(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+        }
+        fn get_u64(body: &[u8], pos: &mut usize) -> io::Result<u64> {
+            let s = take(body, pos, 8)?;
+            Ok(u64::from_be_bytes([
+                s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+            ]))
+        }
+        let pos = &mut 0usize;
+        match get_u8(body, pos)? {
+            TAG_REQUEST => {
+                let seq = get_u64(body, pos)?;
+                let method = get_u32(body, pos)?;
+                let len = get_u32(body, pos)? as usize;
+                let payload = Bytes::copy_from_slice(take(body, pos, len)?);
+                Ok(Frame::Request {
+                    seq,
+                    method,
+                    payload,
+                })
+            }
+            TAG_REPLY => {
+                let seq = get_u64(body, pos)?;
+                let replica = get_u64(body, pos)?;
+                let service_ns = get_u64(body, pos)?;
+                let queue_ns = get_u64(body, pos)?;
+                let queue_len = get_u32(body, pos)?;
+                let method = get_u32(body, pos)?;
+                let len = get_u32(body, pos)? as usize;
+                let payload = Bytes::copy_from_slice(take(body, pos, len)?);
+                Ok(Frame::Reply {
+                    seq,
+                    replica,
+                    service_ns,
+                    queue_ns,
+                    queue_len,
+                    method,
+                    payload,
+                })
+            }
+            TAG_PERF => Ok(Frame::PerfUpdate {
+                replica: get_u64(body, pos)?,
+                service_ns: get_u64(body, pos)?,
+                queue_ns: get_u64(body, pos)?,
+                queue_len: get_u32(body, pos)?,
+                method: get_u32(body, pos)?,
+            }),
+            TAG_HELLO => Ok(Frame::Hello {
+                client: get_u64(body, pos)?,
+            }),
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unknown frame tag",
+            )),
+        }
+    }
+
     /// Writes one frame to a stream.
     ///
     /// # Errors
@@ -304,6 +387,114 @@ impl Frame {
         let mut body = vec![0u8; len as usize];
         r.read_exact(&mut body)?;
         Frame::decode(Bytes::from(body))
+    }
+}
+
+/// How many bytes one nonblocking read attempts to pull in.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Incremental frame reassembly for nonblocking streams.
+///
+/// The reactor hands each connection's raw reads to one assembler; frames
+/// may arrive split at arbitrary byte boundaries (including mid-header)
+/// across any number of `read` calls. Complete frames are decoded straight
+/// out of the reassembly buffer via [`Frame::decode_body`] — only payload
+/// bytes are copied, there is no per-frame intermediate buffer.
+#[derive(Debug)]
+pub struct FrameAssembler {
+    /// Growable reassembly storage; `start..end` holds pending bytes.
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+}
+
+impl Default for FrameAssembler {
+    fn default() -> Self {
+        FrameAssembler::new()
+    }
+}
+
+impl FrameAssembler {
+    /// An empty assembler with one read-chunk of capacity.
+    pub fn new() -> FrameAssembler {
+        FrameAssembler {
+            buf: vec![0u8; READ_CHUNK],
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn pending(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Appends raw bytes directly (test harnesses and in-memory feeds).
+    pub fn extend(&mut self, data: &[u8]) {
+        self.make_room(data.len());
+        self.buf[self.end..self.end + data.len()].copy_from_slice(data);
+        self.end += data.len();
+    }
+
+    /// Performs one `read` into the reassembly buffer. Returns the byte
+    /// count (`0` means EOF). `WouldBlock` surfaces as an error for the
+    /// caller's readiness loop to catch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the reader's I/O errors, including `WouldBlock`.
+    pub fn read_from<R: Read>(&mut self, r: &mut R) -> io::Result<usize> {
+        self.make_room(READ_CHUNK);
+        let n = r.read(&mut self.buf[self.end..])?;
+        self.end += n;
+        Ok(n)
+    }
+
+    /// Compacts pending bytes to the front and/or grows the buffer until
+    /// at least `want` spare bytes follow `end`.
+    fn make_room(&mut self, want: usize) {
+        if self.buf.len() - self.end >= want {
+            return;
+        }
+        self.buf.copy_within(self.start..self.end, 0);
+        self.end -= self.start;
+        self.start = 0;
+        if self.buf.len() - self.end < want {
+            self.buf.resize(self.end + want, 0);
+        }
+    }
+
+    /// Pops the next complete frame, or `None` if more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidData`] on an oversized length
+    /// prefix or a malformed body; the stream is unrecoverable after an
+    /// error (framing is lost) and the connection should be closed.
+    #[aqua::hot_path]
+    pub fn next_frame(&mut self) -> io::Result<Option<Frame>> {
+        let pending = &self.buf[self.start..self.end];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([pending[0], pending[1], pending[2], pending[3]]);
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame length prefix exceeds the cap",
+            ));
+        }
+        let total = 4 + len as usize;
+        if pending.len() < total {
+            return Ok(None);
+        }
+        let frame = Frame::decode_body(&pending[4..total])?;
+        self.start += total;
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+        }
+        Ok(Some(frame))
     }
 }
 
@@ -472,5 +663,110 @@ mod tests {
         for f in &frames {
             assert_eq!(&Frame::read_from(&mut cursor).unwrap(), f);
         }
+    }
+
+    #[test]
+    fn decode_body_matches_decode() {
+        let frames = [
+            Frame::Request {
+                seq: 42,
+                method: 7,
+                payload: Bytes::from_static(b"hello world"),
+            },
+            Frame::Reply {
+                seq: 1,
+                replica: 3,
+                service_ns: 1_000_000,
+                queue_ns: 42,
+                queue_len: 9,
+                method: 2,
+                payload: Bytes::from_static(b"result"),
+            },
+            Frame::PerfUpdate {
+                replica: 5,
+                service_ns: 9,
+                queue_ns: 8,
+                queue_len: 7,
+                method: 0,
+            },
+            Frame::Hello { client: 77 },
+        ];
+        for frame in &frames {
+            let encoded = frame.encode();
+            let body = &encoded.as_slice()[4..];
+            assert_eq!(&Frame::decode_body(body).unwrap(), frame);
+        }
+        // Truncation and unknown tags fail like the owned decoder.
+        assert_eq!(
+            Frame::decode_body(&[TAG_REQUEST]).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        assert_eq!(
+            Frame::decode_body(&[99]).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        assert_eq!(
+            Frame::decode_body(&[]).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn assembler_reassembles_byte_by_byte() {
+        let frames = vec![
+            Frame::Hello { client: 9 },
+            Frame::Request {
+                seq: 1,
+                method: 2,
+                payload: Bytes::from_static(b"split me"),
+            },
+            Frame::PerfUpdate {
+                replica: 1,
+                service_ns: 2,
+                queue_ns: 3,
+                queue_len: 4,
+                method: 5,
+            },
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut stream);
+        }
+        let mut asm = FrameAssembler::new();
+        let mut decoded = Vec::new();
+        for byte in stream {
+            asm.extend(&[byte]);
+            while let Some(f) = asm.next_frame().unwrap() {
+                decoded.push(f);
+            }
+        }
+        assert_eq!(decoded, frames);
+        assert_eq!(asm.pending(), 0);
+    }
+
+    #[test]
+    fn assembler_rejects_oversized_prefix() {
+        let mut asm = FrameAssembler::new();
+        asm.extend(&(MAX_FRAME + 1).to_be_bytes());
+        assert_eq!(
+            asm.next_frame().unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn assembler_reads_from_a_stream() {
+        let frame = Frame::Request {
+            seq: 7,
+            method: 0,
+            payload: Bytes::from_static(b"reader"),
+        };
+        let mut cursor = std::io::Cursor::new(frame.encode().to_vec());
+        let mut asm = FrameAssembler::new();
+        assert!(asm.next_frame().unwrap().is_none());
+        let n = asm.read_from(&mut cursor).unwrap();
+        assert_eq!(n, frame.encoded_len());
+        assert_eq!(asm.next_frame().unwrap(), Some(frame));
+        assert_eq!(asm.read_from(&mut cursor).unwrap(), 0, "EOF");
     }
 }

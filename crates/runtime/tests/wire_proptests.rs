@@ -1,7 +1,7 @@
 //! Property tests for the wire protocol: roundtrips, and robustness of the
 //! decoder against arbitrary bytes (it must reject, never panic).
 
-use aqua_runtime::wire::Frame;
+use aqua_runtime::wire::{Frame, FrameAssembler};
 use bytes::Bytes;
 use proptest::prelude::*;
 
@@ -99,6 +99,35 @@ proptest! {
         // hang (cursor EOF).
         let mut cursor = std::io::Cursor::new(encoded[..cut].to_vec());
         prop_assert!(Frame::read_from(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn assembler_decodes_across_arbitrary_chunk_boundaries(
+        frames in prop::collection::vec(arb_frame(), 1..12),
+        cuts in prop::collection::vec(1usize..64, 0..64),
+    ) {
+        // Concatenate the stream, then feed it to the incremental decoder
+        // in arbitrary-sized chunks — splits land mid-header, mid-length-
+        // prefix, and mid-payload. The assembler must reproduce exactly
+        // the original frame sequence regardless of chunking.
+        let mut stream = Vec::new();
+        for f in &frames {
+            f.write_to(&mut stream).expect("vec write");
+        }
+        let mut assembler = FrameAssembler::new();
+        let mut decoded = Vec::new();
+        let mut offset = 0usize;
+        let mut cuts = cuts.into_iter();
+        while offset < stream.len() {
+            let chunk = cuts.next().unwrap_or(usize::MAX).min(stream.len() - offset);
+            assembler.extend(&stream[offset..offset + chunk]);
+            offset += chunk;
+            while let Some(frame) = assembler.next_frame().expect("clean stream") {
+                decoded.push(frame);
+            }
+        }
+        prop_assert_eq!(decoded, frames);
+        prop_assert_eq!(assembler.pending(), 0, "no leftover bytes");
     }
 
     #[test]
