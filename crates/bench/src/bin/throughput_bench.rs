@@ -167,6 +167,7 @@ where
             }));
         }
         std::thread::sleep(duration);
+        // aqua-lint: allow(atomics-ordering) pure termination latch; `join` below synchronizes the latency buffers
         stop.store(true, Ordering::Relaxed);
         for h in handles {
             per_thread.push(h.join().expect("caller thread"));
@@ -248,6 +249,7 @@ impl SerializedGateway {
         {
             let state = Arc::clone(&state);
             let contention = Arc::clone(&contention);
+            // aqua-lint: allow(spawn-join) faithful replica of the old dispatcher under test; exits when the last event_tx drops
             std::thread::spawn(move || {
                 // The dispatcher: sole reply path, re-taking the global
                 // lock for every classification, exactly as the old
@@ -494,6 +496,7 @@ where
         barrier.wait();
         let started = StdInstant::now();
         std::thread::sleep(duration);
+        // aqua-lint: allow(atomics-ordering) pure termination latch; `join` below synchronizes the latency buffers
         stop.store(true, Ordering::Relaxed);
         elapsed = started.elapsed().as_secs_f64();
         for h in handles {

@@ -477,6 +477,7 @@ impl ConcurrentHandler {
         }
         self.dirty.store(false, Ordering::Release);
         let last = self.last_publish_ns.load(Ordering::Relaxed);
+        // aqua-lint: allow(atomics-ordering) debounce timestamp only; the snapshot is published via the version-guarded cell, a stale read costs one extra rebuild
         self.last_publish_ns
             .store(now.as_nanos().max(last), Ordering::Relaxed);
 
@@ -660,6 +661,7 @@ impl ConcurrentHandler {
             }
         }
         let overhead_nanos = started.elapsed().as_nanos() as u64;
+        // aqua-lint: allow(atomics-ordering) standalone overhead gauge; readers tolerate staleness and no other data is published under it
         self.last_overhead_ns
             .store(overhead_nanos, Ordering::Relaxed);
         let replicas: Arc<[ReplicaId]> = replicas.into();

@@ -8,7 +8,7 @@
 //! after every step. All-threads-blocked with work remaining is reported
 //! as a deadlock.
 //!
-//! Four models port real synchronization hot spots from the workspace:
+//! Six models port real synchronization hot spots from the workspace:
 //!
 //! * [`registry_scrape_model`] — `aqua-obs` metric registration racing a
 //!   scrape: registration writes two parallel vectors under the registry
@@ -34,6 +34,20 @@
 //!   re-check closes the lost-entry window.
 //!   [`pending_retry_no_recheck_model`] and [`pending_retry_toctou_model`]
 //!   are the buggy variants (leaked pending entry, double delivery).
+//! * [`reactor_wake_model`] — the socket runtime's self-pipe wake path:
+//!   submitters coalesce pokes through the `wake_pending` flag (only the
+//!   0→1 `swap` writes the wake byte), and the reactor loop drains the
+//!   pipe, clears the flag, and *then* harvests outboxes. Clearing before
+//!   harvesting is load-bearing: [`reactor_lost_wakeup_model`] flips the
+//!   two and exhibits the lost wakeup (dirty outbox, empty pipe, reactor
+//!   parked forever) the shipped order prevents.
+//! * [`mux_reply_model`] — the multiplexed client's reply routing: wire
+//!   sequence numbers carry the logical handle in the top 24 bits and a
+//!   handle-local seq in the low 40 (`mux.rs`), so the router can
+//!   demultiplex replies back to the right parked caller while give-up
+//!   races delivery. [`mux_seq_collision_model`] composes wire seqs from
+//!   the local counter alone, so two handles' seqs collide and a reply
+//!   resolves the wrong caller's waiter.
 
 use shadow::{ShadowAtomicU64, ShadowLock};
 
@@ -956,6 +970,344 @@ pub fn pending_retry_toctou_model() -> Model<PendingState> {
     pending_model_with(true, false, "gateway-reply-toctou-claim")
 }
 
+// ---------------------------------------------------------------------------
+// Model 5: socket runtime reactor — self-pipe wake coalescing.
+// ---------------------------------------------------------------------------
+
+/// Shadow of the reactor's wake path (`reactor.rs`): submitters enqueue
+/// into per-connection outboxes and poke the self-pipe, coalescing pokes
+/// through `wake_pending` (`swap(true, AcqRel)` — only the 0→1 transition
+/// writes the wake byte). The loop drains the pipe, clears the flag, then
+/// harvests. An enqueue whose poke was coalesced away (flag already set)
+/// is covered either by the harvest that follows the clear, or — if it
+/// lands after that harvest — by its own poke, which now sees the cleared
+/// flag and writes the byte for the *next* poll round.
+#[derive(Clone)]
+pub struct WakeState {
+    /// The wake-coalescing flag (`Reactor::wake_pending`).
+    wake_pending: ShadowAtomicU64,
+    /// Bytes readable from the self-pipe (poll readiness).
+    pipe: ShadowAtomicU64,
+    /// Enqueued-but-unharvested submissions across all outboxes.
+    dirty: ShadowAtomicU64,
+    /// Submissions the loop has flushed to sockets.
+    flushed: ShadowAtomicU64,
+    /// Whether the current poll round observed a wake.
+    woke: bool,
+    /// Completion flags: `[sender0, sender1, reactor]`.
+    done: [bool; 3],
+}
+
+fn wake_model_with(clear_before_harvest: bool, name: &'static str) -> Model<WakeState> {
+    fn init() -> WakeState {
+        WakeState {
+            wake_pending: ShadowAtomicU64::new(0),
+            pipe: ShadowAtomicU64::new(0),
+            dirty: ShadowAtomicU64::new(0),
+            flushed: ShadowAtomicU64::new(0),
+            woke: false,
+            done: [false, false, false],
+        }
+    }
+    fn always(_: &WakeState, _: usize) -> bool {
+        true
+    }
+    fn invariant(s: &WakeState) -> Result<(), String> {
+        // Once every thread has parked, unharvested work must have a wake
+        // byte pending — otherwise the reactor sleeps on it forever.
+        if s.done[0] && s.done[1] && s.done[2] && s.dirty.load() > 0 && s.pipe.load() == 0 {
+            return Err(format!(
+                "lost wakeup: {} dirty item(s) with an empty self-pipe; the parked reactor never flushes them",
+                s.dirty.load()
+            ));
+        }
+        Ok(())
+    }
+    fn sender() -> Vec<Step<WakeState>> {
+        vec![
+            Step {
+                name: "send.enqueue",
+                enabled: always,
+                run: |s, _| {
+                    s.dirty.fetch_add(1);
+                },
+            },
+            Step {
+                name: "send.wake",
+                enabled: always,
+                run: |s, tid| {
+                    // `wake_pending.swap(true, AcqRel)` — one indivisible
+                    // RMW; only the 0→1 edge writes the pipe byte.
+                    let prev = s.wake_pending.load();
+                    s.wake_pending.store(1);
+                    if prev == 0 {
+                        s.pipe.fetch_add(1);
+                    }
+                    s.done[tid] = true;
+                },
+            },
+        ]
+    }
+    fn poll(s: &mut WakeState, _: usize) {
+        s.woke = s.pipe.load() > 0;
+        if s.woke {
+            s.pipe.store(0);
+        }
+    }
+    fn clear(s: &mut WakeState, _: usize) {
+        if s.woke {
+            s.wake_pending.store(0);
+        }
+    }
+    fn harvest(s: &mut WakeState, _: usize) {
+        if s.woke {
+            let n = s.dirty.load();
+            s.dirty.store(0);
+            s.flushed.fetch_add(n);
+        }
+    }
+
+    // Two poll rounds, then park. The shipped order clears the flag before
+    // harvesting; the buggy variant harvests first, opening the window
+    // where an enqueue slips in between harvest and clear and its poke is
+    // coalesced into a round that has already drained.
+    let mut reactor: Vec<Step<WakeState>> = Vec::new();
+    for _ in 0..2 {
+        reactor.push(Step {
+            name: "loop.poll+drain",
+            enabled: always,
+            run: poll,
+        });
+        if clear_before_harvest {
+            reactor.push(Step {
+                name: "loop.clear_flag",
+                enabled: always,
+                run: clear,
+            });
+            reactor.push(Step {
+                name: "loop.harvest+flush",
+                enabled: always,
+                run: harvest,
+            });
+        } else {
+            reactor.push(Step {
+                name: "loop.harvest+flush",
+                enabled: always,
+                run: harvest,
+            });
+            reactor.push(Step {
+                name: "loop.clear_flag",
+                enabled: always,
+                run: clear,
+            });
+        }
+    }
+    reactor.push(Step {
+        name: "loop.park",
+        enabled: always,
+        run: |s, tid| s.done[tid] = true,
+    });
+
+    Model {
+        name,
+        init,
+        threads: vec![sender(), sender(), reactor],
+        invariant,
+    }
+}
+
+/// Reactor wake-coalescing model as shipped: the loop clears
+/// `wake_pending` *before* harvesting outboxes. Must pass.
+pub fn reactor_wake_model() -> Model<WakeState> {
+    wake_model_with(true, "reactor-wake-coalescing")
+}
+
+/// Deliberately broken loop order: harvest before clearing the flag, so a
+/// poke-less enqueue between the two is flushed by nobody. Exists to
+/// prove the checker catches the lost wakeup.
+pub fn reactor_lost_wakeup_model() -> Model<WakeState> {
+    wake_model_with(false, "reactor-lost-wakeup")
+}
+
+// ---------------------------------------------------------------------------
+// Model 6: socket runtime mux — reply routing across the handle/seq split.
+// ---------------------------------------------------------------------------
+
+/// Mirrors `mux.rs`: wire seqs are 24 bits of handle id over 40 bits of
+/// handle-local sequence.
+const MUX_HANDLE_SHIFT: u32 = 40;
+const MUX_SEQ_MASK: u64 = (1 << MUX_HANDLE_SHIFT) - 1;
+
+/// Shadow of the mux pool's reply routing: two logical handles each park
+/// waiters on handle-local seqs, the reader thread routes wire replies
+/// back by splitting the wire seq, and the deadline path gives up on
+/// un-replied attempts concurrently.
+#[derive(Clone)]
+pub struct MuxState {
+    /// `waiters[handle][local]`: 1 = a caller is parked on this attempt.
+    waiters: [[ShadowAtomicU64; 2]; 2],
+    /// Wire replies awaiting routing: `(wire_seq, origin_handle)`.
+    outbox: Vec<(u64, u64)>,
+    /// Router cursor into `outbox` (replies route in arrival order).
+    routed: usize,
+    delivered: ShadowAtomicU64,
+    dropped: ShadowAtomicU64,
+    /// Replies that resolved a waiter of a different handle.
+    crossed: ShadowAtomicU64,
+    /// Whether wire seqs carry the handle in the top 24 bits (the fix).
+    split_compose: bool,
+    /// Completion flags: `[caller0, caller1, router]`.
+    done: [bool; 3],
+}
+
+fn mux_register(s: &mut MuxState, tid: usize, local: u64) {
+    let h = tid as u64;
+    s.waiters[tid][local as usize].store(1);
+    let wire = if s.split_compose {
+        (h << MUX_HANDLE_SHIFT) | local
+    } else {
+        local // collision: both handles emit bare local counters
+    };
+    s.outbox.push((wire, h));
+}
+
+fn mux_model_with(split_compose: bool, name: &'static str) -> Model<MuxState> {
+    fn init_split() -> MuxState {
+        mux_init(true)
+    }
+    fn init_collision() -> MuxState {
+        mux_init(false)
+    }
+    fn mux_init(split_compose: bool) -> MuxState {
+        MuxState {
+            waiters: [
+                [ShadowAtomicU64::new(0), ShadowAtomicU64::new(0)],
+                [ShadowAtomicU64::new(0), ShadowAtomicU64::new(0)],
+            ],
+            outbox: Vec::new(),
+            routed: 0,
+            delivered: ShadowAtomicU64::new(0),
+            dropped: ShadowAtomicU64::new(0),
+            crossed: ShadowAtomicU64::new(0),
+            split_compose,
+            done: [false, false, false],
+        }
+    }
+    fn always(_: &MuxState, _: usize) -> bool {
+        true
+    }
+    fn invariant(s: &MuxState) -> Result<(), String> {
+        if s.crossed.load() > 0 {
+            return Err(
+                "cross-handle delivery: a reply escaped its 24-bit handle namespace and resolved another handle's waiter"
+                    .to_string(),
+            );
+        }
+        if s.done[0] && s.done[1] && s.done[2] {
+            let routed = s.delivered.load() + s.dropped.load();
+            if routed != 4 {
+                return Err(format!("router parked with {routed} of 4 replies routed"));
+            }
+            for (h, row) in s.waiters.iter().enumerate() {
+                for (l, w) in row.iter().enumerate() {
+                    if w.load() == 1 {
+                        return Err(format!(
+                            "parked caller never resolved: handle {h} attempt {l} still waiting"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+    fn caller() -> Vec<Step<MuxState>> {
+        vec![
+            Step {
+                name: "call.register(local=0)",
+                enabled: always,
+                run: |s, tid| mux_register(s, tid, 0),
+            },
+            Step {
+                name: "call.register(local=1)",
+                enabled: always,
+                run: |s, tid| mux_register(s, tid, 1),
+            },
+            Step {
+                name: "call.give_up",
+                enabled: always,
+                run: |s, tid| {
+                    // Caller h abandons attempt local == h if still
+                    // un-replied (the deadline path retiring its own
+                    // pending entry); the reply then routes to nobody.
+                    if s.waiters[tid][tid].load() == 1 {
+                        s.waiters[tid][tid].store(0);
+                    }
+                    s.done[tid] = true;
+                },
+            },
+        ]
+    }
+    fn route_enabled(s: &MuxState, _: usize) -> bool {
+        s.outbox.len() > s.routed
+    }
+    fn route(s: &mut MuxState, _: usize) {
+        let (wire, origin) = s.outbox[s.routed];
+        s.routed += 1;
+        let hid = (wire >> MUX_HANDLE_SHIFT) as usize;
+        let local = (wire & MUX_SEQ_MASK) as usize;
+        if hid < 2 && local < 2 && s.waiters[hid][local].load() == 1 {
+            s.waiters[hid][local].store(0);
+            s.delivered.fetch_add(1);
+            if hid as u64 != origin {
+                s.crossed.fetch_add(1);
+            }
+        } else {
+            s.dropped.fetch_add(1);
+        }
+    }
+
+    // The router drains all four replies in arrival order, each gated on
+    // the reply actually having been sent, then parks.
+    let mut router: Vec<Step<MuxState>> = Vec::new();
+    for _ in 0..4 {
+        router.push(Step {
+            name: "route.next",
+            enabled: route_enabled,
+            run: route,
+        });
+    }
+    router.push(Step {
+        name: "route.park",
+        enabled: always,
+        run: |s, tid| s.done[tid] = true,
+    });
+
+    Model {
+        name,
+        init: if split_compose {
+            init_split
+        } else {
+            init_collision
+        },
+        threads: vec![caller(), caller(), router],
+        invariant,
+    }
+}
+
+/// Mux reply-routing model as shipped: wire seqs carry the handle id in
+/// the top 24 bits, so routing is collision-free. Must pass.
+pub fn mux_reply_model() -> Model<MuxState> {
+    mux_model_with(true, "mux-reply-routing")
+}
+
+/// Deliberately broken compose: wire seqs are the bare handle-local
+/// counter, so two handles collide and a reply resolves the wrong
+/// caller's waiter (and the right caller parks forever). Exists to prove
+/// the checker catches it.
+pub fn mux_seq_collision_model() -> Model<MuxState> {
+    mux_model_with(false, "mux-seq-collision")
+}
+
 /// Run the shipped models; returns `(name, exploration)` pairs.
 pub fn run_all() -> Vec<(&'static str, Exploration)> {
     vec![
@@ -972,6 +1324,8 @@ pub fn run_all() -> Vec<(&'static str, Exploration)> {
             explore(&snapshot_publish_model()),
         ),
         ("gateway-reply-vs-retry", explore(&pending_retry_model())),
+        ("reactor-wake-coalescing", explore(&reactor_wake_model())),
+        ("mux-reply-routing", explore(&mux_reply_model())),
     ]
 }
 
@@ -1085,9 +1439,59 @@ mod tests {
     }
 
     #[test]
+    fn reactor_wake_model_passes_exhaustively() {
+        let e = explore(&reactor_wake_model());
+        assert!(e.passed(), "violations: {:?}", e.violations);
+        // 2 + 2 + 7 always-enabled steps: 11!/(2!·2!·7!) = 1980
+        // interleavings.
+        assert_eq!(e.schedules, 1980);
+        assert!(e.schedules >= 1000);
+    }
+
+    #[test]
+    fn lost_wakeup_variant_is_caught() {
+        let e = explore(&reactor_lost_wakeup_model());
+        assert!(
+            !e.violations.is_empty(),
+            "harvesting before the flag clear must lose a wakeup"
+        );
+        assert!(
+            e.violations
+                .iter()
+                .any(|(_, msg)| msg.contains("lost wakeup")),
+            "violations: {:?}",
+            e.violations
+        );
+    }
+
+    #[test]
+    fn mux_reply_model_passes_exhaustively() {
+        let e = explore(&mux_reply_model());
+        assert!(e.passed(), "violations: {:?}", e.violations);
+        // 3 + 3 + 5 steps with each route gated on its reply having been
+        // sent: 2554 feasible interleavings.
+        assert_eq!(e.schedules, 2554);
+        assert!(e.schedules >= 1000);
+    }
+
+    #[test]
+    fn seq_collision_variant_is_caught() {
+        let e = explore(&mux_seq_collision_model());
+        assert!(
+            !e.violations.is_empty(),
+            "dropping the handle bits from wire seqs must misroute a reply"
+        );
+        assert!(
+            e.violations.iter().any(|(_, msg)| msg.contains("handle")),
+            "violations: {:?}",
+            e.violations
+        );
+    }
+
+    #[test]
     fn run_all_covers_the_shipped_models() {
         let results = run_all();
-        assert_eq!(results.len(), 4);
+        assert_eq!(results.len(), 6);
         for (name, e) in &results {
             assert!(e.passed(), "{name} failed: {:?}", e.violations);
         }

@@ -72,6 +72,18 @@ pub struct Lexed {
     pub comments: Vec<Comment>,
 }
 
+impl Lexed {
+    /// Lines of comments whose text contains `needle` (e.g. `"SAFETY:"`),
+    /// for adjacency checks against token lines.
+    pub fn comment_lines_containing(&self, needle: &str) -> std::collections::BTreeSet<usize> {
+        self.comments
+            .iter()
+            .filter(|c| c.text.contains(needle))
+            .map(|c| c.line)
+            .collect()
+    }
+}
+
 /// Tokenize `source`, splitting code tokens from comments.
 pub fn lex(source: &str) -> Lexed {
     Lexer {

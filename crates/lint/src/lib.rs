@@ -1,8 +1,8 @@
 //! # aqua-lint — project-specific static analysis for the aqua workspace
 //!
-//! A self-contained lint tool: a hand-rolled lexer ([`lexer`]) feeds five
+//! A self-contained lint tool: a hand-rolled lexer ([`lexer`]) feeds eight
 //! token-level rules ([`rules`]), and a bounded model checker
-//! ([`interleave`]) exhaustively explores the interleavings of two shadow
+//! ([`interleave`]) exhaustively explores the interleavings of six shadow
 //! models ported from real synchronization hot spots.
 //!
 //! The tool takes no dependencies beyond the vendored `shadow` shim — it
@@ -65,7 +65,27 @@ impl Report {
         if !self.findings.is_empty() {
             out.push_str("\n  ");
         }
-        out.push_str("],\n  \"counts\": {");
+        out.push_str("],\n  \"by_rule\": {");
+        for (ri, rule) in ALL_RULES.iter().enumerate() {
+            if ri > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{rule}\": ["));
+            let mut first = true;
+            for f in self.findings.iter().filter(|f| f.rule == *rule) {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                out.push_str(&format!(
+                    "{{\"file\": \"{}\", \"line\": {}}}",
+                    json_escape(&f.file),
+                    f.line
+                ));
+            }
+            out.push(']');
+        }
+        out.push_str("},\n  \"counts\": {");
         for (i, (rule, n)) in self.counts().iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
@@ -79,6 +99,72 @@ impl Report {
             self.findings.len()
         ));
         out
+    }
+}
+
+/// Suppression keys parsed from a baseline report: `(rule, file, message)`.
+///
+/// Line numbers drift as files are edited, so they are deliberately not
+/// part of a finding's identity. (A message that itself embeds a line
+/// reference — the atomics-ordering cross-reference — re-fires when that
+/// referenced site moves; refresh the baseline after such edits.)
+pub type Baseline = std::collections::BTreeSet<(String, String, String)>;
+
+/// Parse a previous `--json` report into a [`Baseline`].
+///
+/// The parser is matched to [`Report::to_json`]'s own output — one finding
+/// object per line with `rule`/`file`/`message` string fields — rather
+/// than being a general JSON parser.
+pub fn parse_baseline(text: &str) -> Baseline {
+    let mut set = Baseline::new();
+    for line in text.lines() {
+        let fields = (
+            json_field(line, "rule"),
+            json_field(line, "file"),
+            json_field(line, "message"),
+        );
+        if let (Some(r), Some(f), Some(m)) = fields {
+            set.insert((r, f, m));
+        }
+    }
+    set
+}
+
+/// Extract and unescape the string value of `"key": "…"` on one line.
+fn json_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let at = line.find(&pat)? + pat.len();
+    let mut out = String::new();
+    let mut chars = line[at..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (&mut chars).take(4).collect();
+                    if let Some(v) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                        out.push(v);
+                    }
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+impl Report {
+    /// Drop findings present in `baseline`; returns how many were
+    /// suppressed. CI uses this to fail only on *new* findings.
+    pub fn apply_baseline(&mut self, baseline: &Baseline) -> usize {
+        let before = self.findings.len();
+        self.findings.retain(|f| {
+            !baseline.contains(&(f.rule.to_string(), f.file.clone(), f.message.clone()))
+        });
+        before - self.findings.len()
     }
 }
 

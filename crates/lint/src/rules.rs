@@ -1,4 +1,4 @@
-//! The five aqua-lint rules, plus the allow-annotation machinery.
+//! The eight aqua-lint rules, plus the allow-annotation machinery.
 //!
 //! Rules operate on the token stream from [`crate::lexer`]; none of them
 //! parse Rust properly. Each heuristic is documented next to its
@@ -30,9 +30,24 @@ pub const LOCK_ORDER: &str = "lock-order";
 pub const UNIT_HYGIENE: &str = "unit-hygiene";
 /// Rule: every dependency resolves inside `vendor/` or the workspace.
 pub const VENDOR_AUDIT: &str = "vendor-audit";
+/// Rule: no Relaxed store/load handshakes on data-publishing atomics.
+pub const ATOMICS_ORDER: &str = "atomics-ordering";
+/// Rule: `unsafe` needs a `// SAFETY:` comment; FFI confined to `sys.rs`.
+pub const UNSAFE_AUDIT: &str = "unsafe-audit";
+/// Rule: `thread::spawn` handles must be held, joined, or justified.
+pub const SPAWN_JOIN: &str = "spawn-join";
 
 /// All rule identifiers, in reporting order.
-pub const ALL_RULES: [&str; 5] = [NO_PANIC, NO_ALLOC, LOCK_ORDER, UNIT_HYGIENE, VENDOR_AUDIT];
+pub const ALL_RULES: [&str; 8] = [
+    NO_PANIC,
+    NO_ALLOC,
+    LOCK_ORDER,
+    UNIT_HYGIENE,
+    VENDOR_AUDIT,
+    ATOMICS_ORDER,
+    UNSAFE_AUDIT,
+    SPAWN_JOIN,
+];
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,6 +126,17 @@ pub fn analyze_file(path: &str, source: &str) -> FileAnalysis {
     }
     if path.starts_with("crates/") || path.starts_with("src/") {
         check_unit_hygiene(path, &lexed.tokens, &excluded, &mut raw);
+    }
+    if in_concurrency_scope(path) {
+        check_atomics_ordering(path, &lexed.tokens, &excluded, &mut raw);
+        check_spawn_join(path, &lexed.tokens, &excluded, &mut raw);
+        check_unsafe_audit(
+            path,
+            &lexed.tokens,
+            &excluded,
+            &lexed.comment_lines_containing("SAFETY:"),
+            &mut raw,
+        );
     }
 
     // Drop edges whose acquisition site carries an allow annotation; the
@@ -965,6 +991,449 @@ pub fn audit_manifest(path: &str, source: &str) -> Vec<Finding> {
         }
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 6: atomics-ordering
+// ---------------------------------------------------------------------------
+
+/// Crate source proper — where the three v2 concurrency rules apply.
+/// Integration tests and fixtures are exempt (they exercise the public API
+/// from one thread, or contain violations on purpose).
+fn in_concurrency_scope(path: &str) -> bool {
+    (path.starts_with("crates/") && path.contains("/src/")) || path.starts_with("src/")
+}
+
+/// Methods that, combined with an `Ordering` argument, mark an atomic site.
+const ATOMIC_METHODS: [&str; 12] = [
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+];
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// One atomic operation, grouped per receiver field.
+#[derive(Debug)]
+struct AtomicSite {
+    /// `load`, `store`, or an RMW method name.
+    method: String,
+    /// The memory ordering named at the call site (first named ordering for
+    /// loads, last for stores — `store(val, ord)` puts it last).
+    ordering: String,
+    /// Line of the *receiver* token, so an allow annotation anchors on
+    /// `self.field` even when rustfmt splits `.store(…)` onto its own line.
+    line: usize,
+}
+
+/// Collect atomic operations per receiver name. A site must name an
+/// `Ordering` variant in its argument list — that is what separates
+/// `flag.load(Ordering::Relaxed)` from `io::Read::read`-style methods that
+/// happen to share a name (`store`, `swap` on maps, …).
+fn collect_atomic_sites(
+    tokens: &[Token],
+    excluded: &[bool],
+) -> std::collections::BTreeMap<String, Vec<AtomicSite>> {
+    let mut sites: std::collections::BTreeMap<String, Vec<AtomicSite>> = Default::default();
+    for i in 0..tokens.len() {
+        if excluded[i] {
+            continue;
+        }
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident || !ATOMIC_METHODS.iter().any(|m| t.text == *m) {
+            continue;
+        }
+        if i < 2
+            || !tokens[i - 1].is_punct('.')
+            || !tokens.get(i + 1).is_some_and(|p| p.is_punct('('))
+        {
+            continue;
+        }
+        // Scan the balanced argument list for named orderings.
+        let mut depth = 0usize;
+        let mut k = i + 1;
+        let mut ords: Vec<String> = Vec::new();
+        while k < tokens.len() {
+            let a = &tokens[k];
+            if a.is_punct('(') {
+                depth += 1;
+            } else if a.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if a.kind == TokenKind::Ident && ORDERINGS.iter().any(|o| a.text == *o) {
+                ords.push(a.text.clone());
+            }
+            k += 1;
+        }
+        let ordering = if t.text == "load" {
+            ords.first()
+        } else {
+            ords.last()
+        };
+        let Some(ordering) = ordering else { continue };
+        let receiver = &tokens[i - 2];
+        if receiver.kind != TokenKind::Ident {
+            continue; // `(expr).store(…)` — cannot name the field
+        }
+        sites
+            .entry(receiver.text.clone())
+            .or_default()
+            .push(AtomicSite {
+                method: t.text.clone(),
+                ordering: ordering.clone(),
+                line: receiver.line,
+            });
+    }
+    sites
+}
+
+/// Flag broken Relaxed handshakes, per field, file-locally:
+///
+/// * a **Relaxed plain `store`** on a field that is also plainly `load`ed
+///   anywhere in the file — the store cannot publish the data the reader
+///   consumes after its load, whatever the load's ordering is;
+/// * a **Relaxed plain `load`** on a field whose stores are Release/SeqCst —
+///   the writer paid for ordering the reader then discards.
+///
+/// RMW-only fields (counters via `fetch_add`, flags claimed by CAS/`swap`)
+/// are exempt: the classic Relaxed statistics counter never trips the rule.
+/// Legit exceptions (termination latches joined elsewhere, gauges tolerant
+/// of staleness) carry `// aqua-lint: allow(atomics-ordering) <why>`.
+fn check_atomics_ordering(path: &str, tokens: &[Token], excluded: &[bool], out: &mut Vec<Finding>) {
+    for (field, sites) in collect_atomic_sites(tokens, excluded) {
+        let loads: Vec<&AtomicSite> = sites.iter().filter(|s| s.method == "load").collect();
+        let release_store = sites
+            .iter()
+            .find(|s| s.method == "store" && (s.ordering == "Release" || s.ordering == "SeqCst"));
+        if let Some(first_load) = loads.first() {
+            for s in sites
+                .iter()
+                .filter(|s| s.method == "store" && s.ordering == "Relaxed")
+            {
+                out.push(Finding {
+                    rule: ATOMICS_ORDER,
+                    file: path.to_string(),
+                    line: s.line,
+                    message: format!(
+                        "`{field}.store(_, Ordering::Relaxed)` publishes a value `{field}.load(…)` consumes (line {}); a Relaxed store cannot order the data it guards — use Release, or justify (counter/latch) with an allow",
+                        first_load.line
+                    ),
+                });
+            }
+        }
+        if let Some(rel) = release_store {
+            for l in loads.iter().filter(|l| l.ordering == "Relaxed") {
+                out.push(Finding {
+                    rule: ATOMICS_ORDER,
+                    file: path.to_string(),
+                    line: l.line,
+                    message: format!(
+                        "`{field}.load(Ordering::Relaxed)` pairs with the Release store at line {}; complete the handshake with Acquire, or justify with an allow",
+                        rel.line
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 7: unsafe-audit
+// ---------------------------------------------------------------------------
+
+/// The one file allowed to contain FFI and `allow(unsafe_code)`.
+const SYS_PATH: &str = "crates/runtime/src/sys.rs";
+
+/// Every `extern "C"` signature `sys.rs` may declare. Growing the FFI
+/// surface means growing this list — a reviewed, deliberate act.
+const FFI_ALLOWLIST: [&str; 4] = ["epoll_create1", "epoll_ctl", "epoll_wait", "close"];
+
+/// Per-token mask of attribute contents (`#[…]`/`#![…]`, introducer
+/// included), so attribute-only lines don't break SAFETY-comment adjacency.
+fn attribute_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') {
+            let start = i;
+            let mut j = i + 1;
+            if j < tokens.len() && tokens[j].is_punct('!') {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct('[') {
+                let (end, _) = scan_attribute(tokens, j);
+                for m in mask.iter_mut().take(end + 1).skip(start) {
+                    *m = true;
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Audit `unsafe` usage:
+///
+/// 1. every `unsafe` keyword needs a `// SAFETY:` comment on the same line
+///    or directly above it (only blank or attribute-only lines between);
+/// 2. every crate root (`crates/*/src/lib.rs`, `src/lib.rs`) must assert
+///    `#![deny(unsafe_code)]` or `#![forbid(unsafe_code)]`;
+/// 3. `allow(unsafe_code)` may appear only in `sys.rs`;
+/// 4. `extern "C"` is confined to `sys.rs`, whose declared signatures must
+///    all be in [`FFI_ALLOWLIST`].
+fn check_unsafe_audit(
+    path: &str,
+    tokens: &[Token],
+    excluded: &[bool],
+    safety: &std::collections::BTreeSet<usize>,
+    out: &mut Vec<Finding>,
+) {
+    use std::collections::BTreeSet;
+    let attrs = attribute_mask(tokens);
+    let mut code_lines: BTreeSet<usize> = BTreeSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !attrs[i] {
+            code_lines.insert(t.line);
+        }
+    }
+
+    for (i, t) in tokens.iter().enumerate() {
+        if excluded[i] || !t.is_ident("unsafe") {
+            continue;
+        }
+        let l = t.line;
+        let documented = safety
+            .iter()
+            .any(|&c| c == l || (c < l && (c + 1..l).all(|m| !code_lines.contains(&m))));
+        if !documented {
+            out.push(Finding {
+                rule: UNSAFE_AUDIT,
+                file: path.to_string(),
+                line: l,
+                message: "`unsafe` without an adjacent `// SAFETY:` comment stating the invariant that makes it sound".to_string(),
+            });
+        }
+    }
+
+    let is_crate_root = path == "src/lib.rs"
+        || (path.starts_with("crates/")
+            && path.ends_with("/src/lib.rs")
+            && path.matches('/').count() == 3);
+    if is_crate_root {
+        let denies = tokens.windows(3).any(|w| {
+            (w[0].is_ident("deny") || w[0].is_ident("forbid"))
+                && w[1].is_punct('(')
+                && w[2].is_ident("unsafe_code")
+        });
+        if !denies {
+            out.push(Finding {
+                rule: UNSAFE_AUDIT,
+                file: path.to_string(),
+                line: 1,
+                message: "crate root does not assert `#![deny(unsafe_code)]` or `#![forbid(unsafe_code)]`".to_string(),
+            });
+        }
+    }
+
+    if path != SYS_PATH {
+        for (i, t) in tokens.iter().enumerate() {
+            if t.is_ident("unsafe_code")
+                && i >= 2
+                && tokens[i - 1].is_punct('(')
+                && tokens[i - 2].is_ident("allow")
+            {
+                out.push(Finding {
+                    rule: UNSAFE_AUDIT,
+                    file: path.to_string(),
+                    line: t.line,
+                    message: "`allow(unsafe_code)` is reserved for crates/runtime/src/sys.rs; everywhere else stays deny/forbid".to_string(),
+                });
+            }
+        }
+    }
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let is_extern_c = tokens[i].is_ident("extern")
+            && tokens
+                .get(i + 1)
+                .is_some_and(|s| s.kind == TokenKind::Str && s.text.trim_matches('"') == "C");
+        if !is_extern_c || excluded[i] {
+            i += 1;
+            continue;
+        }
+        if path != SYS_PATH {
+            out.push(Finding {
+                rule: UNSAFE_AUDIT,
+                file: path.to_string(),
+                line: tokens[i].line,
+                message: "`extern \"C\"` FFI outside crates/runtime/src/sys.rs; the audited allowlist lives there".to_string(),
+            });
+            i += 2;
+            continue;
+        }
+        let mut k = i + 2;
+        if tokens.get(k).is_some_and(|b| b.is_punct('{')) {
+            let mut depth = 0usize;
+            while k < tokens.len() {
+                if tokens[k].is_punct('{') {
+                    depth += 1;
+                } else if tokens[k].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if tokens[k].is_ident("fn") {
+                    audit_ffi_name(path, tokens.get(k + 1), out);
+                }
+                k += 1;
+            }
+        } else if tokens.get(k).is_some_and(|f| f.is_ident("fn")) {
+            audit_ffi_name(path, tokens.get(k + 1), out);
+        }
+        i = k + 1;
+    }
+}
+
+fn audit_ffi_name(path: &str, name: Option<&Token>, out: &mut Vec<Finding>) {
+    let Some(name) = name.filter(|n| n.kind == TokenKind::Ident) else {
+        return;
+    };
+    if !FFI_ALLOWLIST.iter().any(|a| name.text == *a) {
+        out.push(Finding {
+            rule: UNSAFE_AUDIT,
+            file: path.to_string(),
+            line: name.line,
+            message: format!(
+                "FFI `{}` is not in the audited sys.rs allowlist ({})",
+                name.text,
+                FFI_ALLOWLIST.join(", ")
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 8: spawn-join
+// ---------------------------------------------------------------------------
+
+/// Flag `thread::spawn` / `thread::Builder…spawn` calls whose `JoinHandle`
+/// is dropped on the spot: a bare expression statement, or a `let _ =`
+/// binding. A handle that is let-bound, pushed into a collection
+/// (`joins.push(thread::spawn(…))` — the spawn sits inside an argument
+/// list), returned as a tail expression, or `.join()`ed in the same
+/// statement escapes the rule. Non-thread `spawn` methods (scoped threads,
+/// `Reactor::spawn`, actor pools) are not matched.
+///
+/// Deliberate limit: a named binding that is *later* dropped un-joined is
+/// not tracked — that needs real dataflow. The rule targets the
+/// fire-and-forget idiom, which is exactly what leaks threads past the
+/// test harness and shutdown paths.
+fn check_spawn_join(path: &str, tokens: &[Token], excluded: &[bool], out: &mut Vec<Finding>) {
+    for i in 0..tokens.len() {
+        if excluded[i] {
+            continue;
+        }
+        let t = &tokens[i];
+        if !t.is_ident("spawn") || !tokens.get(i + 1).is_some_and(|p| p.is_punct('(')) {
+            continue;
+        }
+        // Statement start: just past the previous `;`/`{`/`}`.
+        let mut start = i;
+        while start > 0 {
+            let p = &tokens[start - 1];
+            if p.is_punct(';') || p.is_punct('{') || p.is_punct('}') {
+                break;
+            }
+            start -= 1;
+        }
+        let is_thread_spawn = i >= 3
+            && tokens[i - 1].is_punct(':')
+            && tokens[i - 2].is_punct(':')
+            && tokens[i - 3].is_ident("thread");
+        let is_builder_spawn = i >= 1
+            && tokens[i - 1].is_punct('.')
+            && tokens[start..i].iter().any(|b| b.is_ident("Builder"));
+        if !is_thread_spawn && !is_builder_spawn {
+            continue;
+        }
+        if tokens.get(start).is_some_and(|t| t.is_ident("return")) {
+            continue; // the handle is returned to the caller
+        }
+        // Inside an argument list (`joins.push(…)`) the handle escapes.
+        let mut depth = 0isize;
+        for t in &tokens[start..i] {
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            }
+        }
+        if depth > 0 {
+            continue;
+        }
+        // A named `let` binding holds the handle; `let _ =` discards it.
+        if tokens.get(start).is_some_and(|t| t.is_ident("let")) {
+            let mut n = start + 1;
+            if tokens.get(n).is_some_and(|t| t.is_ident("mut")) {
+                n += 1;
+            }
+            let named = tokens
+                .get(n)
+                .is_some_and(|t| t.kind == TokenKind::Ident && t.text != "_");
+            if named {
+                continue;
+            }
+        }
+        // Scan the statement tail: a `;` at chain depth drops the handle
+        // unless `.join()` was called; hitting the enclosing `}` first
+        // means the spawn is the block's tail expression.
+        let mut k = i + 1;
+        let mut d = 0isize;
+        let mut joined = false;
+        let mut dropped = false;
+        while k < tokens.len() {
+            let a = &tokens[k];
+            if a.is_punct('(') || a.is_punct('[') || a.is_punct('{') {
+                d += 1;
+            } else if a.is_punct(')') || a.is_punct(']') || a.is_punct('}') {
+                d -= 1;
+                if d < 0 {
+                    break;
+                }
+            } else if d == 0 {
+                if a.is_punct(';') {
+                    dropped = true;
+                    break;
+                }
+                if a.is_ident("join") {
+                    joined = true;
+                }
+            }
+            k += 1;
+        }
+        if dropped && !joined {
+            out.push(Finding {
+                rule: SPAWN_JOIN,
+                file: path.to_string(),
+                line: t.line,
+                message: "`thread::spawn` handle dropped un-joined; bind and join it, or justify detaching with an allow".to_string(),
+            });
+        }
+    }
 }
 
 fn vendor_finding(path: &str, line: usize, dep: &str) -> Finding {

@@ -1,0 +1,82 @@
+//! Negative fixture for `atomics-ordering`: legitimate Relaxed usage and
+//! near-miss constructs that must all stay silent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Quiet {
+    hits: AtomicU64,
+    seq: AtomicU64,
+    claimed: AtomicU64,
+    gauge: AtomicU64,
+}
+
+impl Quiet {
+    /// RMW-only counter: the classic Relaxed statistics counter. The field
+    /// has no plain store, so the Relaxed load is fine.
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn total(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Proper Release/Acquire handshake.
+    pub fn publish(&self, v: u64) {
+        self.seq.store(v, Ordering::Release);
+    }
+
+    pub fn read(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    /// CAS-claimed flag: compare_exchange is an RMW, not a plain store.
+    pub fn claim(&self) -> bool {
+        self.claimed
+            .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Relaxed store + Relaxed load, but justified: the single-line allow
+    /// annotation sits directly above the flagged receiver.
+    pub fn set(&self, v: u64) {
+        // aqua-lint: allow(atomics-ordering) standalone gauge; scrapes tolerate staleness
+        self.gauge.store(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.gauge.load(Ordering::Relaxed)
+    }
+}
+
+/// A non-atomic `store` method with no `Ordering` argument is not an
+/// atomic site, whatever its name.
+pub struct Cache {
+    v: u64,
+}
+
+impl Cache {
+    pub fn store(&mut self, v: u64) {
+        self.v = v;
+    }
+
+    pub fn load(&self) -> u64 {
+        self.v
+    }
+}
+
+pub fn non_atomic(c: &mut Cache) -> u64 {
+    c.store(3);
+    c.load()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A violation inside `#[cfg(test)]` code is exempt.
+    pub fn racy(a: &AtomicU64) -> u64 {
+        a.store(1, Ordering::Relaxed);
+        a.load(Ordering::Relaxed)
+    }
+}

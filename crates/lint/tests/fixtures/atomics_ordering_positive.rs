@@ -1,0 +1,49 @@
+//! Positive fixture for `atomics-ordering`: broken Relaxed handshakes,
+//! one finding per construct.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Publish {
+    payload: AtomicU64,
+    ready: AtomicBool,
+    half: AtomicU64,
+}
+
+impl Publish {
+    /// Relaxed store on a field that is also plainly loaded: the store
+    /// cannot publish the data its readers consume.
+    pub fn produce(&self) {
+        self.payload.store(7, Ordering::Relaxed);
+    }
+
+    /// Same field, rustfmt-split chain: the finding must anchor on the
+    /// receiver line so an allow annotation above it works.
+    pub fn produce_again(&self) {
+        self.payload
+            .store(9, Ordering::Relaxed);
+    }
+
+    pub fn consume(&self) -> u64 {
+        self.payload.load(Ordering::Relaxed)
+    }
+
+    /// Relaxed store paired with an Acquire load: the reader paid for
+    /// ordering the writer never provides.
+    pub fn mark_ready(&self) {
+        self.ready.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
+    }
+
+    /// Release store paired with a Relaxed load: the writer paid for
+    /// ordering the reader discards.
+    pub fn seal(&self, v: u64) {
+        self.half.store(v, Ordering::Release);
+    }
+
+    pub fn peek(&self) -> u64 {
+        self.half.load(Ordering::Relaxed)
+    }
+}

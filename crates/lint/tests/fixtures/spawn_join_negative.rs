@@ -1,0 +1,63 @@
+//! Negative fixture for `spawn-join`: handles that escape, get joined,
+//! or are justifiably detached must all stay silent.
+
+use std::thread;
+
+/// Named binding: the handle is held (and joined later).
+pub fn joined_later() {
+    let worker = thread::spawn(|| {});
+    worker.join().ok();
+}
+
+/// Joined in the same statement.
+pub fn joined_inline() {
+    thread::spawn(|| {}).join().ok();
+}
+
+/// Pushed into a held collection: the spawn sits inside an argument list.
+pub fn held_in_vec(n: usize) {
+    let mut joins = Vec::new();
+    for _ in 0..n {
+        joins.push(thread::spawn(|| {}));
+    }
+    for j in joins {
+        j.join().ok();
+    }
+}
+
+/// Returned to the caller.
+pub fn returned() -> thread::JoinHandle<()> {
+    return thread::spawn(|| {});
+}
+
+/// Tail expression: the handle is the block's value.
+pub fn tail_expression() -> thread::JoinHandle<()> {
+    thread::spawn(|| {})
+}
+
+/// Deliberately detached, with the justification the rule demands.
+pub fn detached_on_purpose() {
+    // aqua-lint: allow(spawn-join) watchdog lives for the process lifetime
+    thread::spawn(|| {});
+}
+
+/// A non-thread `spawn` method is not matched.
+pub struct Pool;
+
+impl Pool {
+    pub fn spawn(&self, _job: usize) {}
+}
+
+pub fn not_a_thread(pool: &Pool) {
+    pool.spawn(3);
+}
+
+#[cfg(test)]
+mod tests {
+    use std::thread;
+
+    /// Detached spawns inside `#[cfg(test)]` code are exempt.
+    pub fn racy_helper() {
+        thread::spawn(|| {});
+    }
+}

@@ -1,0 +1,19 @@
+//! Positive fixture for `spawn-join`: fire-and-forget idioms, one per
+//! construct.
+
+use std::thread;
+
+/// Bare expression statement: the handle is dropped on the spot.
+pub fn fire_and_forget() {
+    thread::spawn(|| {});
+}
+
+/// `let _ =` discards the handle just as thoroughly.
+pub fn discarded_binding() {
+    let _ = std::thread::spawn(|| {});
+}
+
+/// Builder-flavoured spawn, also dropped.
+pub fn builder_detached(name: String) {
+    thread::Builder::new().name(name).spawn(|| {}).unwrap();
+}

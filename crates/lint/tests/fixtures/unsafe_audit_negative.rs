@@ -1,0 +1,39 @@
+//! Negative fixture for `unsafe-audit`, linted as `sys.rs`: documented
+//! unsafe, allowlisted FFI, and the attribute-separated SAFETY comment.
+
+#![allow(unsafe_code)]
+
+use std::io;
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+pub struct Fd(i32);
+
+impl Fd {
+    pub fn new() -> io::Result<Fd> {
+        // SAFETY: epoll_create1 has no memory preconditions; the returned
+        // descriptor is error-checked before use.
+        let fd = unsafe { epoll_create1(0) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Fd(fd))
+    }
+
+    // SAFETY: callers must keep the descriptor open for the returned
+    // value's useful lifetime; an attribute between comment and item is
+    // still adjacent.
+    #[inline]
+    pub unsafe fn raw(&self) -> i32 {
+        self.0
+    }
+}
+
+impl Drop for Fd {
+    fn drop(&mut self) {
+        unsafe { close(self.0) }; // SAFETY: single owner; sole close.
+    }
+}

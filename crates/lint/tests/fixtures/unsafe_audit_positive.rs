@@ -1,0 +1,18 @@
+//! Positive fixture for `unsafe-audit`: every construct the rule flags
+//! outside `sys.rs`.
+
+#[allow(unsafe_code)]
+pub fn raw_read(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+extern "C" {
+    fn getpid() -> i32;
+}
+
+// SAFETY: this comment is separated from the unsafe block by code lines,
+// so it does not count as adjacent documentation.
+pub fn documented_too_far(p: *const u64) -> u64 {
+    let _ = p;
+    unsafe { *p }
+}

@@ -1,0 +1,9 @@
+//! Fixture: `sys.rs` declaring an extern fn outside the audited
+//! allowlist must be flagged, while allowlisted neighbours stay silent.
+
+#![allow(unsafe_code)]
+
+extern "C" {
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, ev: *mut u8) -> i32;
+    fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+}

@@ -4,8 +4,8 @@
 //! itself lints clean.
 
 use aqua_lint::rules::{
-    analyze_file, audit_manifest, detect_cycles, Finding, LOCK_ORDER, NO_ALLOC, NO_PANIC,
-    UNIT_HYGIENE, VENDOR_AUDIT,
+    analyze_file, audit_manifest, detect_cycles, Finding, ATOMICS_ORDER, LOCK_ORDER, NO_ALLOC,
+    NO_PANIC, SPAWN_JOIN, UNIT_HYGIENE, UNSAFE_AUDIT, VENDOR_AUDIT,
 };
 use std::path::Path;
 
@@ -211,6 +211,175 @@ pub fn a(x: Option<u32>) -> u32 { x.unwrap() }
 }
 
 #[test]
+fn atomics_ordering_positive_fires_per_construct() {
+    let findings = lint_as("crates/sim/src/fixture.rs", "atomics_ordering_positive.rs");
+    assert!(
+        findings.iter().all(|f| f.rule == ATOMICS_ORDER),
+        "{findings:?}"
+    );
+    let of = |needle: &str| {
+        findings
+            .iter()
+            .filter(|f| f.message.contains(needle))
+            .count()
+    };
+    assert_eq!(of("`payload.store"), 2, "plain + rustfmt-split store");
+    assert_eq!(of("`ready.store"), 1, "Relaxed store vs Acquire load");
+    assert_eq!(of("`half.load"), 1, "Relaxed load vs Release store");
+    assert_eq!(findings.len(), 4, "{findings:?}");
+}
+
+#[test]
+fn atomics_ordering_negative_is_silent() {
+    let findings = lint_as("crates/sim/src/fixture.rs", "atomics_ordering_negative.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn atomics_finding_anchors_on_the_receiver_line() {
+    // rustfmt splits `self.f` and `.store(…)` across lines; the finding
+    // must sit on the receiver so an allow directly above it suppresses.
+    let bare = "\
+use std::sync::atomic::{AtomicU64, Ordering};
+pub struct S {
+    f: AtomicU64,
+}
+impl S {
+    pub fn w(&self) {
+        self.f
+            .store(1, Ordering::Relaxed);
+    }
+    pub fn r(&self) -> u64 {
+        self.f.load(Ordering::Relaxed)
+    }
+}
+";
+    let findings = analyze_file("crates/sim/src/fixture.rs", bare).findings;
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].line, 7, "anchor on `self.f`, not `.store`");
+
+    let allowed = bare.replace(
+        "        self.f\n",
+        "        // aqua-lint: allow(atomics-ordering) split-chain anchor\n        self.f\n",
+    );
+    let findings = analyze_file("crates/sim/src/fixture.rs", &allowed).findings;
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn unsafe_audit_positive_fires_per_construct() {
+    let findings = lint_as("crates/gateway/src/fixture.rs", "unsafe_audit_positive.rs");
+    assert!(
+        findings.iter().all(|f| f.rule == UNSAFE_AUDIT),
+        "{findings:?}"
+    );
+    let of = |needle: &str| {
+        findings
+            .iter()
+            .filter(|f| f.message.contains(needle))
+            .count()
+    };
+    assert_eq!(of("reserved for"), 1, "allow(unsafe_code) outside sys.rs");
+    assert_eq!(of("outside crates/runtime/src/sys.rs"), 1, "extern \"C\"");
+    assert_eq!(of("SAFETY"), 2, "undocumented + comment-too-far unsafe");
+    assert_eq!(findings.len(), 4, "{findings:?}");
+}
+
+#[test]
+fn unsafe_audit_crate_root_must_deny() {
+    // The same fixture linted as a crate root additionally misses the
+    // `#![deny(unsafe_code)]` assertion.
+    let findings = lint_as("crates/fixture/src/lib.rs", "unsafe_audit_positive.rs");
+    assert_eq!(findings.len(), 5, "{findings:?}");
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("crate root") && f.line == 1),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn unsafe_audit_negative_is_silent_in_sys() {
+    let findings = lint_as("crates/runtime/src/sys.rs", "unsafe_audit_negative.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn unsafe_audit_sys_allowlist_catches_strays() {
+    let findings = lint_as("crates/runtime/src/sys.rs", "unsafe_audit_sys_bad.rs");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("`socket`"), "{findings:?}");
+    assert!(findings[0].message.contains("allowlist"), "{findings:?}");
+}
+
+#[test]
+fn spawn_join_positive_fires_per_construct() {
+    let findings = lint_as("crates/sim/src/fixture.rs", "spawn_join_positive.rs");
+    assert!(
+        findings.iter().all(|f| f.rule == SPAWN_JOIN),
+        "{findings:?}"
+    );
+    assert_eq!(findings.len(), 3, "bare, `let _`, and Builder spawns");
+}
+
+#[test]
+fn spawn_join_negative_is_silent() {
+    let findings = lint_as("crates/sim/src/fixture.rs", "spawn_join_negative.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn concurrency_rules_scope_is_path_based() {
+    // The same sources are exempt outside `src/` trees (tests, benches).
+    let findings = lint_as("crates/sim/tests/helper.rs", "spawn_join_positive.rs");
+    assert!(
+        findings.iter().all(|f| f.rule != SPAWN_JOIN),
+        "{findings:?}"
+    );
+    let findings = lint_as("crates/sim/tests/helper.rs", "atomics_ordering_positive.rs");
+    assert!(
+        findings.iter().all(|f| f.rule != ATOMICS_ORDER),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn baseline_round_trip_suppresses_only_known_findings() {
+    let old_finding = |file: &str, line: usize, message: &str| Finding {
+        rule: ATOMICS_ORDER,
+        file: file.to_string(),
+        line,
+        message: message.to_string(),
+    };
+    let old = aqua_lint::Report {
+        findings: vec![
+            old_finding("crates/a/src/x.rs", 10, "relaxed store \"quoted\""),
+            old_finding("crates/b/src/y.rs", 20, "relaxed load"),
+        ],
+        ..Default::default()
+    };
+    let baseline = aqua_lint::parse_baseline(&old.to_json());
+    assert_eq!(baseline.len(), 2);
+
+    let mut fresh = aqua_lint::Report {
+        findings: vec![
+            // Same finding, drifted line: still suppressed (lines are not
+            // part of a finding's identity).
+            old_finding("crates/a/src/x.rs", 14, "relaxed store \"quoted\""),
+            old_finding("crates/b/src/y.rs", 20, "relaxed load"),
+            // A genuinely new finding survives.
+            old_finding("crates/c/src/z.rs", 5, "new regression"),
+        ],
+        ..Default::default()
+    };
+    let suppressed = fresh.apply_baseline(&baseline);
+    assert_eq!(suppressed, 2);
+    assert_eq!(fresh.findings.len(), 1, "{:?}", fresh.findings);
+    assert_eq!(fresh.findings[0].file, "crates/c/src/z.rs");
+}
+
+#[test]
 fn workspace_lints_clean() {
     // The tree this crate ships in must itself be finding-free: the CI
     // `--check` gate relies on it.
@@ -245,5 +414,6 @@ fn json_report_shape() {
         assert!(json.contains(&format!("\"{rule}\"")), "{json}");
     }
     assert!(json.contains("\"findings\""));
+    assert!(json.contains("\"by_rule\""));
     assert!(json.contains("\"total\""));
 }

@@ -17,6 +17,8 @@
 //! inside any function carrying the marker, unless the line carries an
 //! `// aqua-lint: allow(no-alloc-in-select) <justification>` annotation.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Marks a function as part of the selection hot path (§5.3.3: the

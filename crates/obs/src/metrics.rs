@@ -56,6 +56,7 @@ impl Gauge {
     /// Replaces the value.
     #[inline]
     pub fn set(&self, v: i64) {
+        // aqua-lint: allow(atomics-ordering) a gauge is a standalone word: scrapes tolerate staleness and no payload hangs off the value
         self.value.store(v, Ordering::Relaxed);
     }
 

@@ -224,6 +224,7 @@ impl Inner {
             return;
         };
         let weak = Arc::downgrade(self);
+        // aqua-lint: allow(spawn-join) A/B baseline; holds only a Weak and exits once the client drops or the replica rejoins
         std::thread::spawn(move || loop {
             let Some(inner) = weak.upgrade() else { return };
             let (addr, attempt) = {
@@ -272,6 +273,7 @@ impl Inner {
                 state.handler.on_rejoin(now, id);
             }
             let tx = inner.event_tx.clone();
+            // aqua-lint: allow(spawn-join) serialized-baseline reader; exits when the replica closes the stream
             std::thread::spawn(move || reader_loop(stream, id, tx));
             return;
         });
@@ -333,6 +335,7 @@ impl SerializedClient {
             addrs.insert(*id, *addr);
             let tx = event_tx.clone();
             let id = *id;
+            // aqua-lint: allow(spawn-join) serialized-baseline reader; exits when the replica closes the stream
             std::thread::spawn(move || reader_loop(stream, id, tx));
         }
         let contention = match &config.obs {
@@ -356,6 +359,7 @@ impl SerializedClient {
         });
         {
             let inner = Arc::clone(&inner);
+            // aqua-lint: allow(spawn-join) serialized-baseline dispatcher; exits when every reader drops its event_tx clone
             std::thread::spawn(move || dispatcher_loop(inner, event_rx));
         }
         Ok(SerializedClient {
@@ -404,6 +408,7 @@ impl SerializedClient {
             state.addrs.insert(id, addr);
         }
         let tx = self.inner.event_tx.clone();
+        // aqua-lint: allow(spawn-join) serialized-baseline reader; exits when the replica closes the stream
         std::thread::spawn(move || reader_loop(stream, id, tx));
         Ok(())
     }

@@ -74,12 +74,17 @@ impl Epoll {
     ///
     /// Propagates `epoll_create1` failures.
     pub fn new() -> io::Result<Epoll> {
+        // SAFETY: epoll_create1 has no memory preconditions; the flag is a
+        // valid constant and the returned fd is error-checked by `cvt`.
         let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
         Ok(Epoll { fd })
     }
 
     fn ctl(&self, op: i32, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
         let mut ev = EpollEvent { events, data };
+        // SAFETY: `ev` is a live, properly initialized `#[repr(C, packed)]`
+        // event for the duration of the call; `self.fd` is the owned epoll
+        // fd, open until drop.
         cvt(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) })?;
         Ok(())
     }
@@ -118,6 +123,9 @@ impl Epoll {
     /// Propagates `epoll_wait` failures other than `EINTR`.
     pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
         let max = events.len().min(i32::MAX as usize) as i32;
+        // SAFETY: the out-pointer and `max` come from the same live slice,
+        // so the kernel writes at most `events.len()` entries; `self.fd`
+        // is the owned epoll fd, open until drop.
         match cvt(unsafe { epoll_wait(self.fd, events.as_mut_ptr(), max, timeout_ms) }) {
             Ok(n) => Ok(n as usize),
             Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(0),
@@ -128,6 +136,8 @@ impl Epoll {
 
 impl Drop for Epoll {
     fn drop(&mut self) {
+        // SAFETY: `self.fd` is owned exclusively by this Epoll and never
+        // exposed, so this is the single close of a valid descriptor.
         let _ = unsafe { close(self.fd) };
     }
 }
