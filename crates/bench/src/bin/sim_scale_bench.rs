@@ -1,0 +1,230 @@
+//! Geo-scale DES benchmark: sequential vs. sharded engine on the
+//! committed 10k-node WAN scenario.
+//!
+//! Runs the `geo_wan_10k` scenario (10 AWS regions, 200 replicas, 9 800
+//! open-loop clients) on the classic sequential engine and on the sharded
+//! engine at W ∈ {1, 2, 4, 8}, and writes `BENCH_SIM.json` with the
+//! wall-clock grid, event totals, and the determinism gate (the W=1 and
+//! W=8 history digests must be bit-identical).
+//!
+//! Usage: `sim_scale_bench [--check] [--out PATH] [--scenario PATH] [--fast]`
+//!
+//! `--check` (the CI perf-smoke criterion) exits non-zero unless:
+//! * every run completes and the 10k-node scenario finishes in seconds
+//!   (wall-clock budget per run: 120 s, far above the expected few
+//!   seconds — this guards against quadratic blowups, not small noise);
+//! * the W=1 and W=8 sharded digests are bit-identical;
+//! * parallel W=8 is ≥ 2× faster than the sequential engine — enforced
+//!   only when the host has ≥ 4 cores, since speedup from sharding is
+//!   physically unobservable on fewer (the report records the core count
+//!   either way).
+//!
+//! `--fast` shrinks the fleet (same topology, fewer clients) for quick
+//! local iteration; the checked scenario in CI is the full one.
+
+use aqua_obs::json::JsonValue;
+use aqua_workload::Scenario;
+
+const CHECK_MIN_SPEEDUP: f64 = 2.0;
+const CHECK_MAX_RUN_SECS: f64 = 120.0;
+const CHECK_MIN_CORES_FOR_SPEEDUP: usize = 4;
+const SCENARIO: &str = include_str!("../../../../examples/scenarios/geo_wan_10k.json");
+
+struct Row {
+    engine: &'static str,
+    workers: u64,
+    effective: u64,
+    wall_s: f64,
+    events: u64,
+    replies: u64,
+    rounds: u64,
+    digest: u64,
+}
+
+fn main() {
+    let mut check = false;
+    let mut fast = false;
+    let mut out = String::from("BENCH_SIM.json");
+    let mut scenario_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--fast" => fast = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--scenario" => scenario_path = Some(args.next().expect("--scenario needs a path")),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let text = match &scenario_path {
+        Some(path) => std::fs::read_to_string(path).expect("read scenario file"),
+        None => SCENARIO.to_string(),
+    };
+    let mut scenario = Scenario::from_json(&text).expect("scenario parses");
+    if fast {
+        scenario.clients_per_region = scenario.clients_per_region.min(50);
+        scenario.name += "_fast";
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "scenario {} — {} nodes, {} regions, {} ms virtual, host cores: {cores}",
+        scenario.name,
+        scenario.node_count(),
+        scenario.topology.region_count(),
+        scenario.duration.as_millis(),
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Classic sequential engine (global heap, global RNG) — the
+    // wall-clock baseline the speedup is measured against.
+    {
+        let mut sim = scenario.build_classic();
+        let started = std::time::Instant::now();
+        sim.run_until(aqua_core::time::Instant::EPOCH.saturating_add(scenario.duration));
+        let wall = started.elapsed().as_secs_f64();
+        rows.push(Row {
+            engine: "sequential",
+            workers: 1,
+            effective: 1,
+            wall_s: wall,
+            events: sim.events_processed(),
+            replies: 0,
+            rounds: 0,
+            digest: 0,
+        });
+    }
+
+    for workers in [1usize, 2, 4, 8] {
+        let started = std::time::Instant::now();
+        let stats = scenario.run(workers);
+        let wall = started.elapsed().as_secs_f64();
+        rows.push(Row {
+            engine: "sharded",
+            workers: workers as u64,
+            effective: stats.workers_effective,
+            wall_s: wall,
+            events: stats.events,
+            replies: stats.replies,
+            rounds: stats.rounds,
+            digest: stats.digest,
+        });
+    }
+
+    println!(
+        "{:>10} {:>3} {:>4} {:>9} {:>12} {:>10} {:>9} {:>18}",
+        "engine", "W", "eff", "wall (s)", "events", "replies", "rounds", "digest"
+    );
+    for row in &rows {
+        println!(
+            "{:>10} {:>3} {:>4} {:>9.2} {:>12} {:>10} {:>9} {:>18x}",
+            row.engine,
+            row.workers,
+            row.effective,
+            row.wall_s,
+            row.events,
+            row.replies,
+            row.rounds,
+            row.digest
+        );
+    }
+
+    let sequential_wall = rows[0].wall_s;
+    let w8 = rows
+        .iter()
+        .find(|r| r.engine == "sharded" && r.workers == 8)
+        .expect("W=8 always measured");
+    let w1 = rows
+        .iter()
+        .find(|r| r.engine == "sharded" && r.workers == 1)
+        .expect("W=1 always measured");
+    let speedup_vs_sequential = if w8.wall_s > 0.0 {
+        sequential_wall / w8.wall_s
+    } else {
+        f64::INFINITY
+    };
+    let digests_match = w1.digest == w8.digest;
+    let speedup_gate_active = cores >= CHECK_MIN_CORES_FOR_SPEEDUP;
+
+    let grid: Vec<JsonValue> = rows
+        .iter()
+        .map(|r| {
+            JsonValue::object()
+                .field("engine", r.engine)
+                .field("workers", r.workers)
+                .field("workers_effective", r.effective)
+                .field("wall_seconds", r.wall_s)
+                .field("events", r.events)
+                .field("replies", r.replies)
+                .field("barrier_rounds", r.rounds)
+                .field("digest", format!("{:016x}", r.digest))
+                .build()
+        })
+        .collect();
+    let report = JsonValue::object()
+        .field("bench", "sim_scale_bench")
+        .field("scenario", scenario.name.clone())
+        .field("nodes", scenario.node_count() as u64)
+        .field("regions", scenario.topology.region_count() as u64)
+        .field("virtual_ms", scenario.duration.as_millis())
+        .field("host_cores", cores as u64)
+        .field("grid", JsonValue::Array(grid))
+        .field("w8_speedup_vs_sequential", speedup_vs_sequential)
+        .field("w1_w8_digests_identical", digests_match)
+        .field(
+            "check_criterion",
+            format!(
+                "every run < {CHECK_MAX_RUN_SECS:.0}s; W=1/W=8 digests identical; \
+                 W=8 >= {CHECK_MIN_SPEEDUP}x sequential when host_cores >= \
+                 {CHECK_MIN_CORES_FOR_SPEEDUP} (speedup gate {} on this host)",
+                if speedup_gate_active {
+                    "ACTIVE"
+                } else {
+                    "skipped"
+                }
+            ),
+        )
+        .build();
+    std::fs::write(&out, report.render_pretty() + "\n").expect("write BENCH_SIM.json");
+    println!("\nwrote {out}");
+
+    if check {
+        let mut failed = false;
+        for row in &rows {
+            if row.wall_s > CHECK_MAX_RUN_SECS {
+                eprintln!(
+                    "FAIL: {} W={} took {:.1}s (budget {CHECK_MAX_RUN_SECS:.0}s)",
+                    row.engine, row.workers, row.wall_s
+                );
+                failed = true;
+            }
+        }
+        if !digests_match {
+            eprintln!(
+                "FAIL: W=1 digest {:016x} != W=8 digest {:016x}",
+                w1.digest, w8.digest
+            );
+            failed = true;
+        }
+        if speedup_gate_active && speedup_vs_sequential < CHECK_MIN_SPEEDUP {
+            eprintln!(
+                "FAIL: W=8 is only {speedup_vs_sequential:.2}x sequential on {cores} cores \
+                 (need >= {CHECK_MIN_SPEEDUP}x)"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "check passed: determinism held, W=8 {speedup_vs_sequential:.2}x sequential \
+             ({} speedup gate, {cores} cores)",
+            if speedup_gate_active {
+                "active"
+            } else {
+                "skipped"
+            }
+        );
+    }
+}

@@ -8,7 +8,7 @@
 //! after every step. All-threads-blocked with work remaining is reported
 //! as a deadlock.
 //!
-//! Six models port real synchronization hot spots from the workspace:
+//! Seven models port real synchronization hot spots from the workspace:
 //!
 //! * [`registry_scrape_model`] — `aqua-obs` metric registration racing a
 //!   scrape: registration writes two parallel vectors under the registry
@@ -48,6 +48,15 @@
 //!   races delivery. [`mux_seq_collision_model`] composes wire seqs from
 //!   the local counter alone, so two handles' seqs collide and a reply
 //!   resolves the wrong caller's waiter.
+//! * [`shard_barrier_model`] — `lan-sim`'s sharded DES round protocol:
+//!   worker shards publish next-event times, the leader computes the
+//!   inclusive window horizon `min(next) + L − 1` from the topology
+//!   lookahead `L`, and cross-shard sends distribute at the barrier,
+//!   arriving at send-time + `L` — strictly *after* every window that
+//!   could have produced them. [`shard_barrier_off_by_one_model`] widens
+//!   the window to `min(next) + L`, so an arrival at exactly `T + L`
+//!   lands inside a window the receiver already closed — the causality
+//!   violation the shipped `−1` prevents.
 
 use shadow::{ShadowAtomicU64, ShadowLock};
 
@@ -1308,6 +1317,229 @@ pub fn mux_seq_collision_model() -> Model<MuxState> {
     mux_model_with(false, "mux-seq-collision")
 }
 
+// ---------------------------------------------------------------------------
+// Model 7: sharded DES — conservative time-window barrier lookahead.
+// ---------------------------------------------------------------------------
+
+/// Shard A's pending event time in the barrier model.
+const SHARD_A_EVENT: u64 = 10;
+/// Shard B's pending local event time.
+const SHARD_B_LOCAL: u64 = 15;
+/// The topology lookahead: minimum cross-shard one-way delay.
+const SHARD_LOOKAHEAD: u64 = 5;
+
+/// Shadow of the sharded simulator's round protocol (`sharded.rs`): each
+/// worker shard publishes its next pending event time, the leader
+/// computes the round horizon from the global minimum `T` and the
+/// topology lookahead `L`, each shard executes exactly the events inside
+/// the inclusive window `[T, horizon]`, and cross-shard sends stage in an
+/// outbox that distributes at the barrier — arriving at send-time + `L`.
+/// An obs scrape reads the per-shard event counters lock-free throughout,
+/// exactly like `export_obs` against a running simulation.
+#[derive(Clone)]
+pub struct ShardBarrierState {
+    /// Window end rule: `T + L − 1` as shipped, `T + L` in the buggy
+    /// variant.
+    off_by_one: bool,
+    /// Published next-event times (0 = not yet published this round).
+    next: [ShadowAtomicU64; 2],
+    /// Round horizon the leader computed (0 = unset).
+    horizon: ShadowAtomicU64,
+    /// Shard A's pending event time (0 = consumed).
+    a_event: ShadowAtomicU64,
+    /// Shard B's pending local event time (0 = consumed).
+    b_local: ShadowAtomicU64,
+    /// Cross-shard arrival staged by A until the barrier.
+    outbox_a: ShadowAtomicU64,
+    /// B's post-barrier inbox (0 = empty).
+    inbox_b: ShadowAtomicU64,
+    /// Per-shard executed-event counters (what the scrape reads).
+    events: [ShadowAtomicU64; 2],
+    /// Window end each shard has fully executed (0 = none yet).
+    closed: [ShadowAtomicU64; 2],
+    /// Scrape scratch: last counter sum observed.
+    scraped: Option<u64>,
+    /// First violation observed (causality at drain, or a counter that
+    /// ran backwards under the scrape).
+    violation: Option<String>,
+}
+
+fn shard_barrier_model_with(off_by_one: bool, name: &'static str) -> Model<ShardBarrierState> {
+    fn init_shipped() -> ShardBarrierState {
+        shard_init(false)
+    }
+    fn init_off_by_one() -> ShardBarrierState {
+        shard_init(true)
+    }
+    fn shard_init(off_by_one: bool) -> ShardBarrierState {
+        ShardBarrierState {
+            off_by_one,
+            next: [ShadowAtomicU64::new(0), ShadowAtomicU64::new(0)],
+            horizon: ShadowAtomicU64::new(0),
+            a_event: ShadowAtomicU64::new(SHARD_A_EVENT),
+            b_local: ShadowAtomicU64::new(SHARD_B_LOCAL),
+            outbox_a: ShadowAtomicU64::new(0),
+            inbox_b: ShadowAtomicU64::new(0),
+            events: [ShadowAtomicU64::new(0), ShadowAtomicU64::new(0)],
+            closed: [ShadowAtomicU64::new(0), ShadowAtomicU64::new(0)],
+            scraped: None,
+            violation: None,
+        }
+    }
+    fn always(_: &ShardBarrierState, _: usize) -> bool {
+        true
+    }
+    fn both_published(s: &ShardBarrierState, _: usize) -> bool {
+        s.next[0].load() != 0 && s.next[1].load() != 0
+    }
+    fn horizon_set(s: &ShardBarrierState, _: usize) -> bool {
+        s.horizon.load() != 0
+    }
+    fn peer_window_closed(s: &ShardBarrierState, _: usize) -> bool {
+        s.closed[1].load() != 0
+    }
+    fn inbox_ready(s: &ShardBarrierState, _: usize) -> bool {
+        s.inbox_b.load() != 0
+    }
+    fn invariant(s: &ShardBarrierState) -> Result<(), String> {
+        match &s.violation {
+            Some(msg) => Err(msg.clone()),
+            None => Ok(()),
+        }
+    }
+    fn scrape(s: &mut ShardBarrierState, _: usize) {
+        let sum = s.events[0].load() + s.events[1].load();
+        if let Some(prev) = s.scraped {
+            if sum < prev {
+                s.violation = Some(format!("event counter ran backwards: {prev} then {sum}"));
+            }
+        }
+        s.scraped = Some(sum);
+    }
+
+    // Shard A — the round leader: publish, compute the horizon once both
+    // shards have published, execute its in-window event (staging the
+    // cross-shard send in the outbox), then distribute at the barrier.
+    let shard_a: Vec<Step<ShardBarrierState>> = vec![
+        Step {
+            name: "a.publish_next",
+            enabled: always,
+            run: |s, _| s.next[0].store(s.a_event.load()),
+        },
+        Step {
+            name: "a.lead_horizon",
+            enabled: both_published,
+            run: |s, _| {
+                let t = s.next[0].load().min(s.next[1].load());
+                let end = t + SHARD_LOOKAHEAD - if s.off_by_one { 0 } else { 1 };
+                s.horizon.store(end);
+            },
+        },
+        Step {
+            name: "a.exec_window",
+            enabled: horizon_set,
+            run: |s, _| {
+                let h = s.horizon.load();
+                let at = s.a_event.load();
+                if at != 0 && at <= h {
+                    s.a_event.store(0);
+                    s.events[0].fetch_add(1);
+                    s.outbox_a.store(at + SHARD_LOOKAHEAD);
+                }
+                s.closed[0].store(h);
+            },
+        },
+        Step {
+            name: "a.barrier_distribute",
+            enabled: peer_window_closed,
+            run: |s, _| {
+                let arrival = s.outbox_a.load();
+                if arrival != 0 {
+                    s.outbox_a.store(0);
+                    s.inbox_b.store(arrival);
+                }
+            },
+        },
+    ];
+
+    // Shard B — a follower: publish, execute whatever of its queue falls
+    // inside the leader's window, then drain the barrier inbox. A drained
+    // arrival at or before the window it just closed is an event executed
+    // out of timestamp order — the committed window can no longer admit
+    // it at its proper place in the merged history.
+    let shard_b: Vec<Step<ShardBarrierState>> = vec![
+        Step {
+            name: "b.publish_next",
+            enabled: always,
+            run: |s, _| s.next[1].store(s.b_local.load()),
+        },
+        Step {
+            name: "b.exec_window",
+            enabled: horizon_set,
+            run: |s, _| {
+                let h = s.horizon.load();
+                let at = s.b_local.load();
+                if at != 0 && at <= h {
+                    s.b_local.store(0);
+                    s.events[1].fetch_add(1);
+                }
+                s.closed[1].store(h);
+            },
+        },
+        Step {
+            name: "b.drain_inbox",
+            enabled: inbox_ready,
+            run: |s, _| {
+                let arrival = s.inbox_b.load();
+                s.inbox_b.store(0);
+                let closed = s.closed[1].load();
+                if arrival <= closed {
+                    s.violation = Some(format!(
+                        "causality violation: cross-shard arrival at t={arrival} lands inside \
+                         a window already closed at t={closed}"
+                    ));
+                }
+            },
+        },
+    ];
+
+    // The obs scrape: five lock-free counter reads racing the round.
+    let scraper: Vec<Step<ShardBarrierState>> = (0..5)
+        .map(|_| Step {
+            name: "scrape.read_counters",
+            enabled: always,
+            run: scrape,
+        })
+        .collect();
+
+    Model {
+        name,
+        init: if off_by_one {
+            init_off_by_one
+        } else {
+            init_shipped
+        },
+        threads: vec![shard_a, shard_b, scraper],
+        invariant,
+    }
+}
+
+/// Time-window barrier model as shipped: the inclusive window end is
+/// `min(next) + L − 1`, so a cross-shard send from inside the window
+/// arrives strictly after it. Must pass.
+pub fn shard_barrier_model() -> Model<ShardBarrierState> {
+    shard_barrier_model_with(false, "sim-shard-window-barrier")
+}
+
+/// Deliberately broken window end `min(next) + L`: shard B executes its
+/// local `t = T + L` event and closes the window, then the barrier
+/// delivers a cross-shard arrival at exactly `T + L` — into a window
+/// that already committed. Exists to prove the checker catches the
+/// off-by-one.
+pub fn shard_barrier_off_by_one_model() -> Model<ShardBarrierState> {
+    shard_barrier_model_with(true, "sim-shard-lookahead-off-by-one")
+}
+
 /// Run the shipped models; returns `(name, exploration)` pairs.
 pub fn run_all() -> Vec<(&'static str, Exploration)> {
     vec![
@@ -1326,6 +1558,7 @@ pub fn run_all() -> Vec<(&'static str, Exploration)> {
         ("gateway-reply-vs-retry", explore(&pending_retry_model())),
         ("reactor-wake-coalescing", explore(&reactor_wake_model())),
         ("mux-reply-routing", explore(&mux_reply_model())),
+        ("sim-shard-window-barrier", explore(&shard_barrier_model())),
     ]
 }
 
@@ -1489,9 +1722,32 @@ mod tests {
     }
 
     #[test]
+    fn shard_barrier_model_passes_exhaustively() {
+        let e = explore(&shard_barrier_model());
+        assert!(e.passed(), "violations: {:?}", e.violations);
+        assert!(e.schedules >= 1000, "schedules: {}", e.schedules);
+    }
+
+    #[test]
+    fn lookahead_off_by_one_is_caught() {
+        let e = explore(&shard_barrier_off_by_one_model());
+        assert!(
+            !e.violations.is_empty(),
+            "widening the window to T + L must deliver into a closed window"
+        );
+        assert!(
+            e.violations
+                .iter()
+                .any(|(_, msg)| msg.contains("causality violation")),
+            "violations: {:?}",
+            e.violations
+        );
+    }
+
+    #[test]
     fn run_all_covers_the_shipped_models() {
         let results = run_all();
-        assert_eq!(results.len(), 6);
+        assert_eq!(results.len(), 7);
         for (name, e) in &results {
             assert!(e.passed(), "{name} failed: {:?}", e.violations);
         }

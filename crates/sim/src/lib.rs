@@ -23,13 +23,17 @@
 mod event;
 pub mod network;
 mod node;
+mod sharded;
 mod simulation;
+pub mod topology;
 mod trace;
 
 pub use event::{Event, TimerToken};
 pub use network::{CongestedLan, InstantNetwork, NetworkModel, PerLinkLan, UniformLan};
 pub use node::{AnyNode, Context, Node, NodeId};
+pub use sharded::ShardedSimulation;
 pub use simulation::Simulation;
+pub use topology::{GeoNetwork, GeoTopology, LinkFaultHook, LinkOutcome, RegionSpec};
 pub use trace::{NodeCounters, TraceEvent, TraceRecord};
 
 /// A message payload that can traverse the simulated network.

@@ -3,6 +3,7 @@
 use core::fmt;
 use std::any::Any;
 
+use aqua_core::aqua;
 use aqua_core::time::{Duration, Instant};
 use rand::rngs::SmallRng;
 
@@ -48,6 +49,11 @@ impl fmt::Display for NodeId {
 /// [`Context`]: sending messages (which traverse the simulated network) and
 /// setting timers. All state lives inside the node; the simulator guarantees
 /// events are delivered in deterministic timestamp order.
+///
+/// The same `Node` implementation runs unchanged on the sequential
+/// [`crate::Simulation`] and on the sharded parallel
+/// [`crate::ShardedSimulation`] — the [`Context`] hides which engine is
+/// dispatching.
 pub trait Node<M: Payload> {
     /// Handles one event. `ctx` carries the current virtual time, the
     /// node's own id, the RNG, and the scheduling operations.
@@ -72,6 +78,65 @@ impl<M: Payload, T: Node<M> + Any> AnyNode<M> for T {
     }
 }
 
+/// Engine-side operations a [`Context`] forwards to.
+///
+/// Two implementations exist: the sequential [`SimCore`] (one queue, one
+/// RNG, global `(timestamp, seq)` order) and the sharded engine's per-shard
+/// core (per-shard queues, per-node RNG streams, `(timestamp, origin, seq)`
+/// order). Nodes never see the difference.
+pub(crate) trait ContextCore<M> {
+    /// Current virtual time.
+    fn now(&self) -> Instant;
+    /// The RNG stream a node draws from (engine-global or node-local).
+    fn rng_for(&mut self, node: NodeId) -> &mut SmallRng;
+    /// Sends `payload` over the simulated network as part of a `fanout`-way
+    /// multicast.
+    fn transmit(&mut self, from: NodeId, to: NodeId, payload: M, fanout: usize);
+    /// Self-delivery after `after`, bypassing the network.
+    fn send_self(&mut self, from: NodeId, after: Duration, payload: M);
+    /// Arms a timer on `node`.
+    fn set_timer(&mut self, node: NodeId, after: Duration) -> TimerToken;
+    /// Cancels a pending timer on `node`.
+    fn cancel_timer(&mut self, node: NodeId, token: TimerToken);
+    /// Detaches `node` (simulated crash).
+    fn detach(&mut self, node: NodeId);
+}
+
+/// Grow-on-demand bit set over `u64` indices.
+///
+/// Timer tokens are allocated sequentially, so cancellation state is a
+/// dense bit per token instead of a `HashSet` probe on the event dispatch
+/// hot path: `take` is one shift/mask, and the common case (nothing ever
+/// cancelled) never allocates.
+#[derive(Debug, Default)]
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Sets bit `idx`.
+    pub fn set(&mut self, idx: u64) {
+        let word = (idx / 64) as usize;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1 << (idx % 64);
+    }
+
+    /// Clears and returns bit `idx`.
+    #[aqua::hot_path]
+    pub fn take(&mut self, idx: u64) -> bool {
+        let word = (idx / 64) as usize;
+        let Some(w) = self.words.get_mut(word) else {
+            return false;
+        };
+        let mask = 1u64 << (idx % 64);
+        let was = *w & mask != 0;
+        *w &= !mask;
+        was
+    }
+}
+
 /// Internal scheduling state shared between the simulation driver and the
 /// contexts it hands to nodes.
 pub(crate) struct SimCore<M> {
@@ -79,17 +144,19 @@ pub(crate) struct SimCore<M> {
     pub queue: std::collections::BinaryHeap<core::cmp::Reverse<Scheduled<M>>>,
     pub seq: u64,
     pub next_timer: u64,
-    pub cancelled: std::collections::HashSet<u64>,
+    /// Cancelled-timer flags, indexed by token value.
+    pub cancelled: BitSet,
     pub network: Box<dyn NetworkModel>,
     pub rng: SmallRng,
-    /// Nodes that have been detached (crashed at the simulator level);
+    /// Detached (crashed at the simulator level) flags, indexed by node;
     /// deliveries to them are silently dropped at pop time.
-    pub detached: std::collections::HashSet<NodeId>,
+    pub detached: Vec<bool>,
     /// Trace ring + per-node counters.
     pub tracer: Tracer,
 }
 
 impl<M> SimCore<M> {
+    #[aqua::hot_path]
     pub(crate) fn push(&mut self, at: Instant, target: NodeId, event: Event<M>) {
         let seq = self.seq;
         self.seq += 1;
@@ -100,18 +167,84 @@ impl<M> SimCore<M> {
             event,
         }));
     }
+
+    /// Marks a node detached.
+    pub(crate) fn mark_detached(&mut self, node: NodeId) {
+        let idx = node.0 as usize;
+        if idx >= self.detached.len() {
+            self.detached.resize(idx + 1, false);
+        }
+        self.detached[idx] = true;
+    }
+
+    /// Whether a node is detached (hot-path probe: one bounds check).
+    #[aqua::hot_path]
+    pub(crate) fn is_detached(&self, node: NodeId) -> bool {
+        self.detached.get(node.0 as usize).copied().unwrap_or(false)
+    }
+}
+
+impl<M: Payload> ContextCore<M> for SimCore<M> {
+    fn now(&self) -> Instant {
+        self.now
+    }
+
+    fn rng_for(&mut self, _node: NodeId) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    fn transmit(&mut self, from: NodeId, to: NodeId, payload: M, fanout: usize) {
+        let size = payload.wire_size();
+        let delay = self
+            .network
+            .delay(from, to, size, fanout, self.now, &mut self.rng);
+        let at = self.now.saturating_add(delay);
+        self.tracer.record(
+            self.now,
+            TraceEvent::MessageSent {
+                from,
+                to,
+                size,
+                deliver_at: at,
+            },
+        );
+        self.push(at, to, Event::Message { from, payload });
+    }
+
+    fn send_self(&mut self, from: NodeId, after: Duration, payload: M) {
+        let at = self.now.saturating_add(after);
+        self.push(at, from, Event::Message { from, payload });
+    }
+
+    fn set_timer(&mut self, node: NodeId, after: Duration) -> TimerToken {
+        let token = TimerToken(self.next_timer);
+        self.next_timer += 1;
+        let at = self.now.saturating_add(after);
+        self.push(at, node, Event::Timer { token });
+        token
+    }
+
+    fn cancel_timer(&mut self, _node: NodeId, token: TimerToken) {
+        self.cancelled.set(token.0);
+    }
+
+    fn detach(&mut self, node: NodeId) {
+        self.mark_detached(node);
+        self.tracer
+            .record(self.now, TraceEvent::NodeDetached { node });
+    }
 }
 
 /// The interface a node uses to act on the simulated world.
 pub struct Context<'a, M: Payload> {
-    pub(crate) core: &'a mut SimCore<M>,
+    pub(crate) ops: &'a mut dyn ContextCore<M>,
     pub(crate) self_id: NodeId,
 }
 
 impl<M: Payload> Context<'_, M> {
     /// The current virtual time.
     pub fn now(&self) -> Instant {
-        self.core.now
+        self.ops.now()
     }
 
     /// This node's id.
@@ -119,15 +252,20 @@ impl<M: Payload> Context<'_, M> {
         self.self_id
     }
 
-    /// The simulation's deterministic random number generator.
+    /// The deterministic random number generator this node draws from.
+    ///
+    /// Under the sequential engine this is the one simulation-global
+    /// stream; under the sharded engine every node owns a SplitMix64-
+    /// derived stream of its own, which is what keeps histories identical
+    /// across worker counts.
     pub fn rng(&mut self) -> &mut SmallRng {
-        &mut self.core.rng
+        self.ops.rng_for(self.self_id)
     }
 
     /// Sends `payload` to `to` over the simulated network; the network
     /// model decides the delivery latency.
     pub fn send(&mut self, to: NodeId, payload: M) {
-        self.transmit(to, payload, 1);
+        self.ops.transmit(self.self_id, to, payload, 1);
     }
 
     /// Sends `payload` to every node in `to` (list-addressed multicast).
@@ -137,65 +275,31 @@ impl<M: Payload> Context<'_, M> {
     /// number of group members involved in the communication".
     pub fn multicast(&mut self, to: &[NodeId], payload: M) {
         for dest in to {
-            self.transmit(*dest, payload.clone(), to.len());
+            self.ops
+                .transmit(self.self_id, *dest, payload.clone(), to.len());
         }
-    }
-
-    fn transmit(&mut self, to: NodeId, payload: M, fanout: usize) {
-        let size = payload.wire_size();
-        let delay = self.core.network.delay(
-            self.self_id,
-            to,
-            size,
-            fanout,
-            self.core.now,
-            &mut self.core.rng,
-        );
-        let at = self.core.now.saturating_add(delay);
-        let from = self.self_id;
-        self.core.tracer.record(
-            self.core.now,
-            TraceEvent::MessageSent {
-                from,
-                to,
-                size,
-                deliver_at: at,
-            },
-        );
-        self.core.push(at, to, Event::Message { from, payload });
     }
 
     /// Delivers `payload` to this node itself after `after`, bypassing the
     /// network (used to model local asynchronous processing).
     pub fn send_self(&mut self, after: Duration, payload: M) {
-        let at = self.core.now.saturating_add(after);
-        let from = self.self_id;
-        self.core
-            .push(at, self.self_id, Event::Message { from, payload });
+        self.ops.send_self(self.self_id, after, payload);
     }
 
     /// Sets a timer that fires on this node after `after`.
     pub fn set_timer(&mut self, after: Duration) -> TimerToken {
-        let token = TimerToken(self.core.next_timer);
-        self.core.next_timer += 1;
-        let at = self.core.now.saturating_add(after);
-        self.core.push(at, self.self_id, Event::Timer { token });
-        token
+        self.ops.set_timer(self.self_id, after)
     }
 
     /// Cancels a pending timer; firing events for it are dropped.
     pub fn cancel_timer(&mut self, token: TimerToken) {
-        self.core.cancelled.insert(token.0);
+        self.ops.cancel_timer(self.self_id, token);
     }
 
     /// Detaches this node from the simulation: all subsequent deliveries to
     /// it (messages and timers) are dropped. Models a host crash.
     pub fn detach_self(&mut self) {
-        self.core.detached.insert(self.self_id);
-        self.core.tracer.record(
-            self.core.now,
-            TraceEvent::NodeDetached { node: self.self_id },
-        );
+        self.ops.detach(self.self_id);
     }
 }
 
@@ -203,7 +307,26 @@ impl<M: Payload> fmt::Debug for Context<'_, M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Context")
             .field("self_id", &self.self_id)
-            .field("now", &self.core.now)
+            .field("now", &self.ops.now())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_set_take_roundtrip() {
+        let mut bits = BitSet::default();
+        assert!(!bits.take(5), "unset bit");
+        bits.set(5);
+        bits.set(64);
+        bits.set(1000);
+        assert!(bits.take(5));
+        assert!(!bits.take(5), "take clears");
+        assert!(bits.take(64));
+        assert!(bits.take(1000));
+        assert!(!bits.take(2000), "beyond allocated words");
     }
 }

@@ -2,15 +2,16 @@
 
 use core::cmp::Reverse;
 use core::fmt;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
+use aqua_core::aqua;
 use aqua_core::time::{Duration, Instant};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::event::{Event, Scheduled};
 use crate::network::{InstantNetwork, NetworkModel};
-use crate::node::{AnyNode, Context, NodeId, SimCore};
+use crate::node::{AnyNode, BitSet, Context, NodeId, SimCore};
 use crate::trace::{NodeCounters, TraceEvent, TraceRecord};
 use crate::Payload;
 
@@ -78,10 +79,10 @@ impl<M: Payload> Simulation<M> {
                 queue: BinaryHeap::new(),
                 seq: 0,
                 next_timer: 0,
-                cancelled: HashSet::new(),
+                cancelled: BitSet::default(),
                 network: Box::new(network),
                 rng: SmallRng::seed_from_u64(seed),
-                detached: HashSet::new(),
+                detached: Vec::new(),
                 tracer: Default::default(),
             },
             nodes: Vec::new(),
@@ -126,7 +127,7 @@ impl<M: Payload> Simulation<M> {
     /// Detaches a node: every future delivery to it is dropped. Models a
     /// crash injected by the harness rather than by the node itself.
     pub fn detach_node(&mut self, id: NodeId) {
-        self.core.detached.insert(id);
+        self.core.mark_detached(id);
         self.core
             .tracer
             .record(self.core.now, TraceEvent::NodeDetached { node: id });
@@ -156,7 +157,7 @@ impl<M: Payload> Simulation<M> {
 
     /// Whether a node is detached (crashed).
     pub fn is_detached(&self, id: NodeId) -> bool {
-        self.core.detached.contains(&id)
+        self.core.is_detached(id)
     }
 
     /// Bridges the simulator's observability into `obs`: per-node
@@ -260,7 +261,31 @@ impl<M: Payload> Simulation<M> {
     /// empty.
     pub fn step(&mut self) -> bool {
         self.ensure_started();
+        self.step_bounded(None)
+    }
+
+    /// Pops and dispatches the next event, honoring an optional inclusive
+    /// deadline with a single heap peek (no pop-and-reinsert, no second
+    /// comparison pass in the caller).
+    ///
+    /// This is the hottest remaining loop of the workspace when the
+    /// simulator drives fleet-scale scenarios, so the dispatch path is kept
+    /// allocation-free: cancelled timers are one bit probe, detached nodes
+    /// one bounds-checked flag load, and the per-node trace counters are a
+    /// dense vector rather than a hash map.
+    #[aqua::hot_path]
+    fn step_bounded(&mut self, deadline: Option<Instant>) -> bool {
         loop {
+            match self.core.queue.peek() {
+                None => return false,
+                Some(Reverse(next)) => {
+                    if let Some(deadline) = deadline {
+                        if next.at > deadline {
+                            return false;
+                        }
+                    }
+                }
+            }
             let Some(Reverse(scheduled)) = self.core.queue.pop() else {
                 return false;
             };
@@ -272,11 +297,11 @@ impl<M: Payload> Simulation<M> {
 
             // Drop cancelled timers and deliveries to detached nodes.
             if let Event::Timer { token } = &scheduled.event {
-                if self.core.cancelled.remove(&token.value()) {
+                if self.core.cancelled.take(token.value()) {
                     continue;
                 }
             }
-            if self.core.detached.contains(&scheduled.target) {
+            if self.core.is_detached(scheduled.target) {
                 continue;
             }
 
@@ -304,7 +329,7 @@ impl<M: Payload> Simulation<M> {
             };
             {
                 let mut ctx = Context {
-                    core: &mut self.core,
+                    ops: &mut self.core,
                     self_id: target,
                 };
                 node.on_event(event, &mut ctx);
@@ -320,23 +345,18 @@ impl<M: Payload> Simulation<M> {
         while self.step() {}
     }
 
-    /// Runs until virtual time reaches `deadline` (events at exactly
-    /// `deadline` are processed) or the queue empties.
+    /// Runs until virtual time reaches `deadline` or the queue empties.
+    ///
+    /// Boundary contract (pinned by `run_until_boundary_*` tests and
+    /// mirrored exactly by [`crate::ShardedSimulation::run_until`]): events
+    /// scheduled at *exactly* `deadline` are processed, including zero-delay
+    /// cascades they spawn at that same instant; events later than
+    /// `deadline` stay queued; afterwards `now()` equals `deadline` even if
+    /// the queue emptied earlier.
     pub fn run_until(&mut self, deadline: Instant) {
         self.ensure_started();
-        loop {
-            match self.core.queue.peek() {
-                Some(Reverse(next)) if next.at <= deadline => {
-                    if !self.step() {
-                        break;
-                    }
-                }
-                _ => {
-                    self.core.now = self.core.now.max(deadline);
-                    break;
-                }
-            }
-        }
+        while self.step_bounded(Some(deadline)) {}
+        self.core.now = self.core.now.max(deadline);
     }
 
     /// Runs for `span` of virtual time from the current instant.
@@ -500,6 +520,73 @@ mod tests {
         let b = sim.add_node(Echo::default());
         sim.run_until_idle();
         assert_eq!(sim.node::<Echo>(b).unwrap().log, vec![(3_000_000, "start")]);
+    }
+
+    /// On each Ping received, immediately re-sends itself a Ping at the
+    /// same instant, up to `cascade` times — a zero-delay cascade used to
+    /// pin the deadline-boundary contract.
+    struct Cascader {
+        cascade: u32,
+        handled: Vec<u64>,
+    }
+
+    impl Node<Msg> for Cascader {
+        fn on_event(&mut self, event: Event<Msg>, ctx: &mut Context<'_, Msg>) {
+            if let Event::Message { .. } = event {
+                self.handled.push(ctx.now().as_nanos());
+                if (self.handled.len() as u32) < self.cascade {
+                    ctx.send_self(Duration::ZERO, Msg::Ping);
+                }
+            }
+        }
+    }
+
+    /// Pins the `run_until` boundary contract the sharded engine must
+    /// reproduce: events at exactly the deadline run, zero-delay cascades
+    /// they spawn at that instant run too, later events do not, and `now()`
+    /// lands exactly on the deadline.
+    #[test]
+    fn run_until_boundary_processes_deadline_events_and_cascades() {
+        let mut sim = Simulation::<Msg>::new(1);
+        let a = sim.add_node(Echo::default());
+        let c = sim.add_node(Cascader {
+            cascade: 3,
+            handled: Vec::new(),
+        });
+        let deadline = Instant::from_millis(10);
+        sim.schedule_message(deadline, a, c, Msg::Ping);
+        sim.schedule_message(
+            Instant::from_nanos(deadline.as_nanos() + 1),
+            a,
+            c,
+            Msg::Ping,
+        );
+        sim.run_until(deadline);
+        let handled = &sim.node::<Cascader>(c).unwrap().handled;
+        assert_eq!(
+            handled,
+            &vec![deadline.as_nanos(); 3],
+            "the deadline event and its same-instant cascade all run"
+        );
+        assert_eq!(sim.now(), deadline, "time lands exactly on the deadline");
+        sim.run_until_idle();
+        assert_eq!(
+            sim.node::<Cascader>(c).unwrap().handled.len(),
+            4,
+            "the deadline+1ns event was deferred, not dropped"
+        );
+    }
+
+    /// `run_until` past an empty queue still advances the clock to the
+    /// deadline (and never beyond it when events stop earlier).
+    #[test]
+    fn run_until_boundary_advances_clock_on_idle_queue() {
+        let mut sim = Simulation::<Msg>::new(1);
+        let a = sim.add_node(Echo::default());
+        let b = sim.add_node(Echo::default());
+        sim.schedule_message(Instant::from_millis(2), a, b, Msg::Ping);
+        sim.run_until(Instant::from_millis(50));
+        assert_eq!(sim.now(), Instant::from_millis(50));
     }
 
     #[test]

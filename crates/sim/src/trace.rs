@@ -6,8 +6,9 @@
 //! fired), which tests use to assert communication patterns — e.g. that a
 //! warm timing fault handler multicasts to exactly 2 replicas.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
+use aqua_core::aqua;
 use aqua_core::time::Instant;
 
 use crate::node::NodeId;
@@ -71,10 +72,15 @@ pub struct NodeCounters {
 }
 
 /// Bounded trace ring + counters, owned by the simulation core.
+///
+/// Counters are a dense vector indexed by node — node ids are small
+/// sequential integers, so the per-event update is one bounds check and an
+/// increment instead of a hash probe (and, on first touch, a `HashMap`
+/// entry allocation) on the dispatch hot path.
 #[derive(Debug, Default)]
 pub(crate) struct Tracer {
     ring: Option<Ring>,
-    counters: HashMap<NodeId, NodeCounters>,
+    counters: Vec<NodeCounters>,
 }
 
 #[derive(Debug)]
@@ -93,17 +99,22 @@ impl Tracer {
         });
     }
 
+    /// Dense counter slot for `node`, growing the vector on first touch of
+    /// a new high-water node index (amortized; steady state is index-only).
+    fn slot(&mut self, node: NodeId) -> &mut NodeCounters {
+        let idx = node.index() as usize;
+        if idx >= self.counters.len() {
+            self.counters.resize(idx + 1, NodeCounters::default());
+        }
+        &mut self.counters[idx]
+    }
+
+    #[aqua::hot_path]
     pub fn record(&mut self, at: Instant, event: TraceEvent) {
         match &event {
-            TraceEvent::MessageSent { from, .. } => {
-                self.counters.entry(*from).or_default().sent += 1;
-            }
-            TraceEvent::MessageDelivered { to, .. } => {
-                self.counters.entry(*to).or_default().delivered += 1;
-            }
-            TraceEvent::TimerFired { node } => {
-                self.counters.entry(*node).or_default().timers_fired += 1;
-            }
+            TraceEvent::MessageSent { from, .. } => self.slot(*from).sent += 1,
+            TraceEvent::MessageDelivered { to, .. } => self.slot(*to).delivered += 1,
+            TraceEvent::TimerFired { node } => self.slot(*node).timers_fired += 1,
             TraceEvent::NodeStarted { .. } | TraceEvent::NodeDetached { .. } => {}
         }
         if let Some(ring) = &mut self.ring {
@@ -124,22 +135,38 @@ impl Tracer {
     }
 
     pub fn counters(&self, node: NodeId) -> NodeCounters {
-        self.counters.get(&node).copied().unwrap_or_default()
+        self.counters
+            .get(node.index() as usize)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Counters of every node that has communicated, in node order.
     pub fn all_counters(&self) -> Vec<(NodeId, NodeCounters)> {
-        let mut all: Vec<(NodeId, NodeCounters)> =
-            self.counters.iter().map(|(n, c)| (*n, *c)).collect();
-        all.sort_by_key(|(n, _)| *n);
-        all
+        self.counters
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c != NodeCounters::default())
+            .map(|(i, c)| (NodeId::new(i as u32), *c))
+            .collect()
     }
 
     /// Total messages pushed through the network, summed over all nodes.
     /// This is the single source of truth — the core keeps no separate
     /// message counter.
     pub fn total_sent(&self) -> u64 {
-        self.counters.values().map(|c| c.sent).sum()
+        self.counters.iter().map(|c| c.sent).sum()
+    }
+
+    /// Folds another tracer's per-node counters into this one (used when
+    /// merging shard-local tracers on export).
+    pub fn absorb_counters(&mut self, other: &Tracer) {
+        for (i, c) in other.counters.iter().enumerate() {
+            let slot = self.slot(NodeId::new(i as u32));
+            slot.sent += c.sent;
+            slot.delivered += c.delivered;
+            slot.timers_fired += c.timers_fired;
+        }
     }
 }
 

@@ -1,0 +1,443 @@
+//! Worker-count-invariance tests for the sharded engine.
+//!
+//! The core claim (DESIGN.md §16): for a fixed seed and wiring, the merged
+//! history of a [`ShardedSimulation`] is *bit-identical* for every worker
+//! count — `W = 1` (the sequential baseline) and any parallel `W` produce
+//! the same `TraceRecord` stream, the same per-node digests, and the same
+//! final node states. The proptests drive random node graphs, workloads,
+//! and seeds through W ∈ {1, 2, 4, 8}; the unit suite pins the tricky
+//! cross-shard interleavings (message vs. timer ties at one instant,
+//! cancellation across windows, zero-delay cascades at the deadline).
+
+use aqua_core::time::{Duration, Instant};
+use lan_sim::topology::RegionSpec;
+use lan_sim::{
+    Context, Event, GeoTopology, Node, NodeId, Payload, ShardedSimulation, TimerToken, TraceRecord,
+};
+use proptest::prelude::*;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+struct Gossip {
+    ttl: u32,
+    tag: u32,
+}
+impl Payload for Gossip {}
+
+/// Forwards each message to a randomly chosen neighbour (drawing from the
+/// node's own RNG stream) while TTL remains, sometimes via a timer
+/// indirection, and records everything it sees.
+struct Gossiper {
+    neighbours: Vec<NodeId>,
+    log: Vec<(u64, u32, u32)>,
+    pending: Vec<(TimerToken, Gossip)>,
+}
+
+impl Gossiper {
+    fn new(neighbours: Vec<NodeId>) -> Self {
+        Gossiper {
+            neighbours,
+            log: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    fn forward(&mut self, g: Gossip, ctx: &mut Context<'_, Gossip>) {
+        if g.ttl == 0 || self.neighbours.is_empty() {
+            return;
+        }
+        let pick = ctx.rng().gen_range(0..self.neighbours.len());
+        let to = self.neighbours[pick];
+        let next = Gossip {
+            ttl: g.ttl - 1,
+            tag: g.tag,
+        };
+        // A third of forwards go through a timer indirection so timers and
+        // messages interleave; one in six of those gets cancelled again.
+        match ctx.rng().gen_range(0u32..6) {
+            0 | 1 => {
+                let delay = Duration::from_micros(ctx.rng().gen_range(0u64..40_000));
+                let token = ctx.set_timer(delay);
+                self.pending.push((token, next));
+                if ctx.rng().gen_range(0u32..6) == 0 {
+                    ctx.cancel_timer(token);
+                }
+            }
+            _ => ctx.send(to, next),
+        }
+    }
+}
+
+impl Node<Gossip> for Gossiper {
+    fn on_event(&mut self, event: Event<Gossip>, ctx: &mut Context<'_, Gossip>) {
+        match event {
+            Event::Started => {}
+            Event::Message { from, payload } => {
+                self.log
+                    .push((ctx.now().as_nanos(), from.index(), payload.tag));
+                self.forward(payload, ctx);
+            }
+            Event::Timer { token } => {
+                self.log.push((ctx.now().as_nanos(), u32::MAX, 0));
+                if let Some(pos) = self.pending.iter().position(|(t, _)| *t == token) {
+                    let (_, g) = self.pending.remove(pos);
+                    if !self.neighbours.is_empty() {
+                        let pick = ctx.rng().gen_range(0..self.neighbours.len());
+                        let to = self.neighbours[pick];
+                        ctx.send(to, g);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-node receive logs: one `(at_ns, from, ttl)` list per node.
+type NodeLogs = Vec<Vec<(u64, u32, u32)>>;
+
+/// Builds a gossip fleet over `regions` regions with `per_region` nodes,
+/// ring+cross neighbour wiring, injects `injections`, runs to `deadline`,
+/// and returns (digest, merged trace, per-node logs).
+fn run_fleet(
+    workers: usize,
+    seed: u64,
+    regions: usize,
+    per_region: usize,
+    injections: &[(u64, u32, u32)],
+    deadline_ms: u64,
+) -> (u64, Vec<TraceRecord>, NodeLogs) {
+    let mut topo = GeoTopology::aws_5region();
+    topo.jitter = 0.15;
+    let regions = regions.clamp(1, topo.region_count());
+    // Shrink to the requested region count by reusing the first rows.
+    let specs: Vec<RegionSpec> = topo.regions()[..regions].to_vec();
+    let rtt: Vec<Vec<f64>> = (0..regions)
+        .map(|i| {
+            (0..regions)
+                .map(|j| topo.one_way(i, j).as_nanos() as f64 * 2.0 / 1_000_000.0)
+                .collect()
+        })
+        .collect();
+    let mut topo = GeoTopology::from_rtt_ms(specs, &rtt);
+    topo.jitter = 0.15;
+
+    let mut sim = ShardedSimulation::<Gossip>::new(seed, workers, topo);
+    sim.enable_trace(1 << 16);
+    let total = regions * per_region;
+    let ids: Vec<NodeId> = (0..total)
+        .map(|i| sim.add_node_in_region(i % regions, Gossiper::new(Vec::new())))
+        .collect();
+    for (i, id) in ids.iter().enumerate() {
+        let mut neighbours = vec![ids[(i + 1) % total], ids[(i + total / 2).max(1) % total]];
+        neighbours.retain(|n| n != id);
+        sim.node_mut::<Gossiper>(*id).unwrap().neighbours = neighbours;
+    }
+    for (at_ms, src, ttl) in injections {
+        let from = ids[(*src as usize) % total];
+        let to = ids[(*src as usize + 1) % total];
+        sim.schedule_message(
+            Instant::from_millis(*at_ms),
+            from,
+            to,
+            Gossip {
+                ttl: *ttl % 6,
+                tag: *src,
+            },
+        );
+    }
+    sim.run_until(Instant::from_millis(deadline_ms));
+    let logs = ids
+        .iter()
+        .map(|id| sim.node::<Gossiper>(*id).unwrap().log.clone())
+        .collect();
+    (sim.trace_digest(), sim.merged_trace(), logs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random graphs × random seeds × W ∈ {1, 2, 4, 8}: byte-identical
+    /// merged `TraceRecord` streams, digests, and node logs.
+    #[test]
+    fn merged_histories_invariant_across_worker_counts(
+        seed in 0u64..10_000,
+        regions in 2usize..=5,
+        per_region in 1usize..=4,
+        injections in prop::collection::vec((0u64..500, 0u32..20, 0u32..8), 1..12),
+    ) {
+        let (d1, t1, l1) = run_fleet(1, seed, regions, per_region, &injections, 1_500);
+        for w in [2usize, 4, 8] {
+            let (dw, tw, lw) = run_fleet(w, seed, regions, per_region, &injections, 1_500);
+            prop_assert_eq!(d1, dw, "digest differs at W={}", w);
+            prop_assert_eq!(&t1, &tw, "merged trace differs at W={}", w);
+            prop_assert_eq!(&l1, &lw, "node logs differ at W={}", w);
+        }
+    }
+
+    /// Chopping a parallel run into arbitrary `run_until` slices must not
+    /// change the history — barrier windows compose with any deadline.
+    #[test]
+    fn sliced_runs_match_whole_runs(
+        seed in 0u64..1_000,
+        slice_ms in 7u64..200,
+        injections in prop::collection::vec((0u64..400, 0u32..10, 0u32..6), 1..8),
+    ) {
+        let (d_whole, t_whole, _) = run_fleet(4, seed, 3, 2, &injections, 1_200);
+        // Re-run with the same wiring but slicing time.
+        let mut topo = GeoTopology::aws_5region();
+        topo.jitter = 0.15;
+        let specs: Vec<RegionSpec> = topo.regions()[..3].to_vec();
+        let rtt: Vec<Vec<f64>> = (0..3)
+            .map(|i| (0..3)
+                .map(|j| topo.one_way(i, j).as_nanos() as f64 * 2.0 / 1_000_000.0)
+                .collect())
+            .collect();
+        let mut topo = GeoTopology::from_rtt_ms(specs, &rtt);
+        topo.jitter = 0.15;
+        let mut sim = ShardedSimulation::<Gossip>::new(seed, 4, topo);
+        sim.enable_trace(1 << 16);
+        let total = 6;
+        let ids: Vec<NodeId> = (0..total)
+            .map(|i| sim.add_node_in_region(i % 3, Gossiper::new(Vec::new())))
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            let mut neighbours = vec![ids[(i + 1) % total], ids[(i + total / 2).max(1) % total]];
+            neighbours.retain(|n| n != id);
+            sim.node_mut::<Gossiper>(*id).unwrap().neighbours = neighbours;
+        }
+        for (at_ms, src, ttl) in &injections {
+            let from = ids[(*src as usize) % total];
+            let to = ids[(*src as usize + 1) % total];
+            sim.schedule_message(
+                Instant::from_millis(*at_ms),
+                from,
+                to,
+                Gossip { ttl: *ttl % 6, tag: *src },
+            );
+        }
+        let mut t = 0;
+        while t < 1_200 {
+            t = (t + slice_ms).min(1_200);
+            sim.run_until(Instant::from_millis(t));
+        }
+        prop_assert_eq!(d_whole, sim.trace_digest(), "sliced digest differs");
+        prop_assert_eq!(&t_whole, &sim.merged_trace(), "sliced trace differs");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard timer/message interleaving unit suite.
+// ---------------------------------------------------------------------------
+
+fn two_regions(rtt_ms: f64) -> GeoTopology {
+    let mut t = GeoTopology::from_rtt_ms(
+        vec![RegionSpec::named("east"), RegionSpec::named("west")],
+        &[vec![0.0, rtt_ms], vec![rtt_ms, 0.0]],
+    );
+    t.jitter = 0.0;
+    t
+}
+
+/// Sets a timer on start; when a message and its timer land at the same
+/// instant, the `(at, origin, seq)` order decides — and must decide the
+/// same way for every worker count.
+struct TieBreaker {
+    timer_delay: Duration,
+    order: Vec<&'static str>,
+}
+
+impl Node<Gossip> for TieBreaker {
+    fn on_event(&mut self, event: Event<Gossip>, ctx: &mut Context<'_, Gossip>) {
+        match event {
+            Event::Started => {
+                if !self.timer_delay.is_zero() {
+                    ctx.set_timer(self.timer_delay);
+                }
+            }
+            Event::Message { .. } => self.order.push("message"),
+            Event::Timer { .. } => self.order.push("timer"),
+        }
+    }
+}
+
+fn tie_order(workers: usize) -> (Vec<&'static str>, u64) {
+    // 10 ms one-way link: the injected message from the east node arrives
+    // at the west node at exactly t=10ms, the same instant its own timer
+    // fires.
+    let mut sim = ShardedSimulation::<Gossip>::new(9, workers, two_regions(20.0));
+    let east = sim.add_node_in_region(
+        0,
+        TieBreaker {
+            timer_delay: Duration::ZERO,
+            order: Vec::new(),
+        },
+    );
+    let west = sim.add_node_in_region(
+        1,
+        TieBreaker {
+            timer_delay: Duration::from_millis(10),
+            order: Vec::new(),
+        },
+    );
+    sim.schedule_message(
+        Instant::from_millis(10),
+        east,
+        west,
+        Gossip { ttl: 0, tag: 0 },
+    );
+    sim.run_until_idle();
+    (
+        sim.node::<TieBreaker>(west).unwrap().order.clone(),
+        sim.trace_digest(),
+    )
+}
+
+#[test]
+fn same_instant_cross_shard_message_vs_timer_ties_are_stable() {
+    let (o1, d1) = tie_order(1);
+    let (o2, d2) = tie_order(2);
+    assert_eq!(o1.len(), 2, "both the message and the timer ran: {o1:?}");
+    assert_eq!(o1, o2, "tie order depends on worker count");
+    assert_eq!(d1, d2);
+}
+
+/// A timer armed in one window and cancelled in a later one (after a
+/// cross-shard round boundary) must still be suppressed.
+struct LateCancel {
+    token: Option<TimerToken>,
+    fired: bool,
+}
+
+impl Node<Gossip> for LateCancel {
+    fn on_event(&mut self, event: Event<Gossip>, ctx: &mut Context<'_, Gossip>) {
+        match event {
+            Event::Started => {
+                // Fires far in the future, well past several windows.
+                self.token = Some(ctx.set_timer(Duration::from_millis(100)));
+            }
+            Event::Message { .. } => {
+                // The cross-shard "cancel request" arrives ~10 ms in.
+                if let Some(token) = self.token {
+                    ctx.cancel_timer(token);
+                }
+            }
+            Event::Timer { .. } => self.fired = true,
+        }
+    }
+}
+
+#[test]
+fn cancellation_crosses_window_boundaries() {
+    for workers in [1usize, 2] {
+        let mut sim = ShardedSimulation::<Gossip>::new(5, workers, two_regions(20.0));
+        let east = sim.add_node_in_region(
+            0,
+            TieBreaker {
+                timer_delay: Duration::ZERO,
+                order: Vec::new(),
+            },
+        );
+        let west = sim.add_node_in_region(
+            1,
+            LateCancel {
+                token: None,
+                fired: false,
+            },
+        );
+        sim.schedule_message(
+            Instant::from_millis(5),
+            east,
+            west,
+            Gossip { ttl: 0, tag: 0 },
+        );
+        sim.run_until_idle();
+        assert!(
+            !sim.node::<LateCancel>(west).unwrap().fired,
+            "timer fired despite cancel (W={workers})"
+        );
+        assert!(sim.rounds() >= 2 || workers == 1);
+    }
+}
+
+/// Lookahead must bound window size: with a 20 ms RTT (10 ms one-way
+/// lookahead) and two shards, events 100 ms apart need multiple rounds,
+/// and every cross-shard delivery lands in a strictly later round than
+/// its send.
+#[test]
+fn rounds_scale_with_lookahead() {
+    let mut sim = ShardedSimulation::<Gossip>::new(11, 2, two_regions(20.0));
+    assert_eq!(sim.lookahead(), Duration::from_millis(10));
+    let east = sim.add_node_in_region(
+        0,
+        TieBreaker {
+            timer_delay: Duration::ZERO,
+            order: Vec::new(),
+        },
+    );
+    let west = sim.add_node_in_region(
+        1,
+        TieBreaker {
+            timer_delay: Duration::ZERO,
+            order: Vec::new(),
+        },
+    );
+    for i in 0..10u64 {
+        sim.schedule_message(
+            Instant::from_millis(i * 100),
+            east,
+            west,
+            Gossip {
+                ttl: 0,
+                tag: i as u32,
+            },
+        );
+    }
+    sim.run_until_idle();
+    assert_eq!(sim.node::<TieBreaker>(west).unwrap().order.len(), 10);
+    assert!(
+        sim.rounds() >= 10,
+        "10 deliveries 100 ms apart with 10 ms lookahead need ≥10 rounds, got {}",
+        sim.rounds()
+    );
+}
+
+/// Deadline exactly on a cross-shard arrival instant: the arrival runs,
+/// its same-instant consequences run, nothing later does — identically
+/// for sequential and parallel engines.
+#[test]
+fn deadline_at_cross_shard_arrival_is_inclusive() {
+    for workers in [1usize, 2] {
+        let mut sim = ShardedSimulation::<Gossip>::new(3, workers, two_regions(20.0));
+        let east = sim.add_node_in_region(
+            0,
+            TieBreaker {
+                timer_delay: Duration::ZERO,
+                order: Vec::new(),
+            },
+        );
+        let west = sim.add_node_in_region(
+            1,
+            TieBreaker {
+                timer_delay: Duration::ZERO,
+                order: Vec::new(),
+            },
+        );
+        let deadline = Instant::from_millis(10);
+        sim.schedule_message(deadline, east, west, Gossip { ttl: 0, tag: 1 });
+        sim.schedule_message(
+            Instant::from_nanos(deadline.as_nanos() + 1),
+            east,
+            west,
+            Gossip { ttl: 0, tag: 2 },
+        );
+        sim.run_until(deadline);
+        assert_eq!(
+            sim.node::<TieBreaker>(west).unwrap().order.len(),
+            1,
+            "exactly the deadline event ran (W={workers})"
+        );
+        assert_eq!(sim.now(), deadline);
+        sim.run_until_idle();
+        assert_eq!(sim.node::<TieBreaker>(west).unwrap().order.len(), 2);
+    }
+}

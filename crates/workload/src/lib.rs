@@ -17,6 +17,8 @@
 mod config;
 mod experiment;
 mod report;
+pub mod scale;
+pub mod scenario;
 mod summary;
 
 pub use aqua_faults::{FaultKind, FaultPlan};
@@ -25,6 +27,8 @@ pub use config::{
 };
 pub use experiment::{run_experiment, run_experiment_observed, ClientReport, ExperimentReport};
 pub use report::{Figure, Series};
+pub use scale::{ScaleClient, ScaleMsg, ScaleReplica};
+pub use scenario::{Scenario, ScenarioStats, ScheduleLinkHook};
 pub use summary::LatencySummary;
 
 /// Averages the y-values of several same-grid series into one.
